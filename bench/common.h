@@ -1,0 +1,143 @@
+// Shared infrastructure for the figure benches.
+//
+// Every bench regenerates one figure of the paper's evaluation section: it
+// builds the dataset, trains the RL agents, sweeps the figure's x-axis, and
+// prints the same series the paper plots. ISRL_BENCH_SCALE selects the
+// experiment scale:
+//   smoke — seconds-long sanity run
+//   fast  — (default) minutes-long run preserving every qualitative shape
+//   paper — the paper's full parameters (n = 100,000; 10,000 training
+//           vectors; expect hours)
+#ifndef ISRL_BENCH_COMMON_H_
+#define ISRL_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/single_pass.h"
+#include "baselines/uh_random.h"
+#include "baselines/uh_simplex.h"
+#include "baselines/utility_approx.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/aa.h"
+#include "core/ea.h"
+#include "core/session.h"
+#include "data/real_like.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "user/sampler.h"
+
+namespace isrl::bench {
+
+/// Experiment scale selected by ISRL_BENCH_SCALE.
+struct Scale {
+  std::string name;
+  size_t n_low_d;        ///< synthetic dataset size for d ≤ 5 figures
+  size_t n_high_d;       ///< synthetic dataset size for d > 5 figures
+  size_t train_low_d;    ///< training episodes for d ≤ 5
+  size_t train_high_d;   ///< training episodes for d > 5
+  size_t eval_users;     ///< simulated users per configuration
+  size_t sp_cap;         ///< SinglePass question cap
+  size_t regret_samples; ///< samples for the Fig 7/8 worst-case metric
+};
+
+inline Scale GetScale() {
+  const char* env = std::getenv("ISRL_BENCH_SCALE");
+  std::string s = env == nullptr ? "fast" : env;
+  if (s == "smoke") {
+    return Scale{"smoke", 2000, 2000, 30, 15, 3, 600, 200};
+  }
+  if (s == "paper") {
+    return Scale{"paper", 100000, 100000, 10000, 2000, 10, 5000, 10000};
+  }
+  return Scale{"fast", 10000, 4000, 150, 15, 6, 1200, 400};
+}
+
+/// Master seed; override with ISRL_BENCH_SEED for variance studies.
+inline uint64_t GetSeed() {
+  const char* env = std::getenv("ISRL_BENCH_SEED");
+  return env == nullptr ? 9176u : static_cast<uint64_t>(std::atoll(env));
+}
+
+/// Builds the normalised skyline of an anti-correlated synthetic dataset —
+/// the paper's standard synthetic preprocessing.
+inline Dataset AntiCorrelatedSkyline(size_t n, size_t d, Rng& rng) {
+  Dataset raw = GenerateSynthetic(n, d, Distribution::kAntiCorrelated, rng);
+  return SkylineOf(raw);
+}
+
+/// Prints the figure banner plus dataset facts.
+inline void Banner(const std::string& figure, const std::string& setting,
+                   const Dataset& skyline, const Scale& scale) {
+  std::printf("# %s — %s\n", figure.c_str(), setting.c_str());
+  std::printf("# scale=%s skyline=%zu d=%zu seed=%llu\n", scale.name.c_str(),
+              skyline.size(), skyline.dim(),
+              static_cast<unsigned long long>(GetSeed()));
+  std::fflush(stdout);
+}
+
+/// Training configuration used by the benches: the paper's network and
+/// replay settings plus the step-penalty shaping, decayed exploration, Adam
+/// and two updates per round that make learning measurable at 10-100× fewer
+/// episodes than the paper's 10,000 (see DESIGN.md §5 / EXPERIMENTS.md).
+inline rl::DqnOptions BenchTrainingDqn(size_t episodes) {
+  rl::DqnOptions dqn;
+  dqn.optimizer = rl::OptimizerKind::kAdam;
+  dqn.step_penalty = 1.0;
+  dqn.gamma = 1.0;  // finite-horizon shortest-path objective
+  dqn.epsilon_start = 0.9;
+  dqn.epsilon_end = 0.1;
+  dqn.epsilon_decay_episodes = episodes > 0 ? (2 * episodes) / 3 : 1;
+  return dqn;
+}
+
+/// Trains EA for the given ε; prints a one-line training summary.
+inline Ea MakeTrainedEa(const Dataset& sky, double epsilon, size_t episodes,
+                        uint64_t seed) {
+  EaOptions opt;
+  opt.epsilon = epsilon;
+  opt.seed = seed;
+  opt.dqn = BenchTrainingDqn(episodes);
+  opt.updates_per_round = 2;
+  Ea ea(sky, opt);
+  Rng rng(seed + 1);
+  Stopwatch w;
+  TrainStats ts = ea.Train(SampleUtilityVectors(episodes, sky.dim(), rng));
+  std::printf("# trained EA(eps=%.2f): %zu episodes in %.1fs, train rounds %.1f\n",
+              epsilon, ts.episodes, w.ElapsedSeconds(), ts.mean_rounds);
+  std::fflush(stdout);
+  return ea;
+}
+
+/// Trains AA for the given ε; prints a one-line training summary.
+inline Aa MakeTrainedAa(const Dataset& sky, double epsilon, size_t episodes,
+                        uint64_t seed, size_t max_rounds = 2000) {
+  AaOptions opt;
+  opt.epsilon = epsilon;
+  opt.seed = seed;
+  opt.max_rounds = max_rounds;
+  opt.dqn = BenchTrainingDqn(episodes);
+  opt.updates_per_round = 2;
+  Aa aa(sky, opt);
+  Rng rng(seed + 2);
+  Stopwatch w;
+  TrainStats ts = aa.Train(SampleUtilityVectors(episodes, sky.dim(), rng));
+  std::printf("# trained AA(eps=%.2f): %zu episodes in %.1fs, train rounds %.1f\n",
+              epsilon, ts.episodes, w.ElapsedSeconds(), ts.mean_rounds);
+  std::fflush(stdout);
+  return aa;
+}
+
+/// Evaluation users shared across the algorithms of one configuration.
+inline std::vector<Vec> EvalUsers(size_t count, size_t d, uint64_t seed) {
+  Rng rng(seed + 3);
+  return SampleUtilityVectors(count, d, rng);
+}
+
+}  // namespace isrl::bench
+
+#endif  // ISRL_BENCH_COMMON_H_

@@ -1,0 +1,71 @@
+// Noisy-user bench — the paper's stated future work ("users make mistakes
+// when answering questions"). Sweeps the answer-flip probability and reports
+// rounds + final regret per algorithm, with and without the majority-vote
+// mitigation (each logical question re-asked 3 times).
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+UserFactory MajorityFactory(double rate, Rng& rng, size_t votes,
+                            std::vector<std::unique_ptr<UserOracle>>* keep) {
+  return [rate, &rng, votes, keep](const Vec& u) {
+    auto noisy = std::make_unique<NoisyUser>(u, rate, rng);
+    auto voter = std::make_unique<MajorityVoteUser>(noisy.get(), votes);
+    keep->push_back(std::move(noisy));  // keep the inner oracle alive
+    return voter;
+  };
+}
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  Rng rng(seed);
+  Dataset sky = AntiCorrelatedSkyline(scale.n_low_d, 4, rng);
+  Banner("Noisy users", "answer-flip sweep on 4-d synthetic (epsilon=0.1)",
+         sky, scale);
+  std::vector<Vec> eval = EvalUsers(scale.eval_users, 4, seed);
+
+  Ea ea = MakeTrainedEa(sky, 0.1, scale.train_low_d, seed);
+  Aa aa = MakeTrainedAa(sky, 0.1, scale.train_low_d, seed);
+  UhOptions uopt;
+  uopt.epsilon = 0.1;
+  uopt.seed = seed;
+  UhRandom uh(sky, uopt);
+
+  PrintEvalHeader("flip_prob");
+  for (double rate : {0.0, 0.05, 0.1, 0.2}) {
+    Rng noise_rng(seed + 7);
+    UserFactory factory = rate == 0.0 ? MakeLinearUserFactory()
+                                      : MakeNoisyUserFactory(rate, noise_rng);
+    std::string label = Format("%.2f", rate);
+    PrintEvalRow(label, Evaluate(ea, sky, eval, 0.1, factory));
+    PrintEvalRow(label, Evaluate(aa, sky, eval, 0.1, factory));
+    PrintEvalRow(label, Evaluate(uh, sky, eval, 0.1, factory));
+  }
+
+  std::printf("\n## Majority-vote mitigation (3 votes per question; rounds "
+              "count the logical questions)\n");
+  PrintEvalHeader("flip_prob");
+  for (double rate : {0.1, 0.2}) {
+    Rng noise_rng(seed + 8);
+    std::vector<std::unique_ptr<UserOracle>> keep;
+    UserFactory factory = MajorityFactory(rate, noise_rng, 3, &keep);
+    std::string label = Format("%.2f", rate);
+    EvalStats s = Evaluate(ea, sky, eval, 0.1, factory);
+    s.algorithm = "EA+vote3";
+    PrintEvalRow(label, s);
+    keep.clear();
+    s = Evaluate(aa, sky, eval, 0.1, factory);
+    s.algorithm = "AA+vote3";
+    PrintEvalRow(label, s);
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 6 — impact of training on EA and AA (4-d anti-correlated synthetic).
+//   (a) vary the training-set size         → interactive rounds
+//   (b) vary the action-space size m_h     → interactive rounds
+// Plus the state-representation ablations DESIGN.md §6 calls out.
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void RunFigure6a(const Dataset& sky, const Scale& scale, uint64_t seed) {
+  std::printf("\n## Figure 6(a): vary training-set size (epsilon=0.1)\n");
+  PrintEvalHeader("train_size");
+  std::vector<Vec> eval = EvalUsers(scale.eval_users, sky.dim(), seed);
+  std::vector<size_t> sweep{0, scale.train_low_d / 4, scale.train_low_d / 2,
+                            scale.train_low_d, scale.train_low_d * 2};
+  for (size_t train_size : sweep) {
+    {
+      Ea ea = MakeTrainedEa(sky, 0.1, train_size, seed);
+      PrintEvalRow(Format("%zu", train_size), Evaluate(ea, sky, eval, 0.1));
+    }
+    {
+      Aa aa = MakeTrainedAa(sky, 0.1, train_size, seed);
+      PrintEvalRow(Format("%zu", train_size), Evaluate(aa, sky, eval, 0.1));
+    }
+  }
+}
+
+void RunFigure6b(const Dataset& sky, const Scale& scale, uint64_t seed) {
+  std::printf("\n## Figure 6(b): vary action-space size m_h (epsilon=0.1)\n");
+  PrintEvalHeader("m_h");
+  std::vector<Vec> eval = EvalUsers(scale.eval_users, sky.dim(), seed);
+  for (size_t m_h : {2, 5, 10, 20}) {
+    {
+      EaOptions opt;
+      opt.epsilon = 0.1;
+      opt.seed = seed;
+      opt.actions.m_h = m_h;
+      opt.dqn = BenchTrainingDqn(scale.train_low_d);
+      opt.updates_per_round = 2;
+      Ea ea(sky, opt);
+      Rng rng(seed + 1);
+      ea.Train(SampleUtilityVectors(scale.train_low_d, sky.dim(), rng));
+      PrintEvalRow(Format("%zu", m_h), Evaluate(ea, sky, eval, 0.1));
+    }
+    {
+      AaOptions opt;
+      opt.epsilon = 0.1;
+      opt.seed = seed;
+      opt.actions.m_h = m_h;
+      opt.dqn = BenchTrainingDqn(scale.train_low_d);
+      opt.updates_per_round = 2;
+      Aa aa(sky, opt);
+      Rng rng(seed + 2);
+      aa.Train(SampleUtilityVectors(scale.train_low_d, sky.dim(), rng));
+      PrintEvalRow(Format("%zu", m_h), Evaluate(aa, sky, eval, 0.1));
+    }
+  }
+}
+
+void RunStateAblations(const Dataset& sky, const Scale& scale, uint64_t seed) {
+  std::printf(
+      "\n## Ablation: EA state without coverage selection (m_e=1) and with a "
+      "large m_e\n");
+  PrintEvalHeader("m_e");
+  std::vector<Vec> eval = EvalUsers(scale.eval_users, sky.dim(), seed);
+  for (size_t m_e : {1, 5, 10}) {
+    EaOptions opt;
+    opt.epsilon = 0.1;
+    opt.seed = seed;
+    opt.state.m_e = m_e;
+    opt.dqn = BenchTrainingDqn(scale.train_low_d);
+    opt.updates_per_round = 2;
+    Ea ea(sky, opt);
+    Rng rng(seed + 1);
+    ea.Train(SampleUtilityVectors(scale.train_low_d, sky.dim(), rng));
+    PrintEvalRow(Format("%zu", m_e), Evaluate(ea, sky, eval, 0.1));
+  }
+}
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  Rng rng(seed);
+  Dataset sky = AntiCorrelatedSkyline(scale.n_low_d, 4, rng);
+  Banner("Figure 6", "training ablations on 4-d anti-correlated synthetic",
+         sky, scale);
+  RunFigure6a(sky, scale, seed);
+  RunFigure6b(sky, scale, seed);
+  RunStateAblations(sky, scale, seed);
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

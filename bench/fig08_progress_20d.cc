@@ -1,0 +1,68 @@
+// Figure 8 — interaction-process progress on the 20-d anti-correlated
+// synthetic dataset: per-round maximum regret ratio and cumulative execution
+// time for AA vs SinglePass (polyhedron-based algorithms cannot run at
+// d = 20; the paper omits them above d = 10).
+#include <algorithm>
+
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void PrintTrajectory(const std::string& name, const TraceSummary& t,
+                     size_t max_rows) {
+  size_t rows = std::min(max_rows, t.mean_max_regret.size());
+  for (size_t r = 0; r < rows; ++r) {
+    std::printf("%-12s %8zu %14.4f %14.4f\n", name.c_str(), r + 1,
+                t.mean_max_regret[r], t.mean_cumulative_seconds[r]);
+  }
+  // Long SinglePass runs: print sparse tail rows so the series end is
+  // visible without thousands of lines.
+  for (size_t r = max_rows; r < t.mean_max_regret.size(); r += 100) {
+    std::printf("%-12s %8zu %14.4f %14.4f\n", name.c_str(), r + 1,
+                t.mean_max_regret[r], t.mean_cumulative_seconds[r]);
+  }
+  std::fflush(stdout);
+}
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  Rng rng(seed);
+  Dataset sky = AntiCorrelatedSkyline(scale.n_high_d, 20, rng);
+  Banner("Figure 8", "interaction progress on 20-d synthetic (epsilon=0.1)",
+         sky, scale);
+  // Per-round worst-case-regret tracing is expensive over thousands of
+  // SinglePass rounds; a couple of users suffice for the trajectory shape.
+  const size_t users_count = std::max<size_t>(2, scale.eval_users / 4);
+  std::vector<Vec> users = EvalUsers(users_count, 20, seed);
+  const size_t max_rows = 40;
+
+  std::printf("%-12s %8s %14s %14s\n", "algorithm", "round", "max_regret",
+              "cum_time_s");
+
+  {
+    Aa aa = MakeTrainedAa(sky, 0.1, scale.train_high_d, seed);
+    PrintTrajectory("AA", EvaluateTrajectory(aa, sky, users,
+                                             scale.regret_samples, seed),
+                    max_rows);
+  }
+  {
+    SinglePassOptions opt;
+    opt.epsilon = 0.1;
+    opt.seed = seed;
+    opt.max_questions = scale.sp_cap;
+    SinglePass sp(sky, opt);
+    PrintTrajectory("SinglePass", EvaluateTrajectory(sp, sky, users,
+                                                     scale.regret_samples, seed),
+                    max_rows);
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

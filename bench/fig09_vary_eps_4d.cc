@@ -1,0 +1,91 @@
+// Figure 9 — vary the regret threshold ε on the 4-d anti-correlated
+// synthetic dataset: (a) interactive rounds, (b) execution time, (c) final
+// regret ratio, for EA, AA, UH-Random, UH-Simplex, SinglePass — plus the
+// untrained-agent ablation isolating the RL contribution (DESIGN.md §6).
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  Rng rng(seed);
+  Dataset sky = AntiCorrelatedSkyline(scale.n_low_d, 4, rng);
+  Banner("Figure 9", "vary epsilon on 4-d anti-correlated synthetic", sky,
+         scale);
+  std::vector<Vec> eval = EvalUsers(scale.eval_users, 4, seed);
+  PrintEvalHeader("epsilon");
+
+  for (double eps : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    std::string label = Format("%.2f", eps);
+    {
+      Ea ea = MakeTrainedEa(sky, eps, scale.train_low_d, seed);
+      PrintEvalRow(label, Evaluate(ea, sky, eval, eps));
+    }
+    {
+      Aa aa = MakeTrainedAa(sky, eps, scale.train_low_d, seed);
+      PrintEvalRow(label, Evaluate(aa, sky, eval, eps));
+    }
+    {
+      UhOptions opt;
+      opt.epsilon = eps;
+      opt.seed = seed;
+      UhRandom uh(sky, opt);
+      PrintEvalRow(label, Evaluate(uh, sky, eval, eps));
+    }
+    {
+      UhOptions opt;
+      opt.epsilon = eps;
+      opt.seed = seed;
+      UhSimplex uh(sky, opt);
+      PrintEvalRow(label, Evaluate(uh, sky, eval, eps));
+    }
+    {
+      SinglePassOptions opt;
+      opt.epsilon = eps;
+      opt.seed = seed;
+      opt.max_questions = scale.sp_cap;
+      SinglePass sp(sky, opt);
+      PrintEvalRow(label, Evaluate(sp, sky, eval, eps));
+    }
+  }
+
+  std::printf("\n## Ablation: untrained agents (random-initialised Q) vs "
+              "trained, epsilon=0.1\n");
+  PrintEvalHeader("variant");
+  {
+    EaOptions opt;
+    opt.epsilon = 0.1;
+    opt.seed = seed;
+    Ea ea(sky, opt);  // no Train() call
+    EvalStats s = Evaluate(ea, sky, eval, 0.1);
+    s.algorithm = "EA-untrained";
+    PrintEvalRow("untrained", s);
+  }
+  {
+    Ea ea = MakeTrainedEa(sky, 0.1, scale.train_low_d, seed);
+    PrintEvalRow("trained", Evaluate(ea, sky, eval, 0.1));
+  }
+  {
+    AaOptions opt;
+    opt.epsilon = 0.1;
+    opt.seed = seed;
+    Aa aa(sky, opt);
+    EvalStats s = Evaluate(aa, sky, eval, 0.1);
+    s.algorithm = "AA-untrained";
+    PrintEvalRow("untrained", s);
+  }
+  {
+    Aa aa = MakeTrainedAa(sky, 0.1, scale.train_low_d, seed);
+    PrintEvalRow("trained", Evaluate(aa, sky, eval, 0.1));
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 11 — vary the dataset size n on the 4-d anti-correlated synthetic
+// dataset (ε = 0.1): rounds and execution time for all five algorithms.
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  std::vector<size_t> sweep;
+  if (scale.name == "paper") {
+    sweep = {10000, 100000, 500000, 1000000};
+  } else if (scale.name == "smoke") {
+    sweep = {1000, 4000};
+  } else {
+    sweep = {2000, 10000, 50000, 200000};
+  }
+
+  std::printf("# Figure 11 — vary n on 4-d anti-correlated synthetic "
+              "(epsilon=0.1, scale=%s)\n", scale.name.c_str());
+  PrintEvalHeader("n");
+  for (size_t n : sweep) {
+    Rng rng(seed);
+    Dataset sky = AntiCorrelatedSkyline(n, 4, rng);
+    std::printf("# n=%zu skyline=%zu\n", n, sky.size());
+    std::vector<Vec> eval = EvalUsers(scale.eval_users, 4, seed);
+    std::string label = Format("%zu", n);
+    {
+      Ea ea = MakeTrainedEa(sky, 0.1, scale.train_low_d, seed);
+      PrintEvalRow(label, Evaluate(ea, sky, eval, 0.1));
+    }
+    {
+      Aa aa = MakeTrainedAa(sky, 0.1, scale.train_low_d, seed);
+      PrintEvalRow(label, Evaluate(aa, sky, eval, 0.1));
+    }
+    {
+      UhOptions opt;
+      opt.seed = seed;
+      UhRandom uh(sky, opt);
+      PrintEvalRow(label, Evaluate(uh, sky, eval, 0.1));
+    }
+    {
+      UhOptions opt;
+      opt.seed = seed;
+      UhSimplex uh(sky, opt);
+      PrintEvalRow(label, Evaluate(uh, sky, eval, 0.1));
+    }
+    {
+      SinglePassOptions opt;
+      opt.seed = seed;
+      opt.max_questions = scale.sp_cap;
+      SinglePass sp(sky, opt);
+      PrintEvalRow(label, Evaluate(sp, sky, eval, 0.1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

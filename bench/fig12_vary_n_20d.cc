@@ -1,0 +1,50 @@
+// Figure 12 — vary the dataset size n on the 20-d anti-correlated synthetic
+// dataset (ε = 0.1): rounds and execution time for AA vs SinglePass.
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  std::vector<size_t> sweep;
+  if (scale.name == "paper") {
+    sweep = {10000, 100000, 500000, 1000000};
+  } else if (scale.name == "smoke") {
+    sweep = {1000, 3000};
+  } else {
+    sweep = {2000, 8000, 30000};
+  }
+
+  std::printf("# Figure 12 — vary n on 20-d anti-correlated synthetic "
+              "(epsilon=0.1, scale=%s)\n", scale.name.c_str());
+  PrintEvalHeader("n");
+  const size_t users_count = std::max<size_t>(2, scale.eval_users / 2);
+  for (size_t n : sweep) {
+    Rng rng(seed);
+    Dataset sky = AntiCorrelatedSkyline(n, 20, rng);
+    std::printf("# n=%zu skyline=%zu\n", n, sky.size());
+    std::vector<Vec> eval = EvalUsers(users_count, 20, seed);
+    std::string label = Format("%zu", n);
+    {
+      Aa aa = MakeTrainedAa(sky, 0.1, scale.train_high_d, seed);
+      PrintEvalRow(label, Evaluate(aa, sky, eval, 0.1));
+    }
+    {
+      SinglePassOptions opt;
+      opt.seed = seed;
+      opt.max_questions = scale.sp_cap;
+      SinglePass sp(sky, opt);
+      PrintEvalRow(label, Evaluate(sp, sky, eval, 0.1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 13 — vary the dimensionality d ∈ [2, 5] on anti-correlated
+// synthetic datasets (ε = 0.1): rounds and execution time, all algorithms.
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  std::printf("# Figure 13 — vary d in [2,5] on anti-correlated synthetic "
+              "(epsilon=0.1, scale=%s)\n", scale.name.c_str());
+  PrintEvalHeader("d");
+  for (size_t d : {2, 3, 4, 5}) {
+    Rng rng(seed);
+    Dataset sky = AntiCorrelatedSkyline(scale.n_low_d, d, rng);
+    std::printf("# d=%zu skyline=%zu\n", d, sky.size());
+    std::vector<Vec> eval = EvalUsers(scale.eval_users, d, seed);
+    std::string label = Format("%zu", d);
+    {
+      Ea ea = MakeTrainedEa(sky, 0.1, scale.train_low_d, seed);
+      PrintEvalRow(label, Evaluate(ea, sky, eval, 0.1));
+    }
+    {
+      Aa aa = MakeTrainedAa(sky, 0.1, scale.train_low_d, seed);
+      PrintEvalRow(label, Evaluate(aa, sky, eval, 0.1));
+    }
+    {
+      UhOptions opt;
+      opt.seed = seed;
+      UhRandom uh(sky, opt);
+      PrintEvalRow(label, Evaluate(uh, sky, eval, 0.1));
+    }
+    {
+      UhOptions opt;
+      opt.seed = seed;
+      UhSimplex uh(sky, opt);
+      PrintEvalRow(label, Evaluate(uh, sky, eval, 0.1));
+    }
+    {
+      SinglePassOptions opt;
+      opt.seed = seed;
+      opt.max_questions = scale.sp_cap;
+      SinglePass sp(sky, opt);
+      PrintEvalRow(label, Evaluate(sp, sky, eval, 0.1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 14 — vary the dimensionality d ∈ [5, 25] on anti-correlated
+// synthetic datasets (ε = 0.1): rounds and execution time for the two
+// algorithms that scale past d = 10 (AA and SinglePass). AA's headline
+// scalability claim — handling 4–5× more attributes than the SOTA — shows
+// here as AA finishing at every d while round counts grow gently.
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  std::printf("# Figure 14 — vary d in [5,25] on anti-correlated synthetic "
+              "(epsilon=0.1, scale=%s)\n", scale.name.c_str());
+  PrintEvalHeader("d");
+  const size_t users_count = std::max<size_t>(2, scale.eval_users / 2);
+  for (size_t d : {5, 10, 15, 20, 25}) {
+    Rng rng(seed);
+    Dataset sky = AntiCorrelatedSkyline(scale.n_high_d, d, rng);
+    std::printf("# d=%zu skyline=%zu\n", d, sky.size());
+    std::vector<Vec> eval = EvalUsers(users_count, d, seed);
+    std::string label = Format("%zu", d);
+    {
+      Aa aa = MakeTrainedAa(sky, 0.1, scale.train_high_d, seed);
+      PrintEvalRow(label, Evaluate(aa, sky, eval, 0.1));
+    }
+    {
+      SinglePassOptions opt;
+      opt.seed = seed;
+      opt.max_questions = scale.sp_cap;
+      SinglePass sp(sky, opt);
+      PrintEvalRow(label, Evaluate(sp, sky, eval, 0.1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 15 — vary ε on the Car dataset (3 attributes; synthetic stand-in
+// matched to the Kaggle table the paper uses — see DESIGN.md §3): rounds and
+// execution time for all five algorithms plus the UtilityApprox extension.
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  Rng rng(seed);
+  size_t rows = scale.name == "smoke" ? 2000 : kCarRows;
+  Dataset car = MakeCarDataset(rng, rows);
+  Dataset sky = SkylineOf(car);
+  Banner("Figure 15", "vary epsilon on the Car dataset (synthetic stand-in)",
+         sky, scale);
+  std::vector<Vec> eval = EvalUsers(scale.eval_users, 3, seed);
+  PrintEvalHeader("epsilon");
+
+  for (double eps : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    std::string label = Format("%.2f", eps);
+    {
+      Ea ea = MakeTrainedEa(sky, eps, scale.train_low_d, seed);
+      PrintEvalRow(label, Evaluate(ea, sky, eval, eps));
+    }
+    {
+      Aa aa = MakeTrainedAa(sky, eps, scale.train_low_d, seed);
+      PrintEvalRow(label, Evaluate(aa, sky, eval, eps));
+    }
+    {
+      UhOptions opt;
+      opt.epsilon = eps;
+      opt.seed = seed;
+      UhRandom uh(sky, opt);
+      PrintEvalRow(label, Evaluate(uh, sky, eval, eps));
+    }
+    {
+      UhOptions opt;
+      opt.epsilon = eps;
+      opt.seed = seed;
+      UhSimplex uh(sky, opt);
+      PrintEvalRow(label, Evaluate(uh, sky, eval, eps));
+    }
+    {
+      SinglePassOptions opt;
+      opt.epsilon = eps;
+      opt.seed = seed;
+      opt.max_questions = scale.sp_cap;
+      SinglePass sp(sky, opt);
+      PrintEvalRow(label, Evaluate(sp, sky, eval, eps));
+    }
+    {
+      UtilityApproxOptions opt;
+      opt.epsilon = eps;
+      opt.seed = seed;
+      UtilityApprox ua(sky, opt);
+      PrintEvalRow(label, Evaluate(ua, sky, eval, eps));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 16 — vary ε on the Player dataset (20 attributes; synthetic
+// stand-in matched to the Kaggle NBA table the paper uses — see DESIGN.md
+// §3): rounds and execution time for AA vs SinglePass. This is the paper's
+// flagship real-data result: SinglePass needs hundreds of questions (727 at
+// typical settings) while AA needs tens.
+#include "bench/common.h"
+
+namespace isrl::bench {
+namespace {
+
+void Run() {
+  const Scale scale = GetScale();
+  const uint64_t seed = GetSeed();
+  Rng rng(seed);
+  size_t rows = scale.name == "smoke" ? 2000
+                : scale.name == "paper" ? kPlayerRows
+                                        : 6000;
+  Dataset player = MakePlayerDataset(rng, rows);
+  Dataset sky = SkylineOf(player);
+  Banner("Figure 16", "vary epsilon on the Player dataset (synthetic stand-in)",
+         sky, scale);
+  const size_t users_count = std::max<size_t>(2, scale.eval_users / 2);
+  std::vector<Vec> eval = EvalUsers(users_count, kPlayerAttributes, seed);
+  PrintEvalHeader("epsilon");
+
+  for (double eps : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    std::string label = Format("%.2f", eps);
+    {
+      Aa aa = MakeTrainedAa(sky, eps, scale.train_high_d, seed);
+      PrintEvalRow(label, Evaluate(aa, sky, eval, eps));
+    }
+    {
+      SinglePassOptions opt;
+      opt.epsilon = eps;
+      opt.seed = seed;
+      opt.max_questions = scale.sp_cap;
+      SinglePass sp(sky, opt);
+      PrintEvalRow(label, Evaluate(sp, sky, eval, eps));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrl::bench
+
+int main() {
+  isrl::bench::Run();
+  return 0;
+}

@@ -1,0 +1,243 @@
+// Substrate microbenchmarks (google-benchmark): LP solves, polyhedron cuts
+// with vertex enumeration, enclosing balls, hit-and-run, skyline, DQN
+// forward/backward — the per-round cost drivers of EA and AA.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/aa_state.h"
+#include "core/ea_state.h"
+#include "core/terminal.h"
+#include "geometry/volume.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "geometry/enclosing_ball.h"
+#include "geometry/hit_and_run.h"
+#include "geometry/polyhedron.h"
+#include "lp/simplex.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "rl/dqn.h"
+#include "user/sampler.h"
+
+namespace isrl {
+namespace {
+
+// ---- LP: inner-sphere-style solve at growing constraint counts. ----
+void BM_LpInnerSphere(benchmark::State& state) {
+  const size_t d = 8;
+  const size_t constraints = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Dataset data = GenerateSynthetic(200, d, Distribution::kAntiCorrelated, rng);
+  std::vector<LearnedHalfspace> h;
+  Vec u = rng.SimplexUniform(d);
+  while (h.size() < constraints) {
+    size_t a = static_cast<size_t>(rng.UniformInt(0, 199));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, 199));
+    if (a == b) continue;
+    bool pref = Dot(u, data.point(a)) >= Dot(u, data.point(b));
+    LearnedHalfspace lh;
+    lh.winner = pref ? a : b;
+    lh.loser = pref ? b : a;
+    lh.h = PreferenceHalfspace(data.point(lh.winner), data.point(lh.loser));
+    h.push_back(lh);
+  }
+  for (auto _ : state) {
+    AaGeometry geo = ComputeAaGeometry(d, h);
+    benchmark::DoNotOptimize(geo);
+  }
+}
+BENCHMARK(BM_LpInnerSphere)->Arg(4)->Arg(16)->Arg(64);
+
+// ---- Polyhedron: cut + full vertex enumeration. ----
+void BM_PolyhedronCut(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Polyhedron p = Polyhedron::UnitSimplex(d);
+    std::vector<Halfspace> cuts;
+    for (int i = 0; i < 6; ++i) {
+      cuts.push_back(Halfspace{rng.SimplexUniform(d) - rng.SimplexUniform(d), 0.0});
+    }
+    state.ResumeTiming();
+    for (const Halfspace& h : cuts) {
+      p.Cut(h);
+      if (p.IsEmpty()) break;
+    }
+    benchmark::DoNotOptimize(p.vertices());
+  }
+}
+BENCHMARK(BM_PolyhedronCut)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+// ---- Enclosing balls. ----
+void BM_IterativeOuterBall(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back(rng.SimplexUniform(5));
+  for (auto _ : state) {
+    Ball b = IterativeOuterBall(pts);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_IterativeOuterBall);
+
+void BM_WelzlBall(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back(rng.SimplexUniform(5));
+  for (auto _ : state) {
+    Ball b = WelzlMinimumBall(pts, rng);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_WelzlBall);
+
+// ---- Hit-and-run sampling. ----
+void BM_HitAndRun(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<Halfspace> cuts;
+  for (int i = 0; i < 20; ++i) {
+    Vec a = rng.SimplexUniform(d), b = rng.SimplexUniform(d);
+    Halfspace h{a - b, 0.0};
+    Vec center(d, 1.0 / static_cast<double>(d));
+    if (!h.Contains(center)) h = h.Flipped();
+    cuts.push_back(h);
+  }
+  Vec start(d, 1.0 / static_cast<double>(d));
+  for (auto _ : state) {
+    auto samples = HitAndRunSample(cuts, start, 64, rng);
+    benchmark::DoNotOptimize(samples);
+  }
+}
+BENCHMARK(BM_HitAndRun)->Arg(4)->Arg(20);
+
+// ---- Skyline. ----
+void BM_Skyline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Dataset data = GenerateSynthetic(n, 4, Distribution::kAntiCorrelated, rng);
+  for (auto _ : state) {
+    auto idx = SkylineIndices(data);
+    benchmark::DoNotOptimize(idx);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Skyline)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// ---- DQN forward / update. ----
+void BM_DqnForward(benchmark::State& state) {
+  Rng rng(7);
+  rl::DqnOptions opt;
+  rl::DqnAgent agent(33, opt, rng);
+  Vec input(33);
+  for (size_t i = 0; i < 33; ++i) input[i] = rng.Uniform(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.QValue(input));
+  }
+}
+BENCHMARK(BM_DqnForward);
+
+void BM_DqnUpdate(benchmark::State& state) {
+  Rng rng(8);
+  rl::DqnOptions opt;
+  rl::DqnAgent agent(33, opt, rng);
+  for (int i = 0; i < 256; ++i) {
+    rl::Transition t;
+    t.state_action = Vec(33, rng.Uniform(0, 1));
+    t.reward = rng.Uniform(0, 100);
+    t.terminal = rng.Bernoulli(0.3);
+    if (!t.terminal) t.next_candidates = {Vec(33, 0.5), Vec(33, 0.1)};
+    agent.Remember(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Update(rng));
+  }
+}
+BENCHMARK(BM_DqnUpdate);
+
+// ---- Top-1 scan (the inner loop of terminal-winner construction). ----
+void BM_TopIndex(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  Dataset data = GenerateSynthetic(n, 20, Distribution::kAntiCorrelated, rng);
+  Vec u = rng.SimplexUniform(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.TopIndex(u));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TopIndex)->Arg(1000)->Arg(10000);
+
+
+// ---- Core operations: the per-round cost drivers of EA. ----
+void BM_TerminalWinners(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(10);
+  Dataset raw = GenerateSynthetic(n * 10, 4, Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  auto utils = SampleUtilityVectors(100, 4, rng);
+  for (auto _ : state) {
+    auto winners = TerminalWinners(sky, utils, 0.1);
+    benchmark::DoNotOptimize(winners);
+  }
+}
+BENCHMARK(BM_TerminalWinners)->Arg(100)->Arg(1000);
+
+void BM_EaStateEncode(benchmark::State& state) {
+  Rng rng(11);
+  Polyhedron p = Polyhedron::UnitSimplex(4);
+  for (int i = 0; i < 6; ++i) {
+    Vec a = rng.SimplexUniform(4), b = rng.SimplexUniform(4);
+    Polyhedron next = p;
+    next.Cut(Halfspace{a - b, 0.0});
+    if (!next.IsEmpty()) p = next;
+  }
+  EaStateOptions opt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeEaState(p, opt));
+  }
+}
+BENCHMARK(BM_EaStateEncode);
+
+void BM_FeasibilityMargin(benchmark::State& state) {
+  const size_t constraints = static_cast<size_t>(state.range(0));
+  Rng rng(12);
+  const size_t d = 8;
+  std::vector<LearnedHalfspace> h;
+  Vec u = rng.SimplexUniform(d);
+  Dataset data = GenerateSynthetic(200, d, Distribution::kAntiCorrelated, rng);
+  while (h.size() < constraints) {
+    size_t a = static_cast<size_t>(rng.UniformInt(0, 199));
+    size_t b = static_cast<size_t>(rng.UniformInt(0, 199));
+    if (a == b) continue;
+    bool pref = Dot(u, data.point(a)) >= Dot(u, data.point(b));
+    LearnedHalfspace lh;
+    lh.h = PreferenceHalfspace(data.point(pref ? a : b), data.point(pref ? b : a));
+    h.push_back(lh);
+  }
+  Halfspace candidate{rng.SimplexUniform(d) - rng.SimplexUniform(d), 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FeasibilityMargin(d, h, candidate));
+  }
+}
+BENCHMARK(BM_FeasibilityMargin)->Arg(8)->Arg(32);
+
+void BM_SimplexVolume(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<Halfspace> cuts;
+  for (int i = 0; i < 5; ++i) {
+    cuts.push_back(Halfspace{rng.SimplexUniform(4) - rng.SimplexUniform(4), 0.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimplexFractionVolume(4, cuts, 1000, rng));
+  }
+}
+BENCHMARK(BM_SimplexVolume);
+
+}  // namespace
+}  // namespace isrl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Side-by-side comparison of every interactive algorithm in the library —
+// a miniature of the paper's Figure 9 — plus the noisy-user extension
+// (the paper's stated future work) showing graceful degradation.
+//
+// Run:  ./build/examples/compare_algorithms
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/single_pass.h"
+#include "baselines/uh_random.h"
+#include "baselines/uh_simplex.h"
+#include "baselines/utility_approx.h"
+#include "core/aa.h"
+#include "core/ea.h"
+#include "core/session.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "user/sampler.h"
+
+int main() {
+  using namespace isrl;
+  Rng rng(31);
+  const double eps = 0.1;
+
+  Dataset raw = GenerateSynthetic(8000, 4, Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  std::printf("4-d anti-correlated synthetic: %zu skyline tuples, eps=%.2f\n\n",
+              sky.size(), eps);
+
+  auto train = SampleUtilityVectors(120, 4, rng);
+  auto eval = SampleUtilityVectors(10, 4, rng);
+
+  EaOptions eopt;
+  eopt.epsilon = eps;
+  Ea ea(sky, eopt);
+  ea.Train(train);
+  AaOptions aopt;
+  aopt.epsilon = eps;
+  Aa aa(sky, aopt);
+  aa.Train(train);
+  UhOptions uopt;
+  uopt.epsilon = eps;
+  UhRandom uh_random(sky, uopt);
+  UhSimplex uh_simplex(sky, uopt);
+  SinglePassOptions spo;
+  spo.epsilon = eps;
+  SinglePass single_pass(sky, spo);
+  UtilityApproxOptions uao;
+  uao.epsilon = eps;
+  UtilityApprox utility_approx(sky, uao);
+
+  std::vector<InteractiveAlgorithm*> algorithms{
+      &ea, &aa, &uh_random, &uh_simplex, &single_pass, &utility_approx};
+
+  std::printf("--- exact users (the paper's protocol) ---\n");
+  PrintEvalHeader("users");
+  for (InteractiveAlgorithm* algo : algorithms) {
+    PrintEvalRow("exact", Evaluate(*algo, sky, eval, eps));
+  }
+
+  std::printf("\n--- noisy users: every answer flipped with probability 0.15 "
+              "(future-work extension) ---\n");
+  PrintEvalHeader("users");
+  Rng noise_rng(32);
+  for (InteractiveAlgorithm* algo : algorithms) {
+    PrintEvalRow("noisy",
+                 Evaluate(*algo, sky, eval, eps,
+                          MakeNoisyUserFactory(0.15, noise_rng)));
+  }
+
+  std::printf("\nReading the table: EA asks the fewest questions and "
+              "guarantees regret < eps with exact users; AA trades a little "
+              "of that for speed and scalability; the short-term baselines "
+              "need 2-10x the questions. Under noise no algorithm keeps a "
+              "guarantee, but all terminate and most stay near the "
+              "threshold.\n");
+  return 0;
+}

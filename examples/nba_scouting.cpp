@@ -1,0 +1,88 @@
+// NBA scouting — high-dimensional interactive search with algorithm AA.
+//
+// The Player dataset has 20 attributes, far beyond what polyhedron-based
+// algorithms handle (the paper caps them at d = 10). AA's LP-based state
+// keeps the interaction tractable: a scout answers a few dozen player-vs-
+// player questions and receives a player matching their hidden priorities.
+// Three scout archetypes (scorer-first, defence-first, all-round) show the
+// search adapting to different preferences.
+//
+// Run:  ./build/examples/nba_scouting
+#include <cstdio>
+
+#include "core/aa.h"
+#include "core/regret.h"
+#include "data/real_like.h"
+#include "data/skyline.h"
+#include "user/sampler.h"
+#include "user/user.h"
+
+namespace {
+
+using namespace isrl;
+
+Vec ScoutProfile(const Dataset& sky, std::initializer_list<std::pair<const char*, double>> weights) {
+  Vec u(sky.dim());
+  double total = 0.0;
+  for (const auto& [name, w] : weights) {
+    for (size_t c = 0; c < sky.dim(); ++c) {
+      if (sky.attribute_names()[c] == name) {
+        u[c] = w;
+        total += w;
+      }
+    }
+  }
+  // Spread a small remainder over every attribute so the profile is a valid
+  // utility vector (non-negative, sums to 1).
+  double rest = 1.0 - total;
+  for (size_t c = 0; c < sky.dim(); ++c) {
+    u[c] += rest / static_cast<double>(sky.dim());
+  }
+  return u;
+}
+
+void Scout(Aa& aa, const Dataset& sky, const char* label, const Vec& profile) {
+  LinearUser scout(profile);
+  InteractionResult r = aa.Interact(scout);
+  const Vec& p = sky.point(r.best_index);
+  std::printf("\n%s scout: %zu questions -> player #%zu\n", label, r.rounds,
+              r.best_index);
+  std::printf("  key stats: pts=%.2f reb=%.2f ast=%.2f stl=%.2f blk=%.2f "
+              "eff=%.2f (normalised)\n",
+              p[2], p[11], p[12], p[13], p[14], p[19]);
+  std::printf("  regret ratio vs true favourite: %.4f\n",
+              RegretRatioAt(sky, r.best_index, profile));
+}
+
+}  // namespace
+
+int main() {
+  using namespace isrl;
+  Rng rng(11);
+
+  std::printf("Building the player database (%zu player-seasons, %zu "
+              "attributes)...\n", size_t{6000}, kPlayerAttributes);
+  Dataset players = MakePlayerDataset(rng, 6000);
+  Dataset sky = SkylineOf(players);
+  std::printf("%zu players on the skyline.\n", sky.size());
+
+  AaOptions options;
+  options.epsilon = 0.15;
+  Aa aa(sky, options);
+  std::printf("Training the scalable agent (AA) on simulated scouts...\n");
+  aa.Train(SampleUtilityVectors(40, sky.dim(), rng));
+
+  Scout(aa, sky, "Scorer-first",
+        ScoutProfile(sky, {{"points", 0.4}, {"fg_pct", 0.2}, {"usage", 0.2}}));
+  Scout(aa, sky, "Defence-first",
+        ScoutProfile(sky, {{"def_rebounds", 0.3},
+                           {"steals", 0.25},
+                           {"blocks", 0.25}}));
+  Scout(aa, sky, "All-round",
+        ScoutProfile(sky, {{"efficiency", 0.3}, {"plus_minus", 0.3}}));
+
+  std::printf("\nEach search finished in tens of questions on a 20-attribute "
+              "table — the setting where the prior SinglePass baseline needs "
+              "hundreds (see bench/fig16_player).\n");
+  return 0;
+}

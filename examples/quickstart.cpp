@@ -1,0 +1,52 @@
+// Quickstart: the smallest complete use of the ISRL public API.
+//
+// 1. Build a dataset (here: synthetic anti-correlated tuples) and reduce it
+//    to its skyline — the standard preprocessing for regret queries.
+// 2. Train the exact RL algorithm EA on sampled utility vectors.
+// 3. Interact with a user (simulated by a hidden utility vector) and get a
+//    tuple whose regret ratio is below ε.
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/ea.h"
+#include "core/regret.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "user/sampler.h"
+#include "user/user.h"
+
+int main() {
+  using namespace isrl;
+
+  // --- 1. Data -------------------------------------------------------------
+  Rng rng(2024);
+  Dataset raw = GenerateSynthetic(/*n=*/5000, /*d=*/4,
+                                  Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  std::printf("dataset: %zu tuples, skyline: %zu tuples, d=%zu\n", raw.size(),
+              sky.size(), sky.dim());
+
+  // --- 2. Train the interactive agent --------------------------------------
+  EaOptions options;
+  options.epsilon = 0.1;  // returned tuple has regret ratio < 10%
+  Ea ea(sky, options);
+  TrainStats stats = ea.Train(SampleUtilityVectors(100, sky.dim(), rng));
+  std::printf("trained on %zu simulated users (avg %.1f questions each)\n",
+              stats.episodes, stats.mean_rounds);
+
+  // --- 3. Interact ----------------------------------------------------------
+  // A real deployment would implement UserOracle by asking a person; here a
+  // hidden utility vector answers for them.
+  Vec hidden_preference = rng.SimplexUniform(sky.dim());
+  LinearUser user(hidden_preference);
+  InteractionResult result = ea.Interact(user);
+
+  std::printf("\nasked %zu questions; returned tuple #%zu %s\n", result.rounds,
+              result.best_index,
+              sky.point(result.best_index).ToString(3).c_str());
+  std::printf("actual regret ratio: %.4f (threshold %.2f)\n",
+              RegretRatioAt(sky, result.best_index, hidden_preference),
+              options.epsilon);
+  return 0;
+}

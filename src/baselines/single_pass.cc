@@ -1,0 +1,182 @@
+#include "baselines/single_pass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "geometry/hit_and_run.h"
+#include "user/sampler.h"
+
+namespace isrl {
+namespace {
+
+// Axis-aligned bounding box of a utility-vector sample, padded by `pad` and
+// clipped to [0,1]. An inner approximation of the true outer rectangle; the
+// padding compensates so the stop certificate is not absurdly optimistic.
+void SampleRect(const std::vector<Vec>& samples, double pad, Vec* e_min,
+                Vec* e_max) {
+  const size_t d = (*e_min).dim();
+  for (size_t k = 0; k < d; ++k) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const Vec& u : samples) {
+      lo = std::min(lo, u[k]);
+      hi = std::max(hi, u[k]);
+    }
+    (*e_min)[k] = std::max(0.0, lo - pad);
+    (*e_max)[k] = std::min(1.0, hi + pad);
+  }
+}
+
+}  // namespace
+
+SinglePass::SinglePass(const Dataset& data, const SinglePassOptions& options)
+    : data_(data), options_(options), rng_(options.seed) {
+  ISRL_CHECK(!data.empty());
+  ISRL_CHECK_GT(options.epsilon, 0.0);
+  ISRL_CHECK_LT(options.epsilon, 1.0);
+}
+
+InteractionResult SinglePass::Interact(UserOracle& user,
+                                       InteractionTrace* trace) {
+  InteractionResult result;
+  Stopwatch watch;
+  const size_t d = data_.dim();
+  const double stop_dist =
+      2.0 * std::sqrt(static_cast<double>(d)) * options_.epsilon;
+  const double pad = 0.5 * options_.epsilon;
+
+  // SinglePass keeps no polyhedron and solves no LPs; its entire learned
+  // state is the half-space list plus a particle set of consistent utility
+  // vectors that powers both the rule-based filter and the stop certificate.
+  std::vector<LearnedHalfspace> h;
+  std::vector<Vec> particles =
+      SampleUtilityVectors(options_.particles, d, rng_);
+  Vec e_min(d, 0.0), e_max(d, 1.0);
+
+  std::vector<size_t> order(data_.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(&order);
+  size_t champion = order[0];
+
+  // Rule-based filter: skip the challenger when even the loosest utility in
+  // the rectangle around the consistent region cannot prefer it.
+  auto challenger_impossible = [&](size_t idx) {
+    const Vec& p = data_.point(idx);
+    const Vec& c = data_.point(champion);
+    double ub = 0.0;
+    for (size_t k = 0; k < d; ++k) {
+      double diff = p[k] - c[k];
+      ub += diff >= 0.0 ? e_max[k] * diff : e_min[k] * diff;
+    }
+    return ub <= 0.0;
+  };
+
+  auto replenish = [&]() {
+    if (particles.size() >= options_.min_particles) return;
+    // Walk over the most recent cuts only — bounds the chain's per-step cost
+    // as |H| grows into the thousands. Samples may violate ancient cuts and
+    // land slightly outside R; that only makes the particle-based filter and
+    // stop test more conservative.
+    const size_t window = std::min<size_t>(512, h.size());
+    std::vector<Halfspace> cuts;
+    cuts.reserve(window);
+    for (size_t k = h.size() - window; k < h.size(); ++k) {
+      cuts.push_back(h[k].h);
+    }
+    Vec start = particles.empty() ? Vec(d, 1.0 / static_cast<double>(d))
+                                  : particles.back();
+    std::vector<Vec> fresh =
+        HitAndRunSample(cuts, start, options_.particles, rng_);
+    if (!fresh.empty()) particles = std::move(fresh);
+  };
+
+  auto record_round = [&]() {
+    if (trace == nullptr) return;
+    const double elapsed = watch.ElapsedSeconds();
+    trace->Record(champion, particles, elapsed);
+    watch.Restart();
+    result.seconds += elapsed;
+  };
+
+  // Stop certificate, two-tiered and cheap:
+  //  (1) the champion's maximum regret ratio over the consistent particles
+  //      is below ε/2 (the particles sample the region still in play; the
+  //      2× safety factor compensates their inner-approximation bias), or
+  //  (2) the sound LP outer rectangle over a window of the most recent
+  //      half-spaces satisfies the ‖e_min − e_max‖ ≤ 2√d·ε bound (exact
+  //      while |H| fits the window, conservative afterwards).
+  auto particle_stop = [&]() {
+    if (particles.size() < options_.min_particles) return false;
+    const Vec& champ = data_.point(champion);
+    double worst = 0.0;
+    for (const Vec& u : particles) {
+      double top = data_.TopUtility(u);
+      worst = std::max(worst, (top - Dot(u, champ)) / top);
+      if (worst > 0.5 * options_.epsilon) return false;
+    }
+    return worst <= 0.5 * options_.epsilon;
+  };
+  auto certified_stop = [&]() {
+    if (particle_stop()) return true;
+    const size_t window = std::min(options_.stop_check_window, h.size());
+    std::vector<LearnedHalfspace> recent(h.end() - window, h.end());
+    AaGeometry geo = ComputeAaGeometry(d, recent);
+    if (!geo.feasible) return false;
+    return Distance(geo.e_min, geo.e_max) <= stop_dist;
+  };
+
+  for (size_t pass = 0; pass < options_.max_passes; ++pass) {
+    size_t questions_this_pass = 0;
+    for (size_t idx : order) {
+      if (idx == champion) continue;
+      if (result.rounds >= options_.max_questions) break;
+      if (challenger_impossible(idx)) continue;
+
+      const bool prefers_challenger =
+          user.Prefers(data_.point(idx), data_.point(champion));
+      ++result.rounds;
+      ++questions_this_pass;
+
+      LearnedHalfspace lh;
+      lh.winner = prefers_challenger ? idx : champion;
+      lh.loser = prefers_challenger ? champion : idx;
+      lh.h = PreferenceHalfspace(data_.point(lh.winner), data_.point(lh.loser));
+      h.push_back(std::move(lh));
+      if (prefers_challenger) champion = idx;
+
+      // Filter particles by the new answer; replenish when thin.
+      const Halfspace& learned = h.back().h;
+      particles.erase(std::remove_if(particles.begin(), particles.end(),
+                                     [&](const Vec& u) {
+                                       return !learned.Contains(u, 0.0);
+                                     }),
+                      particles.end());
+      replenish();
+      if (!particles.empty()) SampleRect(particles, pad, &e_min, &e_max);
+
+      record_round();
+      // Mid-pass: the cheap particle certificate only (the LP rectangle is
+      // reserved for pass boundaries).
+      if (result.rounds % options_.stop_check_every == 0 && particle_stop()) {
+        result.converged = true;
+        break;
+      }
+    }
+    if (result.converged || result.rounds >= options_.max_questions) break;
+    if (certified_stop()) {
+      result.converged = true;
+      break;
+    }
+    if (questions_this_pass == 0) break;  // filter skips everything: stuck
+    rng_.Shuffle(&order);
+  }
+
+  result.best_index = champion;
+  result.seconds += watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace isrl

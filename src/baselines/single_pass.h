@@ -1,0 +1,64 @@
+// SinglePass (Zhang, Tatti, Gionis — KDD'23: "Finding favourite tuples on
+// data streams with provably few comparisons").
+//
+// A streaming champion algorithm: points arrive in a random (predefined)
+// order and the incoming point challenges the current champion unless a
+// cheap rule-based filter proves the comparison redundant. Matching the
+// ICDE paper's characterisation — SinglePass trades information per round
+// for speed — it builds no polyhedron and solves no LPs: its whole learned
+// state is the half-space list plus a particle set of consistent utility
+// vectors (replenished by hit-and-run). The filter skips a challenger p iff
+//     max_{u ∈ rect} u·(p − champion) ≤ 0
+// over the padded bounding rectangle of the particles — an interval-
+// arithmetic bound that is loose, so most stream points trigger a question.
+// Stopping uses the sound LP outer rectangle over a bounded window of the
+// most recent half-spaces (a superset of the consistent region, so the
+// ‖e_min − e_max‖ ≤ 2√d·ε certificate never fires early), checked every few
+// questions and at pass boundaries; a pass that asks nothing also stops.
+// SinglePass therefore scales to high d
+// and large n — at the cost of the very long interactions the ISRL paper
+// reports (hundreds of questions).
+#ifndef ISRL_BASELINES_SINGLE_PASS_H_
+#define ISRL_BASELINES_SINGLE_PASS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aa_state.h"
+#include "core/algorithm.h"
+#include "data/dataset.h"
+
+namespace isrl {
+
+/// Configuration for SinglePass.
+struct SinglePassOptions {
+  double epsilon = 0.1;
+  size_t max_questions = 5000;    ///< safety cap
+  size_t max_passes = 16;         ///< stream passes before giving up
+  size_t particles = 200;         ///< consistent-utility particle count
+  size_t min_particles = 32;      ///< replenish threshold
+  size_t stop_check_every = 20;   ///< questions between stop-certificate checks
+  size_t stop_check_window = 128; ///< most recent half-spaces in the LP rect
+  uint64_t seed = 42;
+};
+
+/// The SinglePass baseline.
+class SinglePass : public InteractiveAlgorithm {
+ public:
+  SinglePass(const Dataset& data, const SinglePassOptions& options);
+
+  std::string name() const override { return "SinglePass"; }
+
+  InteractionResult Interact(UserOracle& user,
+                             InteractionTrace* trace = nullptr) override;
+
+ private:
+  const Dataset& data_;
+  SinglePassOptions options_;
+  Rng rng_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_BASELINES_SINGLE_PASS_H_

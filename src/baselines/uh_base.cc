@@ -1,0 +1,137 @@
+#include "baselines/uh_base.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "geometry/halfspace.h"
+
+namespace isrl {
+
+UhBase::UhBase(const Dataset& data, const UhOptions& options)
+    : data_(data), options_(options), rng_(options.seed) {
+  ISRL_CHECK(!data.empty());
+  ISRL_CHECK_GT(options.epsilon, 0.0);
+  ISRL_CHECK_LT(options.epsilon, 1.0);
+}
+
+bool UhBase::IsInformative(const Question& q, const Polyhedron& range) const {
+  Halfspace h = PreferenceHalfspace(data_.point(q.i), data_.point(q.j));
+  if (h.normal.Norm() < 1e-12) return false;
+  bool positive = false, negative = false;
+  for (const Vec& v : range.vertices()) {
+    double margin = h.Margin(v);
+    if (margin > 1e-9) positive = true;
+    if (margin < -1e-9) negative = true;
+    if (positive && negative) return true;
+  }
+  return false;
+}
+
+void UhBase::PruneCandidates(std::vector<size_t>* candidates, size_t winner,
+                             const Polyhedron& range) const {
+  const Vec& w = data_.point(winner);
+  auto beaten_everywhere = [&](size_t q) {
+    if (q == winner) return false;
+    const Vec& p = data_.point(q);
+    for (const Vec& v : range.vertices()) {
+      if (Dot(v, w - p) < 0.0) return false;
+    }
+    return true;
+  };
+  candidates->erase(
+      std::remove_if(candidates->begin(), candidates->end(), beaten_everywhere),
+      candidates->end());
+}
+
+void UhBase::FullPrune(std::vector<size_t>* candidates,
+                       const Polyhedron& range) const {
+  // Order by utility at the centroid so the likely winner is kept first;
+  // keep-first semantics makes ties collapse onto one survivor.
+  Vec centroid = range.Centroid();
+  std::vector<size_t> ordered = *candidates;
+  std::sort(ordered.begin(), ordered.end(), [&](size_t a, size_t b) {
+    return Dot(centroid, data_.point(a)) > Dot(centroid, data_.point(b));
+  });
+  std::vector<size_t> kept;
+  for (size_t q : ordered) {
+    const Vec& pq = data_.point(q);
+    bool beaten = false;
+    for (size_t p : kept) {
+      const Vec& pp = data_.point(p);
+      beaten = true;
+      for (const Vec& v : range.vertices()) {
+        if (Dot(v, pp - pq) < 0.0) {
+          beaten = false;
+          break;
+        }
+      }
+      if (beaten) break;
+    }
+    if (!beaten) kept.push_back(q);
+  }
+  *candidates = std::move(kept);
+}
+
+InteractionResult UhBase::Interact(UserOracle& user, InteractionTrace* trace) {
+  InteractionResult result;
+  Stopwatch watch;
+
+  Polyhedron range = Polyhedron::UnitSimplex(data_.dim());
+  std::vector<size_t> candidates(data_.size());
+  std::iota(candidates.begin(), candidates.end(), 0);
+
+  size_t best = data_.TopIndex(range.Centroid());
+  while (result.rounds < options_.max_rounds) {
+    best = candidates.size() == 1 ? candidates[0]
+                                  : data_.TopIndex(range.Centroid());
+    if (candidates.size() <= 1) {
+      result.converged = true;
+      break;
+    }
+
+    std::optional<Question> q = SelectQuestion(candidates, range, rng_);
+    if (!q.has_value()) {
+      // Selection stalled: collapse candidates that R already resolves. If
+      // survivors are still plural they are indistinguishable within R (no
+      // informative question exists) — that is full resolution too.
+      FullPrune(&candidates, range);
+      if (candidates.size() > 1) q = SelectQuestion(candidates, range, rng_);
+      if (!q.has_value()) {
+        result.converged = true;
+        break;
+      }
+    }
+
+    const bool prefers_i = user.Prefers(data_.point(q->i), data_.point(q->j));
+    const size_t winner = prefers_i ? q->i : q->j;
+    const size_t loser = prefers_i ? q->j : q->i;
+    range.Cut(PreferenceHalfspace(data_.point(winner), data_.point(loser)));
+    ++result.rounds;
+    if (range.IsEmpty()) break;  // contradictory answers (noisy user)
+
+    PruneCandidates(&candidates, winner, range);
+    best = data_.TopIndex(range.Centroid());
+    PruneCandidates(&candidates, best, range);
+
+    if (trace != nullptr) {
+      const double elapsed = watch.ElapsedSeconds();
+      std::vector<Vec> consistent;
+      consistent.reserve(trace->regret_samples());
+      if (!range.IsEmpty()) {
+        for (size_t s = 0; s < trace->regret_samples(); ++s) {
+          consistent.push_back(range.SampleInterior(trace->rng()));
+        }
+      }
+      trace->Record(best, consistent, elapsed);
+      watch.Restart();
+      result.seconds += elapsed;
+    }
+  }
+
+  result.best_index = best;
+  result.seconds += watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace isrl

@@ -1,0 +1,75 @@
+// Shared framework of the UH-family baselines (Xie, Wong, Lall — SIGMOD'19:
+// "Strongly truthful interactive regret minimization").
+//
+// Both UH-Random and UH-Simplex maintain the utility range R as an explicit
+// polyhedron and a candidate set C of points that can still be the best
+// within R. Each round a question over C is chosen (randomly vs greedily —
+// the only difference between the two), R is cut by the answer, and
+// candidates that some other candidate beats everywhere in R are pruned.
+// The interaction stops when the candidate set is resolved — one candidate
+// left, or the survivors are indistinguishable within R. Matching the ISRL
+// paper's observation that these short-term baselines "needed almost the
+// same number of interactive rounds, regardless of the value of ε", the
+// threshold plays no role during the interaction; the resolved candidate
+// over-satisfies any ε.
+#ifndef ISRL_BASELINES_UH_BASE_H_
+#define ISRL_BASELINES_UH_BASE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/algorithm.h"
+#include "data/dataset.h"
+#include "geometry/polyhedron.h"
+
+namespace isrl {
+
+/// Configuration shared by UH-Random and UH-Simplex.
+struct UhOptions {
+  double epsilon = 0.1;
+  size_t max_rounds = 2000;        ///< safety cap
+  size_t selection_attempts = 64;  ///< tries to find an informative question
+  uint64_t seed = 42;
+};
+
+/// Base implementation; subclasses provide the question-selection policy.
+class UhBase : public InteractiveAlgorithm {
+ public:
+  UhBase(const Dataset& data, const UhOptions& options);
+
+  InteractionResult Interact(UserOracle& user,
+                             InteractionTrace* trace = nullptr) override;
+
+ protected:
+  /// Selects the next question over `candidates`; questions whose hyper-plane
+  /// does not cut R are useless, so implementations should prefer pairs for
+  /// which IsInformative() holds. Returns nullopt to give up (no informative
+  /// pair found), which ends the interaction.
+  virtual std::optional<Question> SelectQuestion(
+      const std::vector<size_t>& candidates, const Polyhedron& range,
+      Rng& rng) = 0;
+
+  /// True when the pair's hyper-plane strictly separates R's vertices (both
+  /// answers are possible — the question yields information).
+  bool IsInformative(const Question& q, const Polyhedron& range) const;
+
+  const Dataset& data_;
+  UhOptions options_;
+
+ private:
+  /// Removes candidates that `winner` beats at every vertex of R.
+  void PruneCandidates(std::vector<size_t>* candidates, size_t winner,
+                       const Polyhedron& range) const;
+  /// O(|C|²) pairwise prune: keeps, in centroid-utility order, only
+  /// candidates not beaten everywhere in R by an already-kept one. Run when
+  /// question selection stalls.
+  void FullPrune(std::vector<size_t>* candidates, const Polyhedron& range) const;
+
+  Rng rng_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_BASELINES_UH_BASE_H_

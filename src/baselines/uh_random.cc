@@ -1,0 +1,16 @@
+#include "baselines/uh_random.h"
+
+namespace isrl {
+
+std::optional<Question> UhRandom::SelectQuestion(
+    const std::vector<size_t>& candidates, const Polyhedron& range, Rng& rng) {
+  if (candidates.size() < 2) return std::nullopt;
+  for (size_t attempt = 0; attempt < options_.selection_attempts; ++attempt) {
+    std::vector<size_t> picked = rng.SampleIndices(candidates.size(), 2);
+    Question q{candidates[picked[0]], candidates[picked[1]]};
+    if (IsInformative(q, range)) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace isrl

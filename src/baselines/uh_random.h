@@ -1,0 +1,27 @@
+// UH-Random (SIGMOD'19): random question selection over the candidate set —
+// the paper's designated state-of-the-art baseline.
+#ifndef ISRL_BASELINES_UH_RANDOM_H_
+#define ISRL_BASELINES_UH_RANDOM_H_
+
+#include "baselines/uh_base.h"
+
+namespace isrl {
+
+/// Each round: draw random candidate pairs until one is informative (its
+/// hyper-plane cuts R).
+class UhRandom : public UhBase {
+ public:
+  UhRandom(const Dataset& data, const UhOptions& options)
+      : UhBase(data, options) {}
+
+  std::string name() const override { return "UH-Random"; }
+
+ protected:
+  std::optional<Question> SelectQuestion(const std::vector<size_t>& candidates,
+                                         const Polyhedron& range,
+                                         Rng& rng) override;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_BASELINES_UH_RANDOM_H_

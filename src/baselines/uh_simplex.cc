@@ -1,0 +1,36 @@
+#include "baselines/uh_simplex.h"
+
+#include <algorithm>
+
+namespace isrl {
+
+std::optional<Question> UhSimplex::SelectQuestion(
+    const std::vector<size_t>& candidates, const Polyhedron& range, Rng& rng) {
+  if (candidates.size() < 2) return std::nullopt;
+
+  // Rank candidates by utility w.r.t. R's centroid, descending.
+  Vec centroid = range.Centroid();
+  std::vector<size_t> ranked = candidates;
+  std::sort(ranked.begin(), ranked.end(), [&](size_t a, size_t b) {
+    return Dot(centroid, data_.point(a)) > Dot(centroid, data_.point(b));
+  });
+
+  // Walk pairs in likely-best order until one is informative.
+  const size_t limit = std::min(ranked.size(), options_.selection_attempts);
+  for (size_t a = 0; a < limit; ++a) {
+    for (size_t b = a + 1; b < limit; ++b) {
+      Question q{ranked[a], ranked[b]};
+      if (IsInformative(q, range)) return q;
+    }
+  }
+
+  // Fall back to random informative pairs.
+  for (size_t attempt = 0; attempt < options_.selection_attempts; ++attempt) {
+    std::vector<size_t> picked = rng.SampleIndices(candidates.size(), 2);
+    Question q{candidates[picked[0]], candidates[picked[1]]};
+    if (IsInformative(q, range)) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace isrl

@@ -1,0 +1,29 @@
+// UH-Simplex (SIGMOD'19): greedy question selection — compare the candidates
+// most likely to be the user's favourite.
+#ifndef ISRL_BASELINES_UH_SIMPLEX_H_
+#define ISRL_BASELINES_UH_SIMPLEX_H_
+
+#include "baselines/uh_base.h"
+
+namespace isrl {
+
+/// Each round: rank candidates by utility at R's centroid (the top-ranked
+/// candidates are extreme points of the candidate hull — an argmax of a
+/// linear function is always hull-extreme) and ask about the best-ranked
+/// informative pair.
+class UhSimplex : public UhBase {
+ public:
+  UhSimplex(const Dataset& data, const UhOptions& options)
+      : UhBase(data, options) {}
+
+  std::string name() const override { return "UH-Simplex"; }
+
+ protected:
+  std::optional<Question> SelectQuestion(const std::vector<size_t>& candidates,
+                                         const Polyhedron& range,
+                                         Rng& rng) override;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_BASELINES_UH_SIMPLEX_H_

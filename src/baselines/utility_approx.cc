@@ -1,0 +1,105 @@
+#include "baselines/utility_approx.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace isrl {
+
+UtilityApprox::UtilityApprox(const Dataset& data,
+                             const UtilityApproxOptions& options)
+    : data_(data), options_(options) {
+  ISRL_CHECK(!data.empty());
+  ISRL_CHECK_GE(data.dim(), 2u);
+  ISRL_CHECK_GT(options.epsilon, 0.0);
+}
+
+InteractionResult UtilityApprox::Interact(UserOracle& user,
+                                          InteractionTrace* trace) {
+  InteractionResult result;
+  Stopwatch watch;
+  const size_t d = data_.dim();
+  const double stop_dist =
+      2.0 * std::sqrt(static_cast<double>(d)) * options_.epsilon;
+
+  // Per-dimension binary-search interval for r_c = u[c]/u[0].
+  std::vector<double> lo(d, 0.0), hi(d, options_.max_ratio);
+  lo[0] = hi[0] = 1.0;
+  std::vector<LearnedHalfspace> h;
+
+  // Fake tuples for the question "is u[c] ≥ t·u[0]?": a puts everything on
+  // attribute c, b puts t (rescaled into (0,1]) on attribute 0.
+  auto fake_pair = [&](size_t c, double t) {
+    Vec a(d, 1e-6), b(d, 1e-6);
+    double scale = std::max(1.0, t);
+    a[c] = 1.0 / scale;
+    b[0] = t / scale;
+    return std::pair<Vec, Vec>(a, b);
+  };
+
+  size_t cursor = 1;  // round-robin over dimensions 1..d-1
+  while (result.rounds < options_.max_rounds) {
+    // Certificate: outer rectangle of the learned half-spaces.
+    AaGeometry geo = ComputeAaGeometry(d, h);
+    if (!geo.feasible) break;  // contradictory answers (noisy user)
+    if (Distance(geo.e_min, geo.e_max) <= stop_dist) {
+      result.converged = true;
+      result.best_index = data_.TopIndex((geo.e_min + geo.e_max) / 2.0);
+      result.seconds += watch.ElapsedSeconds();
+      return result;
+    }
+
+    // Pick the dimension with the widest remaining ratio interval.
+    size_t c = 0;
+    double widest = 0.0;
+    for (size_t k = 1; k < d; ++k) {
+      size_t cand = 1 + (cursor + k - 1) % (d - 1);
+      if (hi[cand] - lo[cand] > widest) {
+        widest = hi[cand] - lo[cand];
+        c = cand;
+      }
+    }
+    if (c == 0 || widest < 1e-6) {
+      result.converged = true;  // all ratios pinned; certificate soon follows
+      break;
+    }
+    cursor = c;
+
+    const double t = 0.5 * (lo[c] + hi[c]);
+    auto [a, b] = fake_pair(c, t);
+    const bool prefers_a = user.Prefers(a, b);
+    ++result.rounds;
+
+    LearnedHalfspace lh;
+    lh.winner = 0;  // fake tuples have no dataset index
+    lh.loser = 0;
+    lh.h = prefers_a ? PreferenceHalfspace(a, b) : PreferenceHalfspace(b, a);
+    h.push_back(std::move(lh));
+    if (prefers_a) {
+      lo[c] = t;  // u[c] ≥ t·u[0]
+    } else {
+      hi[c] = t;
+    }
+
+    if (trace != nullptr) {
+      const double elapsed = watch.ElapsedSeconds();
+      AaGeometry mid_geo = ComputeAaGeometry(d, h);
+      size_t best = mid_geo.feasible
+                        ? data_.TopIndex((mid_geo.e_min + mid_geo.e_max) / 2.0)
+                        : result.best_index;
+      trace->Record(best, {}, elapsed);
+      watch.Restart();
+      result.seconds += elapsed;
+    }
+  }
+
+  AaGeometry geo = ComputeAaGeometry(d, h);
+  Vec estimate(d, 1.0 / static_cast<double>(d));
+  if (geo.feasible) estimate = (geo.e_min + geo.e_max) / 2.0;
+  result.best_index = data_.TopIndex(estimate);
+  result.seconds += watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace isrl

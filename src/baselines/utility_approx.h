@@ -1,0 +1,49 @@
+// UtilityApprox (Nanongkai et al. — SIGMOD'12: "Interactive regret
+// minimization"), the fake-tuple baseline discussed in the paper's related
+// work (implemented here as an extension; the paper itself does not
+// benchmark it because its artificial tuples may not exist in D).
+//
+// Each round compares two *constructed* points that pit one attribute
+// against a reference attribute, so the answer bisects the feasible range of
+// the utility ratio u[c]/u[0]. When every ratio interval is narrow — checked
+// with the same outer-rectangle certificate used elsewhere — the top point
+// w.r.t. the estimated utility vector is returned.
+#ifndef ISRL_BASELINES_UTILITY_APPROX_H_
+#define ISRL_BASELINES_UTILITY_APPROX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aa_state.h"
+#include "core/algorithm.h"
+#include "data/dataset.h"
+
+namespace isrl {
+
+/// Configuration for UtilityApprox.
+struct UtilityApproxOptions {
+  double epsilon = 0.1;
+  size_t max_rounds = 500;
+  double max_ratio = 64.0;  ///< search window for u[c]/u[0]
+  uint64_t seed = 42;
+};
+
+/// The UtilityApprox baseline.
+class UtilityApprox : public InteractiveAlgorithm {
+ public:
+  UtilityApprox(const Dataset& data, const UtilityApproxOptions& options);
+
+  std::string name() const override { return "UtilityApprox"; }
+
+  InteractionResult Interact(UserOracle& user,
+                             InteractionTrace* trace = nullptr) override;
+
+ private:
+  const Dataset& data_;
+  UtilityApproxOptions options_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_BASELINES_UTILITY_APPROX_H_

@@ -1,0 +1,43 @@
+// Invariant-checking macros. Library code uses these for programming errors
+// (contract violations); recoverable errors go through isrl::Status instead.
+#ifndef ISRL_COMMON_CHECK_H_
+#define ISRL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `cond` is false. Always enabled (release and
+/// debug): the cost is negligible next to LP / geometry work and silent
+/// corruption of a utility range is much worse than an abort.
+#define ISRL_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "ISRL_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// Binary comparison variants, printing both operands on failure.
+#define ISRL_CHECK_OP(op, a, b)                                               \
+  do {                                                                        \
+    auto isrl_check_a = (a);                                                  \
+    auto isrl_check_b = (b);                                                  \
+    if (!(isrl_check_a op isrl_check_b)) {                                    \
+      std::fprintf(stderr,                                                    \
+                   "ISRL_CHECK failed at %s:%d: %s %s %s (%.17g vs %.17g)\n", \
+                   __FILE__, __LINE__, #a, #op, #b,                           \
+                   static_cast<double>(isrl_check_a),                         \
+                   static_cast<double>(isrl_check_b));                        \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define ISRL_CHECK_EQ(a, b) ISRL_CHECK_OP(==, a, b)
+#define ISRL_CHECK_NE(a, b) ISRL_CHECK_OP(!=, a, b)
+#define ISRL_CHECK_LT(a, b) ISRL_CHECK_OP(<, a, b)
+#define ISRL_CHECK_LE(a, b) ISRL_CHECK_OP(<=, a, b)
+#define ISRL_CHECK_GT(a, b) ISRL_CHECK_OP(>, a, b)
+#define ISRL_CHECK_GE(a, b) ISRL_CHECK_OP(>=, a, b)
+
+#endif  // ISRL_COMMON_CHECK_H_

@@ -1,0 +1,67 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace isrl {
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  double v = default_value;
+  return ParseDouble(it->second, &v) ? v : default_value;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::atoll(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Status Flags::RequireKnown(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      return Status::InvalidArgument("unknown flag: --" + key);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace isrl

@@ -1,0 +1,78 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace isrl {
+
+Vec Matrix::Multiply(const Vec& x) const {
+  ISRL_CHECK_EQ(x.dim(), cols_);
+  Vec y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += a[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vec Matrix::MultiplyTransposed(const Vec& x) const {
+  ISRL_CHECK_EQ(x.dim(), rows_);
+  Vec y(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    const double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+bool SolveLinearSystem(Matrix a, Vec b, Vec* x, double pivot_tol) {
+  const size_t n = a.rows();
+  ISRL_CHECK_EQ(a.cols(), n);
+  ISRL_CHECK_EQ(b.dim(), n);
+  ISRL_CHECK(x != nullptr);
+
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best <= pivot_tol) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  // Back substitution.
+  Vec sol(n);
+  for (size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) s -= a(ri, c) * sol[c];
+    sol[ri] = s / a(ri, ri);
+  }
+  *x = sol;
+  return true;
+}
+
+}  // namespace isrl

@@ -1,0 +1,62 @@
+// Dense row-major matrix with the linear algebra the substrates need:
+// matrix-vector products for the NN, Gaussian elimination for vertex
+// enumeration (solving the d×d systems of tight constraints).
+#ifndef ISRL_COMMON_MATRIX_H_
+#define ISRL_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/vec.h"
+
+namespace isrl {
+
+/// Dense row-major real matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Zero matrix of shape rows×cols.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double operator()(size_t r, size_t c) const {
+    ISRL_CHECK_LT(r, rows_);
+    ISRL_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(size_t r, size_t c) {
+    ISRL_CHECK_LT(r, rows_);
+    ISRL_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const double* row(size_t r) const { return &data_[r * cols_]; }
+  double* row(size_t r) { return &data_[r * cols_]; }
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// y = A x (x must have `cols()` entries).
+  Vec Multiply(const Vec& x) const;
+  /// y = Aᵀ x (x must have `rows()` entries).
+  Vec MultiplyTransposed(const Vec& x) const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting. Returns false when A is singular up to `pivot_tol` (contents of
+/// `x` are then unspecified).
+bool SolveLinearSystem(Matrix a, Vec b, Vec* x, double pivot_tol = 1e-10);
+
+}  // namespace isrl
+
+#endif  // ISRL_COMMON_MATRIX_H_

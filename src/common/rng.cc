@@ -1,0 +1,64 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace isrl {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  ISRL_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Vec Rng::SimplexUniform(size_t d) {
+  ISRL_CHECK_GE(d, 1u);
+  Vec u(d);
+  double sum = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    // Exponential(1) draws normalised to sum 1 are uniform on the simplex.
+    double e = -std::log(1.0 - Uniform(0.0, 1.0));
+    u[i] = e;
+    sum += e;
+  }
+  ISRL_CHECK_GT(sum, 0.0);
+  u /= sum;
+  return u;
+}
+
+std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
+  ISRL_CHECK_LE(k, n);
+  // Floyd's algorithm: O(k) expected, no O(n) allocation.
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    bool seen = false;
+    for (size_t s : out) {
+      if (s == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+}  // namespace isrl

@@ -1,0 +1,53 @@
+// Deterministic random number generation. Every stochastic component takes an
+// Rng& so experiments are reproducible bit-for-bit given a seed.
+#ifndef ISRL_COMMON_RNG_H_
+#define ISRL_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace isrl {
+
+/// Seedable pseudo-random generator (mt19937_64 under the hood) with the
+/// sampling helpers used by the data generators and RL components.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x15b1u) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Standard normal draw scaled to (mean, stddev).
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Uniform point on the standard (d−1)-simplex {u ≥ 0, Σu = 1}, via
+  /// normalised exponential draws.
+  Vec SimplexUniform(size_t d);
+
+  /// k distinct indices drawn uniformly from [0, n) (k ≤ n).
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_COMMON_RNG_H_

@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace isrl {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kInfeasible: return "Infeasible";
+    case StatusCode::kUnbounded: return "Unbounded";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace isrl

@@ -1,0 +1,123 @@
+// Lightweight Status / Result error handling (no exceptions in library code),
+// in the spirit of absl::Status / rocksdb::Status.
+#ifndef ISRL_COMMON_STATUS_H_
+#define ISRL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace isrl {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+  kInfeasible,   ///< LP / geometric feasibility failures.
+  kUnbounded,    ///< LP objective unbounded.
+};
+
+/// Human-readable name of a StatusCode ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Infeasible(std::string m) {
+    return Status(StatusCode::kInfeasible, std::move(m));
+  }
+  static Status Unbounded(std::string m) {
+    return Status(StatusCode::kUnbounded, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or a non-OK Status. Accessing the value of an error Result aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {   // NOLINT(runtime/explicit)
+    ISRL_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK if the Result holds a value.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  const T& value() const {
+    ISRL_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() {
+    ISRL_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define ISRL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::isrl::Status isrl_status = (expr);      \
+    if (!isrl_status.ok()) return isrl_status; \
+  } while (0)
+
+}  // namespace isrl
+
+#endif  // ISRL_COMMON_STATUS_H_

@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Header-only; this translation unit exists so the target owns a .cc per
+// module and future non-inline additions have a home.

@@ -1,0 +1,32 @@
+// Wall-clock timing for the experiment harness.
+#ifndef ISRL_COMMON_STOPWATCH_H_
+#define ISRL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace isrl {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_COMMON_STOPWATCH_H_

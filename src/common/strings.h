@@ -1,0 +1,24 @@
+// Small string helpers for CSV parsing and table printing.
+#ifndef ISRL_COMMON_STRINGS_H_
+#define ISRL_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace isrl {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Removes leading/trailing whitespace.
+std::string Trim(const std::string& s);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(const std::string& s, double* out);
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...);
+
+}  // namespace isrl
+
+#endif  // ISRL_COMMON_STRINGS_H_

@@ -1,0 +1,215 @@
+#include "core/aa.h"
+
+#include "nn/serialize.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "geometry/hit_and_run.h"
+
+namespace isrl {
+
+Aa::Aa(const Dataset& data, const AaOptions& options)
+    : data_(data),
+      options_(options),
+      rng_(options.seed),
+      input_dim_(AaStateDim(data.dim()) + 3 * data.dim() + kActionDescriptors),
+      agent_(input_dim_, options.dqn, rng_) {
+  ISRL_CHECK(!data.empty());
+  ISRL_CHECK_GT(options.epsilon, 0.0);
+  ISRL_CHECK_LT(options.epsilon, 1.0);
+}
+
+double Aa::StopDistance() const {
+  return 2.0 * std::sqrt(static_cast<double>(data_.dim())) * options_.epsilon;
+}
+
+Vec Aa::FeaturizeAction(const AaAction& action) const {
+  const Vec& pi = data_.point(action.q.i);
+  const Vec& pj = data_.point(action.q.j);
+  Vec f = pi;
+  f.Append(pj);
+  f.Append(pi - pj);
+  // Geometric descriptors: the decision-relevant second-order quantities the
+  // network would otherwise have to learn from raw coordinates.
+  f.PushBack(action.balance);
+  f.PushBack(action.alignment);
+  f.PushBack(action.center_dist);
+  return f;
+}
+
+std::vector<Vec> Aa::FeaturizeCandidates(
+    const Vec& state, const std::vector<AaAction>& actions) const {
+  std::vector<Vec> out;
+  out.reserve(actions.size());
+  for (const AaAction& action : actions) {
+    out.push_back(Concat(state, FeaturizeAction(action)));
+  }
+  return out;
+}
+
+size_t Aa::MidpointBest(const AaGeometry& geometry) const {
+  Vec mid = (geometry.e_min + geometry.e_max) / 2.0;
+  return data_.TopIndex(mid);
+}
+
+TrainStats Aa::Train(const std::vector<Vec>& training_utilities) {
+  TrainStats stats;
+  stats.episodes = training_utilities.size();
+  size_t total_rounds = 0;
+  double last_loss = 0.0;
+  const double stop_dist = StopDistance();
+
+  for (const Vec& u : training_utilities) {
+    const double epsilon_greedy = agent_.EpsilonAt(episodes_trained_);
+    std::vector<LearnedHalfspace> h;
+    AaGeometry geo = ComputeAaGeometry(data_.dim(), h);
+    ISRL_CHECK(geo.feasible);
+    Vec state = EncodeAaState(geo);
+    std::vector<AaAction> actions =
+        BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
+
+    size_t rounds = 0;
+    while (Distance(geo.e_min, geo.e_max) > stop_dist && !actions.empty() &&
+           rounds < options_.max_rounds) {
+      std::vector<Vec> features = FeaturizeCandidates(state, actions);
+      size_t pick = agent_.SelectEpsilonGreedy(features, epsilon_greedy, rng_);
+      const Question q = actions[pick].q;
+
+      const bool prefers_i =
+          Dot(u, data_.point(q.i)) >= Dot(u, data_.point(q.j));
+      LearnedHalfspace lh;
+      lh.winner = prefers_i ? q.i : q.j;
+      lh.loser = prefers_i ? q.j : q.i;
+      lh.h = PreferenceHalfspace(data_.point(lh.winner), data_.point(lh.loser));
+      h.push_back(std::move(lh));
+      ++rounds;
+
+      AaGeometry next_geo = ComputeAaGeometry(data_.dim(), h);
+      if (!next_geo.feasible) break;  // cannot happen with consistent answers
+      Vec next_state = EncodeAaState(next_geo);
+      bool terminal = Distance(next_geo.e_min, next_geo.e_max) <= stop_dist;
+      std::vector<AaAction> next_actions;
+      if (!terminal) {
+        next_actions =
+            BuildAaActionSpace(data_, h, next_geo, options_.actions, rng_);
+        if (next_actions.empty()) terminal = true;  // no splitting pair left
+      }
+
+      rl::Transition t;
+      t.state_action = std::move(features[pick]);
+      t.terminal = terminal;
+      t.reward = terminal ? agent_.options().reward_constant
+                          : -agent_.options().step_penalty;
+      if (!terminal) {
+        t.next_candidates = FeaturizeCandidates(next_state, next_actions);
+      }
+      agent_.Remember(std::move(t));
+      for (size_t k = 0; k < options_.updates_per_round; ++k) {
+        last_loss = agent_.Update(rng_);
+      }
+
+      geo = std::move(next_geo);
+      state = std::move(next_state);
+      actions = std::move(next_actions);
+    }
+    for (size_t k = 0; k < options_.updates_per_episode; ++k) {
+      last_loss = agent_.Update(rng_);
+    }
+    total_rounds += rounds;
+    ++episodes_trained_;
+  }
+
+  stats.mean_rounds = training_utilities.empty()
+                          ? 0.0
+                          : static_cast<double>(total_rounds) /
+                                static_cast<double>(training_utilities.size());
+  stats.final_loss = last_loss;
+  return stats;
+}
+
+InteractionResult Aa::Interact(UserOracle& user, InteractionTrace* trace) {
+  InteractionResult result;
+  Stopwatch watch;
+  const double stop_dist = StopDistance();
+
+  std::vector<LearnedHalfspace> h;
+  AaGeometry geo = ComputeAaGeometry(data_.dim(), h);
+  ISRL_CHECK(geo.feasible);
+  Vec state = EncodeAaState(geo);
+  std::vector<AaAction> actions =
+      BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
+  size_t best = MidpointBest(geo);
+
+  while (Distance(geo.e_min, geo.e_max) > stop_dist && !actions.empty() &&
+         result.rounds < options_.max_rounds) {
+    std::vector<Vec> features = FeaturizeCandidates(state, actions);
+    size_t pick = agent_.SelectGreedy(features);
+    const Question q = actions[pick].q;
+
+    const bool prefers_i = user.Prefers(data_.point(q.i), data_.point(q.j));
+    LearnedHalfspace lh;
+    lh.winner = prefers_i ? q.i : q.j;
+    lh.loser = prefers_i ? q.j : q.i;
+    lh.h = PreferenceHalfspace(data_.point(lh.winner), data_.point(lh.loser));
+    h.push_back(std::move(lh));
+    ++result.rounds;
+
+    AaGeometry next_geo = ComputeAaGeometry(data_.dim(), h);
+    if (!next_geo.feasible) {
+      // Contradictory answers (noisy user): return the pre-contradiction
+      // recommendation.
+      const double tail = watch.ElapsedSeconds();
+      result.best_index = best;
+      result.seconds += tail;
+      if (trace != nullptr) trace->Record(best, {}, tail);
+      return result;
+    }
+    geo = std::move(next_geo);
+    state = EncodeAaState(geo);
+    actions = BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
+    best = MidpointBest(geo);
+
+    if (trace != nullptr) {
+      const double elapsed = watch.ElapsedSeconds();
+      std::vector<Halfspace> cuts;
+      cuts.reserve(h.size());
+      for (const LearnedHalfspace& learned : h) cuts.push_back(learned.h);
+      std::vector<Vec> consistent = HitAndRunSample(
+          cuts, geo.inner.center, trace->regret_samples(), trace->rng());
+      trace->Record(best, consistent, elapsed);
+      watch.Restart();
+      result.seconds += elapsed;
+    }
+  }
+
+  result.best_index = best;
+  result.converged = Distance(geo.e_min, geo.e_max) <= stop_dist;
+  result.seconds += watch.ElapsedSeconds();
+  return result;
+}
+
+
+Status Aa::SaveAgent(const std::string& path) {
+  return nn::SaveNetwork(agent_.main_network(), path);
+}
+
+Status Aa::LoadAgent(const std::string& path) {
+  Result<nn::Network> loaded = nn::LoadNetwork(path);
+  if (!loaded.ok()) return loaded.status();
+  std::vector<nn::ParamBlock> theirs = loaded->Params();
+  std::vector<nn::ParamBlock> mine = agent_.main_network().Params();
+  if (theirs.size() != mine.size()) {
+    return Status::InvalidArgument("network architecture mismatch");
+  }
+  for (size_t i = 0; i < mine.size(); ++i) {
+    if (mine[i].values->size() != theirs[i].values->size()) {
+      return Status::InvalidArgument("network layer shape mismatch");
+    }
+  }
+  agent_.main_network().CopyParamsFrom(*loaded);
+  agent_.SyncTarget();
+  return Status::Ok();
+}
+
+}  // namespace isrl

@@ -1,0 +1,116 @@
+#include "core/aa_state.h"
+
+#include <algorithm>
+
+#include "lp/simplex.h"
+
+namespace isrl {
+namespace {
+
+// Adds the simplex constraints (Σu = 1; u ≥ 0 is the variables' own bound)
+// over the first d variables of the model.
+void AddSimplexConstraints(lp::Model* model, size_t d) {
+  Vec ones(d, 1.0);
+  model->AddConstraint(ones, lp::Relation::kEq, 1.0);
+}
+
+}  // namespace
+
+size_t AaStateDim(size_t d) { return 3 * d + 1; }
+
+AaGeometry ComputeAaGeometry(size_t d,
+                             const std::vector<LearnedHalfspace>& h) {
+  AaGeometry geo;
+
+  // ---- Inner sphere LP: maximise B_r subject to
+  //   B_c on the simplex,
+  //   (p_i − p_j)·B_c / ‖p_i − p_j‖ ≥ B_r   for each half-space,
+  //   B_c[i] ≥ B_r                           (keep the ball off the simplex
+  //                                           facets; bounds the LP). ----
+  {
+    lp::Model model;
+    for (size_t i = 0; i < d; ++i) model.AddVariable(0.0);  // B_c
+    size_t radius_var = model.AddVariable(1.0);             // B_r (objective)
+    AddSimplexConstraints(&model, d);
+    for (const LearnedHalfspace& lh : h) {
+      double norm = lh.h.normal.Norm();
+      ISRL_CHECK_GT(norm, 0.0);
+      Vec row(d + 1);
+      for (size_t c = 0; c < d; ++c) row[c] = lh.h.normal[c] / norm;
+      row[radius_var] = -1.0;
+      model.AddConstraint(row, lp::Relation::kGe, lh.h.offset / norm);
+    }
+    for (size_t i = 0; i < d; ++i) {
+      Vec row(d + 1);
+      row[i] = 1.0;
+      row[radius_var] = -1.0;
+      model.AddConstraint(row, lp::Relation::kGe, 0.0);
+    }
+    lp::SolveResult result = lp::Solve(model);
+    if (!result.ok()) return geo;  // infeasible H
+    geo.inner.center = Vec(d);
+    for (size_t i = 0; i < d; ++i) geo.inner.center[i] = result.x[i];
+    geo.inner.radius = std::max(0.0, result.x[radius_var]);
+  }
+
+  // ---- Outer rectangle: 2d LPs min/max u[i] over U ∩ H. ----
+  geo.e_min = Vec(d);
+  geo.e_max = Vec(d);
+  for (size_t i = 0; i < d; ++i) {
+    for (int direction = 0; direction < 2; ++direction) {
+      lp::Model model;
+      for (size_t v = 0; v < d; ++v) {
+        model.AddVariable(v == i ? 1.0 : 0.0);
+      }
+      model.SetSense(direction == 0 ? lp::Sense::kMinimize
+                                    : lp::Sense::kMaximize);
+      AddSimplexConstraints(&model, d);
+      for (const LearnedHalfspace& lh : h) {
+        model.AddConstraint(lh.h.normal, lp::Relation::kGe, lh.h.offset);
+      }
+      lp::SolveResult result = lp::Solve(model);
+      if (!result.ok()) return geo;
+      if (direction == 0) {
+        geo.e_min[i] = result.objective;
+      } else {
+        geo.e_max[i] = result.objective;
+      }
+    }
+  }
+
+  geo.feasible = true;
+  return geo;
+}
+
+double FeasibilityMargin(size_t d, const std::vector<LearnedHalfspace>& h,
+                         const Halfspace& candidate) {
+  // maximise x s.t. u on simplex, normal·u − offset ≥ x for every half-space
+  // (existing ∪ candidate); x free.
+  lp::Model model;
+  for (size_t i = 0; i < d; ++i) model.AddVariable(0.0);
+  size_t x_var = model.AddVariable(1.0, /*nonneg=*/false);
+  AddSimplexConstraints(&model, d);
+  auto add = [&](const Halfspace& hs) {
+    Vec row(d + 1);
+    for (size_t c = 0; c < d; ++c) row[c] = hs.normal[c];
+    row[x_var] = -1.0;
+    model.AddConstraint(row, lp::Relation::kGe, hs.offset);
+  };
+  for (const LearnedHalfspace& lh : h) add(lh.h);
+  add(candidate);
+  lp::SolveResult result = lp::Solve(model);
+  if (!result.ok()) return 0.0;
+  return result.objective;
+}
+
+Vec EncodeAaState(const AaGeometry& geometry) {
+  ISRL_CHECK(geometry.feasible);
+  Vec state = geometry.inner.center;
+  state.PushBack(geometry.inner.radius);
+  state.Append(geometry.e_min);
+  state.Append(geometry.e_max);
+  ISRL_CHECK_EQ(state.dim(), AaStateDim(geometry.e_min.dim()));
+  return state;
+}
+
+}  // namespace isrl

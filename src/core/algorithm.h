@@ -1,0 +1,82 @@
+// The common interface of all interactive algorithms (EA, AA, and the
+// baselines), plus the per-round tracing used for the interaction-progress
+// figures (Figures 7 and 8).
+#ifndef ISRL_CORE_ALGORITHM_H_
+#define ISRL_CORE_ALGORITHM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "user/user.h"
+
+namespace isrl {
+
+/// A question: "do you prefer data.point(i) or data.point(j)?".
+struct Question {
+  size_t i = 0;
+  size_t j = 0;
+};
+
+/// Outcome of one full interaction.
+struct InteractionResult {
+  size_t best_index = 0;   ///< returned tuple
+  size_t rounds = 0;       ///< questions asked
+  double seconds = 0.0;    ///< algorithm time, excluding trace bookkeeping
+  bool converged = false;  ///< false when a safety cap stopped the run
+};
+
+/// Optional per-round tracing (Figures 7/8). When attached, after every round
+/// the algorithm reports its current recommendation and a sample of utility
+/// vectors still consistent with what it has learned; the trace computes the
+/// maximum regret ratio over that sample, mirroring the paper's metric.
+class InteractionTrace {
+ public:
+  InteractionTrace(const Dataset* data, size_t regret_samples, Rng* rng)
+      : data_(data), regret_samples_(regret_samples), rng_(rng) {}
+
+  /// Called by algorithms at the end of each round. `consistent_utilities`
+  /// may be empty, in which case the regret entry repeats the previous value
+  /// (or 1.0 at round 0).
+  void Record(size_t best_index, const std::vector<Vec>& consistent_utilities,
+              double elapsed_seconds);
+
+  size_t regret_samples() const { return regret_samples_; }
+  Rng& rng() const { return *rng_; }
+
+  const std::vector<double>& max_regret() const { return max_regret_; }
+  const std::vector<double>& cumulative_seconds() const {
+    return cumulative_seconds_;
+  }
+  const std::vector<size_t>& best_index() const { return best_index_; }
+  size_t rounds() const { return max_regret_.size(); }
+
+ private:
+  const Dataset* data_;
+  size_t regret_samples_;
+  Rng* rng_;
+  std::vector<double> max_regret_;
+  std::vector<double> cumulative_seconds_;
+  std::vector<size_t> best_index_;
+};
+
+/// An interactive algorithm bound to a dataset and a regret threshold ε.
+/// Interact() is re-entrant: each call is an independent episode.
+class InteractiveAlgorithm {
+ public:
+  virtual ~InteractiveAlgorithm() = default;
+
+  /// Human-readable algorithm name ("EA", "UH-Random", ...).
+  virtual std::string name() const = 0;
+
+  /// Runs one full interaction against `user`; when `trace` is non-null the
+  /// algorithm records per-round progress into it.
+  virtual InteractionResult Interact(UserOracle& user,
+                                     InteractionTrace* trace = nullptr) = 0;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_CORE_ALGORITHM_H_

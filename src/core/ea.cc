@@ -1,0 +1,209 @@
+#include "core/ea.h"
+
+#include "nn/serialize.h"
+
+#include "common/stopwatch.h"
+#include "core/terminal.h"
+#include "geometry/halfspace.h"
+
+namespace isrl {
+
+Ea::Ea(const Dataset& data, const EaOptions& options)
+    : data_(data),
+      options_(options),
+      rng_(options.seed),
+      input_dim_(EaStateDim(data.dim(), options.state) + 3 * data.dim() +
+                 kActionDescriptors),
+      agent_(input_dim_, options.dqn, rng_) {
+  ISRL_CHECK(!data.empty());
+  ISRL_CHECK_GT(options.epsilon, 0.0);
+  ISRL_CHECK_LT(options.epsilon, 1.0);
+}
+
+Ea::RoundPlan Ea::PlanRound(const Polyhedron& range) {
+  RoundPlan plan;
+  // Lemma 6 first: a single terminal polyhedron over the extreme vectors
+  // certifies termination.
+  if (IsTerminalRange(data_, range.vertices(), options_.epsilon,
+                      &plan.winner)) {
+    plan.terminal = true;
+    return plan;
+  }
+  EaActionSpace space = BuildEaActionSpace(data_, range, options_.epsilon,
+                                           options_.actions, rng_);
+  if (space.actions.empty()) {
+    // A single winner covered all of V ⊇ E — also a valid terminal
+    // certificate (coverage of every extreme vector implies coverage of R
+    // by convexity); return that winner.
+    ISRL_CHECK(!space.winners.empty());
+    plan.terminal = true;
+    plan.winner = space.winners.front();
+    return plan;
+  }
+  plan.actions = std::move(space.actions);
+  return plan;
+}
+
+Vec Ea::FeaturizeAction(const EaAction& action) const {
+  const Vec& pi = data_.point(action.q.i);
+  const Vec& pj = data_.point(action.q.j);
+  Vec f = pi;
+  f.Append(pj);
+  f.Append(pi - pj);
+  // Geometric descriptors: the split-quality signals the policy ranks on.
+  f.PushBack(action.balance);
+  f.PushBack(action.center_dist);
+  return f;
+}
+
+std::vector<Vec> Ea::FeaturizeCandidates(
+    const Vec& state, const std::vector<EaAction>& actions) const {
+  std::vector<Vec> out;
+  out.reserve(actions.size());
+  for (const EaAction& action : actions) {
+    out.push_back(Concat(state, FeaturizeAction(action)));
+  }
+  return out;
+}
+
+TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
+  TrainStats stats;
+  stats.episodes = training_utilities.size();
+  size_t total_rounds = 0;
+  double last_loss = 0.0;
+
+  for (const Vec& u : training_utilities) {
+    const double epsilon_greedy = agent_.EpsilonAt(episodes_trained_);
+    Polyhedron range = Polyhedron::UnitSimplex(data_.dim());
+    RoundPlan plan = PlanRound(range);
+    Vec state = EncodeEaState(range, options_.state);
+
+    size_t rounds = 0;
+    while (!plan.terminal && rounds < options_.max_rounds) {
+      std::vector<Vec> features = FeaturizeCandidates(state, plan.actions);
+      size_t pick = agent_.SelectEpsilonGreedy(features, epsilon_greedy, rng_);
+      const Question q = plan.actions[pick].q;
+
+      // Simulated answer (Algorithm 1 lines 9-12): prefer p_i iff
+      // u·p_i ≥ u·p_j, then keep the matching half-space.
+      const bool prefers_i = Dot(u, data_.point(q.i)) >= Dot(u, data_.point(q.j));
+      const Vec& winner = data_.point(prefers_i ? q.i : q.j);
+      const Vec& loser = data_.point(prefers_i ? q.j : q.i);
+      range.Cut(PreferenceHalfspace(winner, loser));
+      ++rounds;
+      if (range.IsEmpty()) break;  // numeric degeneracy guard
+
+      RoundPlan next_plan = PlanRound(range);
+      Vec next_state = EncodeEaState(range, options_.state);
+
+      rl::Transition t;
+      t.state_action = std::move(features[pick]);
+      t.terminal = next_plan.terminal;
+      t.reward = next_plan.terminal
+                     ? agent_.options().reward_constant
+                     : -agent_.options().step_penalty;
+      if (!next_plan.terminal) {
+        t.next_candidates = FeaturizeCandidates(next_state, next_plan.actions);
+      }
+      agent_.Remember(std::move(t));
+      for (size_t k = 0; k < options_.updates_per_round; ++k) {
+        last_loss = agent_.Update(rng_);
+      }
+
+      plan = std::move(next_plan);
+      state = std::move(next_state);
+    }
+    for (size_t k = 0; k < options_.updates_per_episode; ++k) {
+      last_loss = agent_.Update(rng_);
+    }
+    total_rounds += rounds;
+    ++episodes_trained_;
+  }
+
+  stats.mean_rounds = training_utilities.empty()
+                          ? 0.0
+                          : static_cast<double>(total_rounds) /
+                                static_cast<double>(training_utilities.size());
+  stats.final_loss = last_loss;
+  return stats;
+}
+
+InteractionResult Ea::Interact(UserOracle& user, InteractionTrace* trace) {
+  InteractionResult result;
+  Stopwatch watch;
+
+  Polyhedron range = Polyhedron::UnitSimplex(data_.dim());
+  RoundPlan plan = PlanRound(range);
+  Vec state = EncodeEaState(range, options_.state);
+  size_t fallback_best = data_.TopIndex(range.Centroid());
+
+  while (!plan.terminal && result.rounds < options_.max_rounds) {
+    std::vector<Vec> features = FeaturizeCandidates(state, plan.actions);
+    size_t pick = agent_.SelectGreedy(features);
+    const Question q = plan.actions[pick].q;
+
+    const bool prefers_i = user.Prefers(data_.point(q.i), data_.point(q.j));
+    const Vec& winner = data_.point(prefers_i ? q.i : q.j);
+    const Vec& loser = data_.point(prefers_i ? q.j : q.i);
+    range.Cut(PreferenceHalfspace(winner, loser));
+    ++result.rounds;
+
+    if (range.IsEmpty()) {
+      // Only reachable with inconsistent (noisy) answers: the learned
+      // half-spaces have no common utility vector. Return the best guess
+      // from before the contradicting cut.
+      const double tail = watch.ElapsedSeconds();
+      result.best_index = fallback_best;
+      result.seconds += tail;
+      if (trace != nullptr) trace->Record(result.best_index, {}, tail);
+      return result;
+    }
+
+    plan = PlanRound(range);
+    state = EncodeEaState(range, options_.state);
+    fallback_best = plan.terminal ? plan.winner
+                                  : data_.TopIndex(range.Centroid());
+
+    if (trace != nullptr) {
+      const double elapsed = watch.ElapsedSeconds();
+      std::vector<Vec> consistent;
+      consistent.reserve(trace->regret_samples());
+      for (size_t s = 0; s < trace->regret_samples(); ++s) {
+        consistent.push_back(range.SampleInterior(trace->rng()));
+      }
+      trace->Record(fallback_best, consistent, elapsed);
+      watch.Restart();  // exclude trace bookkeeping from algorithm time
+      result.seconds += elapsed;
+    }
+  }
+
+  result.best_index = plan.terminal ? plan.winner : fallback_best;
+  result.converged = plan.terminal;
+  result.seconds += watch.ElapsedSeconds();
+  return result;
+}
+
+
+Status Ea::SaveAgent(const std::string& path) {
+  return nn::SaveNetwork(agent_.main_network(), path);
+}
+
+Status Ea::LoadAgent(const std::string& path) {
+  Result<nn::Network> loaded = nn::LoadNetwork(path);
+  if (!loaded.ok()) return loaded.status();
+  std::vector<nn::ParamBlock> theirs = loaded->Params();
+  std::vector<nn::ParamBlock> mine = agent_.main_network().Params();
+  if (theirs.size() != mine.size()) {
+    return Status::InvalidArgument("network architecture mismatch");
+  }
+  for (size_t i = 0; i < mine.size(); ++i) {
+    if (mine[i].values->size() != theirs[i].values->size()) {
+      return Status::InvalidArgument("network layer shape mismatch");
+    }
+  }
+  agent_.main_network().CopyParamsFrom(*loaded);
+  agent_.SyncTarget();
+  return Status::Ok();
+}
+
+}  // namespace isrl

@@ -1,0 +1,97 @@
+// Algorithm EA — the exact RL-driven interactive algorithm (Section IV-B).
+//
+// EA maintains the utility range R as an explicit polyhedron, encodes it with
+// representative extreme vectors + the outer sphere, restricts actions to
+// pairs over P_R (terminal-polyhedron winners), and trains a DQN so that
+// question selection maximises the discounted terminal reward — i.e.
+// minimises the number of rounds over the whole interaction (Algorithm 1).
+// Inference (Algorithm 2) plays the greedy policy and returns a point whose
+// regret ratio is strictly below ε (Lemma 4).
+#ifndef ISRL_CORE_EA_H_
+#define ISRL_CORE_EA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/algorithm.h"
+#include "core/ea_actions.h"
+#include "core/ea_state.h"
+#include "data/dataset.h"
+#include "rl/dqn.h"
+
+namespace isrl {
+
+/// EA configuration (defaults follow §V).
+struct EaOptions {
+  double epsilon = 0.1;        ///< regret-ratio threshold
+  EaStateOptions state;        ///< m_e, d_eps
+  EaActionOptions actions;     ///< m_h, interior-sample count
+  rl::DqnOptions dqn;          ///< agent hyper-parameters
+  size_t max_rounds = 1000;    ///< safety cap (Theorem 1 gives O(n))
+  size_t updates_per_round = 1;   ///< DQN updates after each training round
+  size_t updates_per_episode = 1; ///< extra updates at episode end (Alg. 1 l.19)
+  uint64_t seed = 42;          ///< master seed for all stochastic pieces
+};
+
+/// Training statistics (per call to Train).
+struct TrainStats {
+  size_t episodes = 0;
+  double mean_rounds = 0.0;  ///< average episode length during training
+  double final_loss = 0.0;   ///< batch MSE of the last update
+};
+
+/// The EA interactive algorithm bound to a (normalised, skyline) dataset.
+class Ea : public InteractiveAlgorithm {
+ public:
+  Ea(const Dataset& data, const EaOptions& options);
+
+  /// Algorithm 1: one ε-greedy training episode per utility vector.
+  TrainStats Train(const std::vector<Vec>& training_utilities);
+
+  /// Algorithm 2: greedy interaction against `user`.
+  InteractionResult Interact(UserOracle& user,
+                             InteractionTrace* trace = nullptr) override;
+
+  std::string name() const override { return "EA"; }
+
+  rl::DqnAgent& agent() { return agent_; }
+  const EaOptions& options() const { return options_; }
+  /// Featurised (state, action) input dimension of the Q-network.
+  size_t input_dim() const { return input_dim_; }
+  /// Number of scalar geometric descriptors appended to each action's
+  /// features (balance, centroid distance).
+  static constexpr size_t kActionDescriptors = 2;
+
+  /// Persists the trained Q-network so a later process can skip Train()
+  /// (extension; DESIGN.md §7).
+  Status SaveAgent(const std::string& path);
+  /// Restores a Q-network saved by SaveAgent (architecture must match this
+  /// instance's input_dim); the target network is synchronised to it.
+  Status LoadAgent(const std::string& path);
+
+ private:
+  /// One round's decision basis: either a terminal certificate or actions.
+  struct RoundPlan {
+    bool terminal = false;
+    size_t winner = 0;
+    std::vector<EaAction> actions;
+  };
+
+  RoundPlan PlanRound(const Polyhedron& range);
+  Vec FeaturizeAction(const EaAction& action) const;
+  std::vector<Vec> FeaturizeCandidates(const Vec& state,
+                                       const std::vector<EaAction>& actions) const;
+
+  const Dataset& data_;
+  EaOptions options_;
+  Rng rng_;
+  size_t input_dim_;
+  rl::DqnAgent agent_;
+  size_t episodes_trained_ = 0;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_CORE_EA_H_

@@ -1,0 +1,73 @@
+#include "core/ea_actions.h"
+
+#include <algorithm>
+
+#include "core/terminal.h"
+#include "geometry/halfspace.h"
+
+namespace isrl {
+
+EaActionSpace BuildEaActionSpace(const Dataset& data, const Polyhedron& range,
+                                 double epsilon,
+                                 const EaActionOptions& options, Rng& rng) {
+  EaActionSpace space;
+  ISRL_CHECK(!range.IsEmpty());
+
+  // V = sampled interior vectors ∪ extreme vectors. Samples go first so that
+  // large-volume terminal polyhedra are constructed with high probability
+  // (Lemma 5); the extreme vectors also make |P_R| = 1 equivalent to the
+  // Lemma 6 terminal test.
+  std::vector<Vec> v;
+  v.reserve(options.num_samples + range.vertices().size());
+  for (size_t i = 0; i < options.num_samples; ++i) {
+    v.push_back(range.SampleInterior(rng));
+  }
+  for (const Vec& e : range.vertices()) v.push_back(e);
+
+  space.winners = TerminalWinners(data, v, epsilon);
+  if (space.winners.size() <= 1) return space;
+
+  // Descriptors over V: split balance and hyper-plane distance to the
+  // centroid — the quantities that distinguish an evenly-splitting question
+  // from a lopsided one (the Q-network receives them as action features).
+  Vec centroid(data.dim());
+  for (const Vec& u : v) centroid += u;
+  centroid /= static_cast<double>(v.size());
+  auto describe = [&](Question q) {
+    EaAction action;
+    action.q = q;
+    Halfspace hp = PreferenceHalfspace(data.point(q.i), data.point(q.j));
+    size_t prefer_i = 0;
+    for (const Vec& u : v) {
+      if (hp.Margin(u) >= 0.0) ++prefer_i;
+    }
+    action.balance = static_cast<double>(prefer_i) / static_cast<double>(v.size());
+    action.center_dist = hp.normal.Norm() < 1e-12
+                             ? 0.0
+                             : DistanceToHyperplane(centroid, hp);
+    return action;
+  };
+
+  // All ordered-normalised pairs over P_R; sample m_h of them (the paper's
+  // uniform rule — the policy, not the builder, is responsible for ranking).
+  const std::vector<size_t>& winners = space.winners;
+  std::vector<Question> pairs;
+  pairs.reserve(winners.size() * (winners.size() - 1) / 2);
+  for (size_t a = 0; a < winners.size(); ++a) {
+    for (size_t b = a + 1; b < winners.size(); ++b) {
+      pairs.push_back(Question{winners[a], winners[b]});
+    }
+  }
+  if (pairs.size() > options.m_h) {
+    std::vector<size_t> chosen = rng.SampleIndices(pairs.size(), options.m_h);
+    std::vector<Question> picked;
+    picked.reserve(options.m_h);
+    for (size_t idx : chosen) picked.push_back(pairs[idx]);
+    pairs = std::move(picked);
+  }
+  space.actions.reserve(pairs.size());
+  for (const Question& q : pairs) space.actions.push_back(describe(q));
+  return space;
+}
+
+}  // namespace isrl

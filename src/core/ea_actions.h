@@ -1,0 +1,51 @@
+// EA's restricted action space (Section IV-B MDP: Action).
+//
+// Candidate questions are pairs drawn from P_R — the winner points of
+// terminal polyhedra constructed inside R over V = (sampled interior
+// vectors) ∪ (extreme vectors). Restricting to P_R guarantees every question
+// strictly narrows R (Lemma 7) and bounds the episode at O(n) rounds
+// (Theorem 1), because each answer permanently eliminates one winner.
+#ifndef ISRL_CORE_EA_ACTIONS_H_
+#define ISRL_CORE_EA_ACTIONS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/algorithm.h"
+#include "data/dataset.h"
+#include "geometry/polyhedron.h"
+
+namespace isrl {
+
+/// Knobs for EA's action-space construction.
+struct EaActionOptions {
+  size_t m_h = 5;            ///< action-space size (paper §V: 5)
+  size_t num_samples = 100;  ///< interior utility vectors added to V (Lemma 5)
+};
+
+/// A candidate question over P_R with the geometric descriptors the
+/// Q-network uses as action features.
+struct EaAction {
+  Question q;
+  double balance = 0.5;     ///< fraction of V preferring q.i (∈ (0,1))
+  double center_dist = 0.0; ///< hyper-plane distance to R's centroid
+};
+
+/// The restricted action space together with the winner set it was built
+/// from. `winners.size() == 1` is a terminal certificate: that single point
+/// covers every vector of V ⊇ E, so by convexity its regret ratio is below ε
+/// everywhere in R — and `winners.front()` is the point to return.
+struct EaActionSpace {
+  std::vector<size_t> winners;    ///< P_R (distinct terminal winners)
+  std::vector<EaAction> actions;  ///< up to m_h random pairs over P_R
+};
+
+/// Builds the action space for the current R. `actions` is empty iff
+/// |P_R| ≤ 1 (terminal).
+EaActionSpace BuildEaActionSpace(const Dataset& data, const Polyhedron& range,
+                                 double epsilon,
+                                 const EaActionOptions& options, Rng& rng);
+
+}  // namespace isrl
+
+#endif  // ISRL_CORE_EA_ACTIONS_H_

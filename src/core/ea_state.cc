@@ -1,0 +1,76 @@
+#include "core/ea_state.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace isrl {
+
+std::vector<Vec> SelectRepresentativeVertices(const std::vector<Vec>& vectors,
+                                              size_t m_e, double d_eps) {
+  const size_t n = vectors.size();
+  if (n == 0 || m_e == 0) return {};
+
+  // Neighbourhood sets S_e (indices within d_eps, including self).
+  std::vector<std::vector<size_t>> neighborhoods(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (Distance(vectors[i], vectors[j]) <= d_eps) {
+        neighborhoods[i].push_back(j);
+      }
+    }
+  }
+
+  std::vector<bool> covered(n, false);
+  std::vector<bool> selected(n, false);
+  std::vector<Vec> out;
+  size_t num_covered = 0;
+  while (out.size() < m_e && num_covered < n) {
+    size_t best = n;
+    size_t best_gain = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (selected[i]) continue;
+      size_t gain = 0;
+      for (size_t j : neighborhoods[i]) {
+        if (!covered[j]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == n) break;  // nothing adds coverage (all remaining covered)
+    selected[best] = true;
+    out.push_back(vectors[best]);
+    for (size_t j : neighborhoods[best]) {
+      if (!covered[j]) {
+        covered[j] = true;
+        ++num_covered;
+      }
+    }
+  }
+  return out;
+}
+
+size_t EaStateDim(size_t d, const EaStateOptions& options) {
+  return d * options.m_e + d + 1;
+}
+
+Vec EncodeEaState(const Polyhedron& polyhedron, const EaStateOptions& options) {
+  ISRL_CHECK(!polyhedron.IsEmpty());
+  const size_t d = polyhedron.dim();
+  std::vector<Vec> picked = SelectRepresentativeVertices(
+      polyhedron.vertices(), options.m_e, options.d_eps);
+
+  Vec state;
+  for (const Vec& e : picked) state.Append(e);
+  for (size_t i = picked.size(); i < options.m_e; ++i) state.Append(Vec(d));
+
+  Ball ball = IterativeOuterBall(polyhedron.vertices());
+  state.Append(ball.center);
+  state.PushBack(ball.radius);
+  ISRL_CHECK_EQ(state.dim(), EaStateDim(d, options));
+  return state;
+}
+
+}  // namespace isrl

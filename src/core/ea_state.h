@@ -1,0 +1,42 @@
+// EA's fixed-length state representation (Section IV-B MDP: State).
+//
+// The utility range R is summarised by (1) m_e representative extreme
+// utility vectors chosen by greedy maximum coverage over DBSCAN-style
+// neighbourhoods (the exact problem is NP-hard, Lemma 2; the greedy picker is
+// the (1−1/e)-approximation), and (2) the outer sphere from the iterative
+// shrink heuristic (Lemma 3). Concatenated: d·m_e + d + 1 values.
+#ifndef ISRL_CORE_EA_STATE_H_
+#define ISRL_CORE_EA_STATE_H_
+
+#include <vector>
+
+#include "common/vec.h"
+#include "geometry/enclosing_ball.h"
+#include "geometry/polyhedron.h"
+
+namespace isrl {
+
+/// Knobs for EA's state encoder.
+struct EaStateOptions {
+  size_t m_e = 5;       ///< representative extreme vectors in the state
+  double d_eps = 0.05;  ///< neighbourhood radius for coverage selection
+};
+
+/// Greedy maximum-coverage selection: returns ≤ m_e vectors from `vectors`
+/// such that their d_eps-neighbourhoods cover as many of `vectors` as the
+/// greedy rule manages; stops early when everything is covered (paper's
+/// construction of E). Order = greedy pick order.
+std::vector<Vec> SelectRepresentativeVertices(const std::vector<Vec>& vectors,
+                                              size_t m_e, double d_eps);
+
+/// Fixed-length state vector for R: the selected extreme vectors (padded
+/// with zero vectors up to m_e when coverage finished early), then the outer
+/// sphere centre, then its radius. `polyhedron` must be non-empty.
+Vec EncodeEaState(const Polyhedron& polyhedron, const EaStateOptions& options);
+
+/// Dimension of the encoded state: d·m_e + d + 1.
+size_t EaStateDim(size_t d, const EaStateOptions& options);
+
+}  // namespace isrl
+
+#endif  // ISRL_CORE_EA_STATE_H_

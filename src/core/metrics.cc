@@ -1,0 +1,64 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/algorithm.h"
+#include "core/regret.h"
+
+namespace isrl {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+void PrintEvalHeader(const std::string& sweep_label) {
+  std::printf("%-12s %-14s %10s %12s %12s %12s %10s\n", sweep_label.c_str(),
+              "algorithm", "rounds", "time_s", "regret", "max_regret",
+              "within_eps");
+}
+
+void PrintEvalRow(const std::string& sweep_value, const EvalStats& stats) {
+  std::printf("%-12s %-14s %10.2f %12.4f %12.4f %12.4f %9.0f%%\n",
+              sweep_value.c_str(), stats.algorithm.c_str(), stats.mean_rounds,
+              stats.mean_seconds, stats.mean_regret, stats.max_regret,
+              100.0 * stats.frac_within_eps);
+  std::fflush(stdout);
+}
+
+void InteractionTrace::Record(size_t best_index,
+                              const std::vector<Vec>& consistent_utilities,
+                              double elapsed_seconds) {
+  best_index_.push_back(best_index);
+  double cumulative = cumulative_seconds_.empty()
+                          ? elapsed_seconds
+                          : cumulative_seconds_.back() + elapsed_seconds;
+  cumulative_seconds_.push_back(cumulative);
+
+  double regret;
+  if (consistent_utilities.empty()) {
+    regret = max_regret_.empty() ? 1.0 : max_regret_.back();
+  } else {
+    regret = MaxRegretOver(*data_, data_->point(best_index),
+                           consistent_utilities);
+  }
+  max_regret_.push_back(regret);
+}
+
+}  // namespace isrl

@@ -1,0 +1,43 @@
+// Aggregate statistics and table formatting for the experiment harness.
+#ifndef ISRL_CORE_METRICS_H_
+#define ISRL_CORE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace isrl {
+
+/// Basic summary statistics of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+/// Summarises `values` (all-zero Summary for an empty input).
+Summary Summarize(const std::vector<double>& values);
+
+/// Per-algorithm evaluation outcome over a population of simulated users —
+/// the three measurements of §V (questions asked, execution time, regret
+/// ratio of the returned point).
+struct EvalStats {
+  std::string algorithm;
+  double mean_rounds = 0.0;
+  double mean_seconds = 0.0;
+  double mean_regret = 0.0;
+  double max_regret = 0.0;
+  double frac_within_eps = 0.0;  ///< episodes with final regret < ε
+  double frac_converged = 0.0;   ///< episodes not stopped by a safety cap
+  size_t episodes = 0;
+};
+
+/// Fixed-width row printer used by the figure benches so every experiment
+/// reports the same column set.
+void PrintEvalHeader(const std::string& sweep_label);
+void PrintEvalRow(const std::string& sweep_value, const EvalStats& stats);
+
+}  // namespace isrl
+
+#endif  // ISRL_CORE_METRICS_H_

@@ -1,0 +1,42 @@
+#include "core/regret.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace isrl {
+
+double RegretRatio(const Dataset& data, const Vec& q, const Vec& u) {
+  double top = data.TopUtility(u);
+  ISRL_CHECK_GT(top, 0.0);
+  double mine = Dot(u, q);
+  return std::max(0.0, (top - mine) / top);
+}
+
+double RegretRatioAt(const Dataset& data, size_t index, const Vec& u) {
+  return RegretRatio(data, data.point(index), u);
+}
+
+bool IsEpsOptimalForAll(const Dataset& data, const Vec& p,
+                        const std::vector<Vec>& utilities, double epsilon) {
+  // regratio(p, v) ≤ ε  ⇔  ∀q: (1−ε)·v·q − v·p ≤ 0.
+  for (const Vec& v : utilities) {
+    double vp = Dot(v, p);
+    for (size_t q = 0; q < data.size(); ++q) {
+      if ((1.0 - epsilon) * Dot(v, data.point(q)) - vp > 0.0) return false;
+    }
+  }
+  return true;
+}
+
+double MaxRegretOver(const Dataset& data, const Vec& p,
+                     const std::vector<Vec>& utilities) {
+  ISRL_CHECK(!utilities.empty());
+  double worst = 0.0;
+  for (const Vec& v : utilities) {
+    worst = std::max(worst, RegretRatio(data, p, v));
+  }
+  return worst;
+}
+
+}  // namespace isrl

@@ -1,0 +1,89 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "core/regret.h"
+
+namespace isrl {
+
+UserFactory MakeLinearUserFactory() {
+  return [](const Vec& u) { return std::make_unique<LinearUser>(u); };
+}
+
+UserFactory MakeNoisyUserFactory(double error_rate, Rng& rng) {
+  return [error_rate, &rng](const Vec& u) {
+    return std::make_unique<NoisyUser>(u, error_rate, rng);
+  };
+}
+
+EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
+                   const std::vector<Vec>& utilities, double epsilon,
+                   const UserFactory& factory) {
+  EvalStats stats;
+  stats.algorithm = algorithm.name();
+  stats.episodes = utilities.size();
+  if (utilities.empty()) return stats;
+
+  double rounds_sum = 0.0, seconds_sum = 0.0, regret_sum = 0.0;
+  size_t within = 0, converged = 0;
+  for (const Vec& u : utilities) {
+    std::unique_ptr<UserOracle> user = factory(u);
+    InteractionResult r = algorithm.Interact(*user);
+    double regret = RegretRatioAt(data, r.best_index, u);
+    rounds_sum += static_cast<double>(r.rounds);
+    seconds_sum += r.seconds;
+    regret_sum += regret;
+    stats.max_regret = std::max(stats.max_regret, regret);
+    if (regret < epsilon) ++within;
+    if (r.converged) ++converged;
+  }
+  const double n = static_cast<double>(utilities.size());
+  stats.mean_rounds = rounds_sum / n;
+  stats.mean_seconds = seconds_sum / n;
+  stats.mean_regret = regret_sum / n;
+  stats.frac_within_eps = static_cast<double>(within) / n;
+  stats.frac_converged = static_cast<double>(converged) / n;
+  return stats;
+}
+
+TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
+                                const Dataset& data,
+                                const std::vector<Vec>& utilities,
+                                size_t regret_samples, uint64_t seed,
+                                const UserFactory& factory) {
+  TraceSummary summary;
+  summary.users = utilities.size();
+  Rng trace_rng(seed);
+
+  std::vector<std::vector<double>> regrets, seconds;
+  size_t max_rounds = 0;
+  for (const Vec& u : utilities) {
+    InteractionTrace trace(&data, regret_samples, &trace_rng);
+    std::unique_ptr<UserOracle> user = factory(u);
+    algorithm.Interact(*user, &trace);
+    regrets.push_back(trace.max_regret());
+    seconds.push_back(trace.cumulative_seconds());
+    max_rounds = std::max(max_rounds, trace.rounds());
+  }
+
+  summary.mean_max_regret.assign(max_rounds, 0.0);
+  summary.mean_cumulative_seconds.assign(max_rounds, 0.0);
+  if (utilities.empty()) return summary;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    double regret_sum = 0.0, seconds_sum = 0.0;
+    for (size_t uidx = 0; uidx < utilities.size(); ++uidx) {
+      const std::vector<double>& r = regrets[uidx];
+      const std::vector<double>& s = seconds[uidx];
+      // A finished user keeps its final recommendation and spends no more
+      // time in later rounds.
+      regret_sum += r.empty() ? 1.0 : r[std::min(round, r.size() - 1)];
+      seconds_sum += s.empty() ? 0.0 : s[std::min(round, s.size() - 1)];
+    }
+    const double n = static_cast<double>(utilities.size());
+    summary.mean_max_regret[round] = regret_sum / n;
+    summary.mean_cumulative_seconds[round] = seconds_sum / n;
+  }
+  return summary;
+}
+
+}  // namespace isrl

@@ -1,0 +1,54 @@
+// Evaluation sessions: run an interactive algorithm against a population of
+// simulated users and aggregate the §V measurements.
+#ifndef ISRL_CORE_SESSION_H_
+#define ISRL_CORE_SESSION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/algorithm.h"
+#include "core/metrics.h"
+#include "data/dataset.h"
+#include "user/user.h"
+
+namespace isrl {
+
+/// Builds a user oracle for one hidden utility vector. The default factory
+/// is the paper's deterministic linear user.
+using UserFactory = std::function<std::unique_ptr<UserOracle>(const Vec&)>;
+
+/// Factory for LinearUser.
+UserFactory MakeLinearUserFactory();
+
+/// Factory for NoisyUser with the given error rate (future-work extension).
+UserFactory MakeNoisyUserFactory(double error_rate, Rng& rng);
+
+/// Runs one interaction per utility vector and aggregates rounds, time, and
+/// regret of the returned tuple. `epsilon` is only used for the within-ε
+/// fraction.
+EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
+                   const std::vector<Vec>& utilities, double epsilon,
+                   const UserFactory& factory = MakeLinearUserFactory());
+
+/// Per-round trajectory (Figures 7/8): the maximum regret ratio of the
+/// current recommendation and the cumulative execution time at the end of
+/// each interactive round, averaged over the users. Users that stop early
+/// contribute their final values to later rounds.
+struct TraceSummary {
+  std::vector<double> mean_max_regret;
+  std::vector<double> mean_cumulative_seconds;
+  size_t users = 0;
+};
+
+TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
+                                const Dataset& data,
+                                const std::vector<Vec>& utilities,
+                                size_t regret_samples, uint64_t seed,
+                                const UserFactory& factory =
+                                    MakeLinearUserFactory());
+
+}  // namespace isrl
+
+#endif  // ISRL_CORE_SESSION_H_

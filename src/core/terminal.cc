@@ -1,0 +1,46 @@
+#include "core/terminal.h"
+
+#include "common/check.h"
+
+namespace isrl {
+
+bool InTerminalPolyhedron(const Dataset& data, size_t winner_index,
+                          const Vec& u, double epsilon) {
+  // u ∈ T_w ⇔ ∀j: u·(p_w − (1−ε)p_j) ≥ 0 ⇔ u·p_w ≥ (1−ε)·max_j u·p_j.
+  double winner_utility = Dot(u, data.point(winner_index));
+  return winner_utility >= (1.0 - epsilon) * data.TopUtility(u);
+}
+
+std::vector<size_t> TerminalWinners(const Dataset& data,
+                                    const std::vector<Vec>& utilities,
+                                    double epsilon) {
+  std::vector<size_t> winners;
+  for (const Vec& u : utilities) {
+    double top = data.TopUtility(u);
+    ISRL_CHECK_GT(top, 0.0);
+    const double bar = (1.0 - epsilon) * top;
+    bool covered = false;
+    for (size_t w : winners) {
+      if (Dot(u, data.point(w)) >= bar) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) winners.push_back(data.TopIndex(u));
+  }
+  return winners;
+}
+
+bool IsTerminalRange(const Dataset& data,
+                     const std::vector<Vec>& extreme_vectors, double epsilon,
+                     size_t* winner) {
+  ISRL_CHECK(!extreme_vectors.empty());
+  std::vector<size_t> winners = TerminalWinners(data, extreme_vectors, epsilon);
+  if (winners.size() == 1) {
+    if (winner != nullptr) *winner = winners[0];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace isrl

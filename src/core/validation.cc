@@ -1,0 +1,85 @@
+#include "core/validation.h"
+
+#include "common/strings.h"
+#include "core/regret.h"
+#include "geometry/halfspace.h"
+
+namespace isrl {
+
+Status ValidateReturnedTuple(const Dataset& data, size_t returned_index,
+                             const Vec& true_utility, double epsilon,
+                             bool exact) {
+  if (returned_index >= data.size()) {
+    return Status::OutOfRange(
+        Format("returned index %zu out of range (n=%zu)", returned_index,
+               data.size()));
+  }
+  double regret = RegretRatioAt(data, returned_index, true_utility);
+  double bound = exact ? epsilon
+                       : epsilon * static_cast<double>(data.dim()) *
+                             static_cast<double>(data.dim());
+  if (regret >= bound) {
+    return Status::FailedPrecondition(
+        Format("regret %.6f violates the %.6f bound (%s)", regret, bound,
+               exact ? "exact" : "d^2*eps"));
+  }
+  return Status::Ok();
+}
+
+Status ValidateTranscriptConsistency(const std::vector<LearnedHalfspace>& h,
+                                     const Vec& true_utility, double tol) {
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (!h[i].h.Contains(true_utility, tol)) {
+      return Status::FailedPrecondition(
+          Format("half-space %zu excludes the true utility vector "
+                 "(margin %.3e)",
+                 i, h[i].h.Margin(true_utility)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateStrictNarrowing(size_t d,
+                               const std::vector<LearnedHalfspace>& h) {
+  Polyhedron range = Polyhedron::UnitSimplex(d);
+  for (size_t i = 0; i < h.size(); ++i) {
+    bool cuts_something = false;
+    for (const Vec& v : range.vertices()) {
+      if (h[i].h.Margin(v) < -1e-9) {
+        cuts_something = true;
+        break;
+      }
+    }
+    if (!cuts_something) {
+      return Status::FailedPrecondition(
+          Format("cut %zu does not strictly narrow the range (Lemma 7/8 "
+                 "violated)",
+                 i));
+    }
+    range.Cut(h[i].h);
+    if (range.IsEmpty()) {
+      return Status::FailedPrecondition(
+          Format("range empty after cut %zu (inconsistent transcript)", i));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateTerminalCertificate(const Dataset& data, size_t winner,
+                                   const std::vector<Vec>& utilities,
+                                   double epsilon) {
+  if (winner >= data.size()) {
+    return Status::OutOfRange(Format("winner %zu out of range", winner));
+  }
+  for (size_t i = 0; i < utilities.size(); ++i) {
+    double regret = RegretRatioAt(data, winner, utilities[i]);
+    if (regret > epsilon) {
+      return Status::FailedPrecondition(
+          Format("winner has regret %.6f > eps %.6f at utility vector %zu",
+                 regret, epsilon, i));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace isrl

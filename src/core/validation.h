@@ -1,0 +1,49 @@
+// Runtime verification of the paper's guarantees. These helpers re-derive
+// each lemma's conclusion from first principles against a concrete
+// interaction, independently of the algorithm code paths that enforce them —
+// tests and the experiment harness use them as an oracle, and a downstream
+// deployment can run them as online sanity checks.
+#ifndef ISRL_CORE_VALIDATION_H_
+#define ISRL_CORE_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "core/aa_state.h"
+#include "data/dataset.h"
+#include "geometry/polyhedron.h"
+
+namespace isrl {
+
+/// Checks the end-to-end contract of one finished interaction: the returned
+/// index is in range and its regret ratio w.r.t. the (simulation-side) true
+/// utility vector is below `epsilon`. `exact` = false relaxes the bound to
+/// d²·ε (AA's Lemma 9 guarantee).
+Status ValidateReturnedTuple(const Dataset& data, size_t returned_index,
+                             const Vec& true_utility, double epsilon,
+                             bool exact);
+
+/// Checks Lemma 1 for a transcript of answered questions: the true utility
+/// vector satisfies every learned half-space (strictly inconsistent
+/// transcripts indicate a bug or a noisy user).
+Status ValidateTranscriptConsistency(const std::vector<LearnedHalfspace>& h,
+                                     const Vec& true_utility,
+                                     double tol = 1e-9);
+
+/// Checks Lemmas 7/8 for a sequence of cuts applied to the unit simplex:
+/// every cut must strictly narrow the range (some prior vertex falls
+/// strictly outside each new half-space) and the range must stay non-empty.
+Status ValidateStrictNarrowing(size_t d,
+                               const std::vector<LearnedHalfspace>& h);
+
+/// Checks Lemma 4/6 terminal certificates: `winner` must be ε-optimal at
+/// every given utility vector (e.g. the final range's extreme vectors).
+Status ValidateTerminalCertificate(const Dataset& data, size_t winner,
+                                   const std::vector<Vec>& utilities,
+                                   double epsilon);
+
+}  // namespace isrl
+
+#endif  // ISRL_CORE_VALIDATION_H_

@@ -1,0 +1,76 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace isrl {
+
+Dataset::Dataset(std::vector<Vec> points) : dim_(0), points_(std::move(points)) {
+  ISRL_CHECK(!points_.empty());
+  dim_ = points_[0].dim();
+  for (const Vec& p : points_) ISRL_CHECK_EQ(p.dim(), dim_);
+}
+
+void Dataset::Add(Vec p) {
+  ISRL_CHECK_EQ(p.dim(), dim_);
+  points_.push_back(std::move(p));
+}
+
+void Dataset::set_attribute_names(std::vector<std::string> names) {
+  ISRL_CHECK_EQ(names.size(), dim_);
+  names_ = std::move(names);
+}
+
+size_t Dataset::TopIndex(const Vec& u) const {
+  ISRL_CHECK(!points_.empty());
+  size_t best = 0;
+  double best_utility = Dot(u, points_[0]);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    double utility = Dot(u, points_[i]);
+    if (utility > best_utility) {
+      best_utility = utility;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Dataset::TopUtility(const Vec& u) const {
+  return Dot(u, points_[TopIndex(u)]);
+}
+
+Dataset Dataset::Normalized(const std::vector<bool>& higher_is_better,
+                            double floor) const {
+  ISRL_CHECK(!points_.empty());
+  ISRL_CHECK_GT(floor, 0.0);
+  ISRL_CHECK_LT(floor, 1.0);
+  if (!higher_is_better.empty()) {
+    ISRL_CHECK_EQ(higher_is_better.size(), dim_);
+  }
+
+  Vec lo(dim_, std::numeric_limits<double>::infinity());
+  Vec hi(dim_, -std::numeric_limits<double>::infinity());
+  for (const Vec& p : points_) {
+    for (size_t c = 0; c < dim_; ++c) {
+      lo[c] = std::min(lo[c], p[c]);
+      hi[c] = std::max(hi[c], p[c]);
+    }
+  }
+
+  Dataset out(dim_);
+  out.names_ = names_;
+  for (const Vec& p : points_) {
+    Vec q(dim_);
+    for (size_t c = 0; c < dim_; ++c) {
+      double range = hi[c] - lo[c];
+      double t = range > 0.0 ? (p[c] - lo[c]) / range : 1.0;
+      bool invert = !higher_is_better.empty() && !higher_is_better[c];
+      if (invert) t = 1.0 - t;
+      q[c] = floor + (1.0 - floor) * t;
+    }
+    out.Add(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace isrl

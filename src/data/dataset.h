@@ -1,0 +1,63 @@
+// In-memory point set D: n tuples over d attributes, each attribute
+// normalised to (0,1] with larger-is-better semantics (Section III).
+#ifndef ISRL_DATA_DATASET_H_
+#define ISRL_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace isrl {
+
+/// A dataset of d-dimensional points. Points are stored by value; algorithms
+/// reference them by index so questions can be reported as tuple ids.
+class Dataset {
+ public:
+  /// Empty dataset over `dim` attributes.
+  explicit Dataset(size_t dim) : dim_(dim) {}
+
+  /// Dataset adopting the given points (all must share one dimension).
+  explicit Dataset(std::vector<Vec> points);
+
+  /// Appends a point (dimension must match).
+  void Add(Vec p);
+
+  size_t size() const { return points_.size(); }
+  size_t dim() const { return dim_; }
+  bool empty() const { return points_.empty(); }
+
+  const Vec& point(size_t i) const {
+    ISRL_CHECK_LT(i, points_.size());
+    return points_[i];
+  }
+  const std::vector<Vec>& points() const { return points_; }
+
+  /// Optional attribute names (empty when unset; size dim() when set).
+  const std::vector<std::string>& attribute_names() const { return names_; }
+  void set_attribute_names(std::vector<std::string> names);
+
+  /// Index of the point with the highest utility w.r.t. `u` (first on ties).
+  /// Dataset must be non-empty.
+  size_t TopIndex(const Vec& u) const;
+
+  /// The highest utility max_p f_u(p). Dataset must be non-empty.
+  double TopUtility(const Vec& u) const;
+
+  /// Returns a copy min-max normalised per attribute to [floor, 1], where
+  /// `floor` > 0 keeps values inside the paper's (0,1] domain. Attributes
+  /// flagged false in `higher_is_better` are inverted first (so that after
+  /// normalisation a large value is always preferred); an empty flag vector
+  /// means all attributes are higher-is-better. Constant attributes map to 1.
+  Dataset Normalized(const std::vector<bool>& higher_is_better = {},
+                     double floor = 1e-3) const;
+
+ private:
+  size_t dim_;
+  std::vector<Vec> points_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_DATA_DATASET_H_

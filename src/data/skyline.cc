@@ -1,0 +1,55 @@
+#include "data/skyline.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace isrl {
+
+bool Dominates(const Vec& p, const Vec& q) {
+  ISRL_CHECK_EQ(p.dim(), q.dim());
+  bool strictly_better_somewhere = false;
+  for (size_t c = 0; c < p.dim(); ++c) {
+    if (p[c] < q[c]) return false;
+    if (p[c] > q[c]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+std::vector<size_t> SkylineIndices(const Dataset& data) {
+  const size_t n = data.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sums(n);
+  for (size_t i = 0; i < n; ++i) sums[i] = data.point(i).Sum();
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return sums[a] > sums[b]; });
+
+  // A point can only be dominated by one with a strictly larger (or equal,
+  // for duplicates) coordinate sum, i.e. one earlier in this order.
+  std::vector<size_t> skyline;
+  for (size_t idx : order) {
+    const Vec& candidate = data.point(idx);
+    bool dominated = false;
+    for (size_t s : skyline) {
+      if (Dominates(data.point(s), candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(idx);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+Dataset SkylineOf(const Dataset& data) {
+  std::vector<size_t> indices = SkylineIndices(data);
+  Dataset out(data.dim());
+  if (!data.attribute_names().empty()) {
+    out.set_attribute_names(data.attribute_names());
+  }
+  for (size_t i : indices) out.Add(data.point(i));
+  return out;
+}
+
+}  // namespace isrl

@@ -1,0 +1,30 @@
+// Skyline (Pareto-optimal subset) computation.
+//
+// Following Xie et al. (SIGMOD'19), the paper preprocesses every dataset to
+// its skyline — exactly the points that can be top-1 for some non-negative
+// utility vector — before any interaction. We use sort-filter-skyline:
+// points sorted by descending coordinate sum are compared only against the
+// skyline found so far (a point later in the order can never dominate an
+// earlier one).
+#ifndef ISRL_DATA_SKYLINE_H_
+#define ISRL_DATA_SKYLINE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace isrl {
+
+/// True iff p dominates q: p ≥ q in every attribute and p > q in at least
+/// one (larger is better).
+bool Dominates(const Vec& p, const Vec& q);
+
+/// Indices of the skyline points of `data`, in input order.
+std::vector<size_t> SkylineIndices(const Dataset& data);
+
+/// The skyline as a new dataset (attribute names preserved).
+Dataset SkylineOf(const Dataset& data);
+
+}  // namespace isrl
+
+#endif  // ISRL_DATA_SKYLINE_H_

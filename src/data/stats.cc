@@ -1,0 +1,84 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace isrl {
+
+AttributeStats ComputeAttributeStats(const Dataset& data, size_t column) {
+  ISRL_CHECK(!data.empty());
+  ISRL_CHECK_LT(column, data.dim());
+  AttributeStats s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double v = data.point(i)[column];
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(data.size());
+  double var = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double diff = data.point(i)[column] - s.mean;
+    var += diff * diff;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(data.size()));
+  return s;
+}
+
+double Covariance(const Dataset& data, size_t column_a, size_t column_b) {
+  ISRL_CHECK(!data.empty());
+  ISRL_CHECK_LT(column_a, data.dim());
+  ISRL_CHECK_LT(column_b, data.dim());
+  double mean_a = ComputeAttributeStats(data, column_a).mean;
+  double mean_b = ComputeAttributeStats(data, column_b).mean;
+  double cov = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    cov += (data.point(i)[column_a] - mean_a) *
+           (data.point(i)[column_b] - mean_b);
+  }
+  return cov / static_cast<double>(data.size());
+}
+
+double PearsonCorrelation(const Dataset& data, size_t column_a,
+                          size_t column_b) {
+  double sd_a = ComputeAttributeStats(data, column_a).stddev;
+  double sd_b = ComputeAttributeStats(data, column_b).stddev;
+  if (sd_a <= 0.0 || sd_b <= 0.0) return 0.0;
+  return Covariance(data, column_a, column_b) / (sd_a * sd_b);
+}
+
+Matrix CorrelationMatrix(const Dataset& data) {
+  const size_t d = data.dim();
+  Matrix m(d, d);
+  for (size_t a = 0; a < d; ++a) {
+    m(a, a) = 1.0;
+    for (size_t b = a + 1; b < d; ++b) {
+      double r = PearsonCorrelation(data, a, b);
+      m(a, b) = r;
+      m(b, a) = r;
+    }
+  }
+  return m;
+}
+
+double MeanPairwiseCorrelation(const Dataset& data) {
+  const size_t d = data.dim();
+  ISRL_CHECK_GE(d, 2u);
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) {
+      sum += PearsonCorrelation(data, a, b);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+}  // namespace isrl

@@ -1,0 +1,43 @@
+// Dataset statistics: attribute summaries and cross-attribute correlation.
+// Used to validate that the synthetic generators actually have the
+// correlation structure the experiments assume (anti-correlated synthetic,
+// the Car price↔mileage trade-off, the Player role structure).
+#ifndef ISRL_DATA_STATS_H_
+#define ISRL_DATA_STATS_H_
+
+#include <cstddef>
+
+#include "common/matrix.h"
+#include "data/dataset.h"
+
+namespace isrl {
+
+/// Per-attribute summary over a dataset.
+struct AttributeStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summary of attribute `column` (dataset must be non-empty).
+AttributeStats ComputeAttributeStats(const Dataset& data, size_t column);
+
+/// Sample covariance between two attributes (dataset must be non-empty).
+double Covariance(const Dataset& data, size_t column_a, size_t column_b);
+
+/// Pearson correlation in [-1, 1]; 0 when either attribute is constant.
+double PearsonCorrelation(const Dataset& data, size_t column_a,
+                          size_t column_b);
+
+/// Full d×d Pearson correlation matrix.
+Matrix CorrelationMatrix(const Dataset& data);
+
+/// Mean pairwise correlation across distinct attribute pairs — a scalar
+/// fingerprint of the correlation family (negative for anti-correlated,
+/// positive for correlated, ≈ 0 for independent).
+double MeanPairwiseCorrelation(const Dataset& data);
+
+}  // namespace isrl
+
+#endif  // ISRL_DATA_STATS_H_

@@ -1,0 +1,80 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isrl {
+namespace {
+
+constexpr double kFloor = 1e-3;  // keep attributes strictly positive: (0,1]
+
+double Clamp01(double v) { return std::min(1.0, std::max(kFloor, v)); }
+
+// A plane-concentrated draw: coordinates sum to ≈ d·v with v peaked around
+// 0.5, spread across coordinates by a symmetric Dirichlet split. High values
+// in one coordinate force low values elsewhere — the classic anti-correlated
+// construction.
+Vec AntiCorrelatedPoint(size_t d, Rng& rng) {
+  while (true) {
+    // Tight plane concentration (σ = 0.12): points cluster near Σp = d/2 so
+    // few points dominate each other and the skyline stays rich — the
+    // defining property of the anti-correlated family.
+    double v;
+    do {
+      v = rng.Gaussian(0.5, 0.12);
+    } while (v <= 0.0 || v >= 1.0);
+    Vec split = rng.SimplexUniform(d);  // Dirichlet(1,...,1)
+    Vec p(d);
+    bool ok = true;
+    for (size_t c = 0; c < d; ++c) {
+      p[c] = split[c] * v * static_cast<double>(d);
+      if (p[c] > 1.0) {
+        ok = false;
+        break;
+      }
+      p[c] = std::max(kFloor, p[c]);
+    }
+    if (ok) return p;
+  }
+}
+
+Vec CorrelatedPoint(size_t d, Rng& rng) {
+  double v;
+  do {
+    v = rng.Gaussian(0.5, 0.25);
+  } while (v <= 0.0 || v >= 1.0);
+  Vec p(d);
+  for (size_t c = 0; c < d; ++c) p[c] = Clamp01(v + rng.Gaussian(0.0, 0.05));
+  return p;
+}
+
+Vec IndependentPoint(size_t d, Rng& rng) {
+  Vec p(d);
+  for (size_t c = 0; c < d; ++c) p[c] = std::max(kFloor, rng.Uniform(0.0, 1.0));
+  return p;
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(size_t n, size_t d, Distribution distribution,
+                          Rng& rng) {
+  ISRL_CHECK_GE(n, 1u);
+  ISRL_CHECK_GE(d, 2u);
+  Dataset out(d);
+  for (size_t i = 0; i < n; ++i) {
+    switch (distribution) {
+      case Distribution::kIndependent:
+        out.Add(IndependentPoint(d, rng));
+        break;
+      case Distribution::kCorrelated:
+        out.Add(CorrelatedPoint(d, rng));
+        break;
+      case Distribution::kAntiCorrelated:
+        out.Add(AntiCorrelatedPoint(d, rng));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace isrl

@@ -1,0 +1,27 @@
+// Synthetic dataset generators in the style of the skyline-operator
+// benchmark generator of Börzsönyi et al., which the paper (following
+// Xie et al., SIGMOD'19) uses for its synthetic experiments. The paper's
+// synthetic results all use the anti-correlated distribution.
+#ifndef ISRL_DATA_SYNTHETIC_H_
+#define ISRL_DATA_SYNTHETIC_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace isrl {
+
+/// Attribute-correlation families from the skyline literature.
+enum class Distribution {
+  kIndependent,     ///< attributes i.i.d. uniform on (0,1]
+  kCorrelated,      ///< good in one attribute ⇒ good in the others
+  kAntiCorrelated,  ///< good in one attribute ⇒ bad in the others (skyline-rich)
+};
+
+/// Generates n points over d attributes in (0,1]. Deterministic given `rng`'s
+/// state.
+Dataset GenerateSynthetic(size_t n, size_t d, Distribution distribution,
+                          Rng& rng);
+
+}  // namespace isrl
+
+#endif  // ISRL_DATA_SYNTHETIC_H_

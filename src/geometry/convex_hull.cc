@@ -1,0 +1,46 @@
+#include "geometry/convex_hull.h"
+
+#include "lp/simplex.h"
+
+namespace isrl {
+
+bool IsExtremePoint(const std::vector<Vec>& points, size_t index) {
+  ISRL_CHECK_LT(index, points.size());
+  const size_t n = points.size();
+  const size_t d = points[index].dim();
+  if (n <= 1) return true;
+
+  // Feasibility LP: λ ≥ 0, Σλ_j = 1, Σλ_j q_j = p over q_j ≠ p.
+  // Feasible ⇒ p ∈ conv(others) ⇒ not extreme.
+  lp::Model model;
+  for (size_t j = 0; j < n; ++j) {
+    if (j == index) continue;
+    model.AddVariable(0.0, /*nonneg=*/true);
+  }
+  const size_t num_lambda = n - 1;
+
+  Vec ones(num_lambda, 1.0);
+  model.AddConstraint(ones, lp::Relation::kEq, 1.0);
+  for (size_t coord = 0; coord < d; ++coord) {
+    Vec row(num_lambda);
+    size_t k = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == index) continue;
+      row[k++] = points[j][coord];
+    }
+    model.AddConstraint(row, lp::Relation::kEq, points[index][coord]);
+  }
+
+  lp::SolveResult result = lp::Solve(model);
+  return !result.ok();  // infeasible = not representable = extreme
+}
+
+std::vector<size_t> ExtremePointIndices(const std::vector<Vec>& points) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (IsExtremePoint(points, i)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace isrl

@@ -1,0 +1,27 @@
+// Convex-hull extremeness tests in general dimension.
+//
+// The baseline UH-Simplex asks questions built from extreme points of the
+// candidate set's convex hull. Rather than constructing a full facet
+// structure (expensive in d > 3), we answer the only query the algorithms
+// need — "is p a vertex of conv(S)?" — with one small LP per point: p is
+// extreme iff it cannot be written as a convex combination of the others.
+#ifndef ISRL_GEOMETRY_CONVEX_HULL_H_
+#define ISRL_GEOMETRY_CONVEX_HULL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace isrl {
+
+/// True iff `points[index]` is a vertex (extreme point) of the convex hull of
+/// `points`, decided by LP feasibility of a convex-combination certificate.
+bool IsExtremePoint(const std::vector<Vec>& points, size_t index);
+
+/// Indices of all extreme points of conv(points), in increasing order.
+std::vector<size_t> ExtremePointIndices(const std::vector<Vec>& points);
+
+}  // namespace isrl
+
+#endif  // ISRL_GEOMETRY_CONVEX_HULL_H_

@@ -1,0 +1,129 @@
+#include "geometry/enclosing_ball.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/matrix.h"
+
+namespace isrl {
+namespace {
+
+// Largest and second-largest distances from `c` to `points`, with the index
+// of the farthest point. For a single point both distances are 0.
+struct FarthestPair {
+  size_t farthest_index = 0;
+  double first = 0.0;
+  double second = 0.0;
+};
+
+FarthestPair FindFarthestTwo(const Vec& c, const std::vector<Vec>& points) {
+  FarthestPair out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    double dist = Distance(c, points[i]);
+    if (dist > out.first) {
+      out.second = out.first;
+      out.first = dist;
+      out.farthest_index = i;
+    } else if (dist > out.second) {
+      out.second = dist;
+    }
+  }
+  return out;
+}
+
+// Smallest ball with every point of `boundary` on its surface (circumsphere
+// restricted to the affine hull). Returns radius < 0 for an empty set.
+Ball BallWithBoundary(std::vector<Vec> boundary) {
+  while (true) {
+    if (boundary.empty()) return Ball{Vec(), -1.0};
+    const size_t k = boundary.size();
+    const Vec& q0 = boundary[0];
+    if (k == 1) return Ball{q0, 0.0};
+
+    // Solve the Gram system for c = q0 + Σ λ_j v_j with all points
+    // equidistant: Σ_j λ_j (2 v_i·v_j) = ‖v_i‖².
+    Matrix gram(k - 1, k - 1);
+    Vec rhs(k - 1);
+    std::vector<Vec> v;
+    v.reserve(k - 1);
+    for (size_t i = 1; i < k; ++i) v.push_back(boundary[i] - q0);
+    for (size_t i = 0; i + 1 < k; ++i) {
+      for (size_t j = 0; j + 1 < k; ++j) gram(i, j) = 2.0 * Dot(v[i], v[j]);
+      rhs[i] = v[i].NormSquared();
+    }
+    Vec lambda(k - 1);
+    if (!SolveLinearSystem(gram, rhs, &lambda)) {
+      // Affinely dependent boundary (degenerate input): the dropped point is
+      // determined by the rest, so the circumsphere of the remainder is the
+      // same ball.
+      boundary.pop_back();
+      continue;
+    }
+    Vec center = q0;
+    for (size_t j = 0; j + 1 < k; ++j) center += v[j] * lambda[j];
+    return Ball{center, Distance(center, q0)};
+  }
+}
+
+Ball WelzlRecurse(std::vector<Vec>& points, size_t n, std::vector<Vec>& boundary,
+                  size_t dim) {
+  if (n == 0 || boundary.size() == dim + 1) {
+    return BallWithBoundary(boundary);
+  }
+  const Vec p = points[n - 1];
+  Ball ball = WelzlRecurse(points, n - 1, boundary, dim);
+  if (ball.radius >= 0.0 && ball.Contains(p, 1e-9)) return ball;
+
+  boundary.push_back(p);
+  ball = WelzlRecurse(points, n - 1, boundary, dim);
+  boundary.pop_back();
+
+  // Move-to-front: keep boundary-defining points early for the classic
+  // expected-linear behaviour.
+  for (size_t i = n - 1; i > 0; --i) points[i] = points[i - 1];
+  points[0] = p;
+  return ball;
+}
+
+}  // namespace
+
+Ball IterativeOuterBall(const std::vector<Vec>& points,
+                        const IterativeBallOptions& options) {
+  ISRL_CHECK(!points.empty());
+  // Deterministic start at the mean; the paper starts at a random vector but
+  // the shrink iteration (Lemma 3) is identical from any start.
+  Vec center(points[0].dim());
+  for (const Vec& p : points) center += p;
+  center /= static_cast<double>(points.size());
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    FarthestPair far = FindFarthestTwo(center, points);
+    if (far.first <= 0.0) break;  // all points coincide with the centre
+    double offset = 0.5 * (far.first - far.second);
+    if (offset < options.offset_threshold) break;
+    // Move the centre towards the farthest point by `offset`.
+    Vec direction = points[far.farthest_index] - center;
+    center += direction * (offset / far.first);
+  }
+
+  FarthestPair far = FindFarthestTwo(center, points);
+  return Ball{center, far.first};
+}
+
+Ball WelzlMinimumBall(const std::vector<Vec>& points, Rng& rng) {
+  ISRL_CHECK(!points.empty());
+  std::vector<Vec> shuffled = points;
+  rng.Shuffle(&shuffled);
+  std::vector<Vec> boundary;
+  Ball ball = WelzlRecurse(shuffled, shuffled.size(), boundary,
+                           points[0].dim());
+  if (ball.radius < 0.0) ball = Ball{points[0], 0.0};
+  // Guard against round-off: make sure the reported radius really covers.
+  double max_dist = 0.0;
+  for (const Vec& p : points) max_dist = std::max(max_dist, Distance(ball.center, p));
+  ball.radius = std::max(ball.radius, max_dist);
+  return ball;
+}
+
+}  // namespace isrl

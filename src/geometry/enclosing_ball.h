@@ -1,0 +1,50 @@
+// Outer spheres for EA's state representation.
+//
+// The paper approximates the utility range with the smallest sphere enclosing
+// its extreme utility vectors, computed by an iterative centre-shift
+// heuristic (Section IV-B, Lemma 3): repeatedly move the centre towards the
+// farthest point by half the gap between the two largest distances. We also
+// provide Welzl's exact minimum enclosing ball as a reference implementation
+// (used by tests and the ablation benches to quantify the heuristic's gap).
+#ifndef ISRL_GEOMETRY_ENCLOSING_BALL_H_
+#define ISRL_GEOMETRY_ENCLOSING_BALL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace isrl {
+
+/// A d-dimensional ball (B_c, B_r).
+struct Ball {
+  Vec center;
+  double radius = 0.0;
+
+  /// True when `p` is inside the ball up to `tol` slack.
+  bool Contains(const Vec& p, double tol = 1e-9) const {
+    return Distance(center, p) <= radius + tol;
+  }
+};
+
+/// Tuning for the paper's iterative outer-ball heuristic.
+struct IterativeBallOptions {
+  size_t max_iterations = 100;
+  double offset_threshold = 1e-6;  ///< Stop when the centre moves less.
+};
+
+/// The paper's iterative outer sphere (Lemma 3). `points` must be non-empty.
+/// The centre starts at the point mean (a deterministic stand-in for the
+/// paper's random start; the iteration is identical). The returned radius is
+/// the exact max distance from the final centre, so the ball always encloses
+/// all points.
+Ball IterativeOuterBall(const std::vector<Vec>& points,
+                        const IterativeBallOptions& options = {});
+
+/// Exact minimum enclosing ball via Welzl's randomised algorithm with
+/// move-to-front. `points` must be non-empty.
+Ball WelzlMinimumBall(const std::vector<Vec>& points, Rng& rng);
+
+}  // namespace isrl
+
+#endif  // ISRL_GEOMETRY_ENCLOSING_BALL_H_

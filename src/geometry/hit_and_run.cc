@@ -1,0 +1,94 @@
+#include "geometry/hit_and_run.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace isrl {
+namespace {
+
+// Feasibility of u against the simplex inequalities and the cuts (the Σu = 1
+// equality is maintained exactly by the sum-zero walk directions).
+bool Feasible(const Vec& u, const std::vector<Halfspace>& cuts, double eps) {
+  for (size_t i = 0; i < u.dim(); ++i) {
+    if (u[i] < -eps) return false;
+  }
+  for (const Halfspace& h : cuts) {
+    if (!h.Contains(u, eps)) return false;
+  }
+  return true;
+}
+
+// Random direction in the sum-zero subspace (so Σu stays 1 along the line).
+Vec SumZeroDirection(size_t d, Rng& rng) {
+  while (true) {
+    Vec dir(d);
+    double mean = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      dir[i] = rng.Gaussian();
+      mean += dir[i];
+    }
+    mean /= static_cast<double>(d);
+    for (size_t i = 0; i < d; ++i) dir[i] -= mean;
+    double norm = dir.Norm();
+    if (norm > 1e-12) {
+      dir /= norm;
+      return dir;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Vec> HitAndRunSample(const std::vector<Halfspace>& cuts,
+                                 const Vec& start, size_t count, Rng& rng,
+                                 const HitAndRunOptions& options) {
+  const size_t d = start.dim();
+  if (!Feasible(start, cuts, options.boundary_eps)) return {};
+
+  std::vector<Vec> samples;
+  samples.reserve(count);
+  Vec x = start;
+
+  const size_t total_steps = options.burn_in + count * std::max<size_t>(1, options.thinning);
+  size_t kept_counter = 0;
+  for (size_t step = 0; step < total_steps && samples.size() < count; ++step) {
+    Vec dir = SumZeroDirection(d, rng);
+
+    // Feasible parameter range for x + t·dir.
+    double tmin = -std::numeric_limits<double>::infinity();
+    double tmax = std::numeric_limits<double>::infinity();
+    auto clip = [&](double coeff, double margin) {
+      // constraint: margin + t·coeff ≥ 0
+      if (coeff > 1e-14) {
+        tmin = std::max(tmin, -margin / coeff);
+      } else if (coeff < -1e-14) {
+        tmax = std::min(tmax, -margin / coeff);
+      } else if (margin < -options.boundary_eps) {
+        tmin = 1.0;
+        tmax = 0.0;  // infeasible line (should not happen from interior x)
+      }
+    };
+    for (size_t i = 0; i < d; ++i) clip(dir[i], x[i]);
+    for (const Halfspace& h : cuts) clip(Dot(h.normal, dir), h.Margin(x));
+
+    if (!(tmin <= tmax)) continue;  // degenerate direction; try another
+    double t = rng.Uniform(tmin, tmax);
+    Vec candidate = x + dir * t;
+    if (!Feasible(candidate, cuts, 1e-7)) continue;  // round-off guard
+    x = candidate;
+
+    if (step >= options.burn_in) {
+      if (++kept_counter >= std::max<size_t>(1, options.thinning)) {
+        kept_counter = 0;
+        samples.push_back(x);
+      }
+    }
+  }
+  // If thinning starved the collection (rare degenerate geometry), top up
+  // with the current chain point so callers always get `count` samples.
+  while (!samples.empty() && samples.size() < count) samples.push_back(x);
+  return samples;
+}
+
+}  // namespace isrl

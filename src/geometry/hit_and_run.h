@@ -1,0 +1,39 @@
+// Hit-and-run sampling from the utility range given only its half-space set.
+//
+// Several components need representative utility vectors from
+// R = U ∩ h₁⁺ ∩ … without materialising R as a polytope: AA's candidate-pair
+// pool, SinglePass's informativeness filter, and the max-regret-ratio
+// trajectory metric of Figures 7/8 (the paper samples 10,000 vectors from the
+// current intersection). Hit-and-run walks inside the simplex's affine hull
+// (Σu = 1): pick a random sum-zero direction, intersect the line with every
+// constraint to get the feasible segment, jump to a uniform point on it.
+// The chain's stationary distribution is uniform over R.
+#ifndef ISRL_GEOMETRY_HIT_AND_RUN_H_
+#define ISRL_GEOMETRY_HIT_AND_RUN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "geometry/halfspace.h"
+
+namespace isrl {
+
+/// Options for the hit-and-run chain.
+struct HitAndRunOptions {
+  size_t burn_in = 32;      ///< steps before the first sample is kept
+  size_t thinning = 4;      ///< steps between kept samples
+  double boundary_eps = 1e-9;
+};
+
+/// Draws `count` approximately uniform samples from
+/// { u : u ≥ 0, Σu = 1, h.Contains(u) ∀h ∈ cuts } starting from the strictly
+/// feasible interior point `start` (e.g. AA's inner-sphere centre). Returns
+/// an empty vector when `start` is not feasible.
+std::vector<Vec> HitAndRunSample(const std::vector<Halfspace>& cuts,
+                                 const Vec& start, size_t count, Rng& rng,
+                                 const HitAndRunOptions& options = {});
+
+}  // namespace isrl
+
+#endif  // ISRL_GEOMETRY_HIT_AND_RUN_H_

@@ -1,0 +1,165 @@
+#include "geometry/polyhedron.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/matrix.h"
+
+namespace isrl {
+
+Polyhedron Polyhedron::UnitSimplex(size_t d) {
+  return UnitSimplex(d, Options());
+}
+
+Polyhedron Polyhedron::UnitSimplex(size_t d, Options options) {
+  ISRL_CHECK_GE(d, 2u);
+  Polyhedron p(d, options);
+  p.EnumerateVertices();
+  return p;
+}
+
+void Polyhedron::Cut(const Halfspace& h) {
+  ISRL_CHECK_EQ(h.normal.dim(), dim_);
+  // A cut already satisfied everywhere would survive DropRedundantCuts but
+  // wastes enumeration work; skip it outright.
+  bool all_strictly_inside = !vertices_.empty();
+  for (const Vec& v : vertices_) {
+    if (h.Margin(v) <= options_.feasibility_tol) {
+      all_strictly_inside = false;
+      break;
+    }
+  }
+  if (all_strictly_inside) return;
+  cuts_.push_back(h);
+  EnumerateVertices();
+  DropRedundantCuts();
+}
+
+bool Polyhedron::Contains(const Vec& u, double tol) const {
+  if (u.dim() != dim_) return false;
+  double sum = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    if (u[i] < -tol) return false;
+    sum += u[i];
+  }
+  if (std::abs(sum - 1.0) > tol) return false;
+  for (const Halfspace& h : cuts_) {
+    if (!h.Contains(u, tol)) return false;
+  }
+  return true;
+}
+
+Vec Polyhedron::Centroid() const {
+  ISRL_CHECK(!vertices_.empty());
+  Vec c(dim_);
+  for (const Vec& v : vertices_) c += v;
+  c /= static_cast<double>(vertices_.size());
+  return c;
+}
+
+Vec Polyhedron::SampleInterior(Rng& rng) const {
+  ISRL_CHECK(!vertices_.empty());
+  Vec weights = rng.SimplexUniform(vertices_.size());
+  Vec u(dim_);
+  for (size_t i = 0; i < vertices_.size(); ++i) u += vertices_[i] * weights[i];
+  return u;
+}
+
+double Polyhedron::Diameter() const {
+  ISRL_CHECK(!vertices_.empty());
+  double best = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    for (size_t j = i + 1; j < vertices_.size(); ++j) {
+      best = std::max(best, Distance(vertices_[i], vertices_[j]));
+    }
+  }
+  return best;
+}
+
+void Polyhedron::EnumerateVertices() {
+  vertices_.clear();
+
+  // Inequality constraints: d non-negativity rows then the cuts.
+  const size_t num_ineq = dim_ + cuts_.size();
+  auto ineq_normal = [&](size_t idx, size_t coord) -> double {
+    if (idx < dim_) return idx == coord ? 1.0 : 0.0;
+    return cuts_[idx - dim_].normal[coord];
+  };
+  auto ineq_offset = [&](size_t idx) -> double {
+    return idx < dim_ ? 0.0 : cuts_[idx - dim_].offset;
+  };
+
+  const size_t k = dim_ - 1;  // tight inequalities per vertex
+  if (num_ineq < k) return;
+
+  std::vector<size_t> subset(k);
+  for (size_t i = 0; i < k; ++i) subset[i] = i;
+
+  Matrix a(dim_, dim_);
+  Vec b(dim_);
+  Vec x(dim_);
+
+  auto feasible = [&](const Vec& u) {
+    for (size_t idx = 0; idx < num_ineq; ++idx) {
+      double margin = -ineq_offset(idx);
+      for (size_t c = 0; c < dim_; ++c) margin += ineq_normal(idx, c) * u[c];
+      if (margin < -options_.feasibility_tol) return false;
+    }
+    return true;
+  };
+
+  while (true) {
+    // Build the d×d system: Σu = 1 plus the k chosen tight constraints.
+    for (size_t c = 0; c < dim_; ++c) a(0, c) = 1.0;
+    b[0] = 1.0;
+    for (size_t r = 0; r < k; ++r) {
+      for (size_t c = 0; c < dim_; ++c) a(r + 1, c) = ineq_normal(subset[r], c);
+      b[r + 1] = ineq_offset(subset[r]);
+    }
+    if (SolveLinearSystem(a, b, &x) && feasible(x)) {
+      bool duplicate = false;
+      for (const Vec& v : vertices_) {
+        if (ApproxEqual(v, x, options_.dedup_tol)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) vertices_.push_back(x);
+    }
+
+    // Advance to the next k-subset of [0, num_ineq).
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (subset[i] + (k - i) < num_ineq) {
+        ++subset[i];
+        for (size_t j = i + 1; j < k; ++j) subset[j] = subset[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (k == 0) return;  // d == 1 degenerate guard (excluded by UnitSimplex)
+  }
+}
+
+void Polyhedron::DropRedundantCuts() {
+  if (vertices_.empty()) return;
+  // Keep only cuts that are tight at some vertex; a cut strictly slack at
+  // every vertex cannot touch conv(vertices) = R.
+  const double tight_tol = 1e-7;
+  std::vector<Halfspace> kept;
+  kept.reserve(cuts_.size());
+  for (const Halfspace& h : cuts_) {
+    bool tight_somewhere = false;
+    for (const Vec& v : vertices_) {
+      if (std::abs(h.Margin(v)) <= tight_tol * std::max(1.0, h.normal.Norm())) {
+        tight_somewhere = true;
+        break;
+      }
+    }
+    if (tight_somewhere) kept.push_back(h);
+  }
+  cuts_ = std::move(kept);
+}
+
+}  // namespace isrl

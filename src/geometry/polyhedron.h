@@ -1,0 +1,85 @@
+// The utility range R: the intersection of the unit simplex
+// U = { u ≥ 0, Σu = 1 } with the half-spaces learned from user answers.
+//
+// Algorithm EA needs R's extreme utility vectors (its corner points) for the
+// state representation, the terminal test of Lemma 6, and sampling. R lives
+// inside the simplex, so it is a bounded polytope and equals the convex hull
+// of its vertices. Vertices are enumerated combinatorially: every vertex is
+// the unique solution of Σu = 1 plus d−1 tight constraints drawn from
+// { u_i = 0 } ∪ { cut boundaries }, filtered for feasibility. The paper
+// restricts polyhedron-maintaining algorithms to d ≤ 10 and EA's experiments
+// stop at d = 5, where this enumeration is fast; redundant cuts are dropped
+// after every update to keep the constraint count at the O(#rounds) scale.
+#ifndef ISRL_GEOMETRY_POLYHEDRON_H_
+#define ISRL_GEOMETRY_POLYHEDRON_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "geometry/halfspace.h"
+
+namespace isrl {
+
+/// Bounded polytope R = U ∩ h₁⁺ ∩ … ∩ h_k⁺ with explicit vertex enumeration.
+class Polyhedron {
+ public:
+  /// Numeric tolerances for tightness / feasibility classification.
+  struct Options {
+    double feasibility_tol = 1e-9;
+    double dedup_tol = 1e-7;
+  };
+
+  /// The whole utility space U (the unit simplex) in d dimensions, d ≥ 2.
+  static Polyhedron UnitSimplex(size_t d);
+  static Polyhedron UnitSimplex(size_t d, Options options);
+
+  /// Intersects R with the half-space and recomputes the vertex set.
+  /// Redundant cuts (strictly slack at every vertex) are dropped.
+  void Cut(const Halfspace& h);
+
+  /// Corner points (extreme utility vectors E) of R. Empty iff R is empty
+  /// (up to tolerance).
+  const std::vector<Vec>& vertices() const { return vertices_; }
+
+  /// The retained (non-redundant) cuts, excluding the simplex constraints.
+  const std::vector<Halfspace>& cuts() const { return cuts_; }
+
+  size_t dim() const { return dim_; }
+
+  /// True when no vertex satisfies all constraints.
+  bool IsEmpty() const { return vertices_.empty(); }
+
+  /// True when `u` satisfies the simplex constraints and all cuts.
+  bool Contains(const Vec& u, double tol = 1e-9) const;
+
+  /// Arithmetic mean of the vertices (inside R by convexity). R must be
+  /// non-empty.
+  Vec Centroid() const;
+
+  /// A random point of R: a Dirichlet(1)-weighted convex combination of the
+  /// vertices. Covers all of R with positive density (not volume-uniform;
+  /// EA only needs representative interior points, see DESIGN.md).
+  Vec SampleInterior(Rng& rng) const;
+
+  /// Largest pairwise vertex distance (0 for a point, R must be non-empty).
+  double Diameter() const;
+
+ private:
+  Polyhedron(size_t d, Options options) : dim_(d), options_(options) {}
+
+  /// Full combinatorial vertex enumeration from the current constraint set.
+  void EnumerateVertices();
+  /// Removes cuts that are strictly slack at every vertex (safe: R is the
+  /// convex hull of its vertices).
+  void DropRedundantCuts();
+
+  size_t dim_;
+  Options options_;
+  std::vector<Halfspace> cuts_;
+  std::vector<Vec> vertices_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_GEOMETRY_POLYHEDRON_H_

@@ -1,0 +1,49 @@
+#include "geometry/volume.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace isrl {
+
+double SimplexFractionVolume(size_t d, const std::vector<Halfspace>& cuts,
+                             size_t samples, Rng& rng) {
+  ISRL_CHECK_GE(d, 2u);
+  ISRL_CHECK_GE(samples, 1u);
+  size_t inside = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    Vec u = rng.SimplexUniform(d);
+    bool ok = true;
+    for (const Halfspace& h : cuts) {
+      if (!h.Contains(u, 0.0)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(samples);
+}
+
+double ExactSegmentFraction(const std::vector<Halfspace>& cuts) {
+  // Parameterise the 1-simplex as u = (t, 1−t), t ∈ [0, 1]. Each half-space
+  // n·u ≥ b becomes (n0 − n1)·t ≥ b − n1: a one-sided interval constraint.
+  double lo = 0.0, hi = 1.0;
+  for (const Halfspace& h : cuts) {
+    ISRL_CHECK_EQ(h.normal.dim(), 2u);
+    double a = h.normal[0] - h.normal[1];
+    double b = h.offset - h.normal[1];
+    if (std::abs(a) < 1e-15) {
+      if (b > 0.0) return 0.0;  // unsatisfiable constant constraint
+      continue;
+    }
+    if (a > 0.0) {
+      lo = std::max(lo, b / a);
+    } else {
+      hi = std::min(hi, b / a);
+    }
+  }
+  return std::max(0.0, hi - lo);
+}
+
+}  // namespace isrl

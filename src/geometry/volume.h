@@ -1,0 +1,31 @@
+// Polytope volume estimation over the utility simplex.
+//
+// Lemma 5 argues that sampling V makes large-volume terminal polyhedra
+// likely to be constructed; the volume estimator lets tests and diagnostics
+// verify that property empirically. Volumes are measured relative to the
+// (d−1)-dimensional Lebesgue measure of the simplex's affine hull, reported
+// as the *fraction* of the unit simplex's volume — exactly the quantity
+// Lemma 5's sampling argument is about.
+#ifndef ISRL_GEOMETRY_VOLUME_H_
+#define ISRL_GEOMETRY_VOLUME_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/halfspace.h"
+
+namespace isrl {
+
+/// Monte-Carlo estimate of vol(U ∩ cuts) / vol(U): the fraction of
+/// simplex-uniform draws satisfying every cut. Standard error is
+/// √(p(1−p)/samples).
+double SimplexFractionVolume(size_t d, const std::vector<Halfspace>& cuts,
+                             size_t samples, Rng& rng);
+
+/// Exact fraction for d = 2 (the simplex is a segment; each origin-through
+/// cut clips an interval). Used as ground truth for the estimator's tests.
+double ExactSegmentFraction(const std::vector<Halfspace>& cuts);
+
+}  // namespace isrl
+
+#endif  // ISRL_GEOMETRY_VOLUME_H_

@@ -1,0 +1,16 @@
+#include "lp/model.h"
+
+namespace isrl::lp {
+
+size_t Model::AddVariable(double objective_coeff, bool nonneg) {
+  objective_.push_back(objective_coeff);
+  nonneg_.push_back(nonneg);
+  return objective_.size() - 1;
+}
+
+void Model::AddConstraint(const Vec& coeffs, Relation relation, double rhs) {
+  ISRL_CHECK_LE(coeffs.dim(), objective_.size());
+  constraints_.push_back(Constraint{coeffs, relation, rhs});
+}
+
+}  // namespace isrl::lp

@@ -1,0 +1,329 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace isrl::lp {
+namespace {
+
+// Internal standard form: maximise c·y subject to A y = b, y ≥ 0, b ≥ 0.
+// Columns: split structural variables, then slacks/surpluses, then
+// artificials. A full dense tableau is maintained.
+class Tableau {
+ public:
+  Tableau(const Model& model, const SimplexOptions& options)
+      : options_(options) {
+    BuildColumns(model);
+    BuildRows(model);
+  }
+
+  SolveResult Run() {
+    SolveResult result;
+    // ----- Phase 1: minimise the sum of artificials. -----
+    if (num_artificial_ > 0) {
+      std::vector<double> phase1_cost(num_cols_, 0.0);
+      for (size_t j = first_artificial_; j < num_cols_; ++j) {
+        phase1_cost[j] = -1.0;  // maximise -(sum of artificials)
+      }
+      Status st = Optimize(phase1_cost, /*allow_artificial_entering=*/true);
+      if (!st.ok()) {
+        result.status = st;
+        return result;
+      }
+      double artificial_sum = 0.0;
+      for (size_t r = 0; r < num_rows_; ++r) {
+        if (basis_[r] >= first_artificial_) artificial_sum += rhs_[r];
+      }
+      if (artificial_sum > options_.feasibility_tol) {
+        result.status = Status::Infeasible("phase 1 optimum positive");
+        return result;
+      }
+      DriveOutArtificials();
+    }
+
+    // ----- Phase 2: the real objective. -----
+    Status st = Optimize(cost_, /*allow_artificial_entering=*/false);
+    if (!st.ok()) {
+      result.status = st;
+      return result;
+    }
+
+    result.status = Status::Ok();
+    result.objective = ObjectiveValue();
+    result.x = ExtractSolution();
+    return result;
+  }
+
+  // Maps internal objective back to the model's sense and variable split.
+  void SetModelMapping(const Model& model) { model_ = &model; }
+
+ private:
+  void BuildColumns(const Model& model) {
+    // Structural columns: one per non-negative variable, two (x+ / x-) per
+    // free variable.
+    const size_t nv = model.num_variables();
+    col_of_var_.resize(nv);
+    neg_col_of_var_.assign(nv, kNoCol);
+    double sense_sign =
+        model.sense() == Sense::kMaximize ? 1.0 : -1.0;
+    for (size_t v = 0; v < nv; ++v) {
+      col_of_var_[v] = struct_cost_.size();
+      struct_cost_.push_back(sense_sign * model.objective()[v]);
+      if (!model.nonneg()[v]) {
+        neg_col_of_var_[v] = struct_cost_.size();
+        struct_cost_.push_back(-sense_sign * model.objective()[v]);
+      }
+    }
+    num_struct_ = struct_cost_.size();
+    sense_sign_ = sense_sign;
+  }
+
+  void BuildRows(const Model& model) {
+    num_rows_ = model.num_constraints();
+    // Count slack columns first so artificials can sit at the end.
+    size_t num_slack = 0;
+    for (const Constraint& c : model.constraints()) {
+      if (c.relation != Relation::kEq) ++num_slack;
+    }
+    first_slack_ = num_struct_;
+    first_artificial_ = num_struct_ + num_slack;
+
+    // Determine which rows need an artificial: kEq rows always; inequality
+    // rows whose slack coefficient ends up -1 after sign normalisation.
+    // Build the dense rows.
+    rows_.assign(num_rows_, std::vector<double>());
+    rhs_.assign(num_rows_, 0.0);
+    basis_.assign(num_rows_, kNoCol);
+
+    size_t slack_cursor = first_slack_;
+    size_t artificial_count = 0;
+    struct RowPlan {
+      double sign;          // row multiplier to make rhs non-negative
+      size_t slack_col;     // kNoCol if none
+      double slack_coeff;   // +1 or -1 (post sign-normalisation)
+      bool needs_artificial;
+    };
+    std::vector<RowPlan> plans(num_rows_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      const Constraint& c = model.constraints()[r];
+      double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+      Relation rel = c.relation;
+      if (sign < 0.0) {
+        if (rel == Relation::kLe) rel = Relation::kGe;
+        else if (rel == Relation::kGe) rel = Relation::kLe;
+      }
+      RowPlan plan;
+      plan.sign = sign;
+      plan.slack_col = kNoCol;
+      plan.slack_coeff = 0.0;
+      plan.needs_artificial = false;
+      if (c.relation != Relation::kEq) {
+        plan.slack_col = slack_cursor++;
+        plan.slack_coeff = (rel == Relation::kLe) ? 1.0 : -1.0;
+        plan.needs_artificial = (rel == Relation::kGe);
+      } else {
+        plan.needs_artificial = true;
+      }
+      if (plan.needs_artificial) ++artificial_count;
+      plans[r] = plan;
+    }
+    num_artificial_ = artificial_count;
+    num_cols_ = first_artificial_ + num_artificial_;
+
+    size_t artificial_cursor = first_artificial_;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      const Constraint& c = model.constraints()[r];
+      const RowPlan& plan = plans[r];
+      std::vector<double>& row = rows_[r];
+      row.assign(num_cols_, 0.0);
+      for (size_t v = 0; v < c.coeffs.dim(); ++v) {
+        double a = plan.sign * c.coeffs[v];
+        row[col_of_var_[v]] += a;
+        if (neg_col_of_var_[v] != kNoCol) row[neg_col_of_var_[v]] -= a;
+      }
+      rhs_[r] = plan.sign * c.rhs;
+      if (plan.slack_col != kNoCol) row[plan.slack_col] = plan.slack_coeff;
+      if (plan.needs_artificial) {
+        size_t ac = artificial_cursor++;
+        row[ac] = 1.0;
+        basis_[r] = ac;
+      } else {
+        basis_[r] = plan.slack_col;  // slack coeff is +1 here by construction
+      }
+    }
+
+    cost_.assign(num_cols_, 0.0);
+    for (size_t j = 0; j < num_struct_; ++j) cost_[j] = struct_cost_[j];
+  }
+
+  // Primal simplex on the current tableau with objective `cost`.
+  Status Optimize(const std::vector<double>& cost,
+                  bool allow_artificial_entering) {
+    size_t iterations = 0;
+    while (true) {
+      if (++iterations > options_.max_iterations) {
+        return Status::Internal("simplex iteration cap exceeded");
+      }
+      const bool bland = iterations > options_.bland_after;
+
+      // Reduced costs: c_j - c_B · B^{-1} A_j. With the tableau kept in
+      // canonical form (basis columns are unit), the multiplier c_B over
+      // row r is cost[basis_[r]].
+      size_t entering = kNoCol;
+      double best_reduced = options_.pivot_tol;
+      const size_t col_limit =
+          allow_artificial_entering ? num_cols_ : first_artificial_;
+      for (size_t j = 0; j < col_limit; ++j) {
+        if (IsBasic(j)) continue;
+        double reduced = cost[j];
+        for (size_t r = 0; r < num_rows_; ++r) {
+          double cb = cost[basis_[r]];
+          if (cb != 0.0) reduced -= cb * rows_[r][j];
+        }
+        if (reduced > options_.pivot_tol) {
+          if (bland) {
+            entering = j;
+            break;
+          }
+          if (reduced > best_reduced) {
+            best_reduced = reduced;
+            entering = j;
+          }
+        }
+      }
+      if (entering == kNoCol) return Status::Ok();  // optimal
+
+      // Ratio test.
+      size_t leaving_row = kNoCol;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < num_rows_; ++r) {
+        double a = rows_[r][entering];
+        if (a > options_.pivot_tol) {
+          double ratio = rhs_[r] / a;
+          if (ratio < best_ratio - 1e-12 ||
+              (ratio < best_ratio + 1e-12 && leaving_row != kNoCol &&
+               basis_[r] < basis_[leaving_row])) {
+            best_ratio = ratio;
+            leaving_row = r;
+          }
+        }
+      }
+      if (leaving_row == kNoCol) {
+        return Status::Unbounded("no leaving row in ratio test");
+      }
+      Pivot(leaving_row, entering);
+    }
+  }
+
+  bool IsBasic(size_t col) const {
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] == col) return true;
+    }
+    return false;
+  }
+
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    std::vector<double>& prow = rows_[pivot_row];
+    const double pivot = prow[pivot_col];
+    ISRL_CHECK_GT(std::abs(pivot), 0.0);
+    const double inv = 1.0 / pivot;
+    for (double& v : prow) v *= inv;
+    rhs_[pivot_row] *= inv;
+    prow[pivot_col] = 1.0;  // kill residual round-off
+
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (r == pivot_row) continue;
+      double factor = rows_[r][pivot_col];
+      if (factor == 0.0) continue;
+      std::vector<double>& row = rows_[r];
+      for (size_t j = 0; j < num_cols_; ++j) row[j] -= factor * prow[j];
+      row[pivot_col] = 0.0;
+      rhs_[r] -= factor * rhs_[pivot_row];
+      if (rhs_[r] < 0.0 && rhs_[r] > -1e-11) rhs_[r] = 0.0;
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  // After phase 1: swap basic artificials (at value 0) for non-artificial
+  // columns where possible; rows with no eligible pivot are redundant and
+  // neutralised.
+  void DriveOutArtificials() {
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < first_artificial_) continue;
+      size_t col = kNoCol;
+      for (size_t j = 0; j < first_artificial_; ++j) {
+        if (std::abs(rows_[r][j]) > options_.pivot_tol && !IsBasic(j)) {
+          col = j;
+          break;
+        }
+      }
+      if (col != kNoCol) {
+        Pivot(r, col);
+      } else {
+        // Redundant row: zero it so the artificial stays basic at 0 and can
+        // never re-enter with a nonzero value.
+        for (size_t j = 0; j < first_artificial_; ++j) rows_[r][j] = 0.0;
+        rhs_[r] = 0.0;
+      }
+    }
+  }
+
+  double ObjectiveValue() const {
+    double z = 0.0;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < num_struct_) z += struct_cost_[basis_[r]] * rhs_[r];
+    }
+    return sense_sign_ * z;  // undo the internal max-normalisation
+  }
+
+  Vec ExtractSolution() const {
+    std::vector<double> col_value(num_cols_, 0.0);
+    for (size_t r = 0; r < num_rows_; ++r) col_value[basis_[r]] = rhs_[r];
+    Vec x(col_of_var_.size());
+    for (size_t v = 0; v < col_of_var_.size(); ++v) {
+      double value = col_value[col_of_var_[v]];
+      if (neg_col_of_var_[v] != kNoCol) value -= col_value[neg_col_of_var_[v]];
+      x[v] = value;
+    }
+    return x;
+  }
+
+  static constexpr size_t kNoCol = static_cast<size_t>(-1);
+
+  const SimplexOptions options_;
+  const Model* model_ = nullptr;
+
+  std::vector<size_t> col_of_var_;      // model var -> positive column
+  std::vector<size_t> neg_col_of_var_;  // model var -> negative column or kNoCol
+  std::vector<double> struct_cost_;     // internal (max-sense) structural costs
+  double sense_sign_ = 1.0;
+
+  size_t num_struct_ = 0;
+  size_t first_slack_ = 0;
+  size_t first_artificial_ = 0;
+  size_t num_artificial_ = 0;
+  size_t num_rows_ = 0;
+  size_t num_cols_ = 0;
+
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> rhs_;
+  std::vector<double> cost_;    // internal phase-2 costs over all columns
+  std::vector<size_t> basis_;   // basic column per row
+};
+
+}  // namespace
+
+SolveResult Solve(const Model& model, const SimplexOptions& options) {
+  if (model.num_variables() == 0) {
+    SolveResult r;
+    r.status = Status::InvalidArgument("model has no variables");
+    return r;
+  }
+  Tableau tableau(model, options);
+  tableau.SetModelMapping(model);
+  return tableau.Run();
+}
+
+}  // namespace isrl::lp

@@ -1,0 +1,43 @@
+// Dense two-phase primal simplex solver.
+//
+// Problem sizes in this system are small (tens of variables, up to a few
+// hundred constraints from accumulated half-spaces), so a dense tableau with
+// Dantzig pricing and a Bland's-rule anti-cycling fallback is both simple and
+// fast. All LPs issued by the algorithms go through Solve().
+#ifndef ISRL_LP_SIMPLEX_H_
+#define ISRL_LP_SIMPLEX_H_
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "lp/model.h"
+
+namespace isrl::lp {
+
+/// Solver tuning knobs. Defaults are appropriate for the well-scaled LPs in
+/// this codebase (coefficients are attribute differences in [-1, 1]).
+struct SimplexOptions {
+  double feasibility_tol = 1e-9;  ///< Phase-1 residual below this = feasible.
+  double pivot_tol = 1e-9;        ///< Entries below this are not pivots.
+  size_t max_iterations = 100000; ///< Hard iteration cap across both phases.
+  size_t bland_after = 2000;      ///< Switch to Bland's rule after this many
+                                  ///< Dantzig iterations (anti-cycling).
+};
+
+/// Outcome of Solve(). On kOk, `objective` and `x` hold the optimum; on
+/// kInfeasible / kUnbounded they are unspecified.
+struct SolveResult {
+  Status status;
+  double objective = 0.0;
+  Vec x;  ///< Values of the model's variables (original indexing).
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Solves the model. Returns kInfeasible when no point satisfies the
+/// constraints, kUnbounded when the objective is unbounded in the optimise
+/// direction, kInternal when the iteration cap is hit.
+SolveResult Solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace isrl::lp
+
+#endif  // ISRL_LP_SIMPLEX_H_

@@ -1,0 +1,112 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+namespace isrl::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weights_(in_dim * out_dim),
+      biases_(out_dim, 0.0),
+      weight_grads_(in_dim * out_dim, 0.0),
+      bias_grads_(out_dim, 0.0) {
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(in_dim));
+  for (double& w : weights_) w = rng.Gaussian(0.0, stddev);
+}
+
+Vec Linear::Forward(const Vec& input) {
+  ISRL_CHECK_EQ(input.dim(), in_dim_);
+  last_input_ = input;
+  Vec out(out_dim_);
+  for (size_t o = 0; o < out_dim_; ++o) {
+    const double* w = &weights_[o * in_dim_];
+    double s = biases_[o];
+    for (size_t i = 0; i < in_dim_; ++i) s += w[i] * input[i];
+    out[o] = s;
+  }
+  return out;
+}
+
+Vec Linear::Backward(const Vec& output_grad) {
+  ISRL_CHECK_EQ(output_grad.dim(), out_dim_);
+  ISRL_CHECK_EQ(last_input_.dim(), in_dim_);
+  Vec input_grad(in_dim_);
+  for (size_t o = 0; o < out_dim_; ++o) {
+    const double g = output_grad[o];
+    if (g == 0.0) continue;
+    double* wg = &weight_grads_[o * in_dim_];
+    const double* w = &weights_[o * in_dim_];
+    for (size_t i = 0; i < in_dim_; ++i) {
+      wg[i] += g * last_input_[i];
+      input_grad[i] += g * w[i];
+    }
+    bias_grads_[o] += g;
+  }
+  return input_grad;
+}
+
+std::vector<ParamBlock> Linear::Params() {
+  return {{&weights_, &weight_grads_}, {&biases_, &bias_grads_}};
+}
+
+std::unique_ptr<Layer> Linear::Clone() const {
+  auto copy = std::make_unique<Linear>(*this);
+  return copy;
+}
+
+Vec Selu::Forward(const Vec& input) {
+  ISRL_CHECK_EQ(input.dim(), dim_);
+  last_input_ = input;
+  Vec out(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    double x = input[i];
+    out[i] = x > 0.0 ? kScale * x : kScale * kAlpha * (std::exp(x) - 1.0);
+  }
+  return out;
+}
+
+Vec Selu::Backward(const Vec& output_grad) {
+  ISRL_CHECK_EQ(output_grad.dim(), dim_);
+  Vec grad(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    double x = last_input_[i];
+    double d = x > 0.0 ? kScale : kScale * kAlpha * std::exp(x);
+    grad[i] = output_grad[i] * d;
+  }
+  return grad;
+}
+
+Vec Relu::Forward(const Vec& input) {
+  ISRL_CHECK_EQ(input.dim(), dim_);
+  last_input_ = input;
+  Vec out(dim_);
+  for (size_t i = 0; i < dim_; ++i) out[i] = input[i] > 0.0 ? input[i] : 0.0;
+  return out;
+}
+
+Vec Relu::Backward(const Vec& output_grad) {
+  Vec grad(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    grad[i] = last_input_[i] > 0.0 ? output_grad[i] : 0.0;
+  }
+  return grad;
+}
+
+Vec Tanh::Forward(const Vec& input) {
+  ISRL_CHECK_EQ(input.dim(), dim_);
+  Vec out(dim_);
+  for (size_t i = 0; i < dim_; ++i) out[i] = std::tanh(input[i]);
+  last_output_ = out;
+  return out;
+}
+
+Vec Tanh::Backward(const Vec& output_grad) {
+  Vec grad(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    grad[i] = output_grad[i] * (1.0 - last_output_[i] * last_output_[i]);
+  }
+  return grad;
+}
+
+}  // namespace isrl::nn

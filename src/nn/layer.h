@@ -1,0 +1,136 @@
+// Neural-network layers for the DQN function approximator.
+//
+// The paper's agent is deliberately small — one hidden layer of 64 neurons
+// with SELU activation trained by MSE — so a straightforward from-scratch
+// dense implementation (double precision, sample-at-a-time with gradient
+// accumulation) is faster than any framework would be at this scale.
+#ifndef ISRL_NN_LAYER_H_
+#define ISRL_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace isrl::nn {
+
+/// A mutable view of one parameter array and its gradient accumulator.
+struct ParamBlock {
+  std::vector<double>* values;
+  std::vector<double>* grads;
+};
+
+/// Base class for differentiable layers. Forward caches whatever Backward
+/// needs; Backward accumulates parameter gradients (callers zero them via the
+/// optimiser between steps) and returns the gradient w.r.t. the input.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Vec Forward(const Vec& input) = 0;
+  virtual Vec Backward(const Vec& output_grad) = 0;
+
+  /// Parameter/gradient blocks; empty for stateless activations.
+  virtual std::vector<ParamBlock> Params() { return {}; }
+
+  /// Layer kind tag used by (de)serialisation ("linear", "selu", ...).
+  virtual std::string Kind() const = 0;
+
+  virtual size_t input_dim() const = 0;
+  virtual size_t output_dim() const = 0;
+
+  /// Deep copy (used to build the target network).
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+/// Fully connected layer y = W x + b.
+class Linear : public Layer {
+ public:
+  /// Creates a layer with LeCun-normal weights (stddev 1/√fan_in), the
+  /// recommended initialisation for SELU networks, and zero biases.
+  Linear(size_t in_dim, size_t out_dim, Rng& rng);
+
+  Vec Forward(const Vec& input) override;
+  Vec Backward(const Vec& output_grad) override;
+  std::vector<ParamBlock> Params() override;
+  std::string Kind() const override { return "linear"; }
+  size_t input_dim() const override { return in_dim_; }
+  size_t output_dim() const override { return out_dim_; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  /// Row-major weights (out_dim × in_dim) followed by biases. Exposed for
+  /// serialisation and tests.
+  std::vector<double>& weights() { return weights_; }
+  std::vector<double>& biases() { return biases_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<double>& biases() const { return biases_; }
+
+ private:
+  size_t in_dim_, out_dim_;
+  std::vector<double> weights_, biases_;
+  std::vector<double> weight_grads_, bias_grads_;
+  Vec last_input_;
+};
+
+/// SELU activation (Klambauer et al., the paper's choice).
+class Selu : public Layer {
+ public:
+  explicit Selu(size_t dim) : dim_(dim) {}
+  Vec Forward(const Vec& input) override;
+  Vec Backward(const Vec& output_grad) override;
+  std::string Kind() const override { return "selu"; }
+  size_t input_dim() const override { return dim_; }
+  size_t output_dim() const override { return dim_; }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Selu>(dim_);
+  }
+
+  static constexpr double kAlpha = 1.6732632423543772;
+  static constexpr double kScale = 1.0507009873554805;
+
+ private:
+  size_t dim_;
+  Vec last_input_;
+};
+
+/// ReLU activation (for ablations).
+class Relu : public Layer {
+ public:
+  explicit Relu(size_t dim) : dim_(dim) {}
+  Vec Forward(const Vec& input) override;
+  Vec Backward(const Vec& output_grad) override;
+  std::string Kind() const override { return "relu"; }
+  size_t input_dim() const override { return dim_; }
+  size_t output_dim() const override { return dim_; }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Relu>(dim_);
+  }
+
+ private:
+  size_t dim_;
+  Vec last_input_;
+};
+
+/// Tanh activation (for ablations).
+class Tanh : public Layer {
+ public:
+  explicit Tanh(size_t dim) : dim_(dim) {}
+  Vec Forward(const Vec& input) override;
+  Vec Backward(const Vec& output_grad) override;
+  std::string Kind() const override { return "tanh"; }
+  size_t input_dim() const override { return dim_; }
+  size_t output_dim() const override { return dim_; }
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Tanh>(dim_);
+  }
+
+ private:
+  size_t dim_;
+  Vec last_output_;
+};
+
+}  // namespace isrl::nn
+
+#endif  // ISRL_NN_LAYER_H_

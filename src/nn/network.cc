@@ -1,0 +1,107 @@
+#include "nn/network.h"
+
+#include <algorithm>
+
+namespace isrl::nn {
+
+namespace {
+std::unique_ptr<Layer> MakeActivation(Activation activation, size_t dim) {
+  switch (activation) {
+    case Activation::kSelu: return std::make_unique<Selu>(dim);
+    case Activation::kRelu: return std::make_unique<Relu>(dim);
+    case Activation::kTanh: return std::make_unique<Tanh>(dim);
+  }
+  return nullptr;
+}
+}  // namespace
+
+Network Network::Mlp(const std::vector<size_t>& widths, Activation activation,
+                     Rng& rng) {
+  ISRL_CHECK_GE(widths.size(), 2u);
+  Network net;
+  for (size_t i = 0; i + 1 < widths.size(); ++i) {
+    net.AddLayer(std::make_unique<Linear>(widths[i], widths[i + 1], rng));
+    const bool is_last = (i + 2 == widths.size());
+    if (!is_last) net.AddLayer(MakeActivation(activation, widths[i + 1]));
+  }
+  return net;
+}
+
+void Network::AddLayer(std::unique_ptr<Layer> layer) {
+  if (!layers_.empty()) {
+    ISRL_CHECK_EQ(layers_.back()->output_dim(), layer->input_dim());
+  }
+  layers_.push_back(std::move(layer));
+}
+
+Vec Network::Forward(const Vec& input) {
+  Vec x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+void Network::Backward(const Vec& output_grad) {
+  Vec g = output_grad;
+  for (size_t i = layers_.size(); i-- > 0;) g = layers_[i]->Backward(g);
+}
+
+double Network::Predict(const Vec& input) {
+  Vec out = Forward(input);
+  ISRL_CHECK_EQ(out.dim(), 1u);
+  return out[0];
+}
+
+double Network::AccumulateMseSample(const Vec& input, double target) {
+  double pred = Predict(input);
+  double err = pred - target;
+  Backward(Vec{err});
+  return err * err;
+}
+
+double Network::AccumulateRegressionSample(const Vec& input, double target,
+                                           double weight, double huber_delta) {
+  double pred = Predict(input);
+  double err = pred - target;
+  double grad = err;
+  if (huber_delta > 0.0) {
+    grad = std::clamp(err, -huber_delta, huber_delta);
+  }
+  Backward(Vec{weight * grad});
+  return err;
+}
+
+std::vector<ParamBlock> Network::Params() {
+  std::vector<ParamBlock> blocks;
+  for (auto& layer : layers_) {
+    for (ParamBlock b : layer->Params()) blocks.push_back(b);
+  }
+  return blocks;
+}
+
+void Network::CopyParamsFrom(Network& other) {
+  std::vector<ParamBlock> mine = Params();
+  std::vector<ParamBlock> theirs = other.Params();
+  ISRL_CHECK_EQ(mine.size(), theirs.size());
+  for (size_t i = 0; i < mine.size(); ++i) {
+    ISRL_CHECK_EQ(mine[i].values->size(), theirs[i].values->size());
+    *mine[i].values = *theirs[i].values;
+  }
+}
+
+Network Network::Clone() const {
+  Network copy;
+  for (const auto& layer : layers_) copy.layers_.push_back(layer->Clone());
+  return copy;
+}
+
+size_t Network::NumParameters() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) {
+    for (ParamBlock b : const_cast<Layer&>(*layer).Params()) {
+      total += b.values->size();
+    }
+  }
+  return total;
+}
+
+}  // namespace isrl::nn

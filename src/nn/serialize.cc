@@ -1,0 +1,88 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace isrl::nn {
+
+std::string SerializeNetwork(const Network& net) {
+  std::ostringstream out;
+  out << "isrl-network v1\n";
+  out << "layers " << net.num_layers() << "\n";
+  for (size_t i = 0; i < net.num_layers(); ++i) {
+    const Layer& layer = net.layer(i);
+    out << layer.Kind() << " " << layer.input_dim() << " "
+        << layer.output_dim() << "\n";
+    if (layer.Kind() == "linear") {
+      const auto& linear = static_cast<const Linear&>(layer);
+      for (double w : linear.weights()) out << Format("%.17g ", w);
+      out << "\n";
+      for (double b : linear.biases()) out << Format("%.17g ", b);
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<Network> DeserializeNetwork(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != "isrl-network v1") {
+    return Status::InvalidArgument("bad network header");
+  }
+  size_t num_layers = 0;
+  {
+    std::string tag;
+    in >> tag >> num_layers;
+    if (tag != "layers") return Status::InvalidArgument("missing layer count");
+  }
+  Network net;
+  Rng dummy_rng(0);
+  for (size_t i = 0; i < num_layers; ++i) {
+    std::string kind;
+    size_t in_dim = 0, out_dim = 0;
+    if (!(in >> kind >> in_dim >> out_dim)) {
+      return Status::InvalidArgument("truncated layer header");
+    }
+    if (kind == "linear") {
+      auto layer = std::make_unique<Linear>(in_dim, out_dim, dummy_rng);
+      for (double& w : layer->weights()) {
+        if (!(in >> w)) return Status::InvalidArgument("truncated weights");
+      }
+      for (double& b : layer->biases()) {
+        if (!(in >> b)) return Status::InvalidArgument("truncated biases");
+      }
+      net.AddLayer(std::move(layer));
+    } else if (kind == "selu") {
+      net.AddLayer(std::make_unique<Selu>(in_dim));
+    } else if (kind == "relu") {
+      net.AddLayer(std::make_unique<Relu>(in_dim));
+    } else if (kind == "tanh") {
+      net.AddLayer(std::make_unique<Tanh>(in_dim));
+    } else {
+      return Status::InvalidArgument("unknown layer kind: " + kind);
+    }
+  }
+  return net;
+}
+
+Status SaveNetwork(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << SerializeNetwork(net);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Network> LoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DeserializeNetwork(buf.str());
+}
+
+}  // namespace isrl::nn

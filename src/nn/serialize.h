@@ -1,0 +1,26 @@
+// Plain-text (de)serialisation of networks so trained agents can be reused
+// across runs (an extension beyond the paper; see DESIGN.md §7).
+#ifndef ISRL_NN_SERIALIZE_H_
+#define ISRL_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/network.h"
+
+namespace isrl::nn {
+
+/// Serialises the network (architecture + weights) to a line-oriented text
+/// string: one header line per layer followed by its parameters.
+std::string SerializeNetwork(const Network& net);
+
+/// Rebuilds a network from SerializeNetwork output.
+Result<Network> DeserializeNetwork(const std::string& text);
+
+/// File wrappers.
+Status SaveNetwork(const Network& net, const std::string& path);
+Result<Network> LoadNetwork(const std::string& path);
+
+}  // namespace isrl::nn
+
+#endif  // ISRL_NN_SERIALIZE_H_

@@ -1,0 +1,141 @@
+#include "rl/dqn.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "rl/schedule.h"
+
+namespace isrl::rl {
+
+DqnAgent::DqnAgent(size_t input_dim, const DqnOptions& options, Rng& rng)
+    : input_dim_(input_dim),
+      options_(options),
+      main_(nn::Network::Mlp({input_dim, options.hidden_neurons, 1},
+                             options.activation, rng)),
+      target_(main_.Clone()),
+      replay_(options.replay_capacity),
+      prioritized_(options.replay_capacity, options.prioritized) {
+  if (options_.optimizer == OptimizerKind::kAdam) {
+    optimizer_ = std::make_unique<nn::Adam>(main_.Params(),
+                                            options_.learning_rate);
+  } else {
+    optimizer_ =
+        std::make_unique<nn::Sgd>(main_.Params(), options_.learning_rate);
+  }
+}
+
+double DqnAgent::QValue(const Vec& state_action) {
+  ISRL_CHECK_EQ(state_action.dim(), input_dim_);
+  return main_.Predict(state_action);
+}
+
+size_t DqnAgent::SelectGreedy(const std::vector<Vec>& candidate_features) {
+  ISRL_CHECK(!candidate_features.empty());
+  size_t best = 0;
+  double best_q = QValue(candidate_features[0]);
+  for (size_t i = 1; i < candidate_features.size(); ++i) {
+    double q = QValue(candidate_features[i]);
+    if (q > best_q) {
+      best_q = q;
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t DqnAgent::SelectEpsilonGreedy(
+    const std::vector<Vec>& candidate_features, double epsilon, Rng& rng) {
+  ISRL_CHECK(!candidate_features.empty());
+  if (rng.Bernoulli(epsilon)) {
+    return static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(candidate_features.size()) - 1));
+  }
+  return SelectGreedy(candidate_features);
+}
+
+double DqnAgent::EpsilonAt(size_t episode) const {
+  EpsilonSchedule schedule(options_.epsilon_start, options_.epsilon_end,
+                           options_.epsilon_decay_episodes);
+  return schedule.Value(episode);
+}
+
+void DqnAgent::Remember(Transition t) {
+  ISRL_CHECK_EQ(t.state_action.dim(), input_dim_);
+  if (options_.prioritized_replay) {
+    prioritized_.Add(t);
+  }
+  replay_.Add(std::move(t));
+}
+
+double DqnAgent::TargetFor(const Transition& t) {
+  double target = t.reward;
+  if (t.terminal || t.next_candidates.empty()) return target;
+  double best_next;
+  if (options_.double_dqn) {
+    // Double DQN: the main network chooses the next action, the target
+    // network scores it — removes the max-operator overestimation bias.
+    size_t best = 0;
+    double best_main = main_.Predict(t.next_candidates[0]);
+    for (size_t i = 1; i < t.next_candidates.size(); ++i) {
+      double q = main_.Predict(t.next_candidates[i]);
+      if (q > best_main) {
+        best_main = q;
+        best = i;
+      }
+    }
+    best_next = target_.Predict(t.next_candidates[best]);
+  } else {
+    best_next = target_.Predict(t.next_candidates[0]);
+    for (size_t i = 1; i < t.next_candidates.size(); ++i) {
+      best_next = std::max(best_next, target_.Predict(t.next_candidates[i]));
+    }
+  }
+  return target + options_.gamma * best_next;
+}
+
+double DqnAgent::UpdateUniform(Rng& rng) {
+  std::vector<const Transition*> batch =
+      replay_.Sample(options_.batch_size, rng);
+  const double delta = options_.loss == LossKind::kHuber ? options_.huber_delta
+                                                         : 0.0;
+  double loss_sum = 0.0;
+  for (const Transition* t : batch) {
+    double err = main_.AccumulateRegressionSample(t->state_action,
+                                                  TargetFor(*t), 1.0, delta);
+    loss_sum += err * err;
+  }
+  optimizer_->Step(batch.size());
+  return loss_sum / static_cast<double>(batch.size());
+}
+
+double DqnAgent::UpdatePrioritized(Rng& rng) {
+  std::vector<PrioritizedSample> batch =
+      prioritized_.Sample(options_.batch_size, rng);
+  const double delta = options_.loss == LossKind::kHuber ? options_.huber_delta
+                                                         : 0.0;
+  double loss_sum = 0.0;
+  for (const PrioritizedSample& s : batch) {
+    double err = main_.AccumulateRegressionSample(
+        s.transition->state_action, TargetFor(*s.transition), s.weight, delta);
+    prioritized_.UpdatePriority(s.index, err);
+    loss_sum += err * err;
+  }
+  optimizer_->Step(batch.size());
+  return loss_sum / static_cast<double>(batch.size());
+}
+
+double DqnAgent::Update(Rng& rng) {
+  if (replay_.size() < options_.min_replay_before_update) return 0.0;
+  double loss = options_.prioritized_replay ? UpdatePrioritized(rng)
+                                            : UpdateUniform(rng);
+  ++num_updates_;
+  if (options_.target_sync_every > 0 &&
+      num_updates_ % options_.target_sync_every == 0) {
+    SyncTarget();
+  }
+  return loss;
+}
+
+void DqnAgent::SyncTarget() { target_.CopyParamsFrom(main_); }
+
+}  // namespace isrl::rl

@@ -1,0 +1,78 @@
+#include "rl/prioritized_replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace isrl::rl {
+
+PrioritizedReplayMemory::PrioritizedReplayMemory(size_t capacity,
+                                                 PrioritizedOptions options)
+    : capacity_(capacity), options_(options) {
+  ISRL_CHECK_GE(capacity, 1u);
+  buffer_.resize(capacity);
+  priorities_.assign(capacity, 0.0);
+}
+
+void PrioritizedReplayMemory::Add(Transition t) {
+  buffer_[next_] = std::move(t);
+  priorities_[next_] = max_priority_;
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<PrioritizedSample> PrioritizedReplayMemory::Sample(
+    size_t count, Rng& rng) const {
+  ISRL_CHECK(!empty());
+  double total = 0.0;
+  for (size_t i = 0; i < size_; ++i) total += priorities_[i];
+  ISRL_CHECK_GT(total, 0.0);
+
+  // Max weight for normalisation corresponds to the *minimum* probability.
+  double min_priority = priorities_[0];
+  for (size_t i = 1; i < size_; ++i) {
+    min_priority = std::min(min_priority, priorities_[i]);
+  }
+  const double n = static_cast<double>(size_);
+  const double max_weight =
+      std::pow(n * (min_priority / total), -options_.beta);
+
+  std::vector<PrioritizedSample> out;
+  out.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    double r = rng.Uniform(0.0, total);
+    size_t idx = 0;
+    double acc = 0.0;
+    for (size_t i = 0; i < size_; ++i) {
+      acc += priorities_[i];
+      if (r <= acc) {
+        idx = i;
+        break;
+      }
+      idx = i;  // numerical tail: last slot
+    }
+    PrioritizedSample sample;
+    sample.index = idx;
+    sample.transition = &buffer_[idx];
+    double prob = priorities_[idx] / total;
+    sample.weight = std::pow(n * prob, -options_.beta) / max_weight;
+    out.push_back(sample);
+  }
+  return out;
+}
+
+void PrioritizedReplayMemory::UpdatePriority(size_t index, double td_error) {
+  ISRL_CHECK_LT(index, size_);
+  double p = std::pow(std::abs(td_error) + options_.priority_floor,
+                      options_.alpha);
+  priorities_[index] = p;
+  max_priority_ = std::max(max_priority_, p);
+}
+
+double PrioritizedReplayMemory::priority(size_t index) const {
+  ISRL_CHECK_LT(index, size_);
+  return priorities_[index];
+}
+
+}  // namespace isrl::rl

@@ -1,0 +1,64 @@
+// Proportional prioritized experience replay (Schaul et al., ICLR 2016) —
+// an opt-in upgrade over the paper's uniform replay, wired as a DESIGN.md §6
+// ablation. Transitions are sampled with probability ∝ (|TD error| + ε)^α
+// and importance-weighted by (N·P(i))^{−β} to keep the update unbiased.
+#ifndef ISRL_RL_PRIORITIZED_REPLAY_H_
+#define ISRL_RL_PRIORITIZED_REPLAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "rl/replay.h"
+
+namespace isrl::rl {
+
+/// Configuration for proportional prioritisation.
+struct PrioritizedOptions {
+  double alpha = 0.6;          ///< priority exponent (0 = uniform)
+  double beta = 0.4;           ///< importance-sampling exponent
+  double priority_floor = 1e-3;///< added to |TD error| so nothing starves
+};
+
+/// One sampled transition with its buffer slot and importance weight.
+struct PrioritizedSample {
+  size_t index = 0;
+  const Transition* transition = nullptr;
+  double weight = 1.0;  ///< normalised importance weight in (0, 1]
+};
+
+/// Fixed-capacity ring buffer with proportional priority sampling. New
+/// transitions enter at the current maximum priority so they are replayed
+/// at least once soon after insertion.
+class PrioritizedReplayMemory {
+ public:
+  PrioritizedReplayMemory(size_t capacity, PrioritizedOptions options = {});
+
+  /// Adds a transition at max priority, evicting the oldest when full.
+  void Add(Transition t);
+
+  /// Samples `count` transitions ∝ priority^α (with replacement). Memory
+  /// must be non-empty.
+  std::vector<PrioritizedSample> Sample(size_t count, Rng& rng) const;
+
+  /// Re-prioritises slot `index` after its TD error was recomputed.
+  void UpdatePriority(size_t index, double td_error);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  double priority(size_t index) const;
+
+ private:
+  size_t capacity_;
+  PrioritizedOptions options_;
+  size_t size_ = 0;
+  size_t next_ = 0;
+  double max_priority_ = 1.0;
+  std::vector<Transition> buffer_;
+  std::vector<double> priorities_;  ///< already exponentiated by α
+};
+
+}  // namespace isrl::rl
+
+#endif  // ISRL_RL_PRIORITIZED_REPLAY_H_

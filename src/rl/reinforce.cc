@@ -1,0 +1,114 @@
+#include "rl/reinforce.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace isrl::rl {
+
+ReinforceAgent::ReinforceAgent(size_t input_dim,
+                               const ReinforceOptions& options, Rng& rng)
+    : input_dim_(input_dim),
+      options_(options),
+      network_(nn::Network::Mlp({input_dim, options.hidden_neurons, 1},
+                                options.activation, rng)) {
+  ISRL_CHECK_GT(options.temperature, 0.0);
+  optimizer_ =
+      std::make_unique<nn::Adam>(network_.Params(), options.learning_rate);
+}
+
+double ReinforceAgent::Score(const Vec& state_action) {
+  ISRL_CHECK_EQ(state_action.dim(), input_dim_);
+  return network_.Predict(state_action);
+}
+
+std::vector<double> ReinforceAgent::Probabilities(
+    const std::vector<Vec>& candidates) {
+  ISRL_CHECK(!candidates.empty());
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  double max_score = -1e300;
+  for (const Vec& c : candidates) {
+    scores.push_back(Score(c) / options_.temperature);
+    max_score = std::max(max_score, scores.back());
+  }
+  double total = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - max_score);  // stabilised softmax
+    total += s;
+  }
+  for (double& s : scores) s /= total;
+  return scores;
+}
+
+size_t ReinforceAgent::SampleAction(const std::vector<Vec>& candidate_features,
+                                    Rng& rng) {
+  std::vector<double> probs = Probabilities(candidate_features);
+  double r = rng.Uniform(0.0, 1.0);
+  double acc = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (r <= acc) return i;
+  }
+  return probs.size() - 1;
+}
+
+size_t ReinforceAgent::SelectGreedy(
+    const std::vector<Vec>& candidate_features) {
+  ISRL_CHECK(!candidate_features.empty());
+  size_t best = 0;
+  double best_score = Score(candidate_features[0]);
+  for (size_t i = 1; i < candidate_features.size(); ++i) {
+    double s = Score(candidate_features[i]);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double ReinforceAgent::UpdateFromEpisode(
+    const std::vector<PolicyStep>& episode) {
+  if (episode.empty()) return 0.0;
+
+  // Discounted returns-to-go.
+  std::vector<double> returns(episode.size());
+  double running = 0.0;
+  double total_reward = 0.0;
+  for (size_t t = episode.size(); t-- > 0;) {
+    running = episode[t].reward + options_.gamma * running;
+    returns[t] = running;
+    total_reward += episode[t].reward;
+  }
+  if (!baseline_initialised_) {
+    baseline_ = returns[0];
+    baseline_initialised_ = true;
+  }
+
+  size_t samples = 0;
+  for (size_t t = 0; t < episode.size(); ++t) {
+    const PolicyStep& step = episode[t];
+    ISRL_CHECK_LT(step.chosen, step.candidate_features.size());
+    std::vector<double> probs = Probabilities(step.candidate_features);
+    const double advantage = returns[t] - baseline_;
+    // ∂(−log π(chosen)) / ∂score_j = (p_j − 1[j==chosen]) / T; gradient
+    // descent on −advantage·log π(chosen) ascends the weighted likelihood.
+    for (size_t j = 0; j < step.candidate_features.size(); ++j) {
+      double indicator = j == step.chosen ? 1.0 : 0.0;
+      double grad = advantage * (probs[j] - indicator) / options_.temperature;
+      if (grad == 0.0) continue;
+      network_.Predict(step.candidate_features[j]);  // refresh layer caches
+      network_.Backward(Vec{grad});
+      ++samples;
+    }
+  }
+  if (samples > 0) optimizer_->Step(samples);
+  baseline_ = options_.baseline_decay * baseline_ +
+              (1.0 - options_.baseline_decay) * returns[0];
+  ++num_updates_;
+  return total_reward;
+}
+
+}  // namespace isrl::rl

@@ -1,0 +1,78 @@
+// REINFORCE (Monte-Carlo policy gradient) over featurised (state, action)
+// candidates — an alternative agent to the paper's DQN, provided as an
+// extension (DESIGN.md §8). Where DQN regresses action values and acts by
+// argmax, REINFORCE parameterises the policy directly: a network scores each
+// candidate, a softmax over the scores gives the selection distribution, and
+// whole-episode returns weight the log-likelihood gradient (with a running
+// average baseline for variance reduction). Episode-level updates suit the
+// interactive-search MDP well: episodes are short and the reward (few
+// rounds) is only meaningful at the end.
+#ifndef ISRL_RL_REINFORCE_H_
+#define ISRL_RL_REINFORCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace isrl::rl {
+
+/// Hyper-parameters for the policy-gradient agent.
+struct ReinforceOptions {
+  size_t hidden_neurons = 64;
+  nn::Activation activation = nn::Activation::kSelu;
+  double learning_rate = 0.003;
+  double gamma = 1.0;           ///< episode return discount
+  double temperature = 1.0;     ///< softmax temperature over scores
+  double baseline_decay = 0.9;  ///< running-average return baseline
+};
+
+/// One decision point of an episode: the candidates offered and the index
+/// chosen.
+struct PolicyStep {
+  std::vector<Vec> candidate_features;
+  size_t chosen = 0;
+  double reward = 0.0;  ///< reward observed *after* this step
+};
+
+/// Monte-Carlo policy-gradient agent.
+class ReinforceAgent {
+ public:
+  ReinforceAgent(size_t input_dim, const ReinforceOptions& options, Rng& rng);
+
+  /// Scores one featurised (state, action) candidate.
+  double Score(const Vec& state_action);
+
+  /// Samples an action from the softmax policy over candidates.
+  size_t SampleAction(const std::vector<Vec>& candidate_features, Rng& rng);
+
+  /// Greedy (highest-score) action, for inference.
+  size_t SelectGreedy(const std::vector<Vec>& candidate_features);
+
+  /// Applies one REINFORCE update from a finished episode. Steps must be in
+  /// chronological order; returns the episode's (undiscounted) total reward.
+  double UpdateFromEpisode(const std::vector<PolicyStep>& episode);
+
+  size_t num_updates() const { return num_updates_; }
+  double baseline() const { return baseline_; }
+  nn::Network& network() { return network_; }
+
+ private:
+  /// Softmax probabilities over candidate scores (temperature applied).
+  std::vector<double> Probabilities(const std::vector<Vec>& candidates);
+
+  size_t input_dim_;
+  ReinforceOptions options_;
+  nn::Network network_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  double baseline_ = 0.0;
+  bool baseline_initialised_ = false;
+  size_t num_updates_ = 0;
+};
+
+}  // namespace isrl::rl
+
+#endif  // ISRL_RL_REINFORCE_H_

@@ -1,0 +1,31 @@
+#include "rl/replay.h"
+
+#include "common/check.h"
+
+namespace isrl::rl {
+
+ReplayMemory::ReplayMemory(size_t capacity) : capacity_(capacity) {
+  ISRL_CHECK_GE(capacity, 1u);
+  buffer_.resize(capacity);
+}
+
+void ReplayMemory::Add(Transition t) {
+  buffer_[next_] = std::move(t);
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<const Transition*> ReplayMemory::Sample(size_t count,
+                                                    Rng& rng) const {
+  ISRL_CHECK(!empty());
+  std::vector<const Transition*> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t idx = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(size_) - 1));
+    out.push_back(&buffer_[idx]);
+  }
+  return out;
+}
+
+}  // namespace isrl::rl

@@ -1,0 +1,51 @@
+// Experience replay memory (Mnih et al., as adopted in Algorithms 1 and 3).
+//
+// A transition stores the featurised (state, action) input the Q-network saw,
+// the reward, and — because the action set is state-dependent — the
+// featurised (next-state, action') inputs for every candidate action at the
+// successor state, which is exactly what the target max_{a'} Q̂(s',a') needs.
+#ifndef ISRL_RL_REPLAY_H_
+#define ISRL_RL_REPLAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace isrl::rl {
+
+/// One stored transition (s, a, r, s').
+struct Transition {
+  Vec state_action;                  ///< featurised (s, a)
+  double reward = 0.0;               ///< c on reaching a terminal state else 0
+  bool terminal = false;             ///< s' terminal ⇒ target is just r
+  std::vector<Vec> next_candidates;  ///< featurised (s', a') per candidate a'
+};
+
+/// Fixed-capacity ring buffer with uniform sampling.
+class ReplayMemory {
+ public:
+  explicit ReplayMemory(size_t capacity);
+
+  /// Adds a transition, evicting the oldest when full.
+  void Add(Transition t);
+
+  /// Uniformly samples `count` transitions (with replacement, standard DQN
+  /// practice). Memory must be non-empty.
+  std::vector<const Transition*> Sample(size_t count, Rng& rng) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  size_t capacity_;
+  size_t size_ = 0;
+  size_t next_ = 0;
+  std::vector<Transition> buffer_;
+};
+
+}  // namespace isrl::rl
+
+#endif  // ISRL_RL_REPLAY_H_

@@ -1,0 +1,21 @@
+#include "rl/schedule.h"
+
+#include "common/check.h"
+
+namespace isrl::rl {
+
+EpsilonSchedule::EpsilonSchedule(double start, double end, size_t decay_steps)
+    : start_(start), end_(end), decay_steps_(decay_steps) {
+  ISRL_CHECK_GE(start, 0.0);
+  ISRL_CHECK_LE(start, 1.0);
+  ISRL_CHECK_GE(end, 0.0);
+  ISRL_CHECK_LE(end, 1.0);
+}
+
+double EpsilonSchedule::Value(size_t t) const {
+  if (decay_steps_ == 0 || t >= decay_steps_) return end_;
+  double frac = static_cast<double>(t) / static_cast<double>(decay_steps_);
+  return start_ + (end_ - start_) * frac;
+}
+
+}  // namespace isrl::rl

@@ -1,0 +1,27 @@
+// ε-greedy exploration schedule.
+#ifndef ISRL_RL_SCHEDULE_H_
+#define ISRL_RL_SCHEDULE_H_
+
+#include <cstddef>
+
+namespace isrl::rl {
+
+/// Linearly decaying exploration probability. The paper sets ε = 0.9 during
+/// training; we expose a standard linear decay (start == end reproduces a
+/// constant schedule).
+class EpsilonSchedule {
+ public:
+  /// Decays from `start` to `end` over `decay_steps` calls to Value().
+  EpsilonSchedule(double start, double end, size_t decay_steps);
+
+  /// ε at step `t` (clamped to `end` after decay_steps).
+  double Value(size_t t) const;
+
+ private:
+  double start_, end_;
+  size_t decay_steps_;
+};
+
+}  // namespace isrl::rl
+
+#endif  // ISRL_RL_SCHEDULE_H_

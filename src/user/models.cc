@@ -1,0 +1,66 @@
+#include "user/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace isrl {
+
+BoundedErrorUser::BoundedErrorUser(Vec utility, double error_rate,
+                                   double margin, Rng& rng)
+    : utility_(std::move(utility)),
+      error_rate_(error_rate),
+      margin_(margin),
+      rng_(&rng) {
+  ISRL_CHECK_GE(error_rate, 0.0);
+  ISRL_CHECK_LE(error_rate, 1.0);
+  ISRL_CHECK_GE(margin, 0.0);
+}
+
+bool BoundedErrorUser::Prefers(const Vec& a, const Vec& b) {
+  ++questions_asked_;
+  double ua = Dot(utility_, a);
+  double ub = Dot(utility_, b);
+  bool truthful = ua >= ub;
+  double gap = std::abs(ua - ub) / std::max(1e-12, std::max(ua, ub));
+  if (gap <= margin_ && rng_->Bernoulli(error_rate_)) return !truthful;
+  return truthful;
+}
+
+IndifferentUser::IndifferentUser(Vec utility, double margin)
+    : utility_(std::move(utility)), margin_(margin) {
+  ISRL_CHECK_GE(margin, 0.0);
+}
+
+bool IndifferentUser::Prefers(const Vec& a, const Vec& b) {
+  ++questions_asked_;
+  double ua = Dot(utility_, a);
+  double ub = Dot(utility_, b);
+  double gap = std::abs(ua - ub) / std::max(1e-12, std::max(ua, ub));
+  if (gap <= margin_) return true;  // indifferent: take the first option
+  return ua >= ub;
+}
+
+DriftingUser::DriftingUser(Vec utility, double drift, Rng& rng)
+    : utility_(std::move(utility)), drift_(drift), rng_(&rng) {
+  ISRL_CHECK_GE(drift, 0.0);
+}
+
+bool DriftingUser::Prefers(const Vec& a, const Vec& b) {
+  ++questions_asked_;
+  bool answer = Dot(utility_, a) >= Dot(utility_, b);
+  // Random-walk step on the simplex: perturb, clamp, re-normalise.
+  for (size_t i = 0; i < utility_.dim(); ++i) {
+    utility_[i] = std::max(0.0, utility_[i] + rng_->Gaussian(0.0, drift_));
+  }
+  double sum = utility_.Sum();
+  if (sum <= 0.0) {
+    utility_ = Vec(utility_.dim(), 1.0 / static_cast<double>(utility_.dim()));
+  } else {
+    utility_ /= sum;
+  }
+  return answer;
+}
+
+}  // namespace isrl

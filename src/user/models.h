@@ -1,0 +1,71 @@
+// Additional user models beyond the paper's exact and uniformly-noisy
+// oracles, for robustness studies (DESIGN.md §8):
+//  * BoundedErrorUser — mistakes only happen on close calls, the
+//    psychologically plausible error model (people rarely mis-order options
+//    they feel strongly about);
+//  * IndifferentUser — close calls are answered arbitrarily but
+//    *consistently* (first option), modelling "can't tell, just pick one";
+//  * DriftingUser — the hidden utility vector drifts slowly during the
+//    interaction, violating the stationarity every algorithm assumes.
+#ifndef ISRL_USER_MODELS_H_
+#define ISRL_USER_MODELS_H_
+
+#include "common/rng.h"
+#include "user/user.h"
+
+namespace isrl {
+
+/// Answers incorrectly with probability `error_rate`, but only when the two
+/// options' utilities are within `margin` of each other (relative to the
+/// larger one); clear comparisons are always answered correctly.
+class BoundedErrorUser : public UserOracle {
+ public:
+  BoundedErrorUser(Vec utility, double error_rate, double margin, Rng& rng);
+
+  bool Prefers(const Vec& a, const Vec& b) override;
+
+  const Vec& utility() const { return utility_; }
+
+ private:
+  Vec utility_;
+  double error_rate_;
+  double margin_;
+  Rng* rng_;
+};
+
+/// Deterministically answers "first option" whenever the relative utility
+/// gap is below `margin` (indifference), and truthfully otherwise.
+class IndifferentUser : public UserOracle {
+ public:
+  IndifferentUser(Vec utility, double margin);
+
+  bool Prefers(const Vec& a, const Vec& b) override;
+
+ private:
+  Vec utility_;
+  double margin_;
+};
+
+/// The hidden utility vector performs a small random walk on the simplex
+/// after every answered question (`drift` = step size before
+/// re-normalisation). Models preferences that sharpen or shift as the user
+/// sees more options.
+class DriftingUser : public UserOracle {
+ public:
+  DriftingUser(Vec utility, double drift, Rng& rng);
+
+  bool Prefers(const Vec& a, const Vec& b) override;
+
+  /// The current (drifted) utility vector — evaluation should measure
+  /// regret against this, not the starting vector.
+  const Vec& current_utility() const { return utility_; }
+
+ private:
+  Vec utility_;
+  double drift_;
+  Rng* rng_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_USER_MODELS_H_

@@ -1,0 +1,209 @@
+// Cross-module property tests: independent subsystems checking each other.
+//  * the simplex LP solver vs combinatorial vertex enumeration (a linear
+//    objective over a polytope peaks at a vertex),
+//  * AA's LP rectangle vs the exact polyhedron's vertex extents,
+//  * hit-and-run samples vs exact membership,
+//  * degenerate geometry (cuts through vertices, repeated cuts, facets).
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/aa_state.h"
+#include "geometry/hit_and_run.h"
+#include "geometry/polyhedron.h"
+#include "lp/simplex.h"
+
+namespace isrl {
+namespace {
+
+// Builds matching representations of the same region: cuts for the
+// Polyhedron and LP constraints over the simplex.
+struct RegionPair {
+  Polyhedron polyhedron;
+  std::vector<Halfspace> cuts;
+};
+
+RegionPair RandomRegion(size_t d, size_t num_cuts, Rng& rng) {
+  RegionPair region{Polyhedron::UnitSimplex(d), {}};
+  for (size_t i = 0; i < num_cuts; ++i) {
+    Vec a = rng.SimplexUniform(d);
+    Vec b = rng.SimplexUniform(d);
+    Halfspace h{a - b, 0.0};
+    if (h.normal.Norm() < 1e-9) continue;
+    Polyhedron next = region.polyhedron;
+    next.Cut(h);
+    if (next.IsEmpty()) continue;  // keep the region non-empty
+    region.polyhedron = next;
+    region.cuts.push_back(h);
+  }
+  return region;
+}
+
+class LpVsVertexEnumeration : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LpVsVertexEnumeration, LinearOptimumMatchesBestVertex) {
+  const size_t d = GetParam();
+  Rng rng(500 + d);
+  for (int trial = 0; trial < 8; ++trial) {
+    RegionPair region = RandomRegion(d, 4, rng);
+    // Random objective.
+    Vec c(d);
+    for (size_t i = 0; i < d; ++i) c[i] = rng.Uniform(-1.0, 1.0);
+
+    // LP over the same constraints.
+    lp::Model model;
+    for (size_t i = 0; i < d; ++i) model.AddVariable(c[i]);
+    model.AddConstraint(Vec(d, 1.0), lp::Relation::kEq, 1.0);
+    for (const Halfspace& h : region.cuts) {
+      model.AddConstraint(h.normal, lp::Relation::kGe, h.offset);
+    }
+    lp::SolveResult lp_result = lp::Solve(model);
+    ASSERT_TRUE(lp_result.ok()) << lp_result.status.ToString();
+
+    double best_vertex = -1e18;
+    for (const Vec& v : region.polyhedron.vertices()) {
+      best_vertex = std::max(best_vertex, Dot(c, v));
+    }
+    EXPECT_NEAR(lp_result.objective, best_vertex, 1e-6)
+        << "d=" << d << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LpVsVertexEnumeration,
+                         ::testing::Values(2, 3, 4, 5));
+
+class RectVsVertices : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RectVsVertices, AaOuterRectangleMatchesVertexExtents) {
+  const size_t d = GetParam();
+  Rng rng(600 + d);
+  for (int trial = 0; trial < 5; ++trial) {
+    RegionPair region = RandomRegion(d, 5, rng);
+    std::vector<LearnedHalfspace> h;
+    for (const Halfspace& cut : region.cuts) {
+      LearnedHalfspace lh;
+      lh.h = cut;
+      h.push_back(lh);
+    }
+    AaGeometry geo = ComputeAaGeometry(d, h);
+    ASSERT_TRUE(geo.feasible);
+    for (size_t k = 0; k < d; ++k) {
+      double lo = 1e18, hi = -1e18;
+      for (const Vec& v : region.polyhedron.vertices()) {
+        lo = std::min(lo, v[k]);
+        hi = std::max(hi, v[k]);
+      }
+      EXPECT_NEAR(geo.e_min[k], lo, 1e-6) << "dim " << k;
+      EXPECT_NEAR(geo.e_max[k], hi, 1e-6) << "dim " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RectVsVertices, ::testing::Values(2, 3, 4));
+
+TEST(CrossTest, InnerSphereCenterInsidePolyhedron) {
+  Rng rng(700);
+  for (int trial = 0; trial < 5; ++trial) {
+    RegionPair region = RandomRegion(3, 4, rng);
+    std::vector<LearnedHalfspace> h;
+    for (const Halfspace& cut : region.cuts) {
+      LearnedHalfspace lh;
+      lh.h = cut;
+      h.push_back(lh);
+    }
+    AaGeometry geo = ComputeAaGeometry(3, h);
+    ASSERT_TRUE(geo.feasible);
+    EXPECT_TRUE(region.polyhedron.Contains(geo.inner.center, 1e-6));
+  }
+}
+
+TEST(CrossTest, HitAndRunSamplesPassExactMembership) {
+  Rng rng(701);
+  RegionPair region = RandomRegion(4, 5, rng);
+  AaGeometry geo = [&] {
+    std::vector<LearnedHalfspace> h;
+    for (const Halfspace& cut : region.cuts) {
+      LearnedHalfspace lh;
+      lh.h = cut;
+      h.push_back(lh);
+    }
+    return ComputeAaGeometry(4, h);
+  }();
+  ASSERT_TRUE(geo.feasible);
+  auto samples = HitAndRunSample(region.cuts, geo.inner.center, 300, rng);
+  ASSERT_FALSE(samples.empty());
+  for (const Vec& u : samples) {
+    EXPECT_TRUE(region.polyhedron.Contains(u, 1e-6));
+  }
+}
+
+// ---------- Degenerate geometry ----------
+
+TEST(DegenerateGeometry, CutThroughAVertexKeepsIt) {
+  // Cut u0 ≥ u1 through the 3-simplex passes exactly through (0,0,1): that
+  // corner must survive as a vertex.
+  Polyhedron p = Polyhedron::UnitSimplex(3);
+  p.Cut(Halfspace{Vec{1.0, -1.0, 0.0}, 0.0});
+  bool has_corner = false;
+  for (const Vec& v : p.vertices()) {
+    if (ApproxEqual(v, Vec{0.0, 0.0, 1.0}, 1e-7)) has_corner = true;
+  }
+  EXPECT_TRUE(has_corner);
+}
+
+TEST(DegenerateGeometry, RepeatedCutIsIdempotent) {
+  Polyhedron p = Polyhedron::UnitSimplex(3);
+  Halfspace h{Vec{1.0, -1.0, 0.0}, 0.0};
+  p.Cut(h);
+  auto vertices_before = p.vertices();
+  p.Cut(h);  // identical cut: nothing changes
+  ASSERT_EQ(p.vertices().size(), vertices_before.size());
+  for (size_t i = 0; i < vertices_before.size(); ++i) {
+    bool found = false;
+    for (const Vec& v : p.vertices()) {
+      if (ApproxEqual(v, vertices_before[i], 1e-9)) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(DegenerateGeometry, SimplexFacetCutIsRedundant) {
+  // u0 ≥ 0 is already a simplex constraint.
+  Polyhedron p = Polyhedron::UnitSimplex(3);
+  p.Cut(Halfspace{Vec{1.0, 0.0, 0.0}, 0.0});
+  EXPECT_EQ(p.vertices().size(), 3u);
+}
+
+TEST(DegenerateGeometry, CutToExactlyOnePoint) {
+  // u0 ≥ u1, u1 ≥ u0, u0 ≥ u2, u2 ≥ u0 pin the barycentre.
+  Polyhedron p = Polyhedron::UnitSimplex(3);
+  p.Cut(Halfspace{Vec{1.0, -1.0, 0.0}, 0.0});
+  p.Cut(Halfspace{Vec{-1.0, 1.0, 0.0}, 0.0});
+  p.Cut(Halfspace{Vec{1.0, 0.0, -1.0}, 0.0});
+  p.Cut(Halfspace{Vec{-1.0, 0.0, 1.0}, 0.0});
+  ASSERT_EQ(p.vertices().size(), 1u);
+  EXPECT_TRUE(ApproxEqual(p.vertices()[0], Vec{1.0 / 3, 1.0 / 3, 1.0 / 3},
+                          1e-7));
+  EXPECT_NEAR(p.Diameter(), 0.0, 1e-9);
+}
+
+TEST(DegenerateGeometry, LpOnPointRegionStillSolves) {
+  // The LP layer must agree that the pinned region is the barycentre.
+  std::vector<LearnedHalfspace> h(4);
+  h[0].h = Halfspace{Vec{1.0, -1.0, 0.0}, 0.0};
+  h[1].h = Halfspace{Vec{-1.0, 1.0, 0.0}, 0.0};
+  h[2].h = Halfspace{Vec{1.0, 0.0, -1.0}, 0.0};
+  h[3].h = Halfspace{Vec{-1.0, 0.0, 1.0}, 0.0};
+  AaGeometry geo = ComputeAaGeometry(3, h);
+  ASSERT_TRUE(geo.feasible);
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(geo.e_min[k], 1.0 / 3, 1e-6);
+    EXPECT_NEAR(geo.e_max[k], 1.0 / 3, 1e-6);
+  }
+  EXPECT_NEAR(Distance(geo.e_min, geo.e_max), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace isrl

@@ -1,0 +1,363 @@
+// Unit + property tests for the geometry substrate: half-spaces, the utility
+// range polyhedron (vertex enumeration), enclosing balls, convex-hull
+// extremeness, and hit-and-run sampling.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/convex_hull.h"
+#include "geometry/enclosing_ball.h"
+#include "geometry/halfspace.h"
+#include "geometry/hit_and_run.h"
+#include "geometry/polyhedron.h"
+
+namespace isrl {
+namespace {
+
+// ---------- Halfspace ----------
+
+TEST(HalfspaceTest, PreferenceHalfspaceContainsAgreeingVectors) {
+  Vec pi{0.8, 0.2};
+  Vec pj{0.2, 0.8};
+  Halfspace h = PreferenceHalfspace(pi, pj);
+  // Utility weighting dim 0 prefers pi: must be inside.
+  EXPECT_TRUE(h.Contains(Vec{0.9, 0.1}));
+  EXPECT_FALSE(h.Contains(Vec{0.1, 0.9}));
+  // On the hyper-plane: contained up to tolerance (Lemma 1 boundary).
+  EXPECT_TRUE(h.Contains(Vec{0.5, 0.5}, 1e-9));
+}
+
+TEST(HalfspaceTest, FlippedIsComplement) {
+  Halfspace h{Vec{1.0, -1.0}, 0.0};
+  Halfspace f = h.Flipped();
+  Vec inside{0.9, 0.1};
+  EXPECT_TRUE(h.Contains(inside));
+  EXPECT_FALSE(f.Contains(inside));
+  EXPECT_DOUBLE_EQ(h.Margin(inside), -f.Margin(inside));
+}
+
+TEST(HalfspaceTest, EpsilonHalfspaceLooserThanStrict) {
+  // εh contains everything h_{i,j} contains (for points in the positive
+  // orthant) plus an ε-band on the other side.
+  Vec pi{0.5, 0.5};
+  Vec pj{0.6, 0.4};
+  Halfspace strict = PreferenceHalfspace(pi, pj);
+  Halfspace relaxed = EpsilonHalfspace(pi, pj, 0.2);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    Vec u = rng.SimplexUniform(2);
+    if (strict.Contains(u, 0.0)) {
+      EXPECT_TRUE(relaxed.Contains(u, 1e-12));
+    }
+  }
+}
+
+TEST(HalfspaceTest, DistanceToHyperplane) {
+  Halfspace h{Vec{1.0, 0.0}, 0.0};  // plane x = 0
+  EXPECT_NEAR(DistanceToHyperplane(Vec{3.0, 7.0}, h), 3.0, 1e-12);
+  Halfspace diag{Vec{1.0, 1.0}, 1.0};  // plane x + y = 1
+  EXPECT_NEAR(DistanceToHyperplane(Vec{1.0, 1.0}, diag), 1.0 / std::sqrt(2.0),
+              1e-12);
+}
+
+// ---------- Polyhedron ----------
+
+TEST(PolyhedronTest, UnitSimplexVertices) {
+  for (size_t d = 2; d <= 6; ++d) {
+    Polyhedron p = Polyhedron::UnitSimplex(d);
+    ASSERT_EQ(p.vertices().size(), d);
+    // Every vertex is a coordinate unit vector.
+    for (const Vec& v : p.vertices()) {
+      EXPECT_NEAR(v.Sum(), 1.0, 1e-9);
+      EXPECT_NEAR(v.Max(), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(PolyhedronTest, CutHalvesTriangle) {
+  // Cut the 2-simplex with u[0] ≥ u[1]: vertices (1,0), (.5,.5).
+  Polyhedron p = Polyhedron::UnitSimplex(2);
+  p.Cut(Halfspace{Vec{1.0, -1.0}, 0.0});
+  ASSERT_EQ(p.vertices().size(), 2u);
+  bool has_corner = false, has_mid = false;
+  for (const Vec& v : p.vertices()) {
+    if (ApproxEqual(v, Vec{1.0, 0.0}, 1e-8)) has_corner = true;
+    if (ApproxEqual(v, Vec{0.5, 0.5}, 1e-8)) has_mid = true;
+  }
+  EXPECT_TRUE(has_corner);
+  EXPECT_TRUE(has_mid);
+}
+
+TEST(PolyhedronTest, RedundantCutDropped) {
+  Polyhedron p = Polyhedron::UnitSimplex(3);
+  // u[0] ≥ -1 holds everywhere on the simplex: must not be retained.
+  p.Cut(Halfspace{Vec{1.0, 0.0, 0.0}, -1.0});
+  EXPECT_TRUE(p.cuts().empty());
+  EXPECT_EQ(p.vertices().size(), 3u);
+}
+
+TEST(PolyhedronTest, InfeasibleCutEmptiesRange) {
+  Polyhedron p = Polyhedron::UnitSimplex(3);
+  p.Cut(Halfspace{Vec{1.0, 1.0, 1.0}, 2.0});  // Σu ≥ 2 impossible
+  EXPECT_TRUE(p.IsEmpty());
+}
+
+TEST(PolyhedronTest, ContainsChecksEverything) {
+  Polyhedron p = Polyhedron::UnitSimplex(3);
+  p.Cut(Halfspace{Vec{1.0, -1.0, 0.0}, 0.0});  // u0 ≥ u1
+  EXPECT_TRUE(p.Contains(Vec{0.5, 0.2, 0.3}));
+  EXPECT_FALSE(p.Contains(Vec{0.2, 0.5, 0.3}));   // violates cut
+  EXPECT_FALSE(p.Contains(Vec{0.6, 0.2, 0.1}));   // sum ≠ 1
+  EXPECT_FALSE(p.Contains(Vec{1.2, -0.1, -0.1})); // negative coord
+}
+
+TEST(PolyhedronTest, CentroidInsideRange) {
+  Rng rng(3);
+  Polyhedron p = Polyhedron::UnitSimplex(4);
+  for (int i = 0; i < 5; ++i) {
+    Vec a = rng.SimplexUniform(4), b = rng.SimplexUniform(4);
+    Polyhedron copy = p;
+    copy.Cut(Halfspace{a - b, 0.0});
+    if (copy.IsEmpty()) continue;
+    p = copy;
+    EXPECT_TRUE(p.Contains(p.Centroid(), 1e-7));
+  }
+}
+
+TEST(PolyhedronTest, SampleInteriorStaysInside) {
+  Rng rng(4);
+  Polyhedron p = Polyhedron::UnitSimplex(3);
+  p.Cut(Halfspace{Vec{1.0, -1.0, 0.0}, 0.0});
+  p.Cut(Halfspace{Vec{0.0, 1.0, -1.0}, 0.0});
+  ASSERT_FALSE(p.IsEmpty());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(p.Contains(p.SampleInterior(rng), 1e-7));
+  }
+}
+
+TEST(PolyhedronTest, DiameterOfSimplex) {
+  Polyhedron p = Polyhedron::UnitSimplex(2);
+  EXPECT_NEAR(p.Diameter(), std::sqrt(2.0), 1e-9);
+}
+
+TEST(PolyhedronTest, CutsShrinkDiameterMonotonically) {
+  Rng rng(5);
+  Polyhedron p = Polyhedron::UnitSimplex(4);
+  double prev = p.Diameter();
+  for (int i = 0; i < 8; ++i) {
+    Vec a = rng.SimplexUniform(4), b = rng.SimplexUniform(4);
+    Polyhedron copy = p;
+    copy.Cut(Halfspace{a - b, 0.0});
+    if (copy.IsEmpty()) continue;
+    p = copy;
+    double cur = p.Diameter();
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+// Property: vertex enumeration agrees with membership — every enumerated
+// vertex is contained; and cutting preserves exactly the vertices that
+// satisfy the new half-space.
+class PolyhedronCutProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PolyhedronCutProperty, VerticesConsistentUnderRandomCuts) {
+  const size_t d = GetParam();
+  Rng rng(40 + d);
+  Polyhedron p = Polyhedron::UnitSimplex(d);
+  for (int round = 0; round < 6; ++round) {
+    Vec a = rng.SimplexUniform(d), b = rng.SimplexUniform(d);
+    Halfspace h{a - b, 0.0};
+    std::vector<Vec> surviving;
+    for (const Vec& v : p.vertices()) {
+      if (h.Contains(v, 1e-9)) surviving.push_back(v);
+    }
+    Polyhedron next = p;
+    next.Cut(h);
+    if (next.IsEmpty()) break;
+    // All enumerated vertices satisfy every constraint.
+    for (const Vec& v : next.vertices()) {
+      EXPECT_TRUE(next.Contains(v, 1e-6));
+      EXPECT_TRUE(p.Contains(v, 1e-6));  // nested ranges
+    }
+    // Old vertices inside the cut must still be vertices of the new range.
+    for (const Vec& v : surviving) {
+      bool found = false;
+      for (const Vec& w : next.vertices()) {
+        if (ApproxEqual(v, w, 1e-6)) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+    p = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PolyhedronCutProperty,
+                         ::testing::Values(2, 3, 4, 5));
+
+// ---------- Enclosing balls ----------
+
+TEST(EnclosingBallTest, IterativeBallContainsAllPoints) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t d = 2 + static_cast<size_t>(rng.UniformInt(0, 4));
+    std::vector<Vec> pts;
+    for (int i = 0; i < 12; ++i) {
+      Vec p(d);
+      for (size_t c = 0; c < d; ++c) p[c] = rng.Uniform(-1.0, 1.0);
+      pts.push_back(p);
+    }
+    Ball ball = IterativeOuterBall(pts);
+    for (const Vec& p : pts) EXPECT_TRUE(ball.Contains(p, 1e-9));
+  }
+}
+
+TEST(EnclosingBallTest, SinglePointBall) {
+  Ball b = IterativeOuterBall({Vec{0.3, 0.7}});
+  EXPECT_NEAR(b.radius, 0.0, 1e-9);
+  EXPECT_TRUE(ApproxEqual(b.center, Vec{0.3, 0.7}, 1e-9));
+}
+
+TEST(EnclosingBallTest, SymmetricPairCentered) {
+  Ball b = IterativeOuterBall({Vec{0.0, 0.0}, Vec{2.0, 0.0}});
+  EXPECT_NEAR(b.center[0], 1.0, 1e-3);
+  EXPECT_NEAR(b.radius, 1.0, 1e-3);
+}
+
+TEST(EnclosingBallTest, WelzlExactOnKnownCases) {
+  Rng rng(8);
+  // Equilateral-ish triangle in 2D: circumradius = side/√3.
+  std::vector<Vec> tri{Vec{0.0, 0.0}, Vec{1.0, 0.0},
+                       Vec{0.5, std::sqrt(3.0) / 2.0}};
+  Ball b = WelzlMinimumBall(tri, rng);
+  EXPECT_NEAR(b.radius, 1.0 / std::sqrt(3.0), 1e-9);
+  // Points inside a segment's ball do not grow it.
+  std::vector<Vec> seg{Vec{0.0, 0.0}, Vec{2.0, 0.0}, Vec{1.0, 0.1}};
+  b = WelzlMinimumBall(seg, rng);
+  EXPECT_NEAR(b.radius, 1.0, 1e-9);
+}
+
+TEST(EnclosingBallTest, WelzlContainsAllAndBeatsHeuristic) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t d = 2 + static_cast<size_t>(rng.UniformInt(0, 3));
+    std::vector<Vec> pts;
+    for (int i = 0; i < 15; ++i) {
+      Vec p(d);
+      for (size_t c = 0; c < d; ++c) p[c] = rng.Uniform(0.0, 1.0);
+      pts.push_back(p);
+    }
+    Ball exact = WelzlMinimumBall(pts, rng);
+    Ball heur = IterativeOuterBall(pts);
+    for (const Vec& p : pts) EXPECT_TRUE(exact.Contains(p, 1e-7));
+    // The exact minimum ball is no larger than the heuristic one.
+    EXPECT_LE(exact.radius, heur.radius + 1e-7);
+  }
+}
+
+TEST(EnclosingBallTest, IterativeShrinksRadiusAcrossIterations) {
+  // Lemma 3: successive iterations never grow the covering radius. We check
+  // the end-to-end consequence: the final ball is no worse than the start
+  // (centred at the mean) by more than numerical noise.
+  Rng rng(10);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back(Vec{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0),
+                      rng.Uniform(0.0, 1.0)});
+  }
+  Vec mean(3);
+  for (const Vec& p : pts) mean += p;
+  mean /= 30.0;
+  double start_radius = 0.0;
+  for (const Vec& p : pts) start_radius = std::max(start_radius, Distance(mean, p));
+  Ball b = IterativeOuterBall(pts);
+  EXPECT_LE(b.radius, start_radius + 1e-9);
+}
+
+// ---------- Convex hull ----------
+
+TEST(ConvexHullTest, SquareCornersExtreme) {
+  std::vector<Vec> pts{Vec{0.0, 0.0}, Vec{1.0, 0.0}, Vec{0.0, 1.0},
+                       Vec{1.0, 1.0}, Vec{0.5, 0.5}};
+  auto extreme = ExtremePointIndices(pts);
+  ASSERT_EQ(extreme.size(), 4u);
+  EXPECT_TRUE(std::find(extreme.begin(), extreme.end(), 4u) == extreme.end());
+}
+
+TEST(ConvexHullTest, CollinearMiddleNotExtreme) {
+  std::vector<Vec> pts{Vec{0.0, 0.0}, Vec{0.5, 0.5}, Vec{1.0, 1.0}};
+  EXPECT_TRUE(IsExtremePoint(pts, 0));
+  EXPECT_FALSE(IsExtremePoint(pts, 1));
+  EXPECT_TRUE(IsExtremePoint(pts, 2));
+}
+
+TEST(ConvexHullTest, SinglePointExtreme) {
+  std::vector<Vec> pts{Vec{0.3, 0.4}};
+  EXPECT_TRUE(IsExtremePoint(pts, 0));
+}
+
+TEST(ConvexHullTest, ArgmaxOfLinearFunctionIsExtreme) {
+  // Property: the maximiser of any linear function over a finite set is a
+  // hull vertex (used by UH-Simplex's selection rule).
+  Rng rng(11);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(Vec{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0),
+                      rng.Uniform(0.0, 1.0)});
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    Vec w = rng.SimplexUniform(3);
+    size_t best = 0;
+    for (size_t i = 1; i < pts.size(); ++i) {
+      if (Dot(w, pts[i]) > Dot(w, pts[best])) best = i;
+    }
+    EXPECT_TRUE(IsExtremePoint(pts, best));
+  }
+}
+
+// ---------- Hit-and-run ----------
+
+TEST(HitAndRunTest, SamplesSatisfyConstraints) {
+  Rng rng(12);
+  std::vector<Halfspace> cuts{{Vec{1.0, -1.0, 0.0}, 0.0},
+                              {Vec{0.0, 1.0, -1.0}, 0.0}};
+  Vec start{0.5, 0.3, 0.2};
+  auto samples = HitAndRunSample(cuts, start, 200, rng);
+  ASSERT_EQ(samples.size(), 200u);
+  for (const Vec& u : samples) {
+    EXPECT_NEAR(u.Sum(), 1.0, 1e-7);
+    for (size_t i = 0; i < 3; ++i) EXPECT_GE(u[i], -1e-7);
+    for (const Halfspace& h : cuts) EXPECT_TRUE(h.Contains(u, 1e-6));
+  }
+}
+
+TEST(HitAndRunTest, InfeasibleStartReturnsEmpty) {
+  Rng rng(13);
+  std::vector<Halfspace> cuts{{Vec{1.0, -1.0}, 0.0}};
+  auto samples = HitAndRunSample(cuts, Vec{0.1, 0.9}, 10, rng);
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(HitAndRunTest, CoversTheRegion) {
+  // On the free simplex the chain should reach all three corners' vicinity.
+  Rng rng(14);
+  auto samples = HitAndRunSample({}, Vec{1.0 / 3, 1.0 / 3, 1.0 / 3}, 500, rng);
+  ASSERT_EQ(samples.size(), 500u);
+  double max0 = 0.0, max1 = 0.0, max2 = 0.0;
+  for (const Vec& u : samples) {
+    max0 = std::max(max0, u[0]);
+    max1 = std::max(max1, u[1]);
+    max2 = std::max(max2, u[2]);
+  }
+  EXPECT_GT(max0, 0.6);
+  EXPECT_GT(max1, 0.6);
+  EXPECT_GT(max2, 0.6);
+}
+
+}  // namespace
+}  // namespace isrl

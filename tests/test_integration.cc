@@ -1,0 +1,170 @@
+// Cross-algorithm integration tests: all five algorithms on one dataset via
+// the shared session harness, trajectory evaluation, and headline paper
+// claims at test scale.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/single_pass.h"
+#include "baselines/uh_random.h"
+#include "baselines/uh_simplex.h"
+#include "core/aa.h"
+#include "core/ea.h"
+#include "core/regret.h"
+#include "core/session.h"
+#include "data/real_like.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "user/sampler.h"
+
+namespace isrl {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(100);
+    Dataset raw = GenerateSynthetic(2000, 4, Distribution::kAntiCorrelated, rng);
+    sky_ = new Dataset(SkylineOf(raw));
+    train_ = new std::vector<Vec>(SampleUtilityVectors(40, 4, rng));
+    eval_ = new std::vector<Vec>(SampleUtilityVectors(12, 4, rng));
+  }
+  static void TearDownTestSuite() {
+    delete sky_;
+    delete train_;
+    delete eval_;
+  }
+
+  static Dataset* sky_;
+  static std::vector<Vec>* train_;
+  static std::vector<Vec>* eval_;
+};
+
+Dataset* IntegrationTest::sky_ = nullptr;
+std::vector<Vec>* IntegrationTest::train_ = nullptr;
+std::vector<Vec>* IntegrationTest::eval_ = nullptr;
+
+TEST_F(IntegrationTest, AllAlgorithmsProduceValidAnswers) {
+  const double eps = 0.1;
+  EaOptions eopt;
+  eopt.epsilon = eps;
+  Ea ea(*sky_, eopt);
+  ea.Train(*train_);
+  AaOptions aopt;
+  aopt.epsilon = eps;
+  Aa aa(*sky_, aopt);
+  aa.Train(*train_);
+  UhOptions uopt;
+  uopt.epsilon = eps;
+  UhRandom uhr(*sky_, uopt);
+  UhSimplex uhs(*sky_, uopt);
+  SinglePassOptions spo;
+  spo.epsilon = eps;
+  SinglePass sp(*sky_, spo);
+
+  std::vector<InteractiveAlgorithm*> algos{&ea, &aa, &uhr, &uhs, &sp};
+  for (InteractiveAlgorithm* algo : algos) {
+    EvalStats s = Evaluate(*algo, *sky_, *eval_, eps);
+    EXPECT_GT(s.mean_rounds, 0.0) << algo->name();
+    EXPECT_GE(s.frac_within_eps, 0.75) << algo->name();
+    EXPECT_LE(s.mean_regret, eps) << algo->name();
+  }
+}
+
+TEST_F(IntegrationTest, TrainedEaBeatsBaselinesOnRounds) {
+  // The headline claim at test scale: EA asks fewer questions than every
+  // short-term baseline.
+  const double eps = 0.1;
+  EaOptions eopt;
+  eopt.epsilon = eps;
+  Ea ea(*sky_, eopt);
+  ea.Train(*train_);
+  EvalStats s_ea = Evaluate(ea, *sky_, *eval_, eps);
+
+  UhOptions uopt;
+  uopt.epsilon = eps;
+  UhRandom uhr(*sky_, uopt);
+  EvalStats s_uhr = Evaluate(uhr, *sky_, *eval_, eps);
+  UhSimplex uhs(*sky_, uopt);
+  EvalStats s_uhs = Evaluate(uhs, *sky_, *eval_, eps);
+  SinglePassOptions spo;
+  spo.epsilon = eps;
+  SinglePass sp(*sky_, spo);
+  EvalStats s_sp = Evaluate(sp, *sky_, *eval_, eps);
+
+  EXPECT_LT(s_ea.mean_rounds, s_uhr.mean_rounds);
+  EXPECT_LT(s_ea.mean_rounds, s_uhs.mean_rounds);
+  EXPECT_LT(s_ea.mean_rounds, s_sp.mean_rounds);
+}
+
+TEST_F(IntegrationTest, TrajectoryEvaluationProducesSeries) {
+  EaOptions eopt;
+  Ea ea(*sky_, eopt);
+  std::vector<Vec> users(eval_->begin(), eval_->begin() + 3);
+  TraceSummary ts = EvaluateTrajectory(ea, *sky_, users, 200, 7);
+  ASSERT_GT(ts.mean_max_regret.size(), 0u);
+  EXPECT_EQ(ts.mean_max_regret.size(), ts.mean_cumulative_seconds.size());
+  // Worst-case regret falls over the interaction; time accumulates.
+  EXPECT_LE(ts.mean_max_regret.back(), ts.mean_max_regret.front() + 1e-9);
+  for (size_t i = 1; i < ts.mean_cumulative_seconds.size(); ++i) {
+    EXPECT_GE(ts.mean_cumulative_seconds[i],
+              ts.mean_cumulative_seconds[i - 1] - 1e-12);
+  }
+}
+
+TEST_F(IntegrationTest, NoisyFactoryWorksThroughSession) {
+  Rng noise_rng(200);
+  EaOptions eopt;
+  eopt.epsilon = 0.15;
+  Ea ea(*sky_, eopt);
+  std::vector<Vec> users(eval_->begin(), eval_->begin() + 4);
+  EvalStats s = Evaluate(ea, *sky_, users, 0.15,
+                         MakeNoisyUserFactory(0.1, noise_rng));
+  EXPECT_EQ(s.episodes, 4u);
+  EXPECT_GT(s.mean_rounds, 0.0);
+}
+
+TEST(IntegrationRealLike, CarPipelineEndToEnd) {
+  Rng rng(300);
+  Dataset car = MakeCarDataset(rng, 3000);
+  Dataset sky = SkylineOf(car);
+  ASSERT_GT(sky.size(), 5u);
+  EaOptions opt;
+  opt.epsilon = 0.1;
+  Ea ea(sky, opt);
+  auto eval = SampleUtilityVectors(5, 3, rng);
+  EvalStats s = Evaluate(ea, sky, eval, opt.epsilon);
+  EXPECT_GE(s.frac_within_eps, 0.99);
+  EXPECT_LT(s.mean_rounds, 30.0);
+}
+
+TEST(IntegrationRealLike, PlayerPipelineEndToEnd) {
+  Rng rng(301);
+  Dataset player = MakePlayerDataset(rng, 2000);
+  Dataset sky = SkylineOf(player);
+  AaOptions opt;
+  opt.epsilon = 0.2;
+  Aa aa(sky, opt);
+  auto eval = SampleUtilityVectors(2, kPlayerAttributes, rng);
+  EvalStats s = Evaluate(aa, sky, eval, opt.epsilon);
+  EXPECT_GT(s.mean_rounds, 0.0);
+  EXPECT_LE(s.mean_rounds, 2000.0);
+}
+
+TEST(IntegrationDeterminism, SeededPipelinesReproduce) {
+  auto run = [](uint64_t seed) {
+    Rng rng(seed);
+    Dataset raw = GenerateSynthetic(800, 3, Distribution::kAntiCorrelated, rng);
+    Dataset sky = SkylineOf(raw);
+    AaOptions opt;
+    opt.seed = seed;
+    Aa aa(sky, opt);
+    auto eval = SampleUtilityVectors(4, 3, rng);
+    EvalStats s = Evaluate(aa, sky, eval, opt.epsilon);
+    return s.mean_rounds;
+  };
+  EXPECT_DOUBLE_EQ(run(5), run(5));
+}
+
+}  // namespace
+}  // namespace isrl

@@ -1,0 +1,244 @@
+// Unit + property tests for the two-phase simplex solver.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace isrl::lp {
+namespace {
+
+TEST(SimplexTest, SimpleMaximize) {
+  // max 3x + 2y, x + y ≤ 4, x ≤ 2, x,y ≥ 0 → x=2, y=2, obj=10.
+  Model m;
+  m.AddVariable(3.0);
+  m.AddVariable(2.0);
+  m.AddConstraint(Vec{1.0, 1.0}, Relation::kLe, 4.0);
+  m.AddConstraint(Vec{1.0, 0.0}, Relation::kLe, 2.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_NEAR(r.objective, 10.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, SimpleMinimize) {
+  // min x + y, x + 2y ≥ 4, 3x + y ≥ 6 → intersection (1.6, 1.2), obj 2.8.
+  Model m;
+  m.AddVariable(1.0);
+  m.AddVariable(1.0);
+  m.SetSense(Sense::kMinimize);
+  m.AddConstraint(Vec{1.0, 2.0}, Relation::kGe, 4.0);
+  m.AddConstraint(Vec{3.0, 1.0}, Relation::kGe, 6.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_NEAR(r.objective, 2.8, 1e-9);
+  EXPECT_NEAR(r.x[0], 1.6, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.2, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x, x + y = 1, x,y ≥ 0 → x=1.
+  Model m;
+  m.AddVariable(1.0);
+  m.AddVariable(0.0);
+  m.AddConstraint(Vec{1.0, 1.0}, Relation::kEq, 1.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x ≥ 3 and x ≤ 1 cannot hold.
+  Model m;
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0}, Relation::kGe, 3.0);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 1.0);
+  SolveResult r = Solve(m);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  Model m;
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0}, Relation::kGe, 0.0);
+  SolveResult r = Solve(m);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalised) {
+  // max -x s.t. -x ≤ -2 (i.e. x ≥ 2) → x = 2, obj = -2.
+  Model m;
+  m.AddVariable(-1.0);
+  m.AddConstraint(Vec{-1.0}, Relation::kLe, -2.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, -2.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, FreeVariableCanGoNegative) {
+  // min x (x free), x ≥ -5 → x = -5.
+  Model m;
+  m.AddVariable(1.0, /*nonneg=*/false);
+  m.SetSense(Sense::kMinimize);
+  m.AddConstraint(Vec{1.0}, Relation::kGe, -5.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, -5.0, 1e-9);
+  EXPECT_NEAR(r.x[0], -5.0, 1e-9);
+}
+
+TEST(SimplexTest, FreeVariableMaximized) {
+  // max x (x free), x ≤ 0.25 → x = 0.25 (positive part of the split unused).
+  Model m;
+  m.AddVariable(1.0, /*nonneg=*/false);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 0.25);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 0.25, 1e-9);
+}
+
+TEST(SimplexTest, ChebyshevCentreOfSquare) {
+  // Largest ball in the unit square: centre (.5,.5), radius .5.
+  // Variables: cx, cy, r. Constraints: cx ± r, cy ± r within [0,1].
+  Model m;
+  m.AddVariable(0.0);
+  m.AddVariable(0.0);
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0, 0.0, -1.0}, Relation::kGe, 0.0);   // cx − r ≥ 0
+  m.AddConstraint(Vec{1.0, 0.0, 1.0}, Relation::kLe, 1.0);    // cx + r ≤ 1
+  m.AddConstraint(Vec{0.0, 1.0, -1.0}, Relation::kGe, 0.0);
+  m.AddConstraint(Vec{0.0, 1.0, 1.0}, Relation::kLe, 1.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 0.5, 1e-9);
+  EXPECT_NEAR(r.x[0], 0.5, 1e-9);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateVertexStillOptimal) {
+  // Three constraints through one vertex (degenerate) — classic cycling bait.
+  Model m;
+  m.AddVariable(1.0);
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0, 0.0}, Relation::kLe, 1.0);
+  m.AddConstraint(Vec{0.0, 1.0}, Relation::kLe, 1.0);
+  m.AddConstraint(Vec{1.0, 1.0}, Relation::kLe, 2.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // The same equality twice: phase 1 must neutralise the redundant row.
+  Model m;
+  m.AddVariable(1.0);
+  m.AddVariable(0.0);
+  m.AddConstraint(Vec{1.0, 1.0}, Relation::kEq, 1.0);
+  m.AddConstraint(Vec{2.0, 2.0}, Relation::kEq, 2.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(SimplexTest, NoVariablesRejected) {
+  Model m;
+  SolveResult r = Solve(m);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, ZeroObjectiveFeasibilityProbe) {
+  // Pure feasibility use (objective 0): should return OK with obj 0.
+  Model m;
+  m.AddVariable(0.0);
+  m.AddConstraint(Vec{1.0}, Relation::kGe, 0.5);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 0.7);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 0.0, 1e-12);
+  EXPECT_GE(r.x[0], 0.5 - 1e-9);
+  EXPECT_LE(r.x[0], 0.7 + 1e-9);
+}
+
+// ---------- Property tests ----------
+
+// Over the simplex {u ≥ 0, Σu = 1}, max c·u must equal max_i c[i]: the
+// optimum of a linear function over a simplex sits at a corner.
+class SimplexCornerProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SimplexCornerProperty, LinearObjectiveOverSimplexHitsCorner) {
+  const size_t d = GetParam();
+  Rng rng(100 + d);
+  for (int trial = 0; trial < 10; ++trial) {
+    Model m;
+    Vec c(d);
+    for (size_t i = 0; i < d; ++i) {
+      c[i] = rng.Uniform(-1.0, 1.0);
+      m.AddVariable(c[i]);
+    }
+    m.AddConstraint(Vec(d, 1.0), Relation::kEq, 1.0);
+    SolveResult r = Solve(m);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r.objective, c.Max(), 1e-9);
+    EXPECT_NEAR(r.x.Sum(), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SimplexCornerProperty,
+                         ::testing::Values(2, 3, 5, 8, 12, 20));
+
+// Random feasible boxes: solution must satisfy every constraint and be at
+// least as good as any random feasible point (optimality spot-check).
+class SimplexRandomProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SimplexRandomProperty, OptimumBeatsRandomFeasiblePoints) {
+  const size_t d = GetParam();
+  Rng rng(200 + d);
+  for (int trial = 0; trial < 5; ++trial) {
+    Model m;
+    Vec c(d);
+    for (size_t i = 0; i < d; ++i) {
+      c[i] = rng.Uniform(-1.0, 1.0);
+      m.AddVariable(c[i]);
+    }
+    // Box 0 ≤ x_i ≤ b_i plus a random ≤ halfspace through the box.
+    Vec ub(d);
+    for (size_t i = 0; i < d; ++i) {
+      ub[i] = rng.Uniform(0.5, 2.0);
+      Vec row(d);
+      row[i] = 1.0;
+      m.AddConstraint(row, Relation::kLe, ub[i]);
+    }
+    Vec a(d);
+    for (size_t i = 0; i < d; ++i) a[i] = rng.Uniform(0.0, 1.0);
+    double rhs = Dot(a, ub) * 0.6;
+    m.AddConstraint(a, Relation::kLe, rhs);
+
+    SolveResult r = Solve(m);
+    ASSERT_TRUE(r.ok());
+    // Feasibility of the reported optimum.
+    for (size_t i = 0; i < d; ++i) {
+      EXPECT_GE(r.x[i], -1e-9);
+      EXPECT_LE(r.x[i], ub[i] + 1e-9);
+    }
+    EXPECT_LE(Dot(a, r.x), rhs + 1e-8);
+    // Optimality vs random feasible points (rejection-sampled).
+    for (int probe = 0; probe < 200; ++probe) {
+      Vec p(d);
+      for (size_t i = 0; i < d; ++i) p[i] = rng.Uniform(0.0, ub[i]);
+      if (Dot(a, p) > rhs) continue;
+      EXPECT_LE(Dot(c, p), r.objective + 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SimplexRandomProperty,
+                         ::testing::Values(2, 3, 5, 10));
+
+}  // namespace
+}  // namespace isrl::lp

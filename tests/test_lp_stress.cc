@@ -1,0 +1,209 @@
+// Stress and adversarial tests for the simplex solver: classic cycling
+// traps, highly degenerate systems, redundant/conflicting constraints,
+// larger random instances cross-checked against interior sampling, and the
+// LP shapes AA actually issues at scale.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace isrl::lp {
+namespace {
+
+TEST(SimplexStress, BealesCyclingExample) {
+  // Beale (1955): cycles under naive Dantzig pivoting without an
+  // anti-cycling rule. min -0.75x4 + 150x5 - 0.02x6 + 6x7 subject to the
+  // classic three rows (x1..x3 basic slacks).
+  Model m;
+  m.SetSense(Sense::kMinimize);
+  m.AddVariable(-0.75);
+  m.AddVariable(150.0);
+  m.AddVariable(-0.02);
+  m.AddVariable(6.0);
+  m.AddConstraint(Vec{0.25, -60.0, -1.0 / 25.0, 9.0}, Relation::kLe, 0.0);
+  m.AddConstraint(Vec{0.5, -90.0, -1.0 / 50.0, 3.0}, Relation::kLe, 0.0);
+  m.AddConstraint(Vec{0.0, 0.0, 1.0, 0.0}, Relation::kLe, 1.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_NEAR(r.objective, -0.05, 1e-9);
+}
+
+TEST(SimplexStress, KleeMintyCube3D) {
+  // Klee-Minty: exponential path for worst-case pivot rules; must still
+  // reach the optimum 5^3 = 125 at x = (0, 0, 125)... (classic form:
+  // max 100x1 + 10x2 + x3 s.t. x1 ≤ 1, 20x1 + x2 ≤ 100,
+  // 200x1 + 20x2 + x3 ≤ 10000).
+  Model m;
+  m.AddVariable(100.0);
+  m.AddVariable(10.0);
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0, 0.0, 0.0}, Relation::kLe, 1.0);
+  m.AddConstraint(Vec{20.0, 1.0, 0.0}, Relation::kLe, 100.0);
+  m.AddConstraint(Vec{200.0, 20.0, 1.0}, Relation::kLe, 10000.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 10000.0, 1e-6);
+}
+
+TEST(SimplexStress, ManyRedundantConstraints) {
+  // One binding constraint buried under 100 redundant copies scaled by
+  // arbitrary factors.
+  Model m;
+  m.AddVariable(1.0);
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0, 1.0}, Relation::kLe, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    double scale = rng.Uniform(1.0, 10.0);
+    m.AddConstraint(Vec{scale, scale}, Relation::kLe, scale * rng.Uniform(1.0, 5.0));
+  }
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.objective, 1.0, 1e-8);
+}
+
+TEST(SimplexStress, TightlySandwichedEqualityViaInequalities) {
+  // x ≤ 0.3 and x ≥ 0.3 pin the variable exactly.
+  Model m;
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 0.3);
+  m.AddConstraint(Vec{1.0}, Relation::kGe, 0.3);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 0.3, 1e-9);
+}
+
+TEST(SimplexStress, InfeasibleByThinMargin) {
+  Model m;
+  m.AddVariable(0.0);
+  m.AddConstraint(Vec{1.0}, Relation::kGe, 0.5 + 1e-7);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 0.5 - 1e-7);
+  SolveResult r = Solve(m);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexStress, RandomSimplexLpsOptimumDominatesInteriorSamples) {
+  // For random objectives over random half-space-restricted simplices, the
+  // LP optimum must dominate every rejection-sampled feasible point.
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t d = 3 + static_cast<size_t>(rng.UniformInt(0, 5));
+    std::vector<Vec> normals;
+    for (int c = 0; c < 4; ++c) {
+      normals.push_back(rng.SimplexUniform(d) - rng.SimplexUniform(d));
+    }
+    Vec obj(d);
+    for (size_t i = 0; i < d; ++i) obj[i] = rng.Uniform(-1.0, 1.0);
+
+    Model m;
+    for (size_t i = 0; i < d; ++i) m.AddVariable(obj[i]);
+    m.AddConstraint(Vec(d, 1.0), Relation::kEq, 1.0);
+    for (const Vec& n : normals) m.AddConstraint(n, Relation::kGe, 0.0);
+    SolveResult r = Solve(m);
+    if (!r.ok()) continue;  // region may be empty; infeasible is legitimate
+
+    int checked = 0;
+    for (int probe = 0; probe < 3000 && checked < 200; ++probe) {
+      Vec u = rng.SimplexUniform(d);
+      bool feasible = true;
+      for (const Vec& n : normals) {
+        if (Dot(n, u) < 0.0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      ++checked;
+      EXPECT_LE(Dot(obj, u), r.objective + 1e-7);
+    }
+  }
+}
+
+TEST(SimplexStress, LargerDenseInstanceSolves) {
+  // 120 constraints × 25 variables — the size AA's geometry LPs reach late
+  // in a long interaction.
+  Rng rng(3);
+  const size_t n = 25, mrows = 120;
+  Model m;
+  Vec interior(n);
+  for (size_t i = 0; i < n; ++i) {
+    m.AddVariable(rng.Uniform(-1.0, 1.0));
+    interior[i] = rng.Uniform(0.1, 1.0);
+  }
+  // Constraints all satisfied by `interior` so the LP is feasible.
+  for (size_t r = 0; r < mrows; ++r) {
+    Vec row(n);
+    for (size_t i = 0; i < n; ++i) row[i] = rng.Uniform(-1.0, 1.0);
+    m.AddConstraint(row, Relation::kLe, Dot(row, interior) + rng.Uniform(0.01, 1.0));
+  }
+  // Box to keep it bounded.
+  for (size_t i = 0; i < n; ++i) {
+    Vec row(n);
+    row[i] = 1.0;
+    m.AddConstraint(row, Relation::kLe, 2.0);
+  }
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(r.x[i], -1e-9);
+    EXPECT_LE(r.x[i], 2.0 + 1e-7);
+  }
+}
+
+TEST(SimplexStress, MinimizeAndMaximizeAreConsistent) {
+  // max c·x == −min (−c)·x over the same region.
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t d = 4;
+    Vec c(d);
+    for (size_t i = 0; i < d; ++i) c[i] = rng.Uniform(-1.0, 1.0);
+    auto build = [&](Sense sense, double sign) {
+      Model m;
+      for (size_t i = 0; i < d; ++i) m.AddVariable(sign * c[i]);
+      m.SetSense(sense);
+      m.AddConstraint(Vec(d, 1.0), Relation::kEq, 1.0);
+      return m;
+    };
+    SolveResult mx = Solve(build(Sense::kMaximize, 1.0));
+    SolveResult mn = Solve(build(Sense::kMinimize, -1.0));
+    ASSERT_TRUE(mx.ok());
+    ASSERT_TRUE(mn.ok());
+    EXPECT_NEAR(mx.objective, -mn.objective, 1e-9);
+  }
+}
+
+TEST(SimplexStress, ZeroRowConstraintHandled) {
+  // An all-zero row with non-negative rhs is vacuous; with negative rhs the
+  // model is infeasible.
+  Model ok_model;
+  ok_model.AddVariable(1.0);
+  ok_model.AddConstraint(Vec{0.0}, Relation::kLe, 1.0);
+  ok_model.AddConstraint(Vec{1.0}, Relation::kLe, 2.0);
+  SolveResult ok = Solve(ok_model);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NEAR(ok.objective, 2.0, 1e-9);
+
+  Model bad_model;
+  bad_model.AddVariable(1.0);
+  bad_model.AddConstraint(Vec{0.0}, Relation::kGe, 1.0);  // 0 ≥ 1
+  EXPECT_FALSE(Solve(bad_model).ok());
+}
+
+TEST(SimplexStress, FreeVariablePinnedByEqualities) {
+  // Free y with x + y = 0.2, x − y = 1.0 → x = 0.6, y = −0.4.
+  Model m;
+  m.AddVariable(0.0);                 // x ≥ 0
+  m.AddVariable(1.0, /*nonneg=*/false);  // y free, maximised
+  m.AddConstraint(Vec{1.0, 1.0}, Relation::kEq, 0.2);
+  m.AddConstraint(Vec{1.0, -1.0}, Relation::kEq, 1.0);
+  SolveResult r = Solve(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 0.6, 1e-9);
+  EXPECT_NEAR(r.x[1], -0.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace isrl::lp

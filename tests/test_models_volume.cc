@@ -1,0 +1,188 @@
+// Tests for the extended user models and the polytope volume estimator,
+// including the empirical Lemma 5 property (larger terminal polyhedra catch
+// more samples).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/ea.h"
+#include "core/regret.h"
+#include "core/terminal.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "geometry/volume.h"
+#include "user/models.h"
+#include "user/sampler.h"
+
+namespace isrl {
+namespace {
+
+// ---------- Volume estimator ----------
+
+TEST(VolumeTest, WholeSimplexIsOne) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(SimplexFractionVolume(3, {}, 2000, rng), 1.0);
+}
+
+TEST(VolumeTest, MatchesExactSegmentFraction) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Halfspace> cuts;
+    for (int c = 0; c < 3; ++c) {
+      Vec a = rng.SimplexUniform(2), b = rng.SimplexUniform(2);
+      cuts.push_back(Halfspace{a - b, 0.0});
+    }
+    double exact = ExactSegmentFraction(cuts);
+    double estimate = SimplexFractionVolume(2, cuts, 20000, rng);
+    EXPECT_NEAR(estimate, exact, 0.02) << "trial " << trial;
+  }
+}
+
+TEST(VolumeTest, HalfCutGivesHalfVolume) {
+  // u0 ≥ u1 splits the simplex exactly in half by symmetry (any d).
+  Rng rng(3);
+  for (size_t d : {2, 3, 5}) {
+    Vec normal(d);
+    normal[0] = 1.0;
+    normal[1] = -1.0;
+    double v = SimplexFractionVolume(d, {Halfspace{normal, 0.0}}, 20000, rng);
+    EXPECT_NEAR(v, 0.5, 0.02) << "d=" << d;
+  }
+}
+
+TEST(VolumeTest, NestedCutsMonotone) {
+  Rng rng(4);
+  std::vector<Halfspace> cuts;
+  double prev = 1.0;
+  for (int c = 0; c < 4; ++c) {
+    Vec a = rng.SimplexUniform(3), b = rng.SimplexUniform(3);
+    cuts.push_back(Halfspace{a - b, 0.0});
+    Rng fixed(99);  // same sample stream each round: strict nesting
+    double v = SimplexFractionVolume(3, cuts, 8000, fixed);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+TEST(VolumeTest, Lemma5LargerTerminalPolyhedraCatchMoreSamples) {
+  // Construct terminal polyhedra over a sampled V and check that the winner
+  // whose polyhedron has the larger measured volume covers at least as many
+  // of V's vectors — the mechanism Lemma 5's bound formalises.
+  Rng rng(5);
+  Dataset sky =
+      SkylineOf(GenerateSynthetic(800, 3, Distribution::kAntiCorrelated, rng));
+  const double eps = 0.08;
+  auto v_set = SampleUtilityVectors(600, 3, rng);
+  auto winners = TerminalWinners(sky, v_set, eps);
+  if (winners.size() < 2) GTEST_SKIP() << "dataset too easy at this epsilon";
+
+  std::vector<double> volumes, coverage;
+  for (size_t w : winners) {
+    // T_w as half-spaces: p_w − (1−ε)p_j for all j.
+    std::vector<Halfspace> cuts;
+    for (size_t j = 0; j < sky.size(); ++j) {
+      if (j == w) continue;
+      cuts.push_back(EpsilonHalfspace(sky.point(w), sky.point(j), eps));
+    }
+    Rng vol_rng(123);
+    volumes.push_back(SimplexFractionVolume(3, cuts, 4000, vol_rng));
+    size_t covered = 0;
+    for (const Vec& u : v_set) {
+      if (InTerminalPolyhedron(sky, w, u, eps)) ++covered;
+    }
+    coverage.push_back(static_cast<double>(covered));
+  }
+  // Rank correlation between volume and coverage should be positive: check
+  // the max-volume winner is within the top half by coverage.
+  size_t max_vol_idx = 0;
+  for (size_t i = 1; i < volumes.size(); ++i) {
+    if (volumes[i] > volumes[max_vol_idx]) max_vol_idx = i;
+  }
+  size_t better = 0;
+  for (double c : coverage) {
+    if (c > coverage[max_vol_idx]) ++better;
+  }
+  EXPECT_LE(better, coverage.size() / 2);
+}
+
+// ---------- Extended user models ----------
+
+TEST(BoundedErrorUserTest, ClearComparisonsAlwaysCorrect) {
+  Rng rng(6);
+  BoundedErrorUser user(Vec{0.5, 0.5}, /*error_rate=*/1.0, /*margin=*/0.05,
+                        rng);
+  // Utility gap far above 5%: never flipped even at error rate 1.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(user.Prefers(Vec{0.9, 0.9}, Vec{0.1, 0.1}));
+    EXPECT_FALSE(user.Prefers(Vec{0.1, 0.1}, Vec{0.9, 0.9}));
+  }
+}
+
+TEST(BoundedErrorUserTest, CloseCallsCanFlip) {
+  Rng rng(7);
+  BoundedErrorUser user(Vec{0.5, 0.5}, 0.5, 0.1, rng);
+  int flips = 0;
+  for (int i = 0; i < 2000; ++i) {
+    // Gap ≈ 1%: inside the error margin.
+    if (!user.Prefers(Vec{0.505, 0.505}, Vec{0.5, 0.5})) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / 2000.0, 0.5, 0.06);
+}
+
+TEST(IndifferentUserTest, FirstOptionOnTies) {
+  IndifferentUser user(Vec{0.5, 0.5}, 0.05);
+  // 1% apart: indifferent → first option, both ways round.
+  EXPECT_TRUE(user.Prefers(Vec{0.5, 0.5}, Vec{0.505, 0.505}));
+  EXPECT_TRUE(user.Prefers(Vec{0.505, 0.505}, Vec{0.5, 0.5}));
+  // 50% apart: truthful.
+  EXPECT_FALSE(user.Prefers(Vec{0.3, 0.3}, Vec{0.9, 0.9}));
+}
+
+TEST(DriftingUserTest, UtilityStaysOnSimplex) {
+  Rng rng(8);
+  DriftingUser user(Vec{0.3, 0.3, 0.4}, 0.05, rng);
+  for (int i = 0; i < 200; ++i) {
+    user.Prefers(Vec{0.5, 0.2, 0.3}, Vec{0.1, 0.8, 0.1});
+    const Vec& u = user.current_utility();
+    EXPECT_NEAR(u.Sum(), 1.0, 1e-9);
+    for (size_t c = 0; c < 3; ++c) EXPECT_GE(u[c], 0.0);
+  }
+}
+
+TEST(DriftingUserTest, ZeroDriftIsStationary) {
+  Rng rng(9);
+  DriftingUser user(Vec{0.3, 0.7}, 0.0, rng);
+  Vec before = user.current_utility();
+  for (int i = 0; i < 20; ++i) user.Prefers(Vec{1.0, 0.0}, Vec{0.0, 1.0});
+  EXPECT_TRUE(ApproxEqual(user.current_utility(), before, 1e-12));
+}
+
+TEST(ExtendedModelsIntegration, EaSurvivesAllModels) {
+  Rng rng(10);
+  Dataset sky =
+      SkylineOf(GenerateSynthetic(600, 3, Distribution::kAntiCorrelated, rng));
+  EaOptions opt;
+  opt.epsilon = 0.15;
+  Ea ea(sky, opt);
+
+  {
+    BoundedErrorUser user(rng.SimplexUniform(3), 0.3, 0.05, rng);
+    InteractionResult r = ea.Interact(user);
+    EXPECT_LT(r.best_index, sky.size());
+  }
+  {
+    IndifferentUser user(rng.SimplexUniform(3), 0.03);
+    InteractionResult r = ea.Interact(user);
+    EXPECT_LT(r.best_index, sky.size());
+  }
+  {
+    DriftingUser user(rng.SimplexUniform(3), 0.01, rng);
+    InteractionResult r = ea.Interact(user);
+    EXPECT_LT(r.best_index, sky.size());
+    // Against the *final* preference the answer should still be decent.
+    EXPECT_LT(RegretRatioAt(sky, r.best_index, user.current_utility()), 0.7);
+  }
+}
+
+}  // namespace
+}  // namespace isrl

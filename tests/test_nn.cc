@@ -1,0 +1,278 @@
+// Unit tests for the neural-network substrate: layer math, finite-difference
+// gradient checks, optimisers, and serialisation.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace isrl::nn {
+namespace {
+
+TEST(LinearTest, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Linear layer(2, 2, rng);
+  layer.weights() = {1.0, 2.0, 3.0, 4.0};  // row-major (out × in)
+  layer.biases() = {0.5, -0.5};
+  Vec out = layer.Forward(Vec{1.0, 1.0});
+  EXPECT_NEAR(out[0], 3.5, 1e-12);   // 1+2+0.5
+  EXPECT_NEAR(out[1], 6.5, 1e-12);   // 3+4-0.5
+}
+
+TEST(SeluTest, KnownValues) {
+  Selu selu(2);
+  Vec out = selu.Forward(Vec{1.0, 0.0});
+  EXPECT_NEAR(out[0], Selu::kScale, 1e-12);
+  EXPECT_NEAR(out[1], 0.0, 1e-12);
+  out = selu.Forward(Vec{-1.0, -5.0});
+  EXPECT_NEAR(out[0], Selu::kScale * Selu::kAlpha * (std::exp(-1.0) - 1.0),
+              1e-12);
+  // SELU is bounded below by −scale·alpha.
+  EXPECT_GT(out[1], -Selu::kScale * Selu::kAlpha);
+}
+
+TEST(ReluTest, ClampsNegative) {
+  Relu relu(3);
+  Vec out = relu.Forward(Vec{-1.0, 0.0, 2.0});
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.0);
+  EXPECT_EQ(out[2], 2.0);
+}
+
+TEST(TanhTest, Range) {
+  Tanh t(1);
+  EXPECT_NEAR(t.Forward(Vec{100.0})[0], 1.0, 1e-9);
+  EXPECT_NEAR(t.Forward(Vec{0.0})[0], 0.0, 1e-12);
+}
+
+// Finite-difference gradient check: the backward pass of a full MLP must
+// match numerical gradients of the scalar output w.r.t. every parameter.
+class GradientCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(GradientCheck, BackwardMatchesFiniteDifferences) {
+  Rng rng(2);
+  Network net = Network::Mlp({3, 5, 1}, GetParam(), rng);
+  Vec input{0.3, -0.7, 1.1};
+  const double target = 0.25;
+
+  // Analytic gradients of L = (pred − target)² (AccumulateMseSample uses
+  // dL/dpred = (pred − target), i.e. ½-scaled MSE; mirror that here).
+  net.AccumulateMseSample(input, target);
+  std::vector<ParamBlock> blocks = net.Params();
+
+  const double h = 1e-6;
+  for (ParamBlock& block : blocks) {
+    for (size_t i = 0; i < block.values->size(); ++i) {
+      double saved = (*block.values)[i];
+      (*block.values)[i] = saved + h;
+      double up = net.Predict(input);
+      (*block.values)[i] = saved - h;
+      double down = net.Predict(input);
+      (*block.values)[i] = saved;
+      double pred = net.Predict(input);
+      double numeric = (pred - target) * (up - down) / (2.0 * h);
+      EXPECT_NEAR((*block.grads)[i], numeric,
+                  1e-4 * std::max(1.0, std::abs(numeric)))
+          << "param " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, GradientCheck,
+                         ::testing::Values(Activation::kSelu,
+                                           Activation::kRelu,
+                                           Activation::kTanh));
+
+TEST(NetworkTest, MlpShapes) {
+  Rng rng(3);
+  Network net = Network::Mlp({4, 64, 1}, Activation::kSelu, rng);
+  EXPECT_EQ(net.num_layers(), 3u);  // linear, selu, linear
+  Vec out = net.Forward(Vec(4, 0.5));
+  EXPECT_EQ(out.dim(), 1u);
+  // 4*64 + 64 + 64*1 + 1 parameters.
+  EXPECT_EQ(net.NumParameters(), 4u * 64 + 64 + 64 + 1);
+}
+
+TEST(NetworkTest, CloneIsDeepAndEqual) {
+  Rng rng(4);
+  Network net = Network::Mlp({2, 3, 1}, Activation::kSelu, rng);
+  Network copy = net.Clone();
+  Vec x{0.1, 0.9};
+  EXPECT_NEAR(net.Predict(x), copy.Predict(x), 1e-15);
+  // Mutating the copy must not affect the original.
+  (*copy.Params()[0].values)[0] += 1.0;
+  EXPECT_NE(net.Predict(x), copy.Predict(x));
+}
+
+TEST(NetworkTest, CopyParamsFromSynchronises) {
+  Rng rng(5);
+  Network a = Network::Mlp({2, 4, 1}, Activation::kRelu, rng);
+  Network b = Network::Mlp({2, 4, 1}, Activation::kRelu, rng);
+  Vec x{0.4, -0.2};
+  ASSERT_NE(a.Predict(x), b.Predict(x));
+  b.CopyParamsFrom(a);
+  EXPECT_NEAR(a.Predict(x), b.Predict(x), 1e-15);
+}
+
+TEST(SgdTest, ReducesLossOnRegression) {
+  Rng rng(6);
+  Network net = Network::Mlp({2, 8, 1}, Activation::kTanh, rng);
+  Sgd sgd(net.Params(), 0.05);
+  // Learn f(x) = x0 − x1 on fixed samples.
+  std::vector<Vec> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 32; ++i) {
+    Vec x{rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    xs.push_back(x);
+    ys.push_back(x[0] - x[1]);
+  }
+  auto epoch_loss = [&]() {
+    double total = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      double e = net.Predict(xs[i]) - ys[i];
+      total += e * e;
+    }
+    return total / xs.size();
+  };
+  double before = epoch_loss();
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    for (size_t i = 0; i < xs.size(); ++i) net.AccumulateMseSample(xs[i], ys[i]);
+    sgd.Step(xs.size());
+  }
+  double after = epoch_loss();
+  EXPECT_LT(after, before * 0.2);
+  EXPECT_LT(after, 0.05);
+}
+
+TEST(AdamTest, ReducesLossFasterThanFewSteps) {
+  Rng rng(7);
+  Network net = Network::Mlp({1, 8, 1}, Activation::kSelu, rng);
+  Adam adam(net.Params(), 0.01);
+  auto loss_at = [&](double x, double y) {
+    double e = net.Predict(Vec{x}) - y;
+    return e * e;
+  };
+  double before = loss_at(0.5, 2.0);
+  for (int i = 0; i < 300; ++i) {
+    net.AccumulateMseSample(Vec{0.5}, 2.0);
+    adam.Step(1);
+  }
+  EXPECT_LT(loss_at(0.5, 2.0), std::max(1e-6, before * 0.01));
+}
+
+TEST(OptimizerTest, ZeroGradsClears) {
+  Rng rng(8);
+  Network net = Network::Mlp({2, 3, 1}, Activation::kRelu, rng);
+  net.AccumulateMseSample(Vec{1.0, 1.0}, 0.0);
+  Sgd sgd(net.Params(), 0.1);
+  sgd.ZeroGrads();
+  for (ParamBlock& b : net.Params()) {
+    for (double g : *b.grads) EXPECT_EQ(g, 0.0);
+  }
+}
+
+TEST(OptimizerTest, StepAveragesOverBatch) {
+  // Two identical samples with batch_size 2 must produce the same update as
+  // one sample with batch_size 1.
+  Rng rng(9);
+  Network a = Network::Mlp({1, 2, 1}, Activation::kRelu, rng);
+  Network b = a.Clone();
+  Sgd opt_a(a.Params(), 0.1), opt_b(b.Params(), 0.1);
+  a.AccumulateMseSample(Vec{1.0}, 0.0);
+  opt_a.Step(1);
+  b.AccumulateMseSample(Vec{1.0}, 0.0);
+  b.AccumulateMseSample(Vec{1.0}, 0.0);
+  opt_b.Step(2);
+  EXPECT_NEAR(a.Predict(Vec{1.0}), b.Predict(Vec{1.0}), 1e-12);
+}
+
+TEST(SerializeTest, RoundTripPreservesPredictions) {
+  Rng rng(10);
+  Network net = Network::Mlp({3, 7, 1}, Activation::kSelu, rng);
+  std::string text = SerializeNetwork(net);
+  Result<Network> loaded = DeserializeNetwork(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int i = 0; i < 10; ++i) {
+    Vec x{rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+    EXPECT_NEAR(net.Predict(x), loaded->Predict(x), 1e-12);
+  }
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeNetwork("not a network").ok());
+  EXPECT_FALSE(DeserializeNetwork("isrl-network v1\nlayers 1\nblob 2 2\n").ok());
+  EXPECT_FALSE(
+      DeserializeNetwork("isrl-network v1\nlayers 1\nlinear 2 2\n1 2 3\n").ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(11);
+  Network net = Network::Mlp({2, 4, 1}, Activation::kTanh, rng);
+  const std::string path = ::testing::TempDir() + "/isrl_net.txt";
+  ASSERT_TRUE(SaveNetwork(net, path).ok());
+  Result<Network> loaded = LoadNetwork(path);
+  ASSERT_TRUE(loaded.ok());
+  Vec x{0.2, -0.4};
+  EXPECT_NEAR(net.Predict(x), loaded->Predict(x), 1e-12);
+}
+
+
+TEST(RegressionSampleTest, WeightScalesGradientLinearly) {
+  Rng rng(12);
+  Network a = Network::Mlp({2, 4, 1}, Activation::kRelu, rng);
+  Network b = a.Clone();
+  Vec x{0.4, -0.3};
+  a.AccumulateRegressionSample(x, 1.0, /*weight=*/1.0, /*huber_delta=*/0.0);
+  b.AccumulateRegressionSample(x, 1.0, /*weight=*/0.5, /*huber_delta=*/0.0);
+  std::vector<ParamBlock> ga = a.Params(), gb = b.Params();
+  for (size_t blk = 0; blk < ga.size(); ++blk) {
+    for (size_t i = 0; i < ga[blk].grads->size(); ++i) {
+      EXPECT_NEAR((*gb[blk].grads)[i], 0.5 * (*ga[blk].grads)[i], 1e-12);
+    }
+  }
+}
+
+TEST(RegressionSampleTest, HuberClipsLargeErrors) {
+  Rng rng(13);
+  Network a = Network::Mlp({1, 3, 1}, Activation::kTanh, rng);
+  Network b = a.Clone();
+  // A wildly wrong target: the squared-error gradient is huge; Huber's is
+  // clipped at delta, so the Huber-updated accumulation must be the
+  // squared-error accumulation rescaled by delta/|err|.
+  Vec x{0.7};
+  double err_a = a.AccumulateRegressionSample(x, 100.0, 1.0, 0.0);
+  double err_b = b.AccumulateRegressionSample(x, 100.0, 1.0, 2.0);
+  EXPECT_NEAR(err_a, err_b, 1e-12);  // raw error identical
+  double scale = 2.0 / std::abs(err_a);
+  std::vector<ParamBlock> ga = a.Params(), gb = b.Params();
+  for (size_t blk = 0; blk < ga.size(); ++blk) {
+    for (size_t i = 0; i < ga[blk].grads->size(); ++i) {
+      EXPECT_NEAR((*gb[blk].grads)[i], scale * (*ga[blk].grads)[i], 1e-9);
+    }
+  }
+}
+
+TEST(RegressionSampleTest, HuberMatchesMseInsideDelta) {
+  Rng rng(14);
+  Network a = Network::Mlp({1, 3, 1}, Activation::kSelu, rng);
+  Network b = a.Clone();
+  // Target chosen so |err| < delta: gradients must be identical.
+  Vec x{0.2};
+  double pred = a.Predict(x);
+  double target = pred - 0.1;
+  a.AccumulateRegressionSample(x, target, 1.0, 0.0);
+  b.AccumulateRegressionSample(x, target, 1.0, 5.0);
+  std::vector<ParamBlock> ga = a.Params(), gb = b.Params();
+  for (size_t blk = 0; blk < ga.size(); ++blk) {
+    for (size_t i = 0; i < ga[blk].grads->size(); ++i) {
+      EXPECT_NEAR((*gb[blk].grads)[i], (*ga[blk].grads)[i], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isrl::nn

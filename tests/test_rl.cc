@@ -1,0 +1,192 @@
+// Unit tests for the RL substrate: replay memory, ε schedule, DQN agent.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rl/dqn.h"
+#include "rl/replay.h"
+#include "rl/schedule.h"
+
+namespace isrl::rl {
+namespace {
+
+TEST(ReplayTest, GrowsToCapacityThenWraps) {
+  ReplayMemory mem(3);
+  EXPECT_TRUE(mem.empty());
+  for (int i = 0; i < 5; ++i) {
+    Transition t;
+    t.state_action = Vec{static_cast<double>(i)};
+    t.reward = i;
+    mem.Add(std::move(t));
+  }
+  EXPECT_EQ(mem.size(), 3u);
+  // The ring now holds rewards {2, 3, 4}: sampling must never see 0 or 1.
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto batch = mem.Sample(4, rng);
+    for (const Transition* t : batch) EXPECT_GE(t->reward, 2.0);
+  }
+}
+
+TEST(ReplayTest, SampleSizeRespected) {
+  ReplayMemory mem(10);
+  Transition t;
+  t.state_action = Vec{1.0};
+  mem.Add(t);
+  Rng rng(2);
+  EXPECT_EQ(mem.Sample(7, rng).size(), 7u);  // with replacement
+}
+
+TEST(ReplayDeathTest, SampleFromEmptyAborts) {
+  ReplayMemory mem(2);
+  Rng rng(3);
+  EXPECT_DEATH(mem.Sample(1, rng), "ISRL_CHECK");
+}
+
+TEST(ScheduleTest, ConstantWhenStartEqualsEnd) {
+  EpsilonSchedule s(0.9, 0.9, 100);
+  EXPECT_DOUBLE_EQ(s.Value(0), 0.9);
+  EXPECT_DOUBLE_EQ(s.Value(1000), 0.9);
+}
+
+TEST(ScheduleTest, LinearDecayEndsAtEnd) {
+  EpsilonSchedule s(1.0, 0.1, 10);
+  EXPECT_DOUBLE_EQ(s.Value(0), 1.0);
+  EXPECT_NEAR(s.Value(5), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Value(10), 0.1);
+  EXPECT_DOUBLE_EQ(s.Value(999), 0.1);
+}
+
+TEST(ScheduleTest, ZeroDecayStepsJumpsToEnd) {
+  EpsilonSchedule s(0.9, 0.2, 0);
+  EXPECT_DOUBLE_EQ(s.Value(0), 0.2);
+}
+
+DqnOptions SmallOptions() {
+  DqnOptions o;
+  o.hidden_neurons = 16;
+  o.batch_size = 16;
+  o.min_replay_before_update = 16;
+  o.learning_rate = 0.01;
+  o.optimizer = OptimizerKind::kAdam;
+  return o;
+}
+
+TEST(DqnTest, GreedySelectsHighestQ) {
+  Rng rng(4);
+  DqnAgent agent(2, SmallOptions(), rng);
+  std::vector<Vec> candidates{Vec{0.1, 0.2}, Vec{0.5, -0.3}, Vec{0.9, 0.9}};
+  size_t pick = agent.SelectGreedy(candidates);
+  double best_q = agent.QValue(candidates[pick]);
+  for (const Vec& c : candidates) EXPECT_GE(best_q, agent.QValue(c) - 1e-12);
+}
+
+TEST(DqnTest, EpsilonOneIsUniformRandom) {
+  Rng rng(5);
+  DqnAgent agent(1, SmallOptions(), rng);
+  std::vector<Vec> candidates{Vec{0.0}, Vec{1.0}, Vec{2.0}};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    counts[agent.SelectEpsilonGreedy(candidates, 1.0, rng)]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(DqnTest, EpsilonZeroIsGreedy) {
+  Rng rng(6);
+  DqnAgent agent(1, SmallOptions(), rng);
+  std::vector<Vec> candidates{Vec{0.3}, Vec{-0.8}};
+  size_t greedy = agent.SelectGreedy(candidates);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(agent.SelectEpsilonGreedy(candidates, 0.0, rng), greedy);
+  }
+}
+
+TEST(DqnTest, NoUpdateBeforeMinReplay) {
+  Rng rng(7);
+  DqnAgent agent(1, SmallOptions(), rng);
+  Transition t;
+  t.state_action = Vec{0.5};
+  t.reward = 1.0;
+  t.terminal = true;
+  agent.Remember(t);
+  EXPECT_EQ(agent.Update(rng), 0.0);
+  EXPECT_EQ(agent.num_updates(), 0u);
+}
+
+TEST(DqnTest, LearnsContextualBandit) {
+  // One-step episodes: action feature +1 always pays 10, feature −1 pays 0.
+  // After training, Q(+1) must clearly exceed Q(−1).
+  Rng rng(8);
+  DqnOptions opt = SmallOptions();
+  opt.gamma = 0.8;
+  DqnAgent agent(1, opt, rng);
+  for (int i = 0; i < 200; ++i) {
+    Transition good;
+    good.state_action = Vec{1.0};
+    good.reward = 10.0;
+    good.terminal = true;
+    agent.Remember(good);
+    Transition bad;
+    bad.state_action = Vec{-1.0};
+    bad.reward = 0.0;
+    bad.terminal = true;
+    agent.Remember(bad);
+    agent.Update(rng);
+  }
+  EXPECT_GT(agent.QValue(Vec{1.0}), agent.QValue(Vec{-1.0}) + 1.0);
+  EXPECT_NEAR(agent.QValue(Vec{1.0}), 10.0, 3.0);
+}
+
+TEST(DqnTest, BootstrapsThroughNextCandidates) {
+  // Two-step chain: state A (feature 0.5) leads to state B whose best
+  // candidate (feature 1.0) pays 10 terminally. Q(A) should approach γ·10.
+  Rng rng(9);
+  DqnOptions opt = SmallOptions();
+  opt.gamma = 0.5;
+  opt.target_sync_every = 5;
+  DqnAgent agent(1, opt, rng);
+  for (int i = 0; i < 400; ++i) {
+    Transition step2;
+    step2.state_action = Vec{1.0};
+    step2.reward = 10.0;
+    step2.terminal = true;
+    agent.Remember(step2);
+    Transition step1;
+    step1.state_action = Vec{0.5};
+    step1.reward = 0.0;
+    step1.terminal = false;
+    step1.next_candidates = {Vec{1.0}};
+    agent.Remember(step1);
+    agent.Update(rng);
+  }
+  EXPECT_NEAR(agent.QValue(Vec{1.0}), 10.0, 3.0);
+  EXPECT_NEAR(agent.QValue(Vec{0.5}), 5.0, 3.0);
+}
+
+TEST(DqnTest, TargetSyncCopiesWeights) {
+  Rng rng(10);
+  DqnOptions opt = SmallOptions();
+  DqnAgent agent(2, opt, rng);
+  // Push the main network away from the target, then sync.
+  for (int i = 0; i < 40; ++i) {
+    Transition t;
+    t.state_action = Vec{0.5, 0.5};
+    t.reward = 5.0;
+    t.terminal = true;
+    agent.Remember(t);
+  }
+  for (int i = 0; i < 10; ++i) agent.Update(rng);
+  agent.SyncTarget();
+  Vec probe{0.5, 0.5};
+  EXPECT_NEAR(agent.main_network().Predict(probe),
+              agent.target_network().Predict(probe), 1e-12);
+}
+
+TEST(DqnDeathTest, WrongInputDimAborts) {
+  Rng rng(11);
+  DqnAgent agent(3, SmallOptions(), rng);
+  EXPECT_DEATH(agent.QValue(Vec{1.0}), "ISRL_CHECK");
+}
+
+}  // namespace
+}  // namespace isrl::rl

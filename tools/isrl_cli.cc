@@ -1,0 +1,262 @@
+// isrl — command-line front end for the library.
+//
+// Runs any of the interactive algorithms on built-in or user-supplied data,
+// against simulated users, a noisy-user population, or an actual person on
+// stdin. Covers the workflows a downstream adopter needs without writing
+// C++: benchmarking on their own CSV, training + persisting an agent, and
+// driving a live interaction.
+//
+// Examples:
+//   isrl --data=synthetic --d=4 --n=10000 --algo=ea --eps=0.1 --train=200
+//   isrl --data=csv --csv=cars.csv --algo=aa --eps=0.1 --users=20
+//   isrl --data=car --algo=ea --interactive            # answer on stdin
+//   isrl --data=player --algo=aa --save-agent=aa.net   # persist training
+//   isrl --data=player --algo=aa --load-agent=aa.net --users=5
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/single_pass.h"
+#include "baselines/uh_random.h"
+#include "baselines/uh_simplex.h"
+#include "baselines/utility_approx.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "core/aa.h"
+#include "core/ea.h"
+#include "core/regret.h"
+#include "core/session.h"
+#include "data/csv.h"
+#include "data/real_like.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "user/sampler.h"
+
+namespace isrl {
+namespace {
+
+constexpr const char* kUsage = R"(isrl — interactive regret query runner
+
+  --data=synthetic|car|player|csv   dataset source        [synthetic]
+  --csv=PATH                        CSV file for --data=csv
+  --d=N --n=N                       synthetic dimensions / size [4 / 10000]
+  --dist=anti|corr|indep            synthetic correlation  [anti]
+  --algo=ea|aa|uh-random|uh-simplex|single-pass|utility-approx   [ea]
+  --eps=F                           regret threshold       [0.1]
+  --train=N                         RL training episodes   [150]
+  --users=N                         simulated users to evaluate [10]
+  --noise=F                         user answer flip probability [0]
+  --budget=N                        hard cap on questions  [unlimited]
+  --seed=N                          master seed            [42]
+  --save-agent=PATH / --load-agent=PATH   persist / restore EA-AA Q-network
+  --interactive                     you answer the questions on stdin
+  --help                            this text
+)";
+
+// A human answering on stdin.
+class StdinUser : public UserOracle {
+ public:
+  explicit StdinUser(const Dataset* sky) : sky_(sky) {}
+
+  bool Prefers(const Vec& a, const Vec& b) override {
+    ++questions_asked_;
+    std::printf("\nQ%zu: which do you prefer?\n", questions_asked_);
+    PrintOption("A", a);
+    PrintOption("B", b);
+    while (true) {
+      std::printf("answer [a/b]: ");
+      std::fflush(stdout);
+      int c = std::getchar();
+      while (c == '\n' || c == ' ') c = std::getchar();
+      if (c == EOF) return true;  // treat EOF as "A" and let the run finish
+      int rest;
+      while ((rest = std::getchar()) != '\n' && rest != EOF) {}
+      if (c == 'a' || c == 'A') return true;
+      if (c == 'b' || c == 'B') return false;
+      std::printf("please type 'a' or 'b'\n");
+    }
+  }
+
+ private:
+  void PrintOption(const char* label, const Vec& p) const {
+    std::printf("  %s: ", label);
+    for (size_t c = 0; c < p.dim(); ++c) {
+      const char* name = sky_->attribute_names().empty()
+                             ? nullptr
+                             : sky_->attribute_names()[c].c_str();
+      if (name != nullptr) {
+        std::printf("%s=%.2f ", name, p[c]);
+      } else {
+        std::printf("x%zu=%.2f ", c, p[c]);
+      }
+    }
+    std::printf("\n");
+  }
+
+  const Dataset* sky_;
+};
+
+Result<Dataset> LoadData(const Flags& flags, Rng& rng) {
+  std::string source = flags.GetString("data", "synthetic");
+  if (source == "car") return MakeCarDataset(rng);
+  if (source == "player") return MakePlayerDataset(rng);
+  if (source == "csv") {
+    std::string path = flags.GetString("csv");
+    if (path.empty()) {
+      return Status::InvalidArgument("--data=csv requires --csv=PATH");
+    }
+    Result<Dataset> raw = ReadCsv(path);
+    if (!raw.ok()) return raw.status();
+    return raw->Normalized();
+  }
+  if (source == "synthetic") {
+    size_t d = static_cast<size_t>(flags.GetInt("d", 4));
+    size_t n = static_cast<size_t>(flags.GetInt("n", 10000));
+    std::string dist = flags.GetString("dist", "anti");
+    Distribution distribution = Distribution::kAntiCorrelated;
+    if (dist == "corr") distribution = Distribution::kCorrelated;
+    if (dist == "indep") distribution = Distribution::kIndependent;
+    return GenerateSynthetic(n, d, distribution, rng);
+  }
+  return Status::InvalidArgument("unknown --data source: " + source);
+}
+
+int Run(const Flags& flags) {
+  if (flags.GetBool("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  Status known = flags.RequireKnown(
+      {"data", "csv", "d", "n", "dist", "algo", "eps", "train", "users",
+       "noise", "budget", "seed", "save-agent", "load-agent", "interactive",
+       "help"});
+  if (!known.ok()) {
+    std::fprintf(stderr, "%s\n%s", known.ToString().c_str(), kUsage);
+    return 2;
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const double eps = flags.GetDouble("eps", 0.1);
+  const size_t budget = static_cast<size_t>(flags.GetInt("budget", 0));
+  Rng rng(seed);
+
+  Result<Dataset> data = LoadData(flags, rng);
+  if (!data.ok()) {
+    std::fprintf(stderr, "data: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  Dataset sky = SkylineOf(*data);
+  std::printf("dataset: %zu tuples -> %zu skyline tuples, d=%zu\n",
+              data->size(), sky.size(), sky.dim());
+
+  // ---- Build the algorithm. ----
+  std::string algo_name = flags.GetString("algo", "ea");
+  std::unique_ptr<InteractiveAlgorithm> algo;
+  Ea* ea = nullptr;
+  Aa* aa = nullptr;
+  if (algo_name == "ea") {
+    EaOptions opt;
+    opt.epsilon = eps;
+    opt.seed = seed;
+    if (budget > 0) opt.max_rounds = budget;
+    auto owned = std::make_unique<Ea>(sky, opt);
+    ea = owned.get();
+    algo = std::move(owned);
+  } else if (algo_name == "aa") {
+    AaOptions opt;
+    opt.epsilon = eps;
+    opt.seed = seed;
+    if (budget > 0) opt.max_rounds = budget;
+    auto owned = std::make_unique<Aa>(sky, opt);
+    aa = owned.get();
+    algo = std::move(owned);
+  } else if (algo_name == "uh-random" || algo_name == "uh-simplex") {
+    UhOptions opt;
+    opt.epsilon = eps;
+    opt.seed = seed;
+    if (budget > 0) opt.max_rounds = budget;
+    if (algo_name == "uh-random") {
+      algo = std::make_unique<UhRandom>(sky, opt);
+    } else {
+      algo = std::make_unique<UhSimplex>(sky, opt);
+    }
+  } else if (algo_name == "single-pass") {
+    SinglePassOptions opt;
+    opt.epsilon = eps;
+    opt.seed = seed;
+    if (budget > 0) opt.max_questions = budget;
+    algo = std::make_unique<SinglePass>(sky, opt);
+  } else if (algo_name == "utility-approx") {
+    UtilityApproxOptions opt;
+    opt.epsilon = eps;
+    opt.seed = seed;
+    if (budget > 0) opt.max_rounds = budget;
+    algo = std::make_unique<UtilityApprox>(sky, opt);
+  } else {
+    std::fprintf(stderr, "unknown --algo: %s\n%s", algo_name.c_str(), kUsage);
+    return 2;
+  }
+
+  // ---- Train / load the RL agents. ----
+  std::string load_path = flags.GetString("load-agent");
+  if (!load_path.empty()) {
+    Status st = ea != nullptr   ? ea->LoadAgent(load_path)
+                : aa != nullptr ? aa->LoadAgent(load_path)
+                                : Status::InvalidArgument(
+                                      "--load-agent needs --algo=ea|aa");
+    if (!st.ok()) {
+      std::fprintf(stderr, "load-agent: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded agent from %s\n", load_path.c_str());
+  } else if (ea != nullptr || aa != nullptr) {
+    size_t episodes = static_cast<size_t>(flags.GetInt("train", 150));
+    std::printf("training %s on %zu simulated users...\n", algo->name().c_str(),
+                episodes);
+    auto train_utils = SampleUtilityVectors(episodes, sky.dim(), rng);
+    TrainStats ts = ea != nullptr ? ea->Train(train_utils)
+                                  : aa->Train(train_utils);
+    std::printf("training done: mean rounds %.2f\n", ts.mean_rounds);
+  }
+  std::string save_path = flags.GetString("save-agent");
+  if (!save_path.empty()) {
+    Status st = ea != nullptr   ? ea->SaveAgent(save_path)
+                : aa != nullptr ? aa->SaveAgent(save_path)
+                                : Status::InvalidArgument(
+                                      "--save-agent needs --algo=ea|aa");
+    if (!st.ok()) {
+      std::fprintf(stderr, "save-agent: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved agent to %s\n", save_path.c_str());
+  }
+
+  // ---- Interactive mode: a human on stdin. ----
+  if (flags.GetBool("interactive")) {
+    StdinUser user(&sky);
+    InteractionResult r = algo->Interact(user);
+    std::printf("\nafter %zu questions, your tuple is #%zu: %s\n", r.rounds,
+                r.best_index, sky.point(r.best_index).ToString(3).c_str());
+    return 0;
+  }
+
+  // ---- Simulated evaluation. ----
+  size_t users = static_cast<size_t>(flags.GetInt("users", 10));
+  double noise = flags.GetDouble("noise", 0.0);
+  auto eval = SampleUtilityVectors(users, sky.dim(), rng);
+  Rng noise_rng(seed + 99);
+  EvalStats stats =
+      noise > 0.0
+          ? Evaluate(*algo, sky, eval, eps, MakeNoisyUserFactory(noise, noise_rng))
+          : Evaluate(*algo, sky, eval, eps);
+  PrintEvalHeader("users");
+  PrintEvalRow(Format("%zu", users), stats);
+  return 0;
+}
+
+}  // namespace
+}  // namespace isrl
+
+int main(int argc, char** argv) {
+  return isrl::Run(isrl::Flags::Parse(argc, argv));
+}
