@@ -60,6 +60,33 @@ void Run() {
     s.algorithm = "AA+vote3";
     PrintEvalRow(label, s);
   }
+
+  // Full fault model: flips + timeouts + adversarial boundary flips, under a
+  // round budget. The degraded/budget columns report how sessions ended;
+  // every session still returns a recommendation (aborts would print here).
+  std::printf("\n## Fault injection (FaultyUser: flips + timeouts + boundary "
+              "flips; budget %zu rounds)\n", size_t{200});
+  RunBudget budget;
+  budget.max_rounds = 200;
+  PrintEvalHeader("flip_prob");
+  for (double rate : {0.05, 0.1, 0.2}) {
+    FaultyUserOptions fopt;
+    fopt.flip_rate = rate;
+    fopt.no_answer_rate = 0.05;
+    fopt.boundary_band = 0.01;
+    fopt.seed = seed + 9;
+    UserFactory factory = MakeFaultyUserFactory(fopt);
+    std::string label = Format("%.2f", rate);
+    for (InteractiveAlgorithm* algo :
+         std::initializer_list<InteractiveAlgorithm*>{&ea, &aa, &uh}) {
+      EvalStats s = Evaluate(*algo, sky, eval, 0.1, factory, budget);
+      PrintEvalRow(label, s);
+      if (s.aborted > 0) {
+        std::printf("  !! %zu aborted sessions for %s\n", s.aborted,
+                    s.algorithm.c_str());
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -39,11 +39,12 @@ SinglePass::SinglePass(const Dataset& data, const SinglePassOptions& options)
   ISRL_CHECK_LT(options.epsilon, 1.0);
 }
 
-InteractionResult SinglePass::Interact(UserOracle& user,
-                                       InteractionTrace* trace) {
+InteractionResult SinglePass::DoInteract(InteractionContext& ctx) {
   InteractionResult result;
   Stopwatch watch;
   const size_t d = data_.dim();
+  const size_t max_questions = ctx.MaxRounds(options_.max_questions);
+  const size_t max_lp = ctx.budget.max_lp_iterations;
   const double stop_dist =
       2.0 * std::sqrt(static_cast<double>(d)) * options_.epsilon;
   const double pad = 0.5 * options_.epsilon;
@@ -94,9 +95,9 @@ InteractionResult SinglePass::Interact(UserOracle& user,
   };
 
   auto record_round = [&]() {
-    if (trace == nullptr) return;
+    if (ctx.trace == nullptr) return;
     const double elapsed = watch.ElapsedSeconds();
-    trace->Record(champion, particles, elapsed);
+    ctx.trace->Record(champion, particles, elapsed);
     watch.Restart();
     result.seconds += elapsed;
   };
@@ -123,22 +124,32 @@ InteractionResult SinglePass::Interact(UserOracle& user,
     if (particle_stop()) return true;
     const size_t window = std::min(options_.stop_check_window, h.size());
     std::vector<LearnedHalfspace> recent(h.end() - window, h.end());
-    AaGeometry geo = ComputeAaGeometry(d, recent);
+    AaGeometry geo = ComputeAaGeometry(d, recent, max_lp);
     if (!geo.feasible) return false;
     return Distance(geo.e_min, geo.e_max) <= stop_dist;
   };
 
+  bool certified = false;
+  bool stuck = false;
   for (size_t pass = 0; pass < options_.max_passes; ++pass) {
     size_t questions_this_pass = 0;
     for (size_t idx : order) {
       if (idx == champion) continue;
-      if (result.rounds >= options_.max_questions) break;
+      if (result.rounds >= max_questions || ctx.DeadlineExpired()) break;
       if (challenger_impossible(idx)) continue;
 
-      const bool prefers_challenger =
-          user.Prefers(data_.point(idx), data_.point(champion));
+      const Answer answer =
+          ctx.user.Ask(data_.point(idx), data_.point(champion));
       ++result.rounds;
       ++questions_this_pass;
+      if (answer == Answer::kNoAnswer) {
+        // Timed-out question: the stream moves on; the challenger gets
+        // another chance next pass.
+        ++result.no_answers;
+        record_round();
+        continue;
+      }
+      const bool prefers_challenger = answer == Answer::kFirst;
 
       LearnedHalfspace lh;
       lh.winner = prefers_challenger ? idx : champion;
@@ -161,20 +172,36 @@ InteractionResult SinglePass::Interact(UserOracle& user,
       // Mid-pass: the cheap particle certificate only (the LP rectangle is
       // reserved for pass boundaries).
       if (result.rounds % options_.stop_check_every == 0 && particle_stop()) {
-        result.converged = true;
+        certified = true;
         break;
       }
     }
-    if (result.converged || result.rounds >= options_.max_questions) break;
-    if (certified_stop()) {
-      result.converged = true;
+    if (certified || result.rounds >= max_questions || ctx.DeadlineExpired()) {
       break;
     }
-    if (questions_this_pass == 0) break;  // filter skips everything: stuck
+    if (certified_stop()) {
+      certified = true;
+      break;
+    }
+    if (questions_this_pass == 0) {
+      // The filter skips every challenger although no certificate fired: the
+      // particle rectangle cannot shrink further. Best-so-far, degraded.
+      stuck = true;
+      break;
+    }
     rng_.Shuffle(&order);
   }
 
   result.best_index = champion;
+  if (certified) {
+    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
+                                                    : Termination::kConverged;
+  } else if (stuck) {
+    result.termination = Termination::kDegraded;
+  } else {
+    // max_questions, max_passes, or the deadline ran out first.
+    result.termination = Termination::kBudgetExhausted;
+  }
   result.seconds += watch.ElapsedSeconds();
   return result;
 }

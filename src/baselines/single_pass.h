@@ -50,8 +50,8 @@ class SinglePass : public InteractiveAlgorithm {
 
   std::string name() const override { return "SinglePass"; }
 
-  InteractionResult Interact(UserOracle& user,
-                             InteractionTrace* trace = nullptr) override;
+ protected:
+  InteractionResult DoInteract(InteractionContext& ctx) override;
 
  private:
   const Dataset& data_;

@@ -73,20 +73,37 @@ void UhBase::FullPrune(std::vector<size_t>* candidates,
   *candidates = std::move(kept);
 }
 
-InteractionResult UhBase::Interact(UserOracle& user, InteractionTrace* trace) {
+InteractionResult UhBase::DoInteract(InteractionContext& ctx) {
   InteractionResult result;
   Stopwatch watch;
+  const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);
 
   Polyhedron range = Polyhedron::UnitSimplex(data_.dim());
   std::vector<size_t> candidates(data_.size());
   std::iota(candidates.begin(), candidates.end(), 0);
 
+  auto record_round = [&](size_t best) {
+    if (ctx.trace == nullptr) return;
+    const double elapsed = watch.ElapsedSeconds();
+    std::vector<Vec> consistent;
+    if (!range.IsEmpty()) {
+      consistent.reserve(ctx.trace->regret_samples());
+      for (size_t s = 0; s < ctx.trace->regret_samples(); ++s) {
+        consistent.push_back(range.SampleInterior(ctx.trace->rng()));
+      }
+    }
+    ctx.trace->Record(best, consistent, elapsed);
+    watch.Restart();
+    result.seconds += elapsed;
+  };
+
   size_t best = data_.TopIndex(range.Centroid());
-  while (result.rounds < options_.max_rounds) {
+  bool resolved = false;
+  while (result.rounds < max_rounds && !ctx.DeadlineExpired()) {
     best = candidates.size() == 1 ? candidates[0]
                                   : data_.TopIndex(range.Centroid());
     if (candidates.size() <= 1) {
-      result.converged = true;
+      resolved = true;
       break;
     }
 
@@ -98,38 +115,45 @@ InteractionResult UhBase::Interact(UserOracle& user, InteractionTrace* trace) {
       FullPrune(&candidates, range);
       if (candidates.size() > 1) q = SelectQuestion(candidates, range, rng_);
       if (!q.has_value()) {
-        result.converged = true;
+        resolved = true;
         break;
       }
     }
 
-    const bool prefers_i = user.Prefers(data_.point(q->i), data_.point(q->j));
+    const Answer answer = ctx.user.Ask(data_.point(q->i), data_.point(q->j));
+    ++result.rounds;
+    if (answer == Answer::kNoAnswer) {
+      // Timed-out question: learn nothing (selection is stochastic, so the
+      // next round tries a different pair).
+      ++result.no_answers;
+      record_round(best);
+      continue;
+    }
+    const bool prefers_i = answer == Answer::kFirst;
     const size_t winner = prefers_i ? q->i : q->j;
     const size_t loser = prefers_i ? q->j : q->i;
-    range.Cut(PreferenceHalfspace(data_.point(winner), data_.point(loser)));
-    ++result.rounds;
-    if (range.IsEmpty()) break;  // contradictory answers (noisy user)
+    if (!range.TryCut(
+            PreferenceHalfspace(data_.point(winner), data_.point(loser)))) {
+      // Contradictory answer (noisy user): dropping it — the minimal
+      // most-recent conflicting suffix — keeps R non-empty.
+      ++result.dropped_answers;
+      record_round(best);
+      continue;
+    }
 
     PruneCandidates(&candidates, winner, range);
     best = data_.TopIndex(range.Centroid());
     PruneCandidates(&candidates, best, range);
-
-    if (trace != nullptr) {
-      const double elapsed = watch.ElapsedSeconds();
-      std::vector<Vec> consistent;
-      consistent.reserve(trace->regret_samples());
-      if (!range.IsEmpty()) {
-        for (size_t s = 0; s < trace->regret_samples(); ++s) {
-          consistent.push_back(range.SampleInterior(trace->rng()));
-        }
-      }
-      trace->Record(best, consistent, elapsed);
-      watch.Restart();
-      result.seconds += elapsed;
-    }
+    record_round(best);
   }
 
   result.best_index = best;
+  if (resolved) {
+    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
+                                                    : Termination::kConverged;
+  } else {
+    result.termination = Termination::kBudgetExhausted;
+  }
   result.seconds += watch.ElapsedSeconds();
   return result;
 }

@@ -39,10 +39,12 @@ class UhBase : public InteractiveAlgorithm {
  public:
   UhBase(const Dataset& data, const UhOptions& options);
 
-  InteractionResult Interact(UserOracle& user,
-                             InteractionTrace* trace = nullptr) override;
-
  protected:
+  /// Hardened UH loop: conflicting (noisy) answers are dropped rather than
+  /// emptying R, unanswered questions are skipped, and the context's budget
+  /// caps rounds and wall-clock time.
+  InteractionResult DoInteract(InteractionContext& ctx) override;
+
   /// Selects the next question over `candidates`; questions whose hyper-plane
   /// does not cut R are useless, so implementations should prefer pairs for
   /// which IsInformative() holds. Returns nullopt to give up (no informative

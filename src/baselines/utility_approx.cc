@@ -15,13 +15,14 @@ UtilityApprox::UtilityApprox(const Dataset& data,
   ISRL_CHECK_GT(options.epsilon, 0.0);
 }
 
-InteractionResult UtilityApprox::Interact(UserOracle& user,
-                                          InteractionTrace* trace) {
+InteractionResult UtilityApprox::DoInteract(InteractionContext& ctx) {
   InteractionResult result;
   Stopwatch watch;
   const size_t d = data_.dim();
   const double stop_dist =
       2.0 * std::sqrt(static_cast<double>(d)) * options_.epsilon;
+  const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);
+  const size_t max_lp = ctx.budget.max_lp_iterations;
 
   // Per-dimension binary-search interval for r_c = u[c]/u[0].
   std::vector<double> lo(d, 0.0), hi(d, options_.max_ratio);
@@ -39,12 +40,29 @@ InteractionResult UtilityApprox::Interact(UserOracle& user,
   };
 
   size_t cursor = 1;  // round-robin over dimensions 1..d-1
-  while (result.rounds < options_.max_rounds) {
+  bool resolved = false;
+  while (result.rounds < max_rounds && !ctx.DeadlineExpired()) {
     // Certificate: outer rectangle of the learned half-spaces.
-    AaGeometry geo = ComputeAaGeometry(d, h);
-    if (!geo.feasible) break;  // contradictory answers (noisy user)
+    AaGeometry geo = ComputeAaGeometry(d, h, max_lp);
+    if (!geo.feasible) {
+      // Contradictory answers (noisy user): drop the minimal most-recent
+      // suffix of half-spaces until the set is consistent again. The ratio
+      // intervals stay as narrowed — they are estimates, not certificates.
+      while (!h.empty() && !geo.feasible) {
+        h.pop_back();
+        ++result.dropped_answers;
+        geo = ComputeAaGeometry(d, h, max_lp);
+      }
+      if (!geo.feasible) {
+        // LP failed even on H = ∅: the solver itself is broken.
+        result.status = Status::Internal("geometry LP failed on empty H");
+        break;
+      }
+    }
     if (Distance(geo.e_min, geo.e_max) <= stop_dist) {
-      result.converged = true;
+      result.termination = result.dropped_answers > 0
+                               ? Termination::kDegraded
+                               : Termination::kConverged;
       result.best_index = data_.TopIndex((geo.e_min + geo.e_max) / 2.0);
       result.seconds += watch.ElapsedSeconds();
       return result;
@@ -61,15 +79,21 @@ InteractionResult UtilityApprox::Interact(UserOracle& user,
       }
     }
     if (c == 0 || widest < 1e-6) {
-      result.converged = true;  // all ratios pinned; certificate soon follows
+      resolved = true;  // all ratios pinned; certificate soon follows
       break;
     }
     cursor = c;
 
     const double t = 0.5 * (lo[c] + hi[c]);
     auto [a, b] = fake_pair(c, t);
-    const bool prefers_a = user.Prefers(a, b);
+    const Answer answer = ctx.user.Ask(a, b);
     ++result.rounds;
+    if (answer == Answer::kNoAnswer) {
+      // Timed-out question: re-ask the widest interval next round.
+      ++result.no_answers;
+      continue;
+    }
+    const bool prefers_a = answer == Answer::kFirst;
 
     LearnedHalfspace lh;
     lh.winner = 0;  // fake tuples have no dataset index
@@ -82,22 +106,30 @@ InteractionResult UtilityApprox::Interact(UserOracle& user,
       hi[c] = t;
     }
 
-    if (trace != nullptr) {
+    if (ctx.trace != nullptr) {
       const double elapsed = watch.ElapsedSeconds();
-      AaGeometry mid_geo = ComputeAaGeometry(d, h);
+      AaGeometry mid_geo = ComputeAaGeometry(d, h, max_lp);
       size_t best = mid_geo.feasible
                         ? data_.TopIndex((mid_geo.e_min + mid_geo.e_max) / 2.0)
                         : result.best_index;
-      trace->Record(best, {}, elapsed);
+      ctx.trace->Record(best, {}, elapsed);
       watch.Restart();
       result.seconds += elapsed;
     }
   }
 
-  AaGeometry geo = ComputeAaGeometry(d, h);
+  AaGeometry geo = ComputeAaGeometry(d, h, max_lp);
   Vec estimate(d, 1.0 / static_cast<double>(d));
   if (geo.feasible) estimate = (geo.e_min + geo.e_max) / 2.0;
   result.best_index = data_.TopIndex(estimate);
+  if (!result.status.ok()) {
+    result.termination = Termination::kAborted;
+  } else if (resolved) {
+    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
+                                                    : Termination::kConverged;
+  } else {
+    result.termination = Termination::kBudgetExhausted;
+  }
   result.seconds += watch.ElapsedSeconds();
   return result;
 }

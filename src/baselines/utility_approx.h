@@ -36,8 +36,8 @@ class UtilityApprox : public InteractiveAlgorithm {
 
   std::string name() const override { return "UtilityApprox"; }
 
-  InteractionResult Interact(UserOracle& user,
-                             InteractionTrace* trace = nullptr) override;
+ protected:
+  InteractionResult DoInteract(InteractionContext& ctx) override;
 
  private:
   const Dataset& data_;

@@ -1,0 +1,19 @@
+#include "common/budget.h"
+
+namespace isrl {
+
+const char* TerminationName(Termination t) {
+  switch (t) {
+    case Termination::kConverged:
+      return "converged";
+    case Termination::kDegraded:
+      return "degraded";
+    case Termination::kBudgetExhausted:
+      return "budget-exhausted";
+    case Termination::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+}  // namespace isrl

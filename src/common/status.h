@@ -4,6 +4,7 @@
 #define ISRL_COMMON_STATUS_H_
 
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <variant>
 
@@ -81,6 +82,12 @@ class Status {
 /// A value or a non-OK Status. Accessing the value of an error Result aborts.
 template <typename T>
 class Result {
+  static_assert(!std::is_same_v<std::decay_t<T>, Status>,
+                "Result<Status> is always a bug: a Status is not a payload. "
+                "Return Status directly (or Result<U> for the real value).");
+  static_assert(!std::is_same_v<std::decay_t<T>, StatusCode>,
+                "Result<StatusCode> is always a bug; return Status directly.");
+
  public:
   Result(T value) : data_(std::move(value)) {}         // NOLINT(runtime/explicit)
   Result(Status status) : data_(std::move(status)) {   // NOLINT(runtime/explicit)
@@ -117,6 +124,22 @@ class Result {
     ::isrl::Status isrl_status = (expr);      \
     if (!isrl_status.ok()) return isrl_status; \
   } while (0)
+
+/// Evaluates `expr` (a Result<T>), propagates its Status to the caller on
+/// error, and otherwise assigns the value to `lhs`. `lhs` may be an existing
+/// variable or a declaration:
+///   ISRL_ASSIGN_OR_RETURN(nn::Network net, nn::LoadNetwork(path));
+#define ISRL_ASSIGN_OR_RETURN(lhs, expr) \
+  ISRL_ASSIGN_OR_RETURN_IMPL_(           \
+      ISRL_STATUS_CONCAT_(isrl_result_, __LINE__), lhs, expr)
+
+#define ISRL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp.value())
+
+#define ISRL_STATUS_CONCAT_(a, b) ISRL_STATUS_CONCAT_IMPL_(a, b)
+#define ISRL_STATUS_CONCAT_IMPL_(a, b) a##b
 
 }  // namespace isrl
 

@@ -64,7 +64,12 @@ TrainStats Aa::Train(const std::vector<Vec>& training_utilities) {
     const double epsilon_greedy = agent_.EpsilonAt(episodes_trained_);
     std::vector<LearnedHalfspace> h;
     AaGeometry geo = ComputeAaGeometry(data_.dim(), h);
-    ISRL_CHECK(geo.feasible);
+    if (!geo.feasible) {
+      // The empty-H geometry is the unit simplex; an LP failure here is a
+      // numerical fluke. Skip the episode rather than aborting training.
+      ++episodes_trained_;
+      continue;
+    }
     Vec state = EncodeAaState(geo);
     std::vector<AaAction> actions =
         BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
@@ -128,63 +133,115 @@ TrainStats Aa::Train(const std::vector<Vec>& training_utilities) {
   return stats;
 }
 
-InteractionResult Aa::Interact(UserOracle& user, InteractionTrace* trace) {
+InteractionResult Aa::DoInteract(InteractionContext& ctx) {
   InteractionResult result;
   Stopwatch watch;
   const double stop_dist = StopDistance();
+  const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);
+  const size_t max_lp = ctx.budget.max_lp_iterations;
 
   std::vector<LearnedHalfspace> h;
-  AaGeometry geo = ComputeAaGeometry(data_.dim(), h);
-  ISRL_CHECK(geo.feasible);
+  AaGeometry geo = ComputeAaGeometry(data_.dim(), h, max_lp);
+  if (!geo.feasible) {
+    // The empty-H geometry is the unit simplex itself; failure means the LP
+    // budget is too tight even for the trivial model. Recommend something
+    // sensible and report the abort instead of crashing.
+    result.best_index = data_.TopIndex(Vec(data_.dim(), 1.0 / data_.dim()));
+    result.termination = Termination::kAborted;
+    result.status = Status::Internal("initial AA geometry LP failed");
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
   Vec state = EncodeAaState(geo);
   std::vector<AaAction> actions =
       BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
   size_t best = MidpointBest(geo);
 
+  auto record_round = [&](const std::vector<Vec>& consistent) {
+    if (ctx.trace == nullptr) return;
+    const double elapsed = watch.ElapsedSeconds();
+    ctx.trace->Record(best, consistent, elapsed);
+    watch.Restart();
+    result.seconds += elapsed;
+  };
+
+  bool deadline_hit = false;
   while (Distance(geo.e_min, geo.e_max) > stop_dist && !actions.empty() &&
-         result.rounds < options_.max_rounds) {
+         result.rounds < max_rounds) {
+    if (ctx.DeadlineExpired()) {
+      deadline_hit = true;
+      break;
+    }
     std::vector<Vec> features = FeaturizeCandidates(state, actions);
     size_t pick = agent_.SelectGreedy(features);
     const Question q = actions[pick].q;
 
-    const bool prefers_i = user.Prefers(data_.point(q.i), data_.point(q.j));
+    const Answer answer = ctx.user.Ask(data_.point(q.i), data_.point(q.j));
+    ++result.rounds;
+    if (answer == Answer::kNoAnswer) {
+      // Timed-out question: learn nothing; re-sample the action pool so the
+      // next round asks a different question.
+      ++result.no_answers;
+      actions = BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
+      record_round({});
+      continue;
+    }
+    const bool prefers_i = answer == Answer::kFirst;
     LearnedHalfspace lh;
     lh.winner = prefers_i ? q.i : q.j;
     lh.loser = prefers_i ? q.j : q.i;
     lh.h = PreferenceHalfspace(data_.point(lh.winner), data_.point(lh.loser));
     h.push_back(std::move(lh));
-    ++result.rounds;
 
-    AaGeometry next_geo = ComputeAaGeometry(data_.dim(), h);
+    AaGeometry next_geo = ComputeAaGeometry(data_.dim(), h, max_lp);
     if (!next_geo.feasible) {
-      // Contradictory answers (noisy user): return the pre-contradiction
-      // recommendation.
-      const double tail = watch.ElapsedSeconds();
-      result.best_index = best;
-      result.seconds += tail;
-      if (trace != nullptr) trace->Record(best, {}, tail);
-      return result;
+      // Contradictory answers (noisy user): H has no common utility vector.
+      // Drop the minimal most-recent suffix of half-spaces that restores
+      // feasibility and continue from the reduced H.
+      while (!h.empty() && !next_geo.feasible) {
+        h.pop_back();
+        ++result.dropped_answers;
+        next_geo = ComputeAaGeometry(data_.dim(), h, max_lp);
+      }
+      if (!next_geo.feasible) {
+        // Even H = ∅ failed: the LP itself is broken. Abort gracefully.
+        result.best_index = best;
+        result.termination = Termination::kAborted;
+        result.status = Status::Internal("AA geometry LP failed on empty H");
+        result.seconds += watch.ElapsedSeconds();
+        record_round({});
+        return result;
+      }
     }
     geo = std::move(next_geo);
     state = EncodeAaState(geo);
     actions = BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
     best = MidpointBest(geo);
 
-    if (trace != nullptr) {
-      const double elapsed = watch.ElapsedSeconds();
+    if (ctx.trace != nullptr) {
       std::vector<Halfspace> cuts;
       cuts.reserve(h.size());
       for (const LearnedHalfspace& learned : h) cuts.push_back(learned.h);
       std::vector<Vec> consistent = HitAndRunSample(
-          cuts, geo.inner.center, trace->regret_samples(), trace->rng());
-      trace->Record(best, consistent, elapsed);
-      watch.Restart();
-      result.seconds += elapsed;
+          cuts, geo.inner.center, ctx.trace->regret_samples(), ctx.trace->rng());
+      record_round(consistent);
     }
   }
 
   result.best_index = best;
-  result.converged = Distance(geo.e_min, geo.e_max) <= stop_dist;
+  const bool stopped = Distance(geo.e_min, geo.e_max) <= stop_dist;
+  const bool stalled = actions.empty() && !stopped;
+  if (stopped) {
+    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
+                                                    : Termination::kConverged;
+  } else if (stalled) {
+    // No splitting pair left although the rectangle is still wide: the
+    // sampler is exhausted. Best-so-far under a degraded certificate.
+    result.termination = Termination::kDegraded;
+  } else {
+    result.termination = Termination::kBudgetExhausted;
+    (void)deadline_hit;
+  }
   result.seconds += watch.ElapsedSeconds();
   return result;
 }
@@ -195,9 +252,8 @@ Status Aa::SaveAgent(const std::string& path) {
 }
 
 Status Aa::LoadAgent(const std::string& path) {
-  Result<nn::Network> loaded = nn::LoadNetwork(path);
-  if (!loaded.ok()) return loaded.status();
-  std::vector<nn::ParamBlock> theirs = loaded->Params();
+  ISRL_ASSIGN_OR_RETURN(nn::Network loaded, nn::LoadNetwork(path));
+  std::vector<nn::ParamBlock> theirs = loaded.Params();
   std::vector<nn::ParamBlock> mine = agent_.main_network().Params();
   if (theirs.size() != mine.size()) {
     return Status::InvalidArgument("network architecture mismatch");
@@ -207,7 +263,7 @@ Status Aa::LoadAgent(const std::string& path) {
       return Status::InvalidArgument("network layer shape mismatch");
     }
   }
-  agent_.main_network().CopyParamsFrom(*loaded);
+  agent_.main_network().CopyParamsFrom(loaded);
   agent_.SyncTarget();
   return Status::Ok();
 }

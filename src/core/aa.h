@@ -45,10 +45,6 @@ class Aa : public InteractiveAlgorithm {
   /// Algorithm 3: one ε-greedy training episode per utility vector.
   TrainStats Train(const std::vector<Vec>& training_utilities);
 
-  /// Algorithm 4: greedy interaction against `user`.
-  InteractionResult Interact(UserOracle& user,
-                             InteractionTrace* trace = nullptr) override;
-
   std::string name() const override { return "AA"; }
 
   rl::DqnAgent& agent() { return agent_; }
@@ -66,6 +62,13 @@ class Aa : public InteractiveAlgorithm {
 
   /// The stopping bound 2√d·ε for this instance.
   double StopDistance() const;
+
+ protected:
+  /// Algorithm 4: greedy interaction, hardened — when noisy answers make H
+  /// infeasible the minimal most-recent suffix of half-spaces is dropped,
+  /// unanswered questions are skipped, and the context's budget caps rounds
+  /// and wall-clock time.
+  InteractionResult DoInteract(InteractionContext& ctx) override;
 
  private:
   Vec FeaturizeAction(const AaAction& action) const;

@@ -24,7 +24,8 @@ double PreferenceFraction(const Vec& pi, const Vec& pj,
 std::vector<AaAction> BuildAaActionSpace(
     const Dataset& data, const std::vector<LearnedHalfspace>& h,
     const AaGeometry& geometry, const AaActionOptions& options, Rng& rng) {
-  ISRL_CHECK(geometry.feasible);
+  // Infeasible geometry (contradictory H): no actions — callers degrade.
+  if (!geometry.feasible) return {};
   const size_t d = data.dim();
 
   // ---- Utility samples from R (hit-and-run around the inner centre). They

@@ -14,13 +14,20 @@ void AddSimplexConstraints(lp::Model* model, size_t d) {
   model->AddConstraint(ones, lp::Relation::kEq, 1.0);
 }
 
+lp::SimplexOptions LpOptions(size_t max_lp_iterations) {
+  lp::SimplexOptions options;
+  if (max_lp_iterations > 0) options.max_iterations = max_lp_iterations;
+  return options;
+}
+
 }  // namespace
 
 size_t AaStateDim(size_t d) { return 3 * d + 1; }
 
-AaGeometry ComputeAaGeometry(size_t d,
-                             const std::vector<LearnedHalfspace>& h) {
+AaGeometry ComputeAaGeometry(size_t d, const std::vector<LearnedHalfspace>& h,
+                             size_t max_lp_iterations) {
   AaGeometry geo;
+  const lp::SimplexOptions lp_options = LpOptions(max_lp_iterations);
 
   // ---- Inner sphere LP: maximise B_r subject to
   //   B_c on the simplex,
@@ -34,7 +41,9 @@ AaGeometry ComputeAaGeometry(size_t d,
     AddSimplexConstraints(&model, d);
     for (const LearnedHalfspace& lh : h) {
       double norm = lh.h.normal.Norm();
-      ISRL_CHECK_GT(norm, 0.0);
+      // A zero-normal half-space (two identical points compared) constrains
+      // nothing; skip it instead of dividing by zero.
+      if (norm <= 0.0) continue;
       Vec row(d + 1);
       for (size_t c = 0; c < d; ++c) row[c] = lh.h.normal[c] / norm;
       row[radius_var] = -1.0;
@@ -46,7 +55,7 @@ AaGeometry ComputeAaGeometry(size_t d,
       row[radius_var] = -1.0;
       model.AddConstraint(row, lp::Relation::kGe, 0.0);
     }
-    lp::SolveResult result = lp::Solve(model);
+    lp::SolveResult result = lp::SolveWithRecovery(model, lp_options);
     if (!result.ok()) return geo;  // infeasible H
     geo.inner.center = Vec(d);
     for (size_t i = 0; i < d; ++i) geo.inner.center[i] = result.x[i];
@@ -68,7 +77,7 @@ AaGeometry ComputeAaGeometry(size_t d,
       for (const LearnedHalfspace& lh : h) {
         model.AddConstraint(lh.h.normal, lp::Relation::kGe, lh.h.offset);
       }
-      lp::SolveResult result = lp::Solve(model);
+      lp::SolveResult result = lp::SolveWithRecovery(model, lp_options);
       if (!result.ok()) return geo;
       if (direction == 0) {
         geo.e_min[i] = result.objective;
@@ -83,7 +92,8 @@ AaGeometry ComputeAaGeometry(size_t d,
 }
 
 double FeasibilityMargin(size_t d, const std::vector<LearnedHalfspace>& h,
-                         const Halfspace& candidate) {
+                         const Halfspace& candidate,
+                         size_t max_lp_iterations) {
   // maximise x s.t. u on simplex, normal·u − offset ≥ x for every half-space
   // (existing ∪ candidate); x free.
   lp::Model model;
@@ -98,7 +108,8 @@ double FeasibilityMargin(size_t d, const std::vector<LearnedHalfspace>& h,
   };
   for (const LearnedHalfspace& lh : h) add(lh.h);
   add(candidate);
-  lp::SolveResult result = lp::Solve(model);
+  lp::SolveResult result =
+      lp::SolveWithRecovery(model, LpOptions(max_lp_iterations));
   if (!result.ok()) return 0.0;
   return result.objective;
 }

@@ -35,14 +35,19 @@ struct AaGeometry {
 /// the Section IV-C linear programs (2d + 1 LP solves). In addition to the
 /// paper's constraints, the inner sphere is kept inside the simplex facets
 /// (B_c[i] ≥ B_r) so the LP stays bounded when H is small; see DESIGN.md.
-AaGeometry ComputeAaGeometry(size_t d, const std::vector<LearnedHalfspace>& h);
+/// LPs run through lp::SolveWithRecovery; `max_lp_iterations` (0 = solver
+/// default) caps each solve, for budgeted sessions. Degenerate (zero-normal)
+/// half-spaces are skipped rather than fatal.
+AaGeometry ComputeAaGeometry(size_t d, const std::vector<LearnedHalfspace>& h,
+                             size_t max_lp_iterations = 0);
 
 /// Largest margin x such that some u ∈ U satisfies every half-space of `h`
 /// plus `candidate` with slack ≥ x (the Section IV-C feasibility LP). R ∩
 /// candidate is strictly non-empty iff the result is positive. Returns 0 on
 /// LP failure.
 double FeasibilityMargin(size_t d, const std::vector<LearnedHalfspace>& h,
-                         const Halfspace& candidate);
+                         const Halfspace& candidate,
+                         size_t max_lp_iterations = 0);
 
 /// State vector (B_c ⊕ B_r ⊕ e_min ⊕ e_max); geometry must be feasible.
 Vec EncodeAaState(const AaGeometry& geometry);

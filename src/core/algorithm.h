@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/vec.h"
 #include "data/dataset.h"
 #include "user/user.h"
@@ -20,12 +22,18 @@ struct Question {
   size_t j = 0;
 };
 
-/// Outcome of one full interaction.
+/// Outcome of one full interaction. Interactions never abort the process:
+/// every session ends with a recommendation (best_index) and a Termination
+/// explaining how it got there.
 struct InteractionResult {
-  size_t best_index = 0;   ///< returned tuple
-  size_t rounds = 0;       ///< questions asked
+  size_t best_index = 0;   ///< returned tuple (always valid, best-so-far)
+  size_t rounds = 0;       ///< questions asked (including unanswered ones)
   double seconds = 0.0;    ///< algorithm time, excluding trace bookkeeping
-  bool converged = false;  ///< false when a safety cap stopped the run
+  bool converged = false;  ///< termination == kConverged (kept for callers)
+  Termination termination = Termination::kConverged;
+  size_t dropped_answers = 0;  ///< conflicting half-spaces dropped (noise)
+  size_t no_answers = 0;       ///< questions the user declined to answer
+  Status status;  ///< non-OK only when termination == kAborted
 };
 
 /// Optional per-round tracing (Figures 7/8). When attached, after every round
@@ -62,6 +70,25 @@ class InteractionTrace {
   std::vector<size_t> best_index_;
 };
 
+/// Everything one interaction session carries through the engine: the user,
+/// the optional trace, and the resource budget (with its armed deadline).
+/// Built by InteractiveAlgorithm::Interact and handed to DoInteract.
+struct InteractionContext {
+  UserOracle& user;
+  InteractionTrace* trace = nullptr;
+  RunBudget budget;
+  Deadline deadline;
+
+  /// The round cap in force for an algorithm whose own default cap is
+  /// `algorithm_default`.
+  size_t MaxRounds(size_t algorithm_default) const {
+    return budget.EffectiveMaxRounds(algorithm_default);
+  }
+
+  /// True when the wall-clock deadline has passed.
+  bool DeadlineExpired() const { return deadline.Expired(); }
+};
+
 /// An interactive algorithm bound to a dataset and a regret threshold ε.
 /// Interact() is re-entrant: each call is an independent episode.
 class InteractiveAlgorithm {
@@ -73,8 +100,30 @@ class InteractiveAlgorithm {
 
   /// Runs one full interaction against `user`; when `trace` is non-null the
   /// algorithm records per-round progress into it.
-  virtual InteractionResult Interact(UserOracle& user,
-                                     InteractionTrace* trace = nullptr) = 0;
+  InteractionResult Interact(UserOracle& user,
+                             InteractionTrace* trace = nullptr) {
+    return Interact(user, RunBudget{}, trace);
+  }
+
+  /// Interact() under a resource budget: the session additionally stops —
+  /// with Termination::kBudgetExhausted and its best-so-far recommendation —
+  /// when the budget's round cap or wall-clock deadline is reached.
+  InteractionResult Interact(UserOracle& user, const RunBudget& budget,
+                             InteractionTrace* trace = nullptr) {
+    InteractionContext ctx{user, trace, budget, Deadline::FromBudget(budget)};
+    InteractionResult result = DoInteract(ctx);
+    result.converged = result.termination == Termination::kConverged;
+    return result;
+  }
+
+ protected:
+  /// Algorithm implementation. Must never abort on user answers, LP
+  /// outcomes, or geometry degeneracies: conflicting answers degrade
+  /// (dropping the minimal most-recent suffix of half-spaces), budget
+  /// exhaustion returns best-so-far, and unrecoverable failures surface as
+  /// termination == kAborted with a non-OK status — still with the best
+  /// available recommendation.
+  virtual InteractionResult DoInteract(InteractionContext& ctx) = 0;
 };
 
 }  // namespace isrl

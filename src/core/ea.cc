@@ -22,6 +22,12 @@ Ea::Ea(const Dataset& data, const EaOptions& options)
 
 Ea::RoundPlan Ea::PlanRound(const Polyhedron& range) {
   RoundPlan plan;
+  if (range.IsEmpty()) {
+    // Callers keep R non-empty (TryCut); an empty R here is a numeric
+    // degeneracy — stall instead of aborting.
+    plan.stalled = true;
+    return plan;
+  }
   // Lemma 6 first: a single terminal polyhedron over the extreme vectors
   // certifies termination.
   if (IsTerminalRange(data_, range.vertices(), options_.epsilon,
@@ -32,10 +38,15 @@ Ea::RoundPlan Ea::PlanRound(const Polyhedron& range) {
   EaActionSpace space = BuildEaActionSpace(data_, range, options_.epsilon,
                                            options_.actions, rng_);
   if (space.actions.empty()) {
+    if (space.winners.empty()) {
+      // Degenerate data (no utility vector of V had a positive top score):
+      // no certificate and no question can make progress.
+      plan.stalled = true;
+      return plan;
+    }
     // A single winner covered all of V ⊇ E — also a valid terminal
     // certificate (coverage of every extreme vector implies coverage of R
     // by convexity); return that winner.
-    ISRL_CHECK(!space.winners.empty());
     plan.terminal = true;
     plan.winner = space.winners.front();
     return plan;
@@ -79,7 +90,7 @@ TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
     Vec state = EncodeEaState(range, options_.state);
 
     size_t rounds = 0;
-    while (!plan.terminal && rounds < options_.max_rounds) {
+    while (!plan.terminal && !plan.stalled && rounds < options_.max_rounds) {
       std::vector<Vec> features = FeaturizeCandidates(state, plan.actions);
       size_t pick = agent_.SelectEpsilonGreedy(features, epsilon_greedy, rng_);
       const Question q = plan.actions[pick].q;
@@ -96,13 +107,14 @@ TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
       RoundPlan next_plan = PlanRound(range);
       Vec next_state = EncodeEaState(range, options_.state);
 
+      const bool episode_over = next_plan.terminal || next_plan.stalled;
       rl::Transition t;
       t.state_action = std::move(features[pick]);
-      t.terminal = next_plan.terminal;
-      t.reward = next_plan.terminal
+      t.terminal = episode_over;
+      t.reward = episode_over
                      ? agent_.options().reward_constant
                      : -agent_.options().step_penalty;
-      if (!next_plan.terminal) {
+      if (!episode_over) {
         t.next_candidates = FeaturizeCandidates(next_state, next_plan.actions);
       }
       agent_.Remember(std::move(t));
@@ -128,57 +140,84 @@ TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
   return stats;
 }
 
-InteractionResult Ea::Interact(UserOracle& user, InteractionTrace* trace) {
+InteractionResult Ea::DoInteract(InteractionContext& ctx) {
   InteractionResult result;
   Stopwatch watch;
+  const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);
 
   Polyhedron range = Polyhedron::UnitSimplex(data_.dim());
   RoundPlan plan = PlanRound(range);
   Vec state = EncodeEaState(range, options_.state);
   size_t fallback_best = data_.TopIndex(range.Centroid());
+  bool deadline_hit = false;
 
-  while (!plan.terminal && result.rounds < options_.max_rounds) {
+  auto record_round = [&]() {
+    if (ctx.trace == nullptr) return;
+    const double elapsed = watch.ElapsedSeconds();
+    std::vector<Vec> consistent;
+    if (!range.IsEmpty()) {
+      consistent.reserve(ctx.trace->regret_samples());
+      for (size_t s = 0; s < ctx.trace->regret_samples(); ++s) {
+        consistent.push_back(range.SampleInterior(ctx.trace->rng()));
+      }
+    }
+    ctx.trace->Record(fallback_best, consistent, elapsed);
+    watch.Restart();  // exclude trace bookkeeping from algorithm time
+    result.seconds += elapsed;
+  };
+
+  while (!plan.terminal && !plan.stalled && result.rounds < max_rounds) {
+    if (ctx.DeadlineExpired()) {
+      deadline_hit = true;
+      break;
+    }
     std::vector<Vec> features = FeaturizeCandidates(state, plan.actions);
     size_t pick = agent_.SelectGreedy(features);
     const Question q = plan.actions[pick].q;
 
-    const bool prefers_i = user.Prefers(data_.point(q.i), data_.point(q.j));
+    const Answer answer = ctx.user.Ask(data_.point(q.i), data_.point(q.j));
+    ++result.rounds;
+    if (answer == Answer::kNoAnswer) {
+      // Timed-out question: learn nothing, re-plan (the action sampler is
+      // stochastic, so the next round asks a fresh set of questions).
+      ++result.no_answers;
+      plan = PlanRound(range);
+      record_round();
+      continue;
+    }
+    const bool prefers_i = answer == Answer::kFirst;
     const Vec& winner = data_.point(prefers_i ? q.i : q.j);
     const Vec& loser = data_.point(prefers_i ? q.j : q.i);
-    range.Cut(PreferenceHalfspace(winner, loser));
-    ++result.rounds;
-
-    if (range.IsEmpty()) {
-      // Only reachable with inconsistent (noisy) answers: the learned
-      // half-spaces have no common utility vector. Return the best guess
-      // from before the contradicting cut.
-      const double tail = watch.ElapsedSeconds();
-      result.best_index = fallback_best;
-      result.seconds += tail;
-      if (trace != nullptr) trace->Record(result.best_index, {}, tail);
-      return result;
+    if (!range.TryCut(PreferenceHalfspace(winner, loser))) {
+      // The answer contradicts everything learned so far (inconsistent
+      // noisy user): dropping the minimal most-recent suffix of conflicting
+      // half-spaces — here exactly this one, since R was non-empty before —
+      // keeps the session alive.
+      ++result.dropped_answers;
+      plan = PlanRound(range);
+      record_round();
+      continue;
     }
 
     plan = PlanRound(range);
-    state = EncodeEaState(range, options_.state);
+    if (!plan.terminal && !plan.stalled) {
+      state = EncodeEaState(range, options_.state);
+    }
     fallback_best = plan.terminal ? plan.winner
                                   : data_.TopIndex(range.Centroid());
-
-    if (trace != nullptr) {
-      const double elapsed = watch.ElapsedSeconds();
-      std::vector<Vec> consistent;
-      consistent.reserve(trace->regret_samples());
-      for (size_t s = 0; s < trace->regret_samples(); ++s) {
-        consistent.push_back(range.SampleInterior(trace->rng()));
-      }
-      trace->Record(fallback_best, consistent, elapsed);
-      watch.Restart();  // exclude trace bookkeeping from algorithm time
-      result.seconds += elapsed;
-    }
+    record_round();
   }
 
   result.best_index = plan.terminal ? plan.winner : fallback_best;
-  result.converged = plan.terminal;
+  if (plan.terminal) {
+    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
+                                                    : Termination::kConverged;
+  } else if (plan.stalled) {
+    result.termination = Termination::kDegraded;
+  } else {
+    result.termination = Termination::kBudgetExhausted;
+    (void)deadline_hit;
+  }
   result.seconds += watch.ElapsedSeconds();
   return result;
 }
@@ -189,9 +228,8 @@ Status Ea::SaveAgent(const std::string& path) {
 }
 
 Status Ea::LoadAgent(const std::string& path) {
-  Result<nn::Network> loaded = nn::LoadNetwork(path);
-  if (!loaded.ok()) return loaded.status();
-  std::vector<nn::ParamBlock> theirs = loaded->Params();
+  ISRL_ASSIGN_OR_RETURN(nn::Network loaded, nn::LoadNetwork(path));
+  std::vector<nn::ParamBlock> theirs = loaded.Params();
   std::vector<nn::ParamBlock> mine = agent_.main_network().Params();
   if (theirs.size() != mine.size()) {
     return Status::InvalidArgument("network architecture mismatch");
@@ -201,7 +239,7 @@ Status Ea::LoadAgent(const std::string& path) {
       return Status::InvalidArgument("network layer shape mismatch");
     }
   }
-  agent_.main_network().CopyParamsFrom(*loaded);
+  agent_.main_network().CopyParamsFrom(loaded);
   agent_.SyncTarget();
   return Status::Ok();
 }

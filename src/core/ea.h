@@ -50,10 +50,6 @@ class Ea : public InteractiveAlgorithm {
   /// Algorithm 1: one ε-greedy training episode per utility vector.
   TrainStats Train(const std::vector<Vec>& training_utilities);
 
-  /// Algorithm 2: greedy interaction against `user`.
-  InteractionResult Interact(UserOracle& user,
-                             InteractionTrace* trace = nullptr) override;
-
   std::string name() const override { return "EA"; }
 
   rl::DqnAgent& agent() { return agent_; }
@@ -71,10 +67,18 @@ class Ea : public InteractiveAlgorithm {
   /// instance's input_dim); the target network is synchronised to it.
   Status LoadAgent(const std::string& path);
 
+ protected:
+  /// Algorithm 2: greedy interaction, hardened — conflicting (noisy) answers
+  /// are dropped most-recent-first instead of emptying R, unanswered
+  /// questions are skipped, and the context's budget caps rounds and time.
+  InteractionResult DoInteract(InteractionContext& ctx) override;
+
  private:
-  /// One round's decision basis: either a terminal certificate or actions.
+  /// One round's decision basis: a terminal certificate, candidate actions,
+  /// or a stall (degenerate data — no winners and no questions left).
   struct RoundPlan {
     bool terminal = false;
+    bool stalled = false;
     size_t winner = 0;
     std::vector<EaAction> actions;
   };

@@ -11,7 +11,9 @@ EaActionSpace BuildEaActionSpace(const Dataset& data, const Polyhedron& range,
                                  double epsilon,
                                  const EaActionOptions& options, Rng& rng) {
   EaActionSpace space;
-  ISRL_CHECK(!range.IsEmpty());
+  // An empty range has no interior to sample; no winners and no actions
+  // (callers treat that as a stall).
+  if (range.IsEmpty()) return space;
 
   // V = sampled interior vectors ∪ extreme vectors. Samples go first so that
   // large-volume terminal polyhedra are constructed with high probability

@@ -29,16 +29,18 @@ Summary Summarize(const std::vector<double>& values) {
 }
 
 void PrintEvalHeader(const std::string& sweep_label) {
-  std::printf("%-12s %-14s %10s %12s %12s %12s %10s\n", sweep_label.c_str(),
-              "algorithm", "rounds", "time_s", "regret", "max_regret",
-              "within_eps");
+  std::printf("%-12s %-14s %10s %12s %12s %12s %10s %9s %8s %8s\n",
+              sweep_label.c_str(), "algorithm", "rounds", "time_s", "regret",
+              "max_regret", "within_eps", "degraded", "budget", "dropped");
 }
 
 void PrintEvalRow(const std::string& sweep_value, const EvalStats& stats) {
-  std::printf("%-12s %-14s %10.2f %12.4f %12.4f %12.4f %9.0f%%\n",
-              sweep_value.c_str(), stats.algorithm.c_str(), stats.mean_rounds,
-              stats.mean_seconds, stats.mean_regret, stats.max_regret,
-              100.0 * stats.frac_within_eps);
+  std::printf(
+      "%-12s %-14s %10.2f %12.4f %12.4f %12.4f %9.0f%% %8.0f%% %7.0f%% %8.2f\n",
+      sweep_value.c_str(), stats.algorithm.c_str(), stats.mean_rounds,
+      stats.mean_seconds, stats.mean_regret, stats.max_regret,
+      100.0 * stats.frac_within_eps, 100.0 * stats.frac_degraded,
+      100.0 * stats.frac_budget_exhausted, stats.mean_dropped_answers);
   std::fflush(stdout);
 }
 

@@ -31,6 +31,13 @@ struct EvalStats {
   double frac_within_eps = 0.0;  ///< episodes with final regret < ε
   double frac_converged = 0.0;   ///< episodes not stopped by a safety cap
   size_t episodes = 0;
+  // Failure outcomes (noisy users / tight budgets). Fractions are over all
+  // episodes; every episode still returns a recommendation.
+  double frac_degraded = 0.0;          ///< ended Termination::kDegraded
+  double frac_budget_exhausted = 0.0;  ///< ended Termination::kBudgetExhausted
+  size_t aborted = 0;                  ///< ended Termination::kAborted
+  double mean_dropped_answers = 0.0;   ///< conflicting answers dropped / user
+  double mean_no_answers = 0.0;        ///< unanswered questions / user
 };
 
 /// Fixed-width row printer used by the figure benches so every experiment

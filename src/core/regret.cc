@@ -8,7 +8,9 @@ namespace isrl {
 
 double RegretRatio(const Dataset& data, const Vec& q, const Vec& u) {
   double top = data.TopUtility(u);
-  ISRL_CHECK_GT(top, 0.0);
+  // Degenerate utility (top ≤ 0, e.g. a numerically zero vector): every
+  // point is equally good, so the regret ratio is 0 by convention.
+  if (top <= 0.0) return 0.0;
   double mine = Dot(u, q);
   return std::max(0.0, (top - mine) / top);
 }
@@ -31,7 +33,7 @@ bool IsEpsOptimalForAll(const Dataset& data, const Vec& p,
 
 double MaxRegretOver(const Dataset& data, const Vec& p,
                      const std::vector<Vec>& utilities) {
-  ISRL_CHECK(!utilities.empty());
+  // Over an empty sample the maximum is vacuously 0 (nothing contradicts p).
   double worst = 0.0;
   for (const Vec& v : utilities) {
     worst = std::max(worst, RegretRatio(data, p, v));

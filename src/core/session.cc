@@ -16,26 +16,45 @@ UserFactory MakeNoisyUserFactory(double error_rate, Rng& rng) {
   };
 }
 
+UserFactory MakeFaultyUserFactory(const FaultyUserOptions& options) {
+  // `counter` is shared across the factory's calls so each user in a
+  // population gets a distinct but reproducible fault sequence.
+  auto counter = std::make_shared<uint64_t>(0);
+  return [options, counter](const Vec& u) {
+    FaultyUserOptions per_user = options;
+    per_user.seed = options.seed + (*counter)++;
+    return std::make_unique<FaultyUser>(u, per_user);
+  };
+}
+
 EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
                    const std::vector<Vec>& utilities, double epsilon,
-                   const UserFactory& factory) {
+                   const UserFactory& factory, const RunBudget& budget) {
   EvalStats stats;
   stats.algorithm = algorithm.name();
   stats.episodes = utilities.size();
   if (utilities.empty()) return stats;
 
   double rounds_sum = 0.0, seconds_sum = 0.0, regret_sum = 0.0;
-  size_t within = 0, converged = 0;
+  double dropped_sum = 0.0, no_answer_sum = 0.0;
+  size_t within = 0, converged = 0, degraded = 0, exhausted = 0;
   for (const Vec& u : utilities) {
     std::unique_ptr<UserOracle> user = factory(u);
-    InteractionResult r = algorithm.Interact(*user);
+    InteractionResult r = algorithm.Interact(*user, budget);
     double regret = RegretRatioAt(data, r.best_index, u);
     rounds_sum += static_cast<double>(r.rounds);
     seconds_sum += r.seconds;
     regret_sum += regret;
+    dropped_sum += static_cast<double>(r.dropped_answers);
+    no_answer_sum += static_cast<double>(r.no_answers);
     stats.max_regret = std::max(stats.max_regret, regret);
     if (regret < epsilon) ++within;
-    if (r.converged) ++converged;
+    switch (r.termination) {
+      case Termination::kConverged: ++converged; break;
+      case Termination::kDegraded: ++degraded; break;
+      case Termination::kBudgetExhausted: ++exhausted; break;
+      case Termination::kAborted: ++stats.aborted; break;
+    }
   }
   const double n = static_cast<double>(utilities.size());
   stats.mean_rounds = rounds_sum / n;
@@ -43,6 +62,10 @@ EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
   stats.mean_regret = regret_sum / n;
   stats.frac_within_eps = static_cast<double>(within) / n;
   stats.frac_converged = static_cast<double>(converged) / n;
+  stats.frac_degraded = static_cast<double>(degraded) / n;
+  stats.frac_budget_exhausted = static_cast<double>(exhausted) / n;
+  stats.mean_dropped_answers = dropped_sum / n;
+  stats.mean_no_answers = no_answer_sum / n;
   return stats;
 }
 
@@ -50,7 +73,8 @@ TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
                                 const Dataset& data,
                                 const std::vector<Vec>& utilities,
                                 size_t regret_samples, uint64_t seed,
-                                const UserFactory& factory) {
+                                const UserFactory& factory,
+                                const RunBudget& budget) {
   TraceSummary summary;
   summary.users = utilities.size();
   Rng trace_rng(seed);
@@ -60,7 +84,13 @@ TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
   for (const Vec& u : utilities) {
     InteractionTrace trace(&data, regret_samples, &trace_rng);
     std::unique_ptr<UserOracle> user = factory(u);
-    algorithm.Interact(*user, &trace);
+    InteractionResult r = algorithm.Interact(*user, budget, &trace);
+    switch (r.termination) {
+      case Termination::kConverged: break;
+      case Termination::kDegraded: ++summary.degraded; break;
+      case Termination::kBudgetExhausted: ++summary.budget_exhausted; break;
+      case Termination::kAborted: ++summary.aborted; break;
+    }
     regrets.push_back(trace.max_regret());
     seconds.push_back(trace.cumulative_seconds());
     max_rounds = std::max(max_rounds, trace.rounds());

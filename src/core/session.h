@@ -11,6 +11,7 @@
 #include "core/algorithm.h"
 #include "core/metrics.h"
 #include "data/dataset.h"
+#include "user/faulty.h"
 #include "user/user.h"
 
 namespace isrl {
@@ -25,12 +26,20 @@ UserFactory MakeLinearUserFactory();
 /// Factory for NoisyUser with the given error rate (future-work extension).
 UserFactory MakeNoisyUserFactory(double error_rate, Rng& rng);
 
+/// Factory for FaultyUser (fault-injection oracle): each user gets its own
+/// Rng seeded from `options.seed` plus a per-user counter, so a population
+/// evaluation is deterministic yet fault sequences differ across users.
+UserFactory MakeFaultyUserFactory(const FaultyUserOptions& options);
+
 /// Runs one interaction per utility vector and aggregates rounds, time, and
 /// regret of the returned tuple. `epsilon` is only used for the within-ε
-/// fraction.
+/// fraction. When `budget` is non-trivial each interaction runs under it;
+/// per-user failure outcomes (degraded / budget-exhausted / aborted, dropped
+/// and unanswered questions) are aggregated into the stats either way.
 EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
                    const std::vector<Vec>& utilities, double epsilon,
-                   const UserFactory& factory = MakeLinearUserFactory());
+                   const UserFactory& factory = MakeLinearUserFactory(),
+                   const RunBudget& budget = RunBudget{});
 
 /// Per-round trajectory (Figures 7/8): the maximum regret ratio of the
 /// current recommendation and the cumulative execution time at the end of
@@ -40,6 +49,10 @@ struct TraceSummary {
   std::vector<double> mean_max_regret;
   std::vector<double> mean_cumulative_seconds;
   size_t users = 0;
+  // Failure outcomes across the traced users.
+  size_t degraded = 0;          ///< ended Termination::kDegraded
+  size_t budget_exhausted = 0;  ///< ended Termination::kBudgetExhausted
+  size_t aborted = 0;           ///< ended Termination::kAborted
 };
 
 TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
@@ -47,7 +60,8 @@ TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
                                 const std::vector<Vec>& utilities,
                                 size_t regret_samples, uint64_t seed,
                                 const UserFactory& factory =
-                                    MakeLinearUserFactory());
+                                    MakeLinearUserFactory(),
+                                const RunBudget& budget = RunBudget{});
 
 }  // namespace isrl
 

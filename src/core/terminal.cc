@@ -17,7 +17,9 @@ std::vector<size_t> TerminalWinners(const Dataset& data,
   std::vector<size_t> winners;
   for (const Vec& u : utilities) {
     double top = data.TopUtility(u);
-    ISRL_CHECK_GT(top, 0.0);
+    // A non-positive top utility means `u` is degenerate (numerically zero
+    // after drift); no point can certify anything for it — skip it.
+    if (top <= 0.0) continue;
     const double bar = (1.0 - epsilon) * top;
     bool covered = false;
     for (size_t w : winners) {
@@ -34,7 +36,8 @@ std::vector<size_t> TerminalWinners(const Dataset& data,
 bool IsTerminalRange(const Dataset& data,
                      const std::vector<Vec>& extreme_vectors, double epsilon,
                      size_t* winner) {
-  ISRL_CHECK(!extreme_vectors.empty());
+  // No extreme vectors ⇒ R collapsed numerically; there is no certificate.
+  if (extreme_vectors.empty()) return false;
   std::vector<size_t> winners = TerminalWinners(data, extreme_vectors, epsilon);
   if (winners.size() == 1) {
     if (winner != nullptr) *winner = winners[0];

@@ -35,6 +35,16 @@ void Polyhedron::Cut(const Halfspace& h) {
   DropRedundantCuts();
 }
 
+bool Polyhedron::TryCut(const Halfspace& h) {
+  std::vector<Halfspace> saved_cuts = cuts_;
+  std::vector<Vec> saved_vertices = vertices_;
+  Cut(h);
+  if (!vertices_.empty()) return true;
+  cuts_ = std::move(saved_cuts);
+  vertices_ = std::move(saved_vertices);
+  return false;
+}
+
 bool Polyhedron::Contains(const Vec& u, double tol) const {
   if (u.dim() != dim_) return false;
   double sum = 0.0;

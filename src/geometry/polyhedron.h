@@ -38,6 +38,12 @@ class Polyhedron {
   /// Redundant cuts (strictly slack at every vertex) are dropped.
   void Cut(const Halfspace& h);
 
+  /// Cut() that refuses to empty R: when the half-space would leave no
+  /// feasible vertex (a conflicting answer from an inconsistent user), the
+  /// previous state is restored and false is returned. The degradation
+  /// primitive of the fault-tolerant interaction engine.
+  bool TryCut(const Halfspace& h);
+
   /// Corner points (extreme utility vectors E) of R. Empty iff R is empty
   /// (up to tolerance).
   const std::vector<Vec>& vertices() const { return vertices_; }

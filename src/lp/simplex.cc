@@ -8,6 +8,11 @@
 namespace isrl::lp {
 namespace {
 
+// Test-only fault injection (see SetLpFaultHookForTest). One global attempt
+// counter across all solves so a hook can fail "the first k attempts".
+LpFaultHook g_fault_hook;  // NOLINT(cert-err58-cpp)
+size_t g_attempt_counter = 0;
+
 // Internal standard form: maximise c·y subject to A y = b, y ≥ 0, b ≥ 0.
 // Columns: split structural variables, then slacks/surpluses, then
 // artificials. A full dense tableau is maintained.
@@ -21,13 +26,16 @@ class Tableau {
 
   SolveResult Run() {
     SolveResult result;
+    result.diagnostics.attempts = 1;
     // ----- Phase 1: minimise the sum of artificials. -----
     if (num_artificial_ > 0) {
+      result.diagnostics.phase = 1;
       std::vector<double> phase1_cost(num_cols_, 0.0);
       for (size_t j = first_artificial_; j < num_cols_; ++j) {
         phase1_cost[j] = -1.0;  // maximise -(sum of artificials)
       }
       Status st = Optimize(phase1_cost, /*allow_artificial_entering=*/true);
+      FillPivotDiagnostics(&result.diagnostics);
       if (!st.ok()) {
         result.status = st;
         return result;
@@ -44,7 +52,9 @@ class Tableau {
     }
 
     // ----- Phase 2: the real objective. -----
+    result.diagnostics.phase = 2;
     Status st = Optimize(cost_, /*allow_artificial_entering=*/false);
+    FillPivotDiagnostics(&result.diagnostics);
     if (!st.ok()) {
       result.status = st;
       return result;
@@ -158,15 +168,25 @@ class Tableau {
     for (size_t j = 0; j < num_struct_; ++j) cost_[j] = struct_cost_[j];
   }
 
+  void FillPivotDiagnostics(SolveDiagnostics* diag) const {
+    diag->iterations += last_iterations_;
+    diag->used_bland = diag->used_bland || last_used_bland_;
+  }
+
   // Primal simplex on the current tableau with objective `cost`.
   Status Optimize(const std::vector<double>& cost,
                   bool allow_artificial_entering) {
     size_t iterations = 0;
+    last_iterations_ = 0;
+    last_used_bland_ = false;
     while (true) {
       if (++iterations > options_.max_iterations) {
+        last_iterations_ = iterations - 1;
         return Status::Internal("simplex iteration cap exceeded");
       }
+      last_iterations_ = iterations;
       const bool bland = iterations > options_.bland_after;
+      last_used_bland_ = last_used_bland_ || bland;
 
       // Reduced costs: c_j - c_B · B^{-1} A_j. With the tableau kept in
       // canonical form (basis columns are unit), the multiplier c_B over
@@ -311,19 +331,117 @@ class Tableau {
   std::vector<double> rhs_;
   std::vector<double> cost_;    // internal phase-2 costs over all columns
   std::vector<size_t> basis_;   // basic column per row
+
+  size_t last_iterations_ = 0;  // iterations of the most recent Optimize()
+  bool last_used_bland_ = false;
 };
+
+// Copy of `model` with inequality right-hand sides nudged in the relaxing
+// direction — breaks the degenerate ties that make the ratio test cycle
+// while keeping every feasible point feasible. Equalities are left exact.
+Model PerturbModel(const Model& model, double scale) {
+  Model out;
+  for (size_t v = 0; v < model.num_variables(); ++v) {
+    out.AddVariable(model.objective()[v], model.nonneg()[v]);
+  }
+  out.SetSense(model.sense());
+  size_t r = 0;
+  for (const Constraint& c : model.constraints()) {
+    double delta = scale * (1.0 + std::abs(c.rhs)) *
+                   static_cast<double>((r++ % 7) + 1);
+    double rhs = c.rhs;
+    if (c.relation == Relation::kLe) rhs += delta;
+    if (c.relation == Relation::kGe) rhs -= delta;
+    out.AddConstraint(c.coeffs, c.relation, rhs);
+  }
+  return out;
+}
 
 }  // namespace
 
 SolveResult Solve(const Model& model, const SimplexOptions& options) {
+  if (g_fault_hook) {
+    const size_t attempt = ++g_attempt_counter;
+    Status injected = g_fault_hook(model, attempt);
+    if (!injected.ok()) {
+      SolveResult r;
+      r.status = std::move(injected);
+      r.diagnostics.attempts = 1;
+      r.diagnostics.injected_fault = true;
+      return r;
+    }
+  }
   if (model.num_variables() == 0) {
     SolveResult r;
     r.status = Status::InvalidArgument("model has no variables");
+    r.diagnostics.attempts = 1;
     return r;
   }
   Tableau tableau(model, options);
   tableau.SetModelMapping(model);
   return tableau.Run();
 }
+
+SolveResult SolveWithRecovery(const Model& model, const SimplexOptions& options,
+                              const RetryOptions& retry) {
+  SolveDiagnostics aggregate;
+  SolveResult result;
+  const size_t attempts = std::max<size_t>(1, retry.max_attempts);
+  for (size_t attempt = 1; attempt <= attempts; ++attempt) {
+    SimplexOptions attempt_options = options;
+    const Model* attempt_model = &model;
+    Model perturbed;
+    if (attempt > 1) {
+      // Escalation ladder: Bland's rule from the first pivot (the provably
+      // terminating rule) plus widened tolerances; the final attempt also
+      // perturbs the model to break degenerate ties.
+      double factor = 1.0;
+      for (size_t k = 1; k < attempt; ++k) factor *= retry.tol_escalation;
+      attempt_options.bland_after = 0;
+      attempt_options.feasibility_tol = options.feasibility_tol * factor;
+      attempt_options.pivot_tol = options.pivot_tol * factor;
+      aggregate.escalated = true;
+      if (attempt == attempts && retry.perturbation > 0.0) {
+        perturbed = PerturbModel(model, retry.perturbation);
+        attempt_model = &perturbed;
+        aggregate.perturbed = true;
+      }
+    }
+    result = Solve(*attempt_model, attempt_options);
+    aggregate.attempts += result.diagnostics.attempts;
+    aggregate.iterations = result.diagnostics.iterations;
+    aggregate.phase = result.diagnostics.phase;
+    aggregate.used_bland = aggregate.used_bland || result.diagnostics.used_bland;
+    aggregate.injected_fault =
+        aggregate.injected_fault || result.diagnostics.injected_fault;
+    // kInfeasible / kUnbounded are genuine answers; only numerical trouble
+    // (kInternal: iteration cap, cycling) earns a retry.
+    if (result.status.code() != StatusCode::kInternal) break;
+  }
+  result.diagnostics = aggregate;
+  return result;
+}
+
+void SetLpFaultHookForTest(LpFaultHook hook) {
+  g_fault_hook = std::move(hook);
+  if (!g_fault_hook) g_attempt_counter = 0;
+}
+
+FailingLpHook::FailingLpHook(size_t failures) : failures_(failures) {
+  SetLpFaultHookForTest([this](const Model&, size_t) {
+    ++seen_;
+    if (injected_ < failures_) {
+      ++injected_;
+      return Status::Internal("injected LP fault");
+    }
+    return Status::Ok();
+  });
+}
+
+FailingLpHook::~FailingLpHook() { SetLpFaultHookForTest(nullptr); }
+
+size_t FailingLpHook::attempts_seen() const { return seen_; }
+
+size_t FailingLpHook::failures_injected() const { return injected_; }
 
 }  // namespace isrl::lp

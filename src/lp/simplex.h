@@ -1,11 +1,16 @@
-// Dense two-phase primal simplex solver.
+// Dense two-phase primal simplex solver with failure recovery.
 //
 // Problem sizes in this system are small (tens of variables, up to a few
 // hundred constraints from accumulated half-spaces), so a dense tableau with
 // Dantzig pricing and a Bland's-rule anti-cycling fallback is both simple and
-// fast. All LPs issued by the algorithms go through Solve().
+// fast. All LPs issued by the algorithms go through Solve() or, on the
+// interaction hot path, SolveWithRecovery() — which retries kInternal /
+// numerically troubled solves with escalated tolerances, Bland-from-start
+// pricing, and a tiny deterministic perturbation before giving up.
 #ifndef ISRL_LP_SIMPLEX_H_
 #define ISRL_LP_SIMPLEX_H_
+
+#include <functional>
 
 #include "common/status.h"
 #include "common/vec.h"
@@ -23,12 +28,25 @@ struct SimplexOptions {
                                   ///< Dantzig iterations (anti-cycling).
 };
 
+/// What it took to solve (or fail) an LP — filled by Solve() for the single
+/// attempt and aggregated across attempts by SolveWithRecovery().
+struct SolveDiagnostics {
+  size_t attempts = 0;      ///< solve attempts made (1 = no retry needed)
+  size_t iterations = 0;    ///< simplex iterations of the last attempt
+  int phase = 0;            ///< phase the last attempt ended in (1 or 2)
+  bool used_bland = false;  ///< the last attempt pivoted under Bland's rule
+  bool escalated = false;   ///< a retry ran with escalated tolerances
+  bool perturbed = false;   ///< a retry ran on a perturbed model
+  bool injected_fault = false;  ///< a test hook forced at least one failure
+};
+
 /// Outcome of Solve(). On kOk, `objective` and `x` hold the optimum; on
 /// kInfeasible / kUnbounded they are unspecified.
 struct SolveResult {
   Status status;
   double objective = 0.0;
   Vec x;  ///< Values of the model's variables (original indexing).
+  SolveDiagnostics diagnostics;
 
   bool ok() const { return status.ok(); }
 };
@@ -37,6 +55,50 @@ struct SolveResult {
 /// constraints, kUnbounded when the objective is unbounded in the optimise
 /// direction, kInternal when the iteration cap is hit.
 SolveResult Solve(const Model& model, const SimplexOptions& options = {});
+
+/// Recovery policy for SolveWithRecovery().
+struct RetryOptions {
+  size_t max_attempts = 3;        ///< total attempts including the first
+  double tol_escalation = 100.0;  ///< tolerance multiplier per retry
+  double perturbation = 1e-9;     ///< deterministic rhs nudge on the last try
+};
+
+/// Solve() plus structured recovery: a kInternal outcome (iteration cap /
+/// cycling / numerical trouble) is retried with Bland's rule from the first
+/// pivot and escalated tolerances, then once more with a tiny deterministic
+/// rhs perturbation. kInfeasible and kUnbounded are genuine answers and are
+/// returned immediately. The returned diagnostics describe all attempts.
+SolveResult SolveWithRecovery(const Model& model,
+                              const SimplexOptions& options = {},
+                              const RetryOptions& retry = {});
+
+/// Test-only fault injection: when set, the hook runs before every solve
+/// attempt (attempt is 1-based and global across Solve*/ calls) and a non-OK
+/// return is reported as that attempt's outcome without running the solver.
+/// Not thread-safe; intended for deterministic fault-injection tests.
+using LpFaultHook = std::function<Status(const Model& model, size_t attempt)>;
+void SetLpFaultHookForTest(LpFaultHook hook);
+
+/// RAII installer for an LpFaultHook that fails the first `failures` solve
+/// attempts with kInternal — forces the solver down its retry paths.
+class FailingLpHook {
+ public:
+  explicit FailingLpHook(size_t failures);
+  ~FailingLpHook();
+
+  FailingLpHook(const FailingLpHook&) = delete;
+  FailingLpHook& operator=(const FailingLpHook&) = delete;
+
+  /// Attempts intercepted so far (failed + passed-through).
+  size_t attempts_seen() const;
+  /// Attempts forced to fail so far.
+  size_t failures_injected() const;
+
+ private:
+  size_t failures_;
+  size_t seen_ = 0;
+  size_t injected_ = 0;
+};
 
 }  // namespace isrl::lp
 

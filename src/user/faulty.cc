@@ -1,0 +1,57 @@
+#include "user/faulty.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace isrl {
+
+FaultyUser::FaultyUser(Vec utility, const FaultyUserOptions& options)
+    : inner_(std::move(utility)), options_(options), rng_(options.seed) {
+  ISRL_CHECK_GE(options.flip_rate, 0.0);
+  ISRL_CHECK_LT(options.flip_rate, 0.5);
+  ISRL_CHECK_GE(options.no_answer_rate, 0.0);
+  ISRL_CHECK_LT(options.no_answer_rate, 1.0);
+  ISRL_CHECK_GE(options.boundary_band, 0.0);
+  ISRL_CHECK_LE(options.boundary_band, 1.0);
+}
+
+Answer FaultyUser::Decide(const Vec& a, const Vec& b, bool allow_no_answer) {
+  ++questions_asked_;
+  if (allow_no_answer && options_.no_answer_rate > 0.0 &&
+      rng_.Bernoulli(options_.no_answer_rate)) {
+    ++no_answers_;
+    return Answer::kNoAnswer;
+  }
+
+  const Vec& u = inner_.utility();
+  const double ua = Dot(u, a);
+  const double ub = Dot(u, b);
+  bool prefers_a = ua >= ub;
+
+  if (options_.boundary_band > 0.0) {
+    const double top = std::max({ua, ub, 1e-12});
+    if (std::abs(ua - ub) <= options_.boundary_band * top) {
+      ++boundary_flips_;
+      prefers_a = !prefers_a;
+      return prefers_a ? Answer::kFirst : Answer::kSecond;
+    }
+  }
+  if (options_.flip_rate > 0.0 && rng_.Bernoulli(options_.flip_rate)) {
+    ++flips_;
+    prefers_a = !prefers_a;
+  }
+  return prefers_a ? Answer::kFirst : Answer::kSecond;
+}
+
+Answer FaultyUser::Ask(const Vec& a, const Vec& b) {
+  return Decide(a, b, /*allow_no_answer=*/true);
+}
+
+bool FaultyUser::Prefers(const Vec& a, const Vec& b) {
+  return Decide(a, b, /*allow_no_answer=*/false) == Answer::kFirst;
+}
+
+}  // namespace isrl

@@ -1,0 +1,66 @@
+// Fault-injection user oracle.
+//
+// FaultyUser wraps the deterministic linear user with the failure modes a
+// production interaction service actually sees: uniformly random answer
+// flips, "no-answer" timeouts, and adversarial flips on questions whose two
+// points are nearly tied under the hidden utility (the answers most likely
+// to be wrong in practice, and the ones that inject near-redundant
+// conflicting half-spaces into the engine's geometry). All randomness comes
+// from an owned, seeded Rng, so every fault sequence is reproducible — the
+// fault-injection test suite runs hundreds of seeded sessions and asserts
+// that no recovery branch is left unexercised.
+#ifndef ISRL_USER_FAULTY_H_
+#define ISRL_USER_FAULTY_H_
+
+#include "common/rng.h"
+#include "user/user.h"
+
+namespace isrl {
+
+/// Fault model knobs. All rates default to zero (a faultless linear user).
+struct FaultyUserOptions {
+  double flip_rate = 0.0;       ///< P(uniformly random answer flip), < 0.5
+  double no_answer_rate = 0.0;  ///< P(timeout — Ask returns kNoAnswer), < 1
+  /// Relative utility-gap band for adversarial flips: when
+  /// |u·a − u·b| ≤ boundary_band · max(u·a, u·b) the answer is flipped
+  /// deterministically (worst case near the decision boundary). 0 disables.
+  double boundary_band = 0.0;
+  uint64_t seed = 1;            ///< seed of the oracle's own fault Rng
+};
+
+/// Linear user decorated with configurable faults (see FaultyUserOptions).
+class FaultyUser : public UserOracle {
+ public:
+  /// `utility` must be a non-negative vector summing to 1.
+  FaultyUser(Vec utility, const FaultyUserOptions& options);
+
+  /// The full fault model: timeouts, adversarial boundary flips, then
+  /// uniformly random flips.
+  Answer Ask(const Vec& a, const Vec& b) override;
+
+  /// Ask() with timeouts disabled (a bool must be produced); flips still
+  /// apply.
+  bool Prefers(const Vec& a, const Vec& b) override;
+
+  const Vec& utility() const { return inner_.utility(); }
+  const FaultyUserOptions& options() const { return options_; }
+
+  /// Fault counters for test assertions.
+  size_t flips() const { return flips_; }
+  size_t boundary_flips() const { return boundary_flips_; }
+  size_t no_answers() const { return no_answers_; }
+
+ private:
+  Answer Decide(const Vec& a, const Vec& b, bool allow_no_answer);
+
+  LinearUser inner_;
+  FaultyUserOptions options_;
+  Rng rng_;
+  size_t flips_ = 0;
+  size_t boundary_flips_ = 0;
+  size_t no_answers_ = 0;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_USER_FAULTY_H_

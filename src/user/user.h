@@ -14,15 +14,31 @@
 
 namespace isrl {
 
+/// A user's reply to one pairwise question. Real users sometimes fail to
+/// answer at all (timeouts, skipped questions); the interaction engine must
+/// survive that, so the reply is three-valued.
+enum class Answer {
+  kFirst = 0,   ///< prefers the first point
+  kSecond,      ///< prefers the second point
+  kNoAnswer,    ///< timed out / declined — the engine learns nothing
+};
+
 /// Answers pairwise-preference questions. Implementations must be consistent
 /// with *some* underlying preference for evaluation to be meaningful, but the
-/// algorithms only ever see the boolean answers.
+/// algorithms only ever see the answers.
 class UserOracle {
  public:
   virtual ~UserOracle() = default;
 
   /// True when the user prefers `a` to `b` (ties broken towards `a`).
   virtual bool Prefers(const Vec& a, const Vec& b) = 0;
+
+  /// Three-valued form of Prefers(); the interaction engines ask through
+  /// this entry point. The default never declines to answer — only faulty
+  /// oracles (FaultyUser) return kNoAnswer.
+  virtual Answer Ask(const Vec& a, const Vec& b) {
+    return Prefers(a, b) ? Answer::kFirst : Answer::kSecond;
+  }
 
   /// Number of questions answered so far.
   size_t questions_asked() const { return questions_asked_; }

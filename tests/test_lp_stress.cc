@@ -192,6 +192,110 @@ TEST(SimplexStress, ZeroRowConstraintHandled) {
   EXPECT_FALSE(Solve(bad_model).ok());
 }
 
+// Beale's cycling example as a Model (shared by the recovery tests below).
+Model BealeModel() {
+  Model m;
+  m.SetSense(Sense::kMinimize);
+  m.AddVariable(-0.75);
+  m.AddVariable(150.0);
+  m.AddVariable(-0.02);
+  m.AddVariable(6.0);
+  m.AddConstraint(Vec{0.25, -60.0, -1.0 / 25.0, 9.0}, Relation::kLe, 0.0);
+  m.AddConstraint(Vec{0.5, -90.0, -1.0 / 50.0, 3.0}, Relation::kLe, 0.0);
+  m.AddConstraint(Vec{0.0, 0.0, 1.0, 0.0}, Relation::kLe, 1.0);
+  return m;
+}
+
+TEST(SimplexRecovery, CyclingLpExhaustsPureDantzigPricing) {
+  // With Bland's rule pushed past the iteration cap, Dantzig pricing cycles
+  // on Beale's example and the solver must report kInternal — the outcome
+  // SolveWithRecovery exists to repair.
+  SimplexOptions opt;
+  opt.max_iterations = 60;
+  opt.bland_after = 1000000;  // never: pure Dantzig
+  SolveResult r = Solve(BealeModel(), opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(r.diagnostics.attempts, 1u);
+  EXPECT_EQ(r.diagnostics.iterations, 60u);
+  EXPECT_EQ(r.diagnostics.phase, 2);
+  EXPECT_FALSE(r.diagnostics.used_bland);
+}
+
+TEST(SimplexRecovery, BlandFallbackWithEscalatedTolerancesRescuesCycling) {
+  // Same doomed options, but through SolveWithRecovery: the second attempt
+  // pivots under Bland's rule from the start with escalated tolerances and
+  // reaches Beale's optimum. Diagnostics must say exactly that.
+  SimplexOptions opt;
+  opt.max_iterations = 60;
+  opt.bland_after = 1000000;
+  SolveResult r = SolveWithRecovery(BealeModel(), opt);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_NEAR(r.objective, -0.05, 1e-6);
+  EXPECT_EQ(r.diagnostics.attempts, 2u);
+  EXPECT_TRUE(r.diagnostics.used_bland);
+  EXPECT_TRUE(r.diagnostics.escalated);
+  EXPECT_FALSE(r.diagnostics.perturbed);
+  EXPECT_FALSE(r.diagnostics.injected_fault);
+}
+
+TEST(SimplexRecovery, GenuineInfeasibilityIsNotRetried) {
+  Model m;
+  m.AddVariable(0.0);
+  m.AddConstraint(Vec{1.0}, Relation::kGe, 0.5 + 1e-7);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 0.5 - 1e-7);
+  SolveResult r = SolveWithRecovery(m);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(r.diagnostics.attempts, 1u);  // no retry for a real answer
+}
+
+TEST(SimplexRecovery, InjectedFaultForcesRetryPath) {
+  Model m;
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 2.0);
+
+  FailingLpHook hook(1);
+  SolveResult r = SolveWithRecovery(m);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+  EXPECT_EQ(r.diagnostics.attempts, 2u);
+  EXPECT_TRUE(r.diagnostics.injected_fault);
+  EXPECT_TRUE(r.diagnostics.escalated);
+  EXPECT_EQ(hook.attempts_seen(), 2u);
+  EXPECT_EQ(hook.failures_injected(), 1u);
+}
+
+TEST(SimplexRecovery, TwoInjectedFaultsReachThePerturbedLastAttempt) {
+  Model m;
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 2.0);
+
+  FailingLpHook hook(2);
+  SolveResult r = SolveWithRecovery(m);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  // The perturbation relaxes the ≤ rhs by a deterministic hair; the optimum
+  // moves by at most that hair.
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+  EXPECT_EQ(r.diagnostics.attempts, 3u);
+  EXPECT_TRUE(r.diagnostics.perturbed);
+  EXPECT_TRUE(r.diagnostics.injected_fault);
+  EXPECT_EQ(hook.failures_injected(), 2u);
+}
+
+TEST(SimplexRecovery, ExhaustedRetriesReportInternalWithFullDiagnostics) {
+  Model m;
+  m.AddVariable(1.0);
+  m.AddConstraint(Vec{1.0}, Relation::kLe, 2.0);
+
+  FailingLpHook hook(100);  // more failures than attempts
+  SolveResult r = SolveWithRecovery(m);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(r.diagnostics.attempts, 3u);
+  EXPECT_TRUE(r.diagnostics.injected_fault);
+}
+
 TEST(SimplexStress, FreeVariablePinnedByEqualities) {
   // Free y with x + y = 0.2, x − y = 1.0 → x = 0.6, y = −0.4.
   Model m;
