@@ -20,6 +20,7 @@
 #include "baselines/uh_random.h"
 #include "baselines/uh_simplex.h"
 #include "baselines/utility_approx.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -58,10 +59,27 @@ inline Scale GetScale() {
 }
 
 /// Master seed; override with ISRL_BENCH_SEED for variance studies.
+/// Malformed values fail fast: atoll would silently turn "abc" into seed 0
+/// and wrap negative values modulo 2^64, corrupting reproducibility reports.
 inline uint64_t GetSeed() {
   const char* env = std::getenv("ISRL_BENCH_SEED");
-  return env == nullptr ? 9176u : static_cast<uint64_t>(std::atoll(env));
+  if (env == nullptr) return 9176u;
+  uint64_t seed = 0;
+  if (!ParseUint64(env, &seed)) {
+    std::fprintf(stderr,
+                 "ISRL_BENCH_SEED must be a non-negative base-10 integer "
+                 "< 2^64, got '%s'\n",
+                 env);
+    std::exit(EXIT_FAILURE);
+  }
+  return seed;
 }
+
+/// Evaluation worker threads (ISRL_THREADS; default 1, "0" = one per core).
+/// Evaluate() reads the same variable itself — this accessor exists so the
+/// Banner can report the setting. Thread count never changes printed stats
+/// (other than the timing columns), only wall-clock speed.
+inline size_t GetThreads() { return ThreadsFromEnv(); }
 
 /// Builds the normalised skyline of an anti-correlated synthetic dataset —
 /// the paper's standard synthetic preprocessing.
@@ -74,9 +92,9 @@ inline Dataset AntiCorrelatedSkyline(size_t n, size_t d, Rng& rng) {
 inline void Banner(const std::string& figure, const std::string& setting,
                    const Dataset& skyline, const Scale& scale) {
   std::printf("# %s — %s\n", figure.c_str(), setting.c_str());
-  std::printf("# scale=%s skyline=%zu d=%zu seed=%llu\n", scale.name.c_str(),
-              skyline.size(), skyline.dim(),
-              static_cast<unsigned long long>(GetSeed()));
+  std::printf("# scale=%s skyline=%zu d=%zu seed=%llu threads=%zu\n",
+              scale.name.c_str(), skyline.size(), skyline.dim(),
+              static_cast<unsigned long long>(GetSeed()), GetThreads());
   std::fflush(stdout);
 }
 

@@ -7,13 +7,12 @@
 namespace isrl::bench {
 namespace {
 
-UserFactory MajorityFactory(double rate, Rng& rng, size_t votes,
-                            std::vector<std::unique_ptr<UserOracle>>* keep) {
-  return [rate, &rng, votes, keep](const Vec& u) {
-    auto noisy = std::make_unique<NoisyUser>(u, rate, rng);
-    auto voter = std::make_unique<MajorityVoteUser>(noisy.get(), votes);
-    keep->push_back(std::move(noisy));  // keep the inner oracle alive
-    return voter;
+UserFactory MajorityFactory(double rate, size_t votes) {
+  return [rate, votes](const Vec& u, uint64_t user_seed) {
+    // The voter owns its noisy inner oracle, whose flip stream is seeded
+    // per user — safe and deterministic under parallel evaluation.
+    return std::make_unique<MajorityVoteUser>(
+        std::make_unique<NoisyUser>(u, rate, user_seed), votes);
   };
 }
 
@@ -35,9 +34,8 @@ void Run() {
 
   PrintEvalHeader("flip_prob");
   for (double rate : {0.0, 0.05, 0.1, 0.2}) {
-    Rng noise_rng(seed + 7);
     UserFactory factory = rate == 0.0 ? MakeLinearUserFactory()
-                                      : MakeNoisyUserFactory(rate, noise_rng);
+                                      : MakeNoisyUserFactory(rate);
     std::string label = Format("%.2f", rate);
     PrintEvalRow(label, Evaluate(ea, sky, eval, 0.1, factory));
     PrintEvalRow(label, Evaluate(aa, sky, eval, 0.1, factory));
@@ -48,14 +46,11 @@ void Run() {
               "count the logical questions)\n");
   PrintEvalHeader("flip_prob");
   for (double rate : {0.1, 0.2}) {
-    Rng noise_rng(seed + 8);
-    std::vector<std::unique_ptr<UserOracle>> keep;
-    UserFactory factory = MajorityFactory(rate, noise_rng, 3, &keep);
+    UserFactory factory = MajorityFactory(rate, 3);
     std::string label = Format("%.2f", rate);
     EvalStats s = Evaluate(ea, sky, eval, 0.1, factory);
     s.algorithm = "EA+vote3";
     PrintEvalRow(label, s);
-    keep.clear();
     s = Evaluate(aa, sky, eval, 0.1, factory);
     s.algorithm = "AA+vote3";
     PrintEvalRow(label, s);

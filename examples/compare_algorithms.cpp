@@ -62,11 +62,10 @@ int main() {
   std::printf("\n--- noisy users: every answer flipped with probability 0.15 "
               "(future-work extension) ---\n");
   PrintEvalHeader("users");
-  Rng noise_rng(32);
   for (InteractiveAlgorithm* algo : algorithms) {
     PrintEvalRow("noisy",
                  Evaluate(*algo, sky, eval, eps,
-                          MakeNoisyUserFactory(0.15, noise_rng)));
+                          MakeNoisyUserFactory(0.15)));
   }
 
   std::printf("\nReading the table: EA asks the fewest questions and "

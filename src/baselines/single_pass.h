@@ -50,6 +50,14 @@ class SinglePass : public InteractiveAlgorithm {
 
   std::string name() const override { return "SinglePass"; }
 
+  std::unique_ptr<InteractiveAlgorithm> CloneForEval() const override {
+    return std::make_unique<SinglePass>(*this);
+  }
+
+  /// Reseeds the stream-order / particle Rng (per-user derived seed during
+  /// evaluation; see core/session.cc).
+  void Reseed(uint64_t seed) override { rng_ = Rng(seed); }
+
  protected:
   InteractionResult DoInteract(InteractionContext& ctx) override;
 

@@ -39,6 +39,11 @@ class UhBase : public InteractiveAlgorithm {
  public:
   UhBase(const Dataset& data, const UhOptions& options);
 
+  /// Reseeds the question-selection Rng (per-user derived seed during
+  /// evaluation; see core/session.cc). CloneForEval lives in the leaf
+  /// classes, which know their concrete type.
+  void Reseed(uint64_t seed) override { rng_ = Rng(seed); }
+
  protected:
   /// Hardened UH loop: conflicting (noisy) answers are dropped rather than
   /// emptying R, unanswered questions are skipped, and the context's budget

@@ -16,6 +16,10 @@ class UhRandom : public UhBase {
 
   std::string name() const override { return "UH-Random"; }
 
+  std::unique_ptr<InteractiveAlgorithm> CloneForEval() const override {
+    return std::make_unique<UhRandom>(*this);
+  }
+
  protected:
   std::optional<Question> SelectQuestion(const std::vector<size_t>& candidates,
                                          const Polyhedron& range,

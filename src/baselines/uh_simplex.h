@@ -18,6 +18,10 @@ class UhSimplex : public UhBase {
 
   std::string name() const override { return "UH-Simplex"; }
 
+  std::unique_ptr<InteractiveAlgorithm> CloneForEval() const override {
+    return std::make_unique<UhSimplex>(*this);
+  }
+
  protected:
   std::optional<Question> SelectQuestion(const std::vector<size_t>& candidates,
                                          const Polyhedron& range,

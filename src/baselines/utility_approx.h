@@ -36,6 +36,12 @@ class UtilityApprox : public InteractiveAlgorithm {
 
   std::string name() const override { return "UtilityApprox"; }
 
+  // Fully deterministic (no internal Rng): the inherited no-op Reseed is
+  // correct, and cloning is a plain copy.
+  std::unique_ptr<InteractiveAlgorithm> CloneForEval() const override {
+    return std::make_unique<UtilityApprox>(*this);
+  }
+
  protected:
   InteractionResult DoInteract(InteractionContext& ctx) override;
 

@@ -1,0 +1,86 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace isrl {
+
+size_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ThreadsFromEnv() {
+  const char* env = std::getenv("ISRL_THREADS");
+  if (env == nullptr) return 1;
+  uint64_t value = 0;
+  if (!ParseUint64(env, &value)) {
+    std::fprintf(stderr,
+                 "ISRL_THREADS must be a non-negative integer "
+                 "(0 = one thread per core), got '%s'\n",
+                 env);
+    std::exit(EXIT_FAILURE);
+  }
+  if (value == 0) return HardwareThreads();
+  return value > kMaxThreads ? kMaxThreads : static_cast<size_t>(value);
+}
+
+size_t ResolveThreads(size_t requested, size_t tasks) {
+  size_t threads = requested == 0 ? ThreadsFromEnv() : requested;
+  if (threads > kMaxThreads) threads = kMaxThreads;
+  if (tasks < 1) return 1;
+  return threads < tasks ? (threads < 1 ? 1 : threads) : tasks;
+}
+
+void ParallelFor(size_t tasks, size_t threads,
+                 const std::function<void(size_t worker, size_t task)>& fn) {
+  if (tasks == 0) return;
+  size_t workers = threads < 1 ? 1 : threads;
+  if (workers > tasks) workers = tasks;
+  if (workers > kMaxThreads) workers = kMaxThreads;
+  if (workers <= 1) {
+    for (size_t task = 0; task < tasks; ++task) fn(0, task);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto work = [&](size_t worker) {
+    while (true) {
+      const size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= tasks) return;
+      try {
+        fn(worker, task);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining the queue: sibling tasks are independent, and a
+        // deterministic caller wants every slot filled or a clean rethrow.
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
+  work(0);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(size_t tasks, size_t threads,
+                 const std::function<void(size_t task)>& fn) {
+  ParallelFor(tasks, threads,
+              [&fn](size_t /*worker*/, size_t task) { fn(task); });
+}
+
+}  // namespace isrl

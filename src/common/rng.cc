@@ -6,6 +6,18 @@
 
 namespace isrl {
 
+uint64_t SplitSeed(uint64_t master, uint64_t stream) {
+  // Fixed-increment SplitMix64 (Steele et al.) over the combined word; the
+  // odd multiplier decorrelates adjacent stream ids before mixing.
+  uint64_t z = master + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
 double Rng::Uniform(double lo, double hi) {
   std::uniform_real_distribution<double> dist(lo, hi);
   return dist(engine_);

@@ -11,11 +11,26 @@
 
 namespace isrl {
 
+/// SplitMix64-style derivation of an independent stream seed from a master
+/// seed: a pure function of (master, stream), so a per-task seed never
+/// depends on how much any other stream has been consumed — the property the
+/// deterministic parallel evaluation layer (common/parallel.h) relies on.
+uint64_t SplitSeed(uint64_t master, uint64_t stream);
+
 /// Seedable pseudo-random generator (mt19937_64 under the hood) with the
 /// sampling helpers used by the data generators and RL components.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x15b1u) : engine_(seed) {}
+  explicit Rng(uint64_t seed = 0x15b1u) : seed_(seed), engine_(seed) {}
+
+  /// Derives an independent child generator for stream `stream_id`. The
+  /// derivation uses the *construction seed*, not the current engine state:
+  /// Split(k) returns the same generator no matter how many draws have been
+  /// made, so per-task streams are bit-identical at any thread count.
+  Rng Split(uint64_t stream_id) const { return Rng(SplitSeed(seed_, stream_id)); }
+
+  /// The seed this generator was constructed with (basis of Split()).
+  uint64_t seed() const { return seed_; }
 
   /// Uniform double in [lo, hi).
   double Uniform(double lo = 0.0, double hi = 1.0);
@@ -45,6 +60,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -35,6 +36,20 @@ bool ParseDouble(const std::string& s, double* out) {
   double v = std::strtod(t.c_str(), &end);
   if (end != t.c_str() + t.size()) return false;
   *out = v;
+  return true;
+}
+
+bool ParseUint64(const std::string& s, uint64_t* out) {
+  const std::string t = Trim(s);
+  if (t.empty()) return false;
+  uint64_t value = 0;
+  for (char c : t) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
   return true;
 }
 

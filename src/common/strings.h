@@ -2,6 +2,7 @@
 #ifndef ISRL_COMMON_STRINGS_H_
 #define ISRL_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,11 @@ std::string Trim(const std::string& s);
 
 /// Parses a double; returns false on malformed input.
 bool ParseDouble(const std::string& s, double* out);
+
+/// Strictly parses a non-negative base-10 integer into uint64_t. Rejects
+/// empty input, signs, trailing junk, and overflow — the checked alternative
+/// to atoll, where "abc" silently becomes 0 and "-1" wraps modulo 2^64.
+bool ParseUint64(const std::string& s, uint64_t* out);
 
 /// printf-style formatting into a std::string.
 std::string Format(const char* fmt, ...);

@@ -47,6 +47,15 @@ class Aa : public InteractiveAlgorithm {
 
   std::string name() const override { return "AA"; }
 
+  /// Deep copy sharing the dataset binding (see Ea::CloneForEval).
+  std::unique_ptr<InteractiveAlgorithm> CloneForEval() const override {
+    return std::make_unique<Aa>(*this);
+  }
+
+  /// Reseeds the action-sampling Rng (per-user derived seed during
+  /// evaluation; see core/session.cc).
+  void Reseed(uint64_t seed) override { rng_ = Rng(seed); }
+
   rl::DqnAgent& agent() { return agent_; }
   const AaOptions& options() const { return options_; }
   size_t input_dim() const { return input_dim_; }

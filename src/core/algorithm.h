@@ -4,6 +4,7 @@
 #ifndef ISRL_CORE_ALGORITHM_H_
 #define ISRL_CORE_ALGORITHM_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,24 @@ class InteractiveAlgorithm {
 
   /// Human-readable algorithm name ("EA", "UH-Random", ...).
   virtual std::string name() const = 0;
+
+  /// Evaluation-time clone hook (core of the parallel evaluation layer; see
+  /// DESIGN.md §10): returns an independent deep copy — same dataset
+  /// binding, same learned weights — that a worker thread can interact with
+  /// concurrently. Returns nullptr when the algorithm cannot be cloned,
+  /// which makes Evaluate fall back to the sequential single-instance path.
+  virtual std::unique_ptr<InteractiveAlgorithm> CloneForEval() const {
+    return nullptr;
+  }
+
+  /// Reseeds the algorithm's private Rng so the next Interact() episode's
+  /// stochastic choices are a pure function of `seed`. The evaluation layer
+  /// calls this with a per-user derived seed (SplitSeed) before every
+  /// episode, making results independent of user order, worker assignment,
+  /// and thread count. Algorithms without internal randomness keep the
+  /// default no-op; algorithms WITH internal randomness must override both
+  /// this and CloneForEval to be deterministically evaluable in parallel.
+  virtual void Reseed(uint64_t seed) { (void)seed; }
 
   /// Runs one full interaction against `user`; when `trace` is non-null the
   /// algorithm records per-round progress into it.

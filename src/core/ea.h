@@ -52,6 +52,17 @@ class Ea : public InteractiveAlgorithm {
 
   std::string name() const override { return "EA"; }
 
+  /// Deep copy sharing the dataset binding; the copy's Q-network weights
+  /// equal this instance's at clone time (Adam moments reset — see
+  /// DqnAgent's copy constructor), so cloned inference is identical.
+  std::unique_ptr<InteractiveAlgorithm> CloneForEval() const override {
+    return std::make_unique<Ea>(*this);
+  }
+
+  /// Reseeds the action-sampling Rng (per-user derived seed during
+  /// evaluation; see core/session.cc).
+  void Reseed(uint64_t seed) override { rng_ = Rng(seed); }
+
   rl::DqnAgent& agent() { return agent_; }
   const EaOptions& options() const { return options_; }
   /// Featurised (state, action) input dimension of the Q-network.

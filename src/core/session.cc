@@ -2,53 +2,120 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "core/regret.h"
 
 namespace isrl {
 
-UserFactory MakeLinearUserFactory() {
-  return [](const Vec& u) { return std::make_unique<LinearUser>(u); };
+namespace {
+
+// Per-user stream ids: each user owns three derived streams so the
+// algorithm's sampling, the oracle's faults, and the trace's regret sampling
+// never share state across users (or with each other).
+constexpr uint64_t kAlgoStream = 0;
+constexpr uint64_t kOracleStream = 1;
+constexpr uint64_t kTraceStream = 2;
+
+uint64_t UserStream(uint64_t master, size_t user, uint64_t which) {
+  return SplitSeed(master, 3 * static_cast<uint64_t>(user) + which);
 }
 
-UserFactory MakeNoisyUserFactory(double error_rate, Rng& rng) {
-  return [error_rate, &rng](const Vec& u) {
-    return std::make_unique<NoisyUser>(u, error_rate, rng);
+// Per-worker algorithm instances: slot 0 is the caller's own instance,
+// slots 1..workers-1 are CloneForEval copies. When the algorithm cannot be
+// cloned the pool degrades to one worker (sequential evaluation) — results
+// are identical either way, only slower.
+struct WorkerPool {
+  InteractiveAlgorithm* primary;
+  std::vector<std::unique_ptr<InteractiveAlgorithm>> clones;
+  size_t workers = 1;
+
+  InteractiveAlgorithm& at(size_t w) {
+    return w == 0 ? *primary : *clones[w - 1];
+  }
+};
+
+WorkerPool MakeWorkerPool(InteractiveAlgorithm& algorithm, size_t threads,
+                          size_t tasks) {
+  WorkerPool pool;
+  pool.primary = &algorithm;
+  const size_t want = ResolveThreads(threads, tasks);
+  for (size_t w = 1; w < want; ++w) {
+    std::unique_ptr<InteractiveAlgorithm> clone = algorithm.CloneForEval();
+    if (clone == nullptr) {
+      pool.clones.clear();
+      return pool;  // not cloneable: sequential fallback
+    }
+    pool.clones.push_back(std::move(clone));
+  }
+  pool.workers = want;
+  return pool;
+}
+
+}  // namespace
+
+UserFactory MakeLinearUserFactory() {
+  return [](const Vec& u, uint64_t /*user_seed*/) {
+    return std::make_unique<LinearUser>(u);
+  };
+}
+
+UserFactory MakeNoisyUserFactory(double error_rate) {
+  return [error_rate](const Vec& u, uint64_t user_seed) {
+    return std::make_unique<NoisyUser>(u, error_rate, user_seed);
   };
 }
 
 UserFactory MakeFaultyUserFactory(const FaultyUserOptions& options) {
-  // `counter` is shared across the factory's calls so each user in a
-  // population gets a distinct but reproducible fault sequence.
-  auto counter = std::make_shared<uint64_t>(0);
-  return [options, counter](const Vec& u) {
+  return [options](const Vec& u, uint64_t user_seed) {
     FaultyUserOptions per_user = options;
-    per_user.seed = options.seed + (*counter)++;
+    // Mix the configured fault seed with the per-user stream seed: the fault
+    // sequence depends on both, and on nothing scheduling-dependent.
+    per_user.seed = SplitSeed(options.seed, user_seed);
     return std::make_unique<FaultyUser>(u, per_user);
   };
 }
 
 EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
                    const std::vector<Vec>& utilities, double epsilon,
-                   const UserFactory& factory, const RunBudget& budget) {
+                   const UserFactory& factory, const RunBudget& budget,
+                   const EvalConfig& config) {
   EvalStats stats;
   stats.algorithm = algorithm.name();
   stats.episodes = utilities.size();
   if (utilities.empty()) return stats;
 
+  struct Outcome {
+    InteractionResult result;
+    double regret = 0.0;
+  };
+  std::vector<Outcome> outcomes(utilities.size());
+
+  WorkerPool pool = MakeWorkerPool(algorithm, config.threads,
+                                   utilities.size());
+  ParallelFor(utilities.size(), pool.workers, [&](size_t worker, size_t i) {
+    InteractiveAlgorithm& algo = pool.at(worker);
+    algo.Reseed(UserStream(config.seed, i, kAlgoStream));
+    std::unique_ptr<UserOracle> user =
+        factory(utilities[i], UserStream(config.seed, i, kOracleStream));
+    outcomes[i].result = algo.Interact(*user, budget);
+    outcomes[i].regret =
+        RegretRatioAt(data, outcomes[i].result.best_index, utilities[i]);
+  });
+
+  // Reduce in user-index order: the summation order — and with it every
+  // floating-point rounding — is fixed regardless of thread count.
   double rounds_sum = 0.0, seconds_sum = 0.0, regret_sum = 0.0;
   double dropped_sum = 0.0, no_answer_sum = 0.0;
   size_t within = 0, converged = 0, degraded = 0, exhausted = 0;
-  for (const Vec& u : utilities) {
-    std::unique_ptr<UserOracle> user = factory(u);
-    InteractionResult r = algorithm.Interact(*user, budget);
-    double regret = RegretRatioAt(data, r.best_index, u);
+  for (const Outcome& o : outcomes) {
+    const InteractionResult& r = o.result;
     rounds_sum += static_cast<double>(r.rounds);
     seconds_sum += r.seconds;
-    regret_sum += regret;
+    regret_sum += o.regret;
     dropped_sum += static_cast<double>(r.dropped_answers);
     no_answer_sum += static_cast<double>(r.no_answers);
-    stats.max_regret = std::max(stats.max_regret, regret);
-    if (regret < epsilon) ++within;
+    stats.max_regret = std::max(stats.max_regret, o.regret);
+    if (o.regret < epsilon) ++within;
     switch (r.termination) {
       case Termination::kConverged: ++converged; break;
       case Termination::kDegraded: ++degraded; break;
@@ -74,36 +141,50 @@ TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
                                 const std::vector<Vec>& utilities,
                                 size_t regret_samples, uint64_t seed,
                                 const UserFactory& factory,
-                                const RunBudget& budget) {
+                                const RunBudget& budget, size_t threads) {
   TraceSummary summary;
   summary.users = utilities.size();
-  Rng trace_rng(seed);
+  if (utilities.empty()) return summary;
 
-  std::vector<std::vector<double>> regrets, seconds;
-  size_t max_rounds = 0;
-  for (const Vec& u : utilities) {
+  struct UserTrace {
+    std::vector<double> regrets;
+    std::vector<double> seconds;
+    Termination termination = Termination::kConverged;
+  };
+  std::vector<UserTrace> traces(utilities.size());
+
+  WorkerPool pool = MakeWorkerPool(algorithm, threads, utilities.size());
+  ParallelFor(utilities.size(), pool.workers, [&](size_t worker, size_t i) {
+    InteractiveAlgorithm& algo = pool.at(worker);
+    algo.Reseed(UserStream(seed, i, kAlgoStream));
+    Rng trace_rng(UserStream(seed, i, kTraceStream));
     InteractionTrace trace(&data, regret_samples, &trace_rng);
-    std::unique_ptr<UserOracle> user = factory(u);
-    InteractionResult r = algorithm.Interact(*user, budget, &trace);
-    switch (r.termination) {
+    std::unique_ptr<UserOracle> user =
+        factory(utilities[i], UserStream(seed, i, kOracleStream));
+    InteractionResult r = algo.Interact(*user, budget, &trace);
+    traces[i].regrets = trace.max_regret();
+    traces[i].seconds = trace.cumulative_seconds();
+    traces[i].termination = r.termination;
+  });
+
+  size_t max_rounds = 0;
+  for (const UserTrace& t : traces) {
+    switch (t.termination) {
       case Termination::kConverged: break;
       case Termination::kDegraded: ++summary.degraded; break;
       case Termination::kBudgetExhausted: ++summary.budget_exhausted; break;
       case Termination::kAborted: ++summary.aborted; break;
     }
-    regrets.push_back(trace.max_regret());
-    seconds.push_back(trace.cumulative_seconds());
-    max_rounds = std::max(max_rounds, trace.rounds());
+    max_rounds = std::max(max_rounds, t.regrets.size());
   }
 
   summary.mean_max_regret.assign(max_rounds, 0.0);
   summary.mean_cumulative_seconds.assign(max_rounds, 0.0);
-  if (utilities.empty()) return summary;
   for (size_t round = 0; round < max_rounds; ++round) {
     double regret_sum = 0.0, seconds_sum = 0.0;
     for (size_t uidx = 0; uidx < utilities.size(); ++uidx) {
-      const std::vector<double>& r = regrets[uidx];
-      const std::vector<double>& s = seconds[uidx];
+      const std::vector<double>& r = traces[uidx].regrets;
+      const std::vector<double>& s = traces[uidx].seconds;
       // A finished user keeps its final recommendation and spends no more
       // time in later rounds.
       regret_sum += r.empty() ? 1.0 : r[std::min(round, r.size() - 1)];

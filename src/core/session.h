@@ -1,8 +1,18 @@
 // Evaluation sessions: run an interactive algorithm against a population of
 // simulated users and aggregate the §V measurements.
+//
+// Evaluation is deterministic-parallel (DESIGN.md §10): every per-user
+// stochastic stream — the algorithm's question sampling, the oracle's fault
+// draws, the trace's regret sampling — is derived from (master seed, user
+// index) via SplitSeed, workers run on per-worker algorithm clones
+// (InteractiveAlgorithm::CloneForEval), and aggregation reduces per-user
+// results in user-index order. Counts, regrets, and outcome fractions are
+// therefore bit-identical at any thread count; only wall-clock columns
+// (mean_seconds and the trace's cumulative seconds) vary run to run.
 #ifndef ISRL_CORE_SESSION_H_
 #define ISRL_CORE_SESSION_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -16,30 +26,48 @@
 
 namespace isrl {
 
-/// Builds a user oracle for one hidden utility vector. The default factory
-/// is the paper's deterministic linear user.
-using UserFactory = std::function<std::unique_ptr<UserOracle>(const Vec&)>;
+/// Builds a user oracle for one hidden utility vector. `user_seed` is
+/// derived from (evaluation seed, user index), so an oracle with internal
+/// randomness seeds its own generator from it — fault streams then depend
+/// only on the user's index, never on scheduling or call order. The default
+/// factory is the paper's deterministic linear user (seed ignored).
+using UserFactory =
+    std::function<std::unique_ptr<UserOracle>(const Vec&, uint64_t user_seed)>;
 
 /// Factory for LinearUser.
 UserFactory MakeLinearUserFactory();
 
 /// Factory for NoisyUser with the given error rate (future-work extension).
-UserFactory MakeNoisyUserFactory(double error_rate, Rng& rng);
+/// Each user owns a generator seeded from its per-user seed.
+UserFactory MakeNoisyUserFactory(double error_rate);
 
-/// Factory for FaultyUser (fault-injection oracle): each user gets its own
-/// Rng seeded from `options.seed` plus a per-user counter, so a population
-/// evaluation is deterministic yet fault sequences differ across users.
+/// Factory for FaultyUser (fault-injection oracle): each user's fault Rng is
+/// seeded from `options.seed` mixed with the per-user seed, so a population
+/// evaluation is deterministic — at any thread count — yet fault sequences
+/// differ across users.
 UserFactory MakeFaultyUserFactory(const FaultyUserOptions& options);
+
+/// Parallelism and seeding of one evaluation call.
+struct EvalConfig {
+  /// Worker threads; 0 = the ISRL_THREADS environment variable (default 1,
+  /// "0" = one per core). Thread count never changes results, only speed.
+  size_t threads = 0;
+  /// Master seed all per-user streams are derived from.
+  uint64_t seed = 0x15EEDull;
+};
 
 /// Runs one interaction per utility vector and aggregates rounds, time, and
 /// regret of the returned tuple. `epsilon` is only used for the within-ε
 /// fraction. When `budget` is non-trivial each interaction runs under it;
 /// per-user failure outcomes (degraded / budget-exhausted / aborted, dropped
 /// and unanswered questions) are aggregated into the stats either way.
+/// Reseeds `algorithm` (and its evaluation clones) per user — two identical
+/// Evaluate calls return identical stats.
 EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
                    const std::vector<Vec>& utilities, double epsilon,
                    const UserFactory& factory = MakeLinearUserFactory(),
-                   const RunBudget& budget = RunBudget{});
+                   const RunBudget& budget = RunBudget{},
+                   const EvalConfig& config = EvalConfig{});
 
 /// Per-round trajectory (Figures 7/8): the maximum regret ratio of the
 /// current recommendation and the cumulative execution time at the end of
@@ -55,13 +83,16 @@ struct TraceSummary {
   size_t aborted = 0;           ///< ended Termination::kAborted
 };
 
+/// `seed` doubles as the master seed for the per-user stream derivation;
+/// `threads` follows EvalConfig::threads semantics (0 = ISRL_THREADS).
 TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
                                 const Dataset& data,
                                 const std::vector<Vec>& utilities,
                                 size_t regret_samples, uint64_t seed,
                                 const UserFactory& factory =
                                     MakeLinearUserFactory(),
-                                const RunBudget& budget = RunBudget{});
+                                const RunBudget& budget = RunBudget{},
+                                size_t threads = 0);
 
 }  // namespace isrl
 

@@ -24,6 +24,24 @@ DqnAgent::DqnAgent(size_t input_dim, const DqnOptions& options, Rng& rng)
   }
 }
 
+DqnAgent::DqnAgent(const DqnAgent& other)
+    : input_dim_(other.input_dim_),
+      options_(other.options_),
+      main_(other.main_.Clone()),
+      target_(other.target_.Clone()),
+      replay_(other.replay_),
+      prioritized_(other.prioritized_),
+      num_updates_(other.num_updates_) {
+  // The optimiser must bind to *this* copy's parameter blocks.
+  if (options_.optimizer == OptimizerKind::kAdam) {
+    optimizer_ = std::make_unique<nn::Adam>(main_.Params(),
+                                            options_.learning_rate);
+  } else {
+    optimizer_ =
+        std::make_unique<nn::Sgd>(main_.Params(), options_.learning_rate);
+  }
+}
+
 double DqnAgent::QValue(const Vec& state_action) {
   ISRL_CHECK_EQ(state_action.dim(), input_dim_);
   return main_.Predict(state_action);
@@ -117,7 +135,7 @@ double DqnAgent::UpdatePrioritized(Rng& rng) {
   for (const PrioritizedSample& s : batch) {
     double err = main_.AccumulateRegressionSample(
         s.transition->state_action, TargetFor(*s.transition), s.weight, delta);
-    prioritized_.UpdatePriority(s.index, err);
+    prioritized_.UpdatePriority(s, err);
     loss_sum += err * err;
   }
   optimizer_->Step(batch.size());

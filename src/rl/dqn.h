@@ -64,6 +64,14 @@ class DqnAgent {
   /// `input_dim` is the dimension of the featurised (state, action) vector.
   DqnAgent(size_t input_dim, const DqnOptions& options, Rng& rng);
 
+  /// Deep copy: networks (current weights) and replay contents are copied;
+  /// the optimiser is recreated fresh for the copy's parameters, so Adam
+  /// moment estimates do NOT carry over. Intended for evaluation-time
+  /// clones (core/algorithm.h CloneForEval), where no further training
+  /// happens.
+  DqnAgent(const DqnAgent& other);
+  DqnAgent& operator=(const DqnAgent&) = delete;
+
   /// Q(s,a;Θ) for one featurised input.
   double QValue(const Vec& state_action);
 

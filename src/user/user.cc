@@ -26,6 +26,15 @@ NoisyUser::NoisyUser(Vec utility, double error_rate, Rng& rng)
   ISRL_CHECK_LT(error_rate, 0.5);
 }
 
+NoisyUser::NoisyUser(Vec utility, double error_rate, uint64_t seed)
+    : inner_(std::move(utility)),
+      error_rate_(error_rate),
+      owned_rng_(seed),
+      rng_(&owned_rng_) {
+  ISRL_CHECK_GE(error_rate, 0.0);
+  ISRL_CHECK_LT(error_rate, 0.5);
+}
+
 bool NoisyUser::Prefers(const Vec& a, const Vec& b) {
   ++questions_asked_;
   bool truthful = Dot(inner_.utility(), a) >= Dot(inner_.utility(), b);
@@ -35,6 +44,13 @@ bool NoisyUser::Prefers(const Vec& a, const Vec& b) {
 MajorityVoteUser::MajorityVoteUser(UserOracle* inner, size_t votes)
     : inner_(inner), votes_(votes) {
   ISRL_CHECK(inner != nullptr);
+  ISRL_CHECK_EQ(votes % 2, 1u);
+}
+
+MajorityVoteUser::MajorityVoteUser(std::unique_ptr<UserOracle> inner,
+                                   size_t votes)
+    : owned_(std::move(inner)), inner_(owned_.get()), votes_(votes) {
+  ISRL_CHECK(inner_ != nullptr);
   ISRL_CHECK_EQ(votes % 2, 1u);
 }
 

@@ -315,6 +315,26 @@ TEST(StringsTest, ParseDouble) {
   EXPECT_FALSE(ParseDouble("", &v));
 }
 
+TEST(StringsTest, ParseUint64) {
+  uint64_t v = 1;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64(" 42 ", &v));  // surrounding whitespace is fine
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, UINT64_MAX);
+  // Everything atoll silently mangles must be rejected outright.
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("   ", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("+7", &v));
+  EXPECT_FALSE(ParseUint64("12abc", &v));
+  EXPECT_FALSE(ParseUint64("abc", &v));
+  EXPECT_FALSE(ParseUint64("1e9", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // UINT64_MAX + 1
+  EXPECT_FALSE(ParseUint64("99999999999999999999", &v));
+}
+
 TEST(StringsTest, Format) {
   EXPECT_EQ(Format("%d-%s", 7, "ok"), "7-ok");
   EXPECT_EQ(Format("%.2f", 1.239), "1.24");

@@ -65,10 +65,19 @@ rl::Transition MakeTransition(double feature, double reward) {
   return t;
 }
 
+// Fresh (non-stale) update handle for slot `index`.
+rl::PrioritizedSample HandleFor(const rl::PrioritizedReplayMemory& mem,
+                                size_t index) {
+  rl::PrioritizedSample s;
+  s.index = index;
+  s.generation = mem.generation(index);
+  return s;
+}
+
 TEST(PrioritizedReplayTest, NewEntriesGetMaxPriority) {
   rl::PrioritizedReplayMemory mem(8);
   mem.Add(MakeTransition(1.0, 0.0));
-  mem.UpdatePriority(0, 10.0);  // big TD error
+  EXPECT_TRUE(mem.UpdatePriority(HandleFor(mem, 0), 10.0));  // big TD error
   mem.Add(MakeTransition(2.0, 0.0));
   // The fresh entry inherits the running max priority.
   EXPECT_DOUBLE_EQ(mem.priority(1), mem.priority(0));
@@ -77,8 +86,8 @@ TEST(PrioritizedReplayTest, NewEntriesGetMaxPriority) {
 TEST(PrioritizedReplayTest, SamplingFollowsPriorities) {
   rl::PrioritizedReplayMemory mem(4);
   for (int i = 0; i < 4; ++i) mem.Add(MakeTransition(i, 0.0));
-  mem.UpdatePriority(0, 100.0);  // huge priority
-  for (int i = 1; i < 4; ++i) mem.UpdatePriority(i, 1e-6);
+  mem.UpdatePriority(HandleFor(mem, 0), 100.0);  // huge priority
+  for (int i = 1; i < 4; ++i) mem.UpdatePriority(HandleFor(mem, i), 1e-6);
   Rng rng(1);
   size_t hits = 0;
   auto batch = mem.Sample(500, rng);
@@ -92,7 +101,7 @@ TEST(PrioritizedReplayTest, WeightsNormalisedToAtMostOne) {
   rl::PrioritizedReplayMemory mem(8);
   for (int i = 0; i < 8; ++i) mem.Add(MakeTransition(i, 0.0));
   Rng rng(2);
-  for (int i = 0; i < 8; ++i) mem.UpdatePriority(i, 0.5 + i);
+  for (int i = 0; i < 8; ++i) mem.UpdatePriority(HandleFor(mem, i), 0.5 + i);
   for (const auto& s : mem.Sample(100, rng)) {
     EXPECT_GT(s.weight, 0.0);
     EXPECT_LE(s.weight, 1.0 + 1e-12);

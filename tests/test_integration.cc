@@ -113,13 +113,11 @@ TEST_F(IntegrationTest, TrajectoryEvaluationProducesSeries) {
 }
 
 TEST_F(IntegrationTest, NoisyFactoryWorksThroughSession) {
-  Rng noise_rng(200);
   EaOptions eopt;
   eopt.epsilon = 0.15;
   Ea ea(*sky_, eopt);
   std::vector<Vec> users(eval_->begin(), eval_->begin() + 4);
-  EvalStats s = Evaluate(ea, *sky_, users, 0.15,
-                         MakeNoisyUserFactory(0.1, noise_rng));
+  EvalStats s = Evaluate(ea, *sky_, users, 0.15, MakeNoisyUserFactory(0.1));
   EXPECT_EQ(s.episodes, 4u);
   EXPECT_GT(s.mean_rounds, 0.0);
 }

@@ -1,0 +1,263 @@
+// Deterministic parallel evaluation suite (`ctest -L parallel`).
+//
+// The contract under test: the thread count of Evaluate / EvaluateTrajectory
+// is a pure performance knob. Every statistic except the wall-clock columns
+// must be bit-identical at 1, 2, and 8 threads, because all per-user
+// randomness is derived from (master seed, user index) alone — never from
+// scheduling order. See DESIGN.md §10.
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/uh_random.h"
+#include "common/budget.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/aa.h"
+#include "core/ea.h"
+#include "core/session.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "user/faulty.h"
+#include "user/sampler.h"
+
+namespace isrl {
+namespace {
+
+// ------------------------------------------------------------- ParallelFor
+
+TEST(ParallelForTest, RunsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(hits.size(), 8,
+              [&](size_t, size_t task) { hits[task].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroTasksIsANoOp) {
+  ParallelFor(0, 4, [](size_t, size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  // With one worker the calling thread executes every task in index order.
+  std::vector<size_t> order;
+  ParallelFor(5, 1, [&](size_t worker, size_t task) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(task);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, WorkerIndexStaysBelowThreadCount) {
+  std::atomic<bool> ok{true};
+  ParallelFor(64, 3, [&](size_t worker, size_t) {
+    if (worker >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ParallelForTest, FirstExceptionPropagatesAfterJoin) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelFor(32, 4,
+                           [&](size_t, size_t task) {
+                             ran.fetch_add(1);
+                             if (task == 7) {
+                               throw std::runtime_error("task 7 failed");
+                             }
+                           }),
+               std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ParallelForTest, ResolveThreadsClampsToTaskCount) {
+  EXPECT_EQ(ResolveThreads(16, 4), 4u);
+  EXPECT_EQ(ResolveThreads(2, 100), 2u);
+  EXPECT_GE(ResolveThreads(1, 0), 1u);  // degenerate: still a valid count
+}
+
+// ------------------------------------------------------------- seed splits
+
+TEST(RngSplitTest, SplitDependsOnConstructionSeedNotEngineState) {
+  Rng fresh(42);
+  Rng advanced(42);
+  for (int i = 0; i < 100; ++i) advanced.Uniform();
+  // Consuming draws must not change what Split derives: clones reseeded from
+  // Split(k) stay deterministic regardless of how much the parent has run.
+  Rng a = fresh.Split(3);
+  Rng b = advanced.Split(3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+  }
+}
+
+TEST(RngSplitTest, StreamsAreDistinct) {
+  std::set<uint64_t> seeds;
+  for (uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(SplitSeed(0x15EEDull, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(SplitSeed(1, 0), SplitSeed(2, 0));  // master matters too
+}
+
+// ----------------------------------------------- thread-count determinism
+
+Dataset TinySkyline(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Dataset raw = GenerateSynthetic(n, d, Distribution::kAntiCorrelated, rng);
+  return SkylineOf(raw);
+}
+
+// Everything but the wall-clock columns must match bit-for-bit.
+void ExpectSameStats(const EvalStats& a, const EvalStats& b, size_t threads) {
+  EXPECT_EQ(a.algorithm, b.algorithm) << "threads=" << threads;
+  EXPECT_EQ(a.mean_rounds, b.mean_rounds) << "threads=" << threads;
+  EXPECT_EQ(a.mean_regret, b.mean_regret) << "threads=" << threads;
+  EXPECT_EQ(a.max_regret, b.max_regret) << "threads=" << threads;
+  EXPECT_EQ(a.frac_within_eps, b.frac_within_eps) << "threads=" << threads;
+  EXPECT_EQ(a.frac_converged, b.frac_converged) << "threads=" << threads;
+  EXPECT_EQ(a.episodes, b.episodes) << "threads=" << threads;
+  EXPECT_EQ(a.frac_degraded, b.frac_degraded) << "threads=" << threads;
+  EXPECT_EQ(a.frac_budget_exhausted, b.frac_budget_exhausted)
+      << "threads=" << threads;
+  EXPECT_EQ(a.aborted, b.aborted) << "threads=" << threads;
+  EXPECT_EQ(a.mean_dropped_answers, b.mean_dropped_answers)
+      << "threads=" << threads;
+  EXPECT_EQ(a.mean_no_answers, b.mean_no_answers) << "threads=" << threads;
+}
+
+void ExpectThreadInvariant(InteractiveAlgorithm& algo, const Dataset& sky,
+                           const std::vector<Vec>& users, double eps,
+                           const UserFactory& factory,
+                           const RunBudget& budget = RunBudget{}) {
+  EvalConfig reference;
+  reference.threads = 1;
+  EvalStats base = Evaluate(algo, sky, users, eps, factory, budget, reference);
+  for (size_t threads : {2u, 8u}) {
+    EvalConfig config;
+    config.threads = threads;
+    EvalStats got = Evaluate(algo, sky, users, eps, factory, budget, config);
+    ExpectSameStats(base, got, threads);
+  }
+  // And the sequential path itself must reproduce on a second call.
+  EvalStats again = Evaluate(algo, sky, users, eps, factory, budget, reference);
+  ExpectSameStats(base, again, 1);
+}
+
+class ThreadInvarianceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sky_ = new Dataset(TinySkyline(400, 3, 77));
+    Rng rng(78);
+    users_ = new std::vector<Vec>(SampleUtilityVectors(16, 3, rng));
+  }
+  static void TearDownTestSuite() {
+    delete sky_;
+    delete users_;
+  }
+  static Dataset* sky_;
+  static std::vector<Vec>* users_;
+};
+
+Dataset* ThreadInvarianceTest::sky_ = nullptr;
+std::vector<Vec>* ThreadInvarianceTest::users_ = nullptr;
+
+TEST_F(ThreadInvarianceTest, EaEvaluateIsThreadCountInvariant) {
+  EaOptions opt;
+  opt.epsilon = 0.1;
+  opt.seed = 5;
+  Ea ea(*sky_, opt);
+  ExpectThreadInvariant(ea, *sky_, *users_, 0.1, MakeLinearUserFactory());
+  ExpectThreadInvariant(ea, *sky_, *users_, 0.1, MakeNoisyUserFactory(0.1));
+}
+
+TEST_F(ThreadInvarianceTest, AaEvaluateIsThreadCountInvariant) {
+  AaOptions opt;
+  opt.epsilon = 0.1;
+  opt.seed = 5;
+  Aa aa(*sky_, opt);
+  ExpectThreadInvariant(aa, *sky_, *users_, 0.1, MakeLinearUserFactory());
+}
+
+TEST_F(ThreadInvarianceTest, BaselineEvaluateIsThreadCountInvariant) {
+  UhOptions opt;
+  opt.epsilon = 0.1;
+  opt.seed = 5;
+  UhRandom uh(*sky_, opt);
+  ExpectThreadInvariant(uh, *sky_, *users_, 0.1, MakeLinearUserFactory());
+}
+
+TEST_F(ThreadInvarianceTest, FaultyUsersUnderBudgetStayInvariant) {
+  // The hardest case: per-user fault streams + early budget exits must not
+  // depend on which worker ran which user.
+  AaOptions opt;
+  opt.epsilon = 0.1;
+  opt.seed = 5;
+  Aa aa(*sky_, opt);
+  FaultyUserOptions fopt;
+  fopt.flip_rate = 0.1;
+  fopt.no_answer_rate = 0.05;
+  fopt.boundary_band = 0.01;
+  fopt.seed = 99;
+  RunBudget budget;
+  budget.max_rounds = 60;
+  ExpectThreadInvariant(aa, *sky_, *users_, 0.1, MakeFaultyUserFactory(fopt),
+                        budget);
+}
+
+TEST_F(ThreadInvarianceTest, TrajectoryIsThreadCountInvariant) {
+  EaOptions opt;
+  opt.epsilon = 0.1;
+  opt.seed = 5;
+  Ea ea(*sky_, opt);
+  std::vector<Vec> users(users_->begin(), users_->begin() + 6);
+  TraceSummary base =
+      EvaluateTrajectory(ea, *sky_, users, 100, 7, MakeNoisyUserFactory(0.05),
+                         RunBudget{}, /*threads=*/1);
+  for (size_t threads : {2u, 8u}) {
+    TraceSummary got =
+        EvaluateTrajectory(ea, *sky_, users, 100, 7, MakeNoisyUserFactory(0.05),
+                           RunBudget{}, threads);
+    EXPECT_EQ(base.users, got.users) << "threads=" << threads;
+    EXPECT_EQ(base.degraded, got.degraded) << "threads=" << threads;
+    EXPECT_EQ(base.budget_exhausted, got.budget_exhausted)
+        << "threads=" << threads;
+    EXPECT_EQ(base.aborted, got.aborted) << "threads=" << threads;
+    // The regret series is exact; the seconds series is wall-clock and only
+    // checked for shape.
+    ASSERT_EQ(base.mean_max_regret.size(), got.mean_max_regret.size())
+        << "threads=" << threads;
+    for (size_t i = 0; i < base.mean_max_regret.size(); ++i) {
+      EXPECT_EQ(base.mean_max_regret[i], got.mean_max_regret[i])
+          << "threads=" << threads << " round=" << i;
+    }
+    EXPECT_EQ(base.mean_cumulative_seconds.size(),
+              got.mean_cumulative_seconds.size());
+  }
+}
+
+TEST_F(ThreadInvarianceTest, EvalConfigSeedChangesNoisyOutcomes) {
+  // The master seed must actually reach the per-user streams: with a noisy
+  // factory, different seeds should (generically) produce different stats.
+  AaOptions opt;
+  opt.epsilon = 0.1;
+  opt.seed = 5;
+  Aa aa(*sky_, opt);
+  EvalConfig a;
+  a.threads = 1;
+  a.seed = 1;
+  EvalConfig b = a;
+  b.seed = 2;
+  EvalStats sa = Evaluate(aa, *sky_, *users_, 0.1, MakeNoisyUserFactory(0.2),
+                          RunBudget{}, a);
+  EvalStats sb = Evaluate(aa, *sky_, *users_, 0.1, MakeNoisyUserFactory(0.2),
+                          RunBudget{}, b);
+  EXPECT_NE(sa.mean_rounds, sb.mean_rounds);
+}
+
+}  // namespace
+}  // namespace isrl

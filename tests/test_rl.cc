@@ -1,8 +1,12 @@
 // Unit tests for the RL substrate: replay memory, ε schedule, DQN agent.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "common/rng.h"
 #include "rl/dqn.h"
+#include "rl/prioritized_replay.h"
 #include "rl/replay.h"
 #include "rl/schedule.h"
 
@@ -40,6 +44,119 @@ TEST(ReplayDeathTest, SampleFromEmptyAborts) {
   ReplayMemory mem(2);
   Rng rng(3);
   EXPECT_DEATH(mem.Sample(1, rng), "ISRL_CHECK");
+}
+
+Transition PerTransition(double feature) {
+  Transition t;
+  t.state_action = Vec{feature};
+  t.reward = feature;
+  t.terminal = true;
+  return t;
+}
+
+PrioritizedSample FreshHandle(const PrioritizedReplayMemory& mem,
+                              size_t index) {
+  PrioritizedSample s;
+  s.index = index;
+  s.generation = mem.generation(index);
+  return s;
+}
+
+// Regression for the stale-index bug: a sample handle held across a ring
+// wrap used to re-prioritise whatever transition had since been written into
+// the same slot. With generation stamps the late update must be rejected and
+// the new occupant's priority left untouched.
+TEST(PrioritizedReplayBugTest, StaleHandleAcrossWrapIsRejected) {
+  PrioritizedReplayMemory mem(4);
+  for (int i = 0; i < 4; ++i) mem.Add(PerTransition(i));
+  Rng rng(7);
+  std::vector<PrioritizedSample> batch = mem.Sample(4, rng);
+
+  // Two more Adds wrap the ring: slots 0 and 1 now hold different
+  // transitions than the ones the batch sampled.
+  mem.Add(PerTransition(100.0));
+  mem.Add(PerTransition(101.0));
+
+  for (const PrioritizedSample& s : batch) {
+    const double before = mem.priority(s.index);
+    const bool applied = mem.UpdatePriority(s, 1e6);
+    if (s.index <= 1) {
+      EXPECT_FALSE(applied) << "slot " << s.index << " was overwritten";
+      EXPECT_DOUBLE_EQ(mem.priority(s.index), before)
+          << "stale update must not touch the new occupant";
+    } else {
+      EXPECT_TRUE(applied) << "slot " << s.index << " was not overwritten";
+    }
+  }
+}
+
+TEST(PrioritizedReplayBugTest, ReusedSlotGetsFreshGeneration) {
+  PrioritizedReplayMemory mem(2);
+  mem.Add(PerTransition(1.0));
+  const uint64_t g0 = mem.generation(0);
+  mem.Add(PerTransition(2.0));
+  mem.Add(PerTransition(3.0));  // wraps into slot 0
+  EXPECT_NE(mem.generation(0), g0);
+}
+
+// The maintained sum tree must agree with a direct recomputation after an
+// arbitrary interleaving of Adds (with wraps) and priority updates.
+TEST(PrioritizedReplayTreeTest, AggregatesMatchDirectScan) {
+  PrioritizedReplayMemory mem(6);  // non-power-of-two: padding leaves in play
+  Rng rng(11);
+  for (int step = 0; step < 200; ++step) {
+    mem.Add(PerTransition(step));
+    if (!mem.empty() && step % 3 == 0) {
+      size_t slot = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mem.size()) - 1));
+      mem.UpdatePriority(FreshHandle(mem, slot), rng.Uniform(0.0, 5.0));
+    }
+    double sum = 0.0, mn = mem.priority(0);
+    for (size_t i = 0; i < mem.size(); ++i) {
+      sum += mem.priority(i);
+      mn = std::min(mn, mem.priority(i));
+    }
+    ASSERT_NEAR(mem.total_priority(), sum, 1e-9 * (1.0 + sum));
+    ASSERT_DOUBLE_EQ(mem.min_priority(), mn);
+  }
+}
+
+// Empirical sampling frequencies must track priority^α. This pins down the
+// tree descent (the old cumulative scan had a tail-clamp bias that dumped
+// the rounding mass on the last slot).
+TEST(PrioritizedReplayTreeTest, SampleFrequenciesTrackPriorities) {
+  PrioritizedOptions opt;
+  opt.alpha = 1.0;  // probabilities directly proportional to priorities
+  opt.priority_floor = 0.0;
+  PrioritizedReplayMemory mem(5, opt);
+  const double priorities[5] = {1.0, 2.0, 4.0, 8.0, 1.0};
+  for (int i = 0; i < 5; ++i) mem.Add(PerTransition(i));
+  for (size_t i = 0; i < 5; ++i) {
+    mem.UpdatePriority(FreshHandle(mem, i), priorities[i]);
+  }
+  Rng rng(13);
+  const size_t draws = 40000;
+  size_t hits[5] = {0, 0, 0, 0, 0};
+  for (const PrioritizedSample& s : mem.Sample(draws, rng)) ++hits[s.index];
+  const double total = 16.0;
+  for (size_t i = 0; i < 5; ++i) {
+    const double expected = priorities[i] / total;
+    const double observed = static_cast<double>(hits[i]) / draws;
+    EXPECT_NEAR(observed, expected, 0.015) << "slot " << i;
+  }
+}
+
+TEST(PrioritizedReplayTreeTest, SampledIndicesAlwaysInRange) {
+  // Tail clamp: even with many draws and extreme priority skew, the descent
+  // must never return a slot outside [0, size).
+  PrioritizedReplayMemory mem(6);
+  for (int i = 0; i < 3; ++i) mem.Add(PerTransition(i));  // size < capacity
+  mem.UpdatePriority(FreshHandle(mem, 2), 1e9);
+  Rng rng(17);
+  for (const PrioritizedSample& s : mem.Sample(2000, rng)) {
+    ASSERT_LT(s.index, 3u);
+    ASSERT_NE(s.transition, nullptr);
+  }
 }
 
 TEST(ScheduleTest, ConstantWhenStartEqualsEnd) {

@@ -244,10 +244,9 @@ int Run(const Flags& flags) {
   size_t users = static_cast<size_t>(flags.GetInt("users", 10));
   double noise = flags.GetDouble("noise", 0.0);
   auto eval = SampleUtilityVectors(users, sky.dim(), rng);
-  Rng noise_rng(seed + 99);
   EvalStats stats =
       noise > 0.0
-          ? Evaluate(*algo, sky, eval, eps, MakeNoisyUserFactory(noise, noise_rng))
+          ? Evaluate(*algo, sky, eval, eps, MakeNoisyUserFactory(noise))
           : Evaluate(*algo, sky, eval, eps);
   PrintEvalHeader("users");
   PrintEvalRow(Format("%zu", users), stats);
