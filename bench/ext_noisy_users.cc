@@ -34,6 +34,7 @@ void Run() {
 
   PrintEvalHeader("flip_prob");
   for (double rate : {0.0, 0.05, 0.1, 0.2}) {
+    // float-eq-ok: exact literal from the sweep list above
     UserFactory factory = rate == 0.0 ? MakeLinearUserFactory()
                                       : MakeNoisyUserFactory(rate);
     std::string label = Format("%.2f", rate);

@@ -1,0 +1,177 @@
+#include "audit/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace isrl::audit {
+
+const char* CheckerName(Checker c) {
+  switch (c) {
+    case Checker::kLpTableau: return "lp_tableau";
+    case Checker::kPolyhedron: return "polyhedron";
+    case Checker::kEnclosingBall: return "enclosing_ball";
+    case Checker::kNnFinite: return "nn_finite";
+    case Checker::kReplayTree: return "replay_tree";
+    case Checker::kAaGeometry: return "aa_geometry";
+  }
+  return "unknown";
+}
+
+std::string AuditReport::ToString() const {
+  std::string out = "audit: " + std::to_string(total_checks) + " checks, " +
+                    std::to_string(total_violations) + " violations\n";
+  for (size_t i = 0; i < kNumCheckers; ++i) {
+    const CheckerStats& s = per_checker[i];
+    if (s.checks == 0 && s.violations == 0) continue;
+    out += "  " + std::string(CheckerName(static_cast<Checker>(i))) + ": " +
+           std::to_string(s.checks) + " checks, " +
+           std::to_string(s.violations) + " violations\n";
+  }
+  for (const Violation& v : violations) {
+    out += "  [" + std::string(CheckerName(v.checker)) + "] " + v.site + ": " +
+           v.message + "\n";
+  }
+  return out;
+}
+
+AuditConfig ParseAuditConfig(const char* value, std::string* error) {
+  AuditConfig config;
+  if (value == nullptr) return config;
+  const std::string raw = value;
+  if (raw.empty()) return config;
+
+  for (const std::string& token : Split(raw, ',')) {
+    if (token.empty()) continue;
+    if (token == "0" || token == "off" || token == "false") {
+      config.enabled = false;
+    } else if (token == "1" || token == "on" || token == "true") {
+      config.enabled = true;
+    } else if (token == "abort") {
+      config.enabled = true;
+      config.abort_on_violation = true;
+    } else if (token == "quiet") {
+      config.log_to_stderr = false;
+    } else {
+      // "sample=N" or a bare integer N: check every Nth hook.
+      std::string digits = token;
+      const std::string prefix = "sample=";
+      if (digits.rfind(prefix, 0) == 0) digits = digits.substr(prefix.size());
+      uint64_t n = 0;
+      if (!ParseUint64(digits, &n) || n == 0) {
+        if (error != nullptr) {
+          *error = "unrecognised ISRL_AUDIT token '" + token + "'";
+        }
+        return AuditConfig();  // malformed config must not pass as "audited"
+      }
+      config.enabled = true;
+      config.sample_every = n;
+    }
+  }
+  return config;
+}
+
+InvariantAuditor& InvariantAuditor::Instance() {
+  static InvariantAuditor* auditor = new InvariantAuditor();  // leaked: process-lifetime
+  return *auditor;
+}
+
+InvariantAuditor::InvariantAuditor() { ConfigureFromEnvironment(); }
+
+void InvariantAuditor::ConfigureFromEnvironment() {
+  std::string error;
+  AuditConfig config = ParseAuditConfig(std::getenv("ISRL_AUDIT"), &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "ISRL_AUDIT: %s (auditing disabled)\n",
+                 error.c_str());
+  }
+  Configure(config);
+}
+
+void InvariantAuditor::Configure(const AuditConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  enabled_.store(config.enabled, std::memory_order_relaxed);
+}
+
+AuditConfig InvariantAuditor::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+bool InvariantAuditor::ShouldCheck(Checker c) {
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
+  uint64_t stride;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stride = config_.sample_every;
+  }
+  const size_t i = static_cast<size_t>(c);
+  const uint64_t n =
+      hook_counter_[i].fetch_add(1, std::memory_order_relaxed);
+  return stride <= 1 || n % stride == 0;
+}
+
+void InvariantAuditor::Record(Checker c, const char* site,
+                              const std::vector<std::string>& problems) {
+  const size_t i = static_cast<size_t>(c);
+  checks_[i].fetch_add(1, std::memory_order_relaxed);
+  if (problems.empty()) return;
+  violations_[i].fetch_add(problems.size(), std::memory_order_relaxed);
+
+  bool abort_on_violation;
+  bool log_to_stderr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_on_violation = config_.abort_on_violation;
+    log_to_stderr = config_.log_to_stderr;
+    for (const std::string& message : problems) {
+      if (stored_.size() >= kMaxStoredViolations) break;
+      stored_.push_back(Violation{c, site, message});
+    }
+  }
+  if (log_to_stderr || abort_on_violation) {
+    const uint64_t already = logged_[i].fetch_add(1, std::memory_order_relaxed);
+    if (already < kMaxLoggedPerChecker || abort_on_violation) {
+      for (const std::string& message : problems) {
+        std::fprintf(stderr, "ISRL_AUDIT violation [%s] %s: %s\n",
+                     CheckerName(c), site, message.c_str());
+      }
+      if (!abort_on_violation && already + 1 == kMaxLoggedPerChecker) {
+        std::fprintf(stderr,
+                     "ISRL_AUDIT [%s]: further violations recorded "
+                     "without logging\n",
+                     CheckerName(c));
+      }
+    }
+  }
+  if (abort_on_violation) std::abort();
+}
+
+AuditReport InvariantAuditor::Snapshot() const {
+  AuditReport report;
+  for (size_t i = 0; i < kNumCheckers; ++i) {
+    report.per_checker[i].checks = checks_[i].load(std::memory_order_relaxed);
+    report.per_checker[i].violations =
+        violations_[i].load(std::memory_order_relaxed);
+    report.total_checks += report.per_checker[i].checks;
+    report.total_violations += report.per_checker[i].violations;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  report.violations = stored_;
+  return report;
+}
+
+void InvariantAuditor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < kNumCheckers; ++i) {
+    hook_counter_[i].store(0, std::memory_order_relaxed);
+    checks_[i].store(0, std::memory_order_relaxed);
+    violations_[i].store(0, std::memory_order_relaxed);
+    logged_[i].store(0, std::memory_order_relaxed);
+  }
+  stored_.clear();
+}
+
+}  // namespace isrl::audit

@@ -1,0 +1,154 @@
+// Invariant-audit layer: runtime-sampled checkers for the numerically
+// delicate structures (simplex tableau, polyhedron vertex set, enclosing
+// balls, Q-network weights, replay segment tree).
+//
+// The failure mode this guards against is *silent* corruption: an infeasible
+// tableau or an inconsistent vertex set does not crash — it quietly skews the
+// utility range and the interaction counts, and the graceful-degradation
+// paths (DESIGN.md §9) can then mask the damage. The auditor makes those
+// states loud in any build where they matter.
+//
+// Compile-time gate: hooks are compiled in when the `ISRL_AUDIT` CMake
+// option is ON (the default; -DISRL_AUDIT=OFF strips every hook to a
+// constant-false branch). Runtime gate: the `ISRL_AUDIT` environment
+// variable — unset/`0` = off (the default; a disabled hook is one relaxed
+// atomic load), `1` = check everything, `sample=N` (or a bare integer N) =
+// run every Nth hook of each checker, `abort` = abort on the first
+// violation. Tokens combine with commas: `ISRL_AUDIT=sample=16,abort`.
+//
+// Violations are recorded per checker in a SolveDiagnostics-style report
+// (AuditReport) retrievable via Auditor().Snapshot(); by default they are
+// also printed to stderr (first few per checker) so an end-to-end run under
+// ISRL_AUDIT=1 is self-reporting.
+#ifndef ISRL_AUDIT_AUDIT_H_
+#define ISRL_AUDIT_AUDIT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace isrl::audit {
+
+/// The registered checkers. Each guards one structure; see checkers.h for
+/// the predicates and DESIGN.md §11 for the rationale.
+enum class Checker {
+  kLpTableau = 0,   ///< simplex tableau: feasibility, basis, boundedness
+  kPolyhedron,      ///< vertex set vs. half-spaces, cut monotonicity
+  kEnclosingBall,   ///< computed balls contain their points
+  kNnFinite,        ///< network weights / gradients / target sync
+  kReplayTree,      ///< PER segment tree sum/min vs. leaf priorities
+  kAaGeometry,      ///< AA inner ball / outer rectangle consistency
+};
+inline constexpr size_t kNumCheckers = 6;
+
+/// Stable lower-case name of a checker ("lp_tableau", ...).
+[[nodiscard]] const char* CheckerName(Checker c);
+
+/// One recorded invariant violation.
+struct Violation {
+  Checker checker = Checker::kLpTableau;
+  std::string site;     ///< call site tag, e.g. "simplex.Pivot"
+  std::string message;  ///< what was violated, with the offending values
+};
+
+/// Per-checker counters (SolveDiagnostics-style: cheap aggregates plus a
+/// bounded sample of the concrete failures).
+struct CheckerStats {
+  uint64_t checks = 0;      ///< hook executions that ran the predicate
+  uint64_t violations = 0;  ///< predicates that failed
+};
+
+/// Aggregate audit outcome for the process (or since the last Reset()).
+struct AuditReport {
+  std::array<CheckerStats, kNumCheckers> per_checker;
+  std::vector<Violation> violations;  ///< first kMaxStoredViolations, in order
+  uint64_t total_checks = 0;
+  uint64_t total_violations = 0;
+
+  [[nodiscard]] bool clean() const { return total_violations == 0; }
+  /// Multi-line human-readable summary (one line per active checker plus
+  /// the stored violations).
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Runtime configuration, normally parsed from the ISRL_AUDIT env var.
+struct AuditConfig {
+  bool enabled = false;
+  uint64_t sample_every = 1;        ///< run every Nth hook per checker
+  bool abort_on_violation = false;  ///< fail fast instead of recording
+  bool log_to_stderr = true;        ///< print the first few violations
+};
+
+/// Parses an ISRL_AUDIT value ("", "0", "1", "sample=16", "abort",
+/// "sample=4,abort", a bare integer N meaning sample=N). Unrecognised
+/// tokens disable auditing and set `*error` when provided (malformed
+/// configuration must not silently pass as "audited").
+[[nodiscard]] AuditConfig ParseAuditConfig(const char* value,
+                                           std::string* error = nullptr);
+
+/// Process-wide auditor: sampling decisions + violation accounting.
+/// Thread-safe: hooks run under the parallel evaluation layer (DESIGN.md
+/// §10), so counters are atomics and the violation list is mutex-guarded.
+class InvariantAuditor {
+ public:
+  /// The singleton, configured from the ISRL_AUDIT environment variable on
+  /// first use.
+  static InvariantAuditor& Instance();
+
+  /// Replaces the configuration (tests; also used to re-read the env).
+  void Configure(const AuditConfig& config);
+  /// Re-parses the ISRL_AUDIT environment variable.
+  void ConfigureFromEnvironment();
+  [[nodiscard]] AuditConfig config() const;
+
+  /// True when the hook for `c` should run its predicate now (applies the
+  /// per-checker sampling stride). Cheap when disabled: one relaxed load.
+  [[nodiscard]] bool ShouldCheck(Checker c);
+
+  /// Records the outcome of one executed check. `problems` empty = clean.
+  void Record(Checker c, const char* site,
+              const std::vector<std::string>& problems);
+
+  /// Snapshot of all counters and stored violations.
+  [[nodiscard]] AuditReport Snapshot() const;
+
+  /// Clears counters and stored violations (config is kept). Test seam and
+  /// per-phase reporting boundary.
+  void Reset();
+
+  static constexpr size_t kMaxStoredViolations = 64;
+  static constexpr size_t kMaxLoggedPerChecker = 4;
+
+ private:
+  InvariantAuditor();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  AuditConfig config_;  // guarded by mu_ (enabled_ mirrors config_.enabled)
+  std::array<std::atomic<uint64_t>, kNumCheckers> hook_counter_{};
+  std::array<std::atomic<uint64_t>, kNumCheckers> checks_{};
+  std::array<std::atomic<uint64_t>, kNumCheckers> violations_{};
+  std::array<std::atomic<uint64_t>, kNumCheckers> logged_{};
+  std::vector<Violation> stored_;  // guarded by mu_
+};
+
+/// Shorthand for InvariantAuditor::Instance().
+inline InvariantAuditor& Auditor() { return InvariantAuditor::Instance(); }
+
+#ifdef ISRL_AUDIT_ENABLED
+/// Hook guard: true when the checker should run now. Compiled to a
+/// constant false (dead-stripping the predicate) when the audit layer is
+/// configured out with -DISRL_AUDIT=OFF.
+[[nodiscard]] inline bool ShouldCheck(Checker c) {
+  return Auditor().ShouldCheck(c);
+}
+#else
+[[nodiscard]] constexpr bool ShouldCheck(Checker) { return false; }
+#endif
+
+}  // namespace isrl::audit
+
+#endif  // ISRL_AUDIT_AUDIT_H_

@@ -40,4 +40,30 @@
 #define ISRL_CHECK_GT(a, b) ISRL_CHECK_OP(>, a, b)
 #define ISRL_CHECK_GE(a, b) ISRL_CHECK_OP(>=, a, b)
 
+/// Debug-only variants, compiled out under NDEBUG. For contracts on hot
+/// paths (per-pivot, per-sample, per-activation) where even a predictable
+/// branch is measurable at scale; tools/lint.py bans the always-on macros
+/// there. The condition is never evaluated in release builds but stays an
+/// unevaluated operand, so variables it names remain "used".
+#ifndef NDEBUG
+#define ISRL_DCHECK(cond) ISRL_CHECK(cond)
+#define ISRL_DCHECK_OP(op, a, b) ISRL_CHECK_OP(op, a, b)
+#else
+#define ISRL_DCHECK(cond) \
+  do {                    \
+    (void)sizeof(cond);   \
+  } while (0)
+#define ISRL_DCHECK_OP(op, a, b)    \
+  do {                              \
+    (void)sizeof((a) op (b));       \
+  } while (0)
+#endif
+
+#define ISRL_DCHECK_EQ(a, b) ISRL_DCHECK_OP(==, a, b)
+#define ISRL_DCHECK_NE(a, b) ISRL_DCHECK_OP(!=, a, b)
+#define ISRL_DCHECK_LT(a, b) ISRL_DCHECK_OP(<, a, b)
+#define ISRL_DCHECK_LE(a, b) ISRL_DCHECK_OP(<=, a, b)
+#define ISRL_DCHECK_GT(a, b) ISRL_DCHECK_OP(>, a, b)
+#define ISRL_DCHECK_GE(a, b) ISRL_DCHECK_OP(>=, a, b)
+
 #endif  // ISRL_COMMON_CHECK_H_

@@ -1,7 +1,7 @@
 #include "common/flags.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <limits>
 
 #include "common/strings.h"
 
@@ -46,7 +46,21 @@ double Flags::GetDouble(const std::string& key, double default_value) const {
 int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
-  return std::atoll(it->second.c_str());
+  // Checked parse instead of atoll: "--rounds=abc" must fall back to the
+  // default rather than silently becoming 0.
+  std::string digits = it->second;
+  bool negative = false;
+  if (!digits.empty() && (digits[0] == '-' || digits[0] == '+')) {
+    negative = digits[0] == '-';
+    digits = digits.substr(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseUint64(digits, &magnitude) ||
+      magnitude > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return default_value;
+  }
+  const int64_t value = static_cast<int64_t>(magnitude);
+  return negative ? -value : value;
 }
 
 bool Flags::GetBool(const std::string& key, bool default_value) const {

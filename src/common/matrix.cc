@@ -58,7 +58,7 @@ bool SolveLinearSystem(Matrix a, Vec b, Vec* x, double pivot_tol) {
     const double inv = 1.0 / a(col, col);
     for (size_t r = col + 1; r < n; ++r) {
       double factor = a(r, col) * inv;
-      if (factor == 0.0) continue;
+      if (factor == 0.0) continue;  // float-eq-ok: exact-zero skip-work
       for (size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
       b[r] -= factor * b[col];
     }

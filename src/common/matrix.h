@@ -23,14 +23,16 @@ class Matrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
+  // Debug-only bounds checks: element access sits inside every elimination
+  // and matrix-vector inner loop (see the rationale at Vec::operator[]).
   double operator()(size_t r, size_t c) const {
-    ISRL_CHECK_LT(r, rows_);
-    ISRL_CHECK_LT(c, cols_);
+    ISRL_DCHECK_LT(r, rows_);
+    ISRL_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
   double& operator()(size_t r, size_t c) {
-    ISRL_CHECK_LT(r, rows_);
-    ISRL_CHECK_LT(c, cols_);
+    ISRL_DCHECK_LT(r, rows_);
+    ISRL_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
 

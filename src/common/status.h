@@ -30,7 +30,9 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Result of a fallible operation: a code plus an optional message.
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed error — every producer
+/// either propagates it (ISRL_RETURN_IF_ERROR) or handles it explicitly.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -67,12 +69,12 @@ class Status {
     return Status(StatusCode::kUnbounded, std::move(m));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "Ok" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;
@@ -81,7 +83,7 @@ class Status {
 
 /// A value or a non-OK Status. Accessing the value of an error Result aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
   static_assert(!std::is_same_v<std::decay_t<T>, Status>,
                 "Result<Status> is always a bug: a Status is not a payload. "
                 "Return Status directly (or Result<U> for the real value).");

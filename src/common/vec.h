@@ -27,12 +27,16 @@ class Vec {
   size_t dim() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Element access is the innermost hot path of every numeric loop, so the
+  // bounds check is debug-only (ISRL_DCHECK); whole-operation contracts
+  // (dimension agreement in Dot, +=, ...) stay always-on in vec.cc, and the
+  // audit layer (DESIGN.md §11) guards the release-mode structures.
   double operator[](size_t i) const {
-    ISRL_CHECK_LT(i, data_.size());
+    ISRL_DCHECK_LT(i, data_.size());
     return data_[i];
   }
   double& operator[](size_t i) {
-    ISRL_CHECK_LT(i, data_.size());
+    ISRL_DCHECK_LT(i, data_.size());
     return data_[i];
   }
 

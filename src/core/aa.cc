@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/stopwatch.h"
 #include "geometry/hit_and_run.h"
 
@@ -134,6 +136,12 @@ TrainStats Aa::Train(const std::vector<Vec>& training_utilities) {
 }
 
 InteractionResult Aa::DoInteract(InteractionContext& ctx) {
+  // Audit at the inference call site (see Ea::DoInteract).
+  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
+    audit::Auditor().Record(
+        audit::Checker::kNnFinite, "Aa.DoInteract",
+        audit::CheckNetworkFinite(agent_.main_network(), "main"));
+  }
   InteractionResult result;
   Stopwatch watch;
   const double stop_dist = StopDistance();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "lp/simplex.h"
 
 namespace isrl {
@@ -88,6 +90,12 @@ AaGeometry ComputeAaGeometry(size_t d, const std::vector<LearnedHalfspace>& h,
   }
 
   geo.feasible = true;
+  // Audit: the 2d+1 LP answers describe one region, so they must agree with
+  // each other (centre in rectangle, e_min ≤ e_max, centre feasible for H).
+  if (audit::ShouldCheck(audit::Checker::kAaGeometry)) {
+    audit::Auditor().Record(audit::Checker::kAaGeometry, "ComputeAaGeometry",
+                            audit::CheckAaGeometry(geo, h, 1e-6));
+  }
   return geo;
 }
 
@@ -121,6 +129,12 @@ Vec EncodeAaState(const AaGeometry& geometry) {
   state.Append(geometry.e_min);
   state.Append(geometry.e_max);
   ISRL_CHECK_EQ(state.dim(), AaStateDim(geometry.e_min.dim()));
+  // Audit: AA states are LP outputs — a non-finite entry means an LP
+  // answer escaped its own diagnostics.
+  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
+    audit::Auditor().Record(audit::Checker::kNnFinite, "EncodeAaState",
+                            audit::CheckFiniteVec(state, "AA state"));
+  }
   return state;
 }
 

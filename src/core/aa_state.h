@@ -38,16 +38,18 @@ struct AaGeometry {
 /// LPs run through lp::SolveWithRecovery; `max_lp_iterations` (0 = solver
 /// default) caps each solve, for budgeted sessions. Degenerate (zero-normal)
 /// half-spaces are skipped rather than fatal.
-AaGeometry ComputeAaGeometry(size_t d, const std::vector<LearnedHalfspace>& h,
-                             size_t max_lp_iterations = 0);
+[[nodiscard]] AaGeometry ComputeAaGeometry(
+    size_t d, const std::vector<LearnedHalfspace>& h,
+    size_t max_lp_iterations = 0);
 
 /// Largest margin x such that some u ∈ U satisfies every half-space of `h`
 /// plus `candidate` with slack ≥ x (the Section IV-C feasibility LP). R ∩
 /// candidate is strictly non-empty iff the result is positive. Returns 0 on
 /// LP failure.
-double FeasibilityMargin(size_t d, const std::vector<LearnedHalfspace>& h,
-                         const Halfspace& candidate,
-                         size_t max_lp_iterations = 0);
+[[nodiscard]] double FeasibilityMargin(size_t d,
+                                       const std::vector<LearnedHalfspace>& h,
+                                       const Halfspace& candidate,
+                                       size_t max_lp_iterations = 0);
 
 /// State vector (B_c ⊕ B_r ⊕ e_min ⊕ e_max); geometry must be feasible.
 Vec EncodeAaState(const AaGeometry& geometry);

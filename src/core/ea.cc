@@ -2,6 +2,8 @@
 
 #include "nn/serialize.h"
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/stopwatch.h"
 #include "core/terminal.h"
 #include "geometry/halfspace.h"
@@ -141,6 +143,13 @@ TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
 }
 
 InteractionResult Ea::DoInteract(InteractionContext& ctx) {
+  // Audit at the inference call site: a session served from a NaN-weighted
+  // Q-network asks arbitrary questions yet terminates "normally".
+  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
+    audit::Auditor().Record(
+        audit::Checker::kNnFinite, "Ea.DoInteract",
+        audit::CheckNetworkFinite(agent_.main_network(), "main"));
+  }
   InteractionResult result;
   Stopwatch watch;
   const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/check.h"
 
 namespace isrl {
@@ -70,6 +72,12 @@ Vec EncodeEaState(const Polyhedron& polyhedron, const EaStateOptions& options) {
   state.Append(ball.center);
   state.PushBack(ball.radius);
   ISRL_CHECK_EQ(state.dim(), EaStateDim(d, options));
+  // Audit: every EA state vector feeds the Q-network — a single NaN here
+  // silently poisons each subsequent action choice.
+  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
+    audit::Auditor().Record(audit::Checker::kNnFinite, "EncodeEaState",
+                            audit::CheckFiniteVec(state, "EA state"));
+  }
   return state;
 }
 

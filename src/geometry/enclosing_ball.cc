@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/check.h"
 #include "common/matrix.h"
 
@@ -108,7 +110,13 @@ Ball IterativeOuterBall(const std::vector<Vec>& points,
   }
 
   FarthestPair far = FindFarthestTwo(center, points);
-  return Ball{center, far.first};
+  Ball ball{center, far.first};
+  if (audit::ShouldCheck(audit::Checker::kEnclosingBall)) {
+    audit::Auditor().Record(audit::Checker::kEnclosingBall,
+                            "IterativeOuterBall",
+                            audit::CheckBallEncloses(ball, points, 1e-7));
+  }
+  return ball;
 }
 
 Ball WelzlMinimumBall(const std::vector<Vec>& points, Rng& rng) {
@@ -123,6 +131,10 @@ Ball WelzlMinimumBall(const std::vector<Vec>& points, Rng& rng) {
   double max_dist = 0.0;
   for (const Vec& p : points) max_dist = std::max(max_dist, Distance(ball.center, p));
   ball.radius = std::max(ball.radius, max_dist);
+  if (audit::ShouldCheck(audit::Checker::kEnclosingBall)) {
+    audit::Auditor().Record(audit::Checker::kEnclosingBall, "WelzlMinimumBall",
+                            audit::CheckBallEncloses(ball, points, 1e-7));
+  }
   return ball;
 }
 

@@ -22,7 +22,7 @@ struct Ball {
   double radius = 0.0;
 
   /// True when `p` is inside the ball up to `tol` slack.
-  bool Contains(const Vec& p, double tol = 1e-9) const {
+  [[nodiscard]] bool Contains(const Vec& p, double tol = 1e-9) const {
     return Distance(center, p) <= radius + tol;
   }
 };
@@ -38,12 +38,12 @@ struct IterativeBallOptions {
 /// paper's random start; the iteration is identical). The returned radius is
 /// the exact max distance from the final centre, so the ball always encloses
 /// all points.
-Ball IterativeOuterBall(const std::vector<Vec>& points,
-                        const IterativeBallOptions& options = {});
+[[nodiscard]] Ball IterativeOuterBall(const std::vector<Vec>& points,
+                                      const IterativeBallOptions& options = {});
 
 /// Exact minimum enclosing ball via Welzl's randomised algorithm with
 /// move-to-front. `points` must be non-empty.
-Ball WelzlMinimumBall(const std::vector<Vec>& points, Rng& rng);
+[[nodiscard]] Ball WelzlMinimumBall(const std::vector<Vec>& points, Rng& rng);
 
 }  // namespace isrl
 

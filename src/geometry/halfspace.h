@@ -22,16 +22,20 @@ struct Halfspace {
   double offset = 0.0;
 
   /// Signed margin normal·u − offset (positive inside).
-  double Margin(const Vec& u) const { return Dot(normal, u) - offset; }
+  [[nodiscard]] double Margin(const Vec& u) const {
+    return Dot(normal, u) - offset;
+  }
 
   /// True when u satisfies the half-space up to `tol` slack.
-  bool Contains(const Vec& u, double tol = 1e-9) const {
+  [[nodiscard]] bool Contains(const Vec& u, double tol = 1e-9) const {
     return Margin(u) >= -tol;
   }
 
   /// The complementary half-space { u : normal·u ≤ offset }, i.e. the other
   /// side of the same hyper-plane.
-  Halfspace Flipped() const { return Halfspace{normal * -1.0, -offset}; }
+  [[nodiscard]] Halfspace Flipped() const {
+    return Halfspace{normal * -1.0, -offset};
+  }
 
   std::string ToString() const;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/matrix.h"
 
 namespace isrl {
@@ -30,9 +32,27 @@ void Polyhedron::Cut(const Halfspace& h) {
     }
   }
   if (all_strictly_inside) return;
+  // Audit: a cut only ever shrinks R, so the vertex-set diameter (a
+  // monotone volume proxy) must not grow, and every re-enumerated vertex
+  // must satisfy the full constraint set.
+  const bool auditing = audit::ShouldCheck(audit::Checker::kPolyhedron);
+  const bool had_vertices = !vertices_.empty();
+  double proxy_before = 0.0;
+  if (auditing && had_vertices) proxy_before = Diameter();
   cuts_.push_back(h);
   EnumerateVertices();
   DropRedundantCuts();
+  if (auditing) {
+    std::vector<std::string> problems = audit::CheckPolyhedronVertices(
+        dim_, cuts_, vertices_, 10.0 * options_.feasibility_tol);
+    if (had_vertices && !vertices_.empty()) {
+      std::vector<std::string> monotone = audit::CheckCutMonotonicity(
+          proxy_before, Diameter(), 1e-7);
+      problems.insert(problems.end(), monotone.begin(), monotone.end());
+    }
+    audit::Auditor().Record(audit::Checker::kPolyhedron, "Polyhedron.Cut",
+                            problems);
+  }
 }
 
 bool Polyhedron::TryCut(const Halfspace& h) {

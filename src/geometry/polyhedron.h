@@ -41,8 +41,9 @@ class Polyhedron {
   /// Cut() that refuses to empty R: when the half-space would leave no
   /// feasible vertex (a conflicting answer from an inconsistent user), the
   /// previous state is restored and false is returned. The degradation
-  /// primitive of the fault-tolerant interaction engine.
-  bool TryCut(const Halfspace& h);
+  /// primitive of the fault-tolerant interaction engine. [[nodiscard]]: a
+  /// dropped return means a rejected answer is treated as learned.
+  [[nodiscard]] bool TryCut(const Halfspace& h);
 
   /// Corner points (extreme utility vectors E) of R. Empty iff R is empty
   /// (up to tolerance).
@@ -54,14 +55,14 @@ class Polyhedron {
   size_t dim() const { return dim_; }
 
   /// True when no vertex satisfies all constraints.
-  bool IsEmpty() const { return vertices_.empty(); }
+  [[nodiscard]] bool IsEmpty() const { return vertices_.empty(); }
 
   /// True when `u` satisfies the simplex constraints and all cuts.
-  bool Contains(const Vec& u, double tol = 1e-9) const;
+  [[nodiscard]] bool Contains(const Vec& u, double tol = 1e-9) const;
 
   /// Arithmetic mean of the vertices (inside R by convexity). R must be
   /// non-empty.
-  Vec Centroid() const;
+  [[nodiscard]] Vec Centroid() const;
 
   /// A random point of R: a Dirichlet(1)-weighted convex combination of the
   /// vertices. Covers all of R with positive density (not volume-uniform;
@@ -69,7 +70,7 @@ class Polyhedron {
   Vec SampleInterior(Rng& rng) const;
 
   /// Largest pairwise vertex distance (0 for a point, R must be non-empty).
-  double Diameter() const;
+  [[nodiscard]] double Diameter() const;
 
  private:
   Polyhedron(size_t d, Options options) : dim_(d), options_(options) {}

@@ -5,6 +5,9 @@
 #include <limits>
 #include <vector>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
+
 namespace isrl::lp {
 namespace {
 
@@ -58,6 +61,11 @@ class Tableau {
     if (!st.ok()) {
       result.status = st;
       return result;
+    }
+
+    // Final-state audit: the optimal tableau the solution is read from.
+    if (audit::ShouldCheck(audit::Checker::kLpTableau)) {
+      AuditTableau(cost_, 2, "simplex.Run");
     }
 
     result.status = Status::Ok();
@@ -200,6 +208,7 @@ class Tableau {
         double reduced = cost[j];
         for (size_t r = 0; r < num_rows_; ++r) {
           double cb = cost[basis_[r]];
+          // float-eq-ok: exact-zero skip-work test
           if (cb != 0.0) reduced -= cb * rows_[r][j];
         }
         if (reduced > options_.pivot_tol) {
@@ -234,7 +243,31 @@ class Tableau {
         return Status::Unbounded("no leaving row in ratio test");
       }
       Pivot(leaving_row, entering);
+      // Audit ladder step: every pivot must leave the tableau primal
+      // feasible with a canonical basis (sampled via ISRL_AUDIT=sample=N —
+      // the unit-column sweep is quadratic in the row count).
+      if (audit::ShouldCheck(audit::Checker::kLpTableau)) {
+        AuditTableau(cost, allow_artificial_entering ? 1 : 2,
+                     "simplex.Pivot");
+      }
     }
+  }
+
+  // Runs the tableau checker and records the outcome. `cost` is the phase's
+  // active objective (the basic-objective finiteness check uses it).
+  void AuditTableau(const std::vector<double>& cost, int phase,
+                    const char* site) const {
+    audit::TableauView view;
+    view.rows = &rows_;
+    view.rhs = &rhs_;
+    view.basis = &basis_;
+    view.cost = &cost;
+    view.num_cols = num_cols_;
+    view.first_artificial = first_artificial_;
+    view.phase = phase;
+    view.feasibility_tol = options_.feasibility_tol;
+    audit::Auditor().Record(audit::Checker::kLpTableau, site,
+                            audit::CheckSimplexTableau(view));
   }
 
   bool IsBasic(size_t col) const {
@@ -247,7 +280,7 @@ class Tableau {
   void Pivot(size_t pivot_row, size_t pivot_col) {
     std::vector<double>& prow = rows_[pivot_row];
     const double pivot = prow[pivot_col];
-    ISRL_CHECK_GT(std::abs(pivot), 0.0);
+    ISRL_DCHECK_GT(std::abs(pivot), 0.0);
     const double inv = 1.0 / pivot;
     for (double& v : prow) v *= inv;
     rhs_[pivot_row] *= inv;
@@ -256,7 +289,7 @@ class Tableau {
     for (size_t r = 0; r < num_rows_; ++r) {
       if (r == pivot_row) continue;
       double factor = rows_[r][pivot_col];
-      if (factor == 0.0) continue;
+      if (factor == 0.0) continue;  // float-eq-ok: exact-zero skip-work
       std::vector<double>& row = rows_[r];
       for (size_t j = 0; j < num_cols_; ++j) row[j] -= factor * prow[j];
       row[pivot_col] = 0.0;

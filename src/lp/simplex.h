@@ -41,20 +41,22 @@ struct SolveDiagnostics {
 };
 
 /// Outcome of Solve(). On kOk, `objective` and `x` hold the optimum; on
-/// kInfeasible / kUnbounded they are unspecified.
-struct SolveResult {
+/// kInfeasible / kUnbounded they are unspecified. [[nodiscard]]: ignoring a
+/// solve outcome means acting on an unspecified optimum.
+struct [[nodiscard]] SolveResult {
   Status status;
   double objective = 0.0;
   Vec x;  ///< Values of the model's variables (original indexing).
   SolveDiagnostics diagnostics;
 
-  bool ok() const { return status.ok(); }
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// Solves the model. Returns kInfeasible when no point satisfies the
 /// constraints, kUnbounded when the objective is unbounded in the optimise
 /// direction, kInternal when the iteration cap is hit.
-SolveResult Solve(const Model& model, const SimplexOptions& options = {});
+[[nodiscard]] SolveResult Solve(const Model& model,
+                                const SimplexOptions& options = {});
 
 /// Recovery policy for SolveWithRecovery().
 struct RetryOptions {
@@ -68,9 +70,9 @@ struct RetryOptions {
 /// pivot and escalated tolerances, then once more with a tiny deterministic
 /// rhs perturbation. kInfeasible and kUnbounded are genuine answers and are
 /// returned immediately. The returned diagnostics describe all attempts.
-SolveResult SolveWithRecovery(const Model& model,
-                              const SimplexOptions& options = {},
-                              const RetryOptions& retry = {});
+[[nodiscard]] SolveResult SolveWithRecovery(const Model& model,
+                                            const SimplexOptions& options = {},
+                                            const RetryOptions& retry = {});
 
 /// Test-only fault injection: when set, the hook runs before every solve
 /// attempt (attempt is 1-based and global across Solve*/ calls) and a non-OK

@@ -34,7 +34,7 @@ Vec Linear::Backward(const Vec& output_grad) {
   Vec input_grad(in_dim_);
   for (size_t o = 0; o < out_dim_; ++o) {
     const double g = output_grad[o];
-    if (g == 0.0) continue;
+    if (g == 0.0) continue;  // float-eq-ok: exact-zero skip-work test
     double* wg = &weight_grads_[o * in_dim_];
     const double* w = &weights_[o * in_dim_];
     for (size_t i = 0; i < in_dim_; ++i) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "audit/audit.h"
+#include "audit/checkers.h"
 #include "common/check.h"
 #include "rl/schedule.h"
 
@@ -150,6 +152,27 @@ double DqnAgent::Update(Rng& rng) {
   if (options_.target_sync_every > 0 &&
       num_updates_ % options_.target_sync_every == 0) {
     SyncTarget();
+  }
+  // Audit: a single NaN weight or gradient spreads through every later
+  // Q-value without crashing anything — catch it at the update that made it.
+  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
+    std::vector<std::string> problems =
+        audit::CheckNetworkFinite(main_, "main");
+    std::vector<std::string> target_problems =
+        audit::CheckNetworkFinite(target_, "target");
+    problems.insert(problems.end(), target_problems.begin(),
+                    target_problems.end());
+    std::vector<std::string> sync_problems = audit::CheckTargetSyncEpoch(
+        num_updates_, options_.target_sync_every, main_, target_);
+    problems.insert(problems.end(), sync_problems.begin(),
+                    sync_problems.end());
+    audit::Auditor().Record(audit::Checker::kNnFinite, "DqnAgent.Update",
+                            problems);
+  }
+  if (options_.prioritized_replay &&
+      audit::ShouldCheck(audit::Checker::kReplayTree)) {
+    audit::Auditor().Record(audit::Checker::kReplayTree, "DqnAgent.Update",
+                            audit::CheckReplayTree(prioritized_, 1e-9));
   }
   return loss;
 }

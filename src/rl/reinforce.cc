@@ -98,7 +98,7 @@ double ReinforceAgent::UpdateFromEpisode(
     for (size_t j = 0; j < step.candidate_features.size(); ++j) {
       double indicator = j == step.chosen ? 1.0 : 0.0;
       double grad = advantage * (probs[j] - indicator) / options_.temperature;
-      if (grad == 0.0) continue;
+      if (grad == 0.0) continue;  // float-eq-ok: exact-zero skip-work
       network_.Predict(step.candidate_features[j]);  // refresh layer caches
       network_.Backward(Vec{grad});
       ++samples;

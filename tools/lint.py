@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Project lint: style rules clang-tidy cannot express for this codebase.
+
+Rules (see DESIGN.md section 11):
+  banned-call   rand()/srand()/atoi/atol/atoll/atof — use mt19937 seeds and
+                the checked parsers in common/strings.h instead.
+  float-eq      == / != against a floating-point literal. Exact-zero
+                skip-work tests are allowed when annotated with a
+                `float-eq-ok` comment on the same or the preceding line.
+  hot-check     ISRL_CHECK* in designated hot files (innermost numeric
+                loops) — use the debug-only ISRL_DCHECK* variants there.
+
+Usage: tools/lint.py [paths...]   (defaults to src/)
+Exit status is the number of findings (0 == clean).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Files whose element accessors / pivot loops are the innermost hot path.
+# ISRL_CHECK aborts are fine everywhere else; here they must be ISRL_DCHECK.
+HOT_FILES = {
+    "src/common/vec.h",
+    "src/common/matrix.h",
+    "src/lp/simplex.cc",
+}
+
+BANNED_CALLS = {
+    "rand": "use a seeded std::mt19937 (common/ and rl/ already do)",
+    "srand": "use a seeded std::mt19937",
+    "atoi": "use ParseUint64/ParseDouble from common/strings.h",
+    "atol": "use ParseUint64 from common/strings.h",
+    "atoll": "use ParseUint64 from common/strings.h",
+    "atof": "use ParseDouble from common/strings.h",
+}
+
+BANNED_CALL_RE = re.compile(
+    r"(?<![A-Za-z0-9_:.])(?:std::)?(" + "|".join(BANNED_CALLS) + r")\s*\("
+)
+
+# `x == 1.5`, `0.0 != y`, `a == 1e-9`, ... — comparison where either side is
+# a floating-point literal. Conservative: requires a decimal point or
+# exponent so integer comparisons (i == 0) never match.
+FLOAT_LIT = r"\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+"
+FLOAT_EQ_RE = re.compile(
+    r"(?:[!=]=\s*(?:" + FLOAT_LIT + r"))|(?:(?:" + FLOAT_LIT + r")\s*[!=]=)"
+)
+
+HOT_CHECK_RE = re.compile(r"\bISRL_CHECK(?:_[A-Z]+)?\s*\(")
+
+SUPPRESS_TOKEN = "float-eq-ok"
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noise(line: str) -> str:
+    """Removes string literals and // comments so rules don't fire on text."""
+    line = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def lint_file(path: Path) -> list:
+    try:
+        rel = path.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    findings = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        return [(rel, 0, "io", f"unreadable: {err}")]
+
+    in_block_comment = False
+    prev_raw = ""
+    for lineno, raw in enumerate(lines, start=1):
+        code = raw
+        # Minimal /* */ handling: drop whole lines inside block comments.
+        if in_block_comment:
+            if "*/" in code:
+                code = code.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                prev_raw = raw
+                continue
+        if "/*" in code and "*/" not in code:
+            code = code.split("/*", 1)[0]
+            in_block_comment = True
+        code = strip_noise(code)
+
+        m = BANNED_CALL_RE.search(code)
+        if m:
+            name = m.group(1)
+            findings.append(
+                (rel, lineno, "banned-call", f"{name}(): {BANNED_CALLS[name]}")
+            )
+
+        if FLOAT_EQ_RE.search(code):
+            suppressed = SUPPRESS_TOKEN in raw or SUPPRESS_TOKEN in prev_raw
+            if not suppressed:
+                findings.append(
+                    (
+                        rel,
+                        lineno,
+                        "float-eq",
+                        "== / != on a float literal; compare against a "
+                        "tolerance, or annotate an exact-zero skip-work "
+                        f"test with `// {SUPPRESS_TOKEN}: <reason>`",
+                    )
+                )
+
+        if rel in HOT_FILES and HOT_CHECK_RE.search(code):
+            findings.append(
+                (
+                    rel,
+                    lineno,
+                    "hot-check",
+                    "ISRL_CHECK in a designated hot file; use ISRL_DCHECK "
+                    "(see DESIGN.md section 11)",
+                )
+            )
+
+        prev_raw = raw
+    return findings
+
+
+def main(argv: list) -> int:
+    targets = [Path(a) for a in argv[1:]] or [REPO_ROOT / "src"]
+    files = []
+    for t in targets:
+        t = t if t.is_absolute() else REPO_ROOT / t
+        if t.is_dir():
+            files.extend(
+                p
+                for p in sorted(t.rglob("*"))
+                if p.suffix in {".h", ".cc", ".cpp", ".hpp"}
+            )
+        else:
+            files.append(t)
+
+    all_findings = []
+    for f in files:
+        all_findings.extend(lint_file(f))
+
+    for rel, lineno, rule, msg in all_findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if all_findings:
+        print(f"{len(all_findings)} finding(s)", file=sys.stderr)
+    return min(len(all_findings), 255)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
