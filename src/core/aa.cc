@@ -2,6 +2,7 @@
 
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "audit/audit.h"
@@ -48,6 +49,19 @@ std::vector<Vec> Aa::FeaturizeCandidates(
     out.push_back(Concat(state, FeaturizeAction(action)));
   }
   return out;
+}
+
+Matrix Aa::FeaturizeCandidatesMatrix(
+    const Vec& state, const std::vector<AaAction>& actions) const {
+  Matrix m(actions.size(), input_dim_);
+  for (size_t r = 0; r < actions.size(); ++r) {
+    double* row = m.row(r);
+    std::copy(state.raw(), state.raw() + state.dim(), row);
+    const Vec f = FeaturizeAction(actions[r]);
+    ISRL_CHECK_EQ(state.dim() + f.dim(), input_dim_);
+    std::copy(f.raw(), f.raw() + f.dim(), row + state.dim());
+  }
+  return m;
 }
 
 size_t Aa::MidpointBest(const AaGeometry& geometry) const {
@@ -180,8 +194,9 @@ InteractionResult Aa::DoInteract(InteractionContext& ctx) {
       deadline_hit = true;
       break;
     }
-    std::vector<Vec> features = FeaturizeCandidates(state, actions);
-    size_t pick = agent_.SelectGreedy(features);
+    // Batched action scoring: one GEMM over the row-stacked candidate pool
+    // (bit-identical picks to the scalar per-candidate loop).
+    size_t pick = agent_.SelectGreedy(FeaturizeCandidatesMatrix(state, actions));
     const Question q = actions[pick].q;
 
     const Answer answer = ctx.user.Ask(data_.point(q.i), data_.point(q.j));

@@ -83,6 +83,10 @@ class Aa : public InteractiveAlgorithm {
   Vec FeaturizeAction(const AaAction& action) const;
   std::vector<Vec> FeaturizeCandidates(const Vec& state,
                                        const std::vector<AaAction>& actions) const;
+  /// Row-stacked candidate features for the batched inference path (see
+  /// Ea::FeaturizeCandidatesMatrix).
+  Matrix FeaturizeCandidatesMatrix(const Vec& state,
+                                   const std::vector<AaAction>& actions) const;
   /// Top point w.r.t. the rectangle midpoint (e_min + e_max)/2.
   size_t MidpointBest(const AaGeometry& geometry) const;
 

@@ -98,6 +98,11 @@ class Ea : public InteractiveAlgorithm {
   Vec FeaturizeAction(const EaAction& action) const;
   std::vector<Vec> FeaturizeCandidates(const Vec& state,
                                        const std::vector<EaAction>& actions) const;
+  /// Row-stacked candidate features for the batched inference path: the
+  /// greedy round scores all actions with one GEMM instead of |actions|
+  /// scalar forwards, and skips the per-candidate Vec concatenations.
+  Matrix FeaturizeCandidatesMatrix(const Vec& state,
+                                   const std::vector<EaAction>& actions) const;
 
   const Dataset& data_;
   EaOptions options_;

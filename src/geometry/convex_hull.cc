@@ -4,41 +4,93 @@
 
 namespace isrl {
 
+namespace {
+
+// Shared convex-combination feasibility LP over ALL n multipliers λ_j:
+//
+//   λ ≥ 0,  Σ_j λ_j = 1,  Σ_j λ_j q_j = p        (feasible ⇒ p not extreme)
+//
+// The query point itself must be excluded from the combination, which the
+// naive formulation does by rebuilding an (n−1)-variable model per query —
+// Θ(n·d) constraint writes each time. Here the constraint matrix is built
+// once over all n columns; a query only zeroes the excluded point's column
+// (its λ becomes an inert variable whose all-zero column cannot affect
+// feasibility) and patches the d coordinate right-hand sides to the query
+// point. That is Θ(d) writes per query, plus Θ(d) to restore the previously
+// excluded column.
+class ExtremenessLp {
+ public:
+  explicit ExtremenessLp(const std::vector<Vec>& points)
+      : points_(points), dim_(points.empty() ? 0 : points[0].dim()) {
+    const size_t n = points_.size();
+    for (size_t j = 0; j < n; ++j) {
+      model_.AddVariable(0.0, /*nonneg=*/true);
+    }
+    Vec ones(n, 1.0);
+    model_.AddConstraint(ones, lp::Relation::kEq, 1.0);
+    for (size_t coord = 0; coord < dim_; ++coord) {
+      Vec row(n);
+      for (size_t j = 0; j < n; ++j) row[j] = points_[j][coord];
+      // RHS is patched per query; 0 is a placeholder.
+      model_.AddConstraint(row, lp::Relation::kEq, 0.0);
+    }
+  }
+
+  /// True iff points[index] is a vertex of conv(points).
+  bool IsExtreme(size_t index) {
+    ISRL_CHECK_LT(index, points_.size());
+    RestoreColumn();
+    ExcludeColumn(index);
+    lp::SolveResult result = lp::Solve(model_);
+    return !result.ok();  // infeasible = not representable = extreme
+  }
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  void ExcludeColumn(size_t index) {
+    model_.SetConstraintCoefficient(0, index, 0.0);
+    for (size_t coord = 0; coord < dim_; ++coord) {
+      model_.SetConstraintCoefficient(1 + coord, index, 0.0);
+      model_.SetConstraintRhs(1 + coord, points_[index][coord]);
+    }
+    excluded_ = index;
+  }
+
+  void RestoreColumn() {
+    if (excluded_ == kNone) return;
+    model_.SetConstraintCoefficient(0, excluded_, 1.0);
+    for (size_t coord = 0; coord < dim_; ++coord) {
+      model_.SetConstraintCoefficient(1 + coord, excluded_,
+                                      points_[excluded_][coord]);
+    }
+    excluded_ = kNone;
+  }
+
+  const std::vector<Vec>& points_;
+  size_t dim_;
+  lp::Model model_;
+  size_t excluded_ = kNone;
+};
+
+}  // namespace
+
 bool IsExtremePoint(const std::vector<Vec>& points, size_t index) {
   ISRL_CHECK_LT(index, points.size());
-  const size_t n = points.size();
-  const size_t d = points[index].dim();
-  if (n <= 1) return true;
-
-  // Feasibility LP: λ ≥ 0, Σλ_j = 1, Σλ_j q_j = p over q_j ≠ p.
-  // Feasible ⇒ p ∈ conv(others) ⇒ not extreme.
-  lp::Model model;
-  for (size_t j = 0; j < n; ++j) {
-    if (j == index) continue;
-    model.AddVariable(0.0, /*nonneg=*/true);
-  }
-  const size_t num_lambda = n - 1;
-
-  Vec ones(num_lambda, 1.0);
-  model.AddConstraint(ones, lp::Relation::kEq, 1.0);
-  for (size_t coord = 0; coord < d; ++coord) {
-    Vec row(num_lambda);
-    size_t k = 0;
-    for (size_t j = 0; j < n; ++j) {
-      if (j == index) continue;
-      row[k++] = points[j][coord];
-    }
-    model.AddConstraint(row, lp::Relation::kEq, points[index][coord]);
-  }
-
-  lp::SolveResult result = lp::Solve(model);
-  return !result.ok();  // infeasible = not representable = extreme
+  if (points.size() <= 1) return true;
+  ExtremenessLp shared(points);
+  return shared.IsExtreme(index);
 }
 
 std::vector<size_t> ExtremePointIndices(const std::vector<Vec>& points) {
   std::vector<size_t> out;
+  if (points.empty()) return out;
+  if (points.size() == 1) return {0};
+  // One shared model; each query patches Θ(d) entries instead of rebuilding
+  // the Θ(n·d) constraint matrix.
+  ExtremenessLp shared(points);
   for (size_t i = 0; i < points.size(); ++i) {
-    if (IsExtremePoint(points, i)) out.push_back(i);
+    if (shared.IsExtreme(i)) out.push_back(i);
   }
   return out;
 }

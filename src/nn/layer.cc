@@ -4,6 +4,12 @@
 
 namespace isrl::nn {
 
+void Layer::DoBatchInferInto(const double* input, size_t rows, Matrix* out) {
+  const size_t in = input_dim();
+  Matrix tmp(rows, in, std::vector<double>(input, input + rows * in));
+  *out = DoBatchForward(tmp, /*cache=*/false);
+}
+
 Linear::Linear(size_t in_dim, size_t out_dim, Rng& rng)
     : in_dim_(in_dim),
       out_dim_(out_dim),
@@ -15,10 +21,13 @@ Linear::Linear(size_t in_dim, size_t out_dim, Rng& rng)
   for (double& w : weights_) w = rng.Gaussian(0.0, stddev);
 }
 
-Vec Linear::Forward(const Vec& input) {
+Vec Linear::DoForward(const Vec& input, bool cache) {
   ISRL_CHECK_EQ(input.dim(), in_dim_);
-  last_input_ = input;
+  if (cache) last_input_ = input;
   Vec out(out_dim_);
+  // The seed's textbook per-output dot loop, kept verbatim as the scalar
+  // audit/teaching reference. Each output's k-sum runs in the same index
+  // order as the batched GEMM's, so the two paths stay bit-identical.
   for (size_t o = 0; o < out_dim_; ++o) {
     const double* w = &weights_[o * in_dim_];
     double s = biases_[o];
@@ -26,6 +35,23 @@ Vec Linear::Forward(const Vec& input) {
     out[o] = s;
   }
   return out;
+}
+
+Matrix Linear::DoBatchForward(const Matrix& input, bool cache) {
+  ISRL_CHECK_EQ(input.cols(), in_dim_);
+  if (cache) last_batch_input_ = input;
+  Matrix out(input.rows(), out_dim_);
+  GemmTransposedB(input.rows(), out_dim_, in_dim_, input.data().data(),
+                  weights_.data(), biases_.data(), out.data().data());
+  return out;
+}
+
+void Linear::DoBatchInferInto(const double* input, size_t rows, Matrix* out) {
+  if (out->rows() != rows || out->cols() != out_dim_) {
+    *out = Matrix(rows, out_dim_);
+  }
+  GemmTransposedB(rows, out_dim_, in_dim_, input, weights_.data(),
+                  biases_.data(), out->data().data());
 }
 
 Vec Linear::Backward(const Vec& output_grad) {
@@ -46,6 +72,64 @@ Vec Linear::Backward(const Vec& output_grad) {
   return input_grad;
 }
 
+void Linear::AccumulateBatchParamGrads(const Matrix& output_grad) {
+  const size_t batch = output_grad.rows();
+  ISRL_CHECK_EQ(output_grad.cols(), out_dim_);
+  ISRL_CHECK_EQ(last_batch_input_.rows(), batch);
+  ISRL_CHECK_EQ(last_batch_input_.cols(), in_dim_);
+
+  // Both gradient accumulations reduce over the samples in ascending row
+  // order — the exact order the scalar Backward visits terms when run once
+  // per sample row — so the batched backward matches it element for element.
+  // (The scalar path's zero-gradient skip omits +0.0 terms; adding them
+  // changes no finite value, at most the sign of a ±0.0.)
+
+  // Bias gradients: bg(o) += Σ_s g(s,o), samples in row order.
+  for (size_t o = 0; o < out_dim_; ++o) {
+    double s = bias_grads_[o];
+    for (size_t r = 0; r < batch; ++r) s += output_grad(r, o);
+    bias_grads_[o] = s;
+  }
+
+  // Weight gradients as a GEMM with the reduction over samples:
+  // wg(o,i) += Σ_s g(s,o)·x(s,i). GemmTransposedB reduces over the shared
+  // trailing axis, so hand it Gᵀ (out×batch) and Xᵀ (in×batch) and let the
+  // `accumulate` mode seed each element from the running accumulator.
+  std::vector<double> gt(out_dim_ * batch);
+  for (size_t r = 0; r < batch; ++r) {
+    const double* go = output_grad.row(r);
+    for (size_t o = 0; o < out_dim_; ++o) gt[o * batch + r] = go[o];
+  }
+  std::vector<double> xt(in_dim_ * batch);
+  for (size_t r = 0; r < batch; ++r) {
+    const double* x = last_batch_input_.row(r);
+    for (size_t i = 0; i < in_dim_; ++i) xt[i * batch + r] = x[i];
+  }
+  GemmTransposedB(out_dim_, in_dim_, batch, gt.data(), xt.data(), nullptr,
+                  weight_grads_.data(), /*accumulate=*/true);
+}
+
+Matrix Linear::BatchBackward(const Matrix& output_grad) {
+  AccumulateBatchParamGrads(output_grad);
+  // Input gradients: gi(s,i) = Σ_o g(s,o)·w(o,i), outputs in ascending
+  // order — a GEMM against Wᵀ (in×out).
+  const size_t batch = output_grad.rows();
+  std::vector<double> wt(in_dim_ * out_dim_);
+  for (size_t o = 0; o < out_dim_; ++o) {
+    const double* w = &weights_[o * in_dim_];
+    for (size_t i = 0; i < in_dim_; ++i) wt[i * out_dim_ + o] = w[i];
+  }
+  Matrix input_grad(batch, in_dim_);
+  GemmTransposedB(batch, in_dim_, out_dim_, output_grad.data().data(),
+                  wt.data(), nullptr, input_grad.data().data());
+  return input_grad;
+}
+
+Matrix Linear::BatchBackwardNoInputGrad(const Matrix& output_grad) {
+  AccumulateBatchParamGrads(output_grad);
+  return Matrix();
+}
+
 std::vector<ParamBlock> Linear::Params() {
   return {{&weights_, &weight_grads_}, {&biases_, &bias_grads_}};
 }
@@ -55,34 +139,84 @@ std::unique_ptr<Layer> Linear::Clone() const {
   return copy;
 }
 
-Vec Selu::Forward(const Vec& input) {
+namespace {
+inline double SeluValue(double x) {
+  return x > 0.0 ? Selu::kScale * x
+                 : Selu::kScale * Selu::kAlpha * (std::exp(x) - 1.0);
+}
+inline double SeluSlope(double x) {
+  return x > 0.0 ? Selu::kScale : Selu::kScale * Selu::kAlpha * std::exp(x);
+}
+}  // namespace
+
+Vec Selu::DoForward(const Vec& input, bool cache) {
   ISRL_CHECK_EQ(input.dim(), dim_);
-  last_input_ = input;
+  if (cache) last_input_ = input;
   Vec out(dim_);
-  for (size_t i = 0; i < dim_; ++i) {
-    double x = input[i];
-    out[i] = x > 0.0 ? kScale * x : kScale * kAlpha * (std::exp(x) - 1.0);
-  }
+  for (size_t i = 0; i < dim_; ++i) out[i] = SeluValue(input[i]);
   return out;
+}
+
+Matrix Selu::DoBatchForward(const Matrix& input, bool cache) {
+  ISRL_CHECK_EQ(input.cols(), dim_);
+  if (cache) last_batch_input_ = input;
+  Matrix out(input.rows(), input.cols());
+  const std::vector<double>& in = input.data();
+  std::vector<double>& o = out.data();
+  for (size_t i = 0; i < in.size(); ++i) o[i] = SeluValue(in[i]);
+  return out;
+}
+
+void Selu::DoBatchInferInto(const double* input, size_t rows, Matrix* out) {
+  if (out->rows() != rows || out->cols() != dim_) *out = Matrix(rows, dim_);
+  double* o = out->data().data();
+  for (size_t i = 0; i < rows * dim_; ++i) o[i] = SeluValue(input[i]);
 }
 
 Vec Selu::Backward(const Vec& output_grad) {
   ISRL_CHECK_EQ(output_grad.dim(), dim_);
   Vec grad(dim_);
   for (size_t i = 0; i < dim_; ++i) {
-    double x = last_input_[i];
-    double d = x > 0.0 ? kScale : kScale * kAlpha * std::exp(x);
-    grad[i] = output_grad[i] * d;
+    grad[i] = output_grad[i] * SeluSlope(last_input_[i]);
   }
   return grad;
 }
 
-Vec Relu::Forward(const Vec& input) {
+Matrix Selu::BatchBackward(const Matrix& output_grad) {
+  ISRL_CHECK_EQ(output_grad.cols(), dim_);
+  ISRL_CHECK_EQ(last_batch_input_.rows(), output_grad.rows());
+  Matrix grad(output_grad.rows(), output_grad.cols());
+  const std::vector<double>& g = output_grad.data();
+  const std::vector<double>& x = last_batch_input_.data();
+  std::vector<double>& o = grad.data();
+  for (size_t i = 0; i < g.size(); ++i) o[i] = g[i] * SeluSlope(x[i]);
+  return grad;
+}
+
+Vec Relu::DoForward(const Vec& input, bool cache) {
   ISRL_CHECK_EQ(input.dim(), dim_);
-  last_input_ = input;
+  if (cache) last_input_ = input;
   Vec out(dim_);
   for (size_t i = 0; i < dim_; ++i) out[i] = input[i] > 0.0 ? input[i] : 0.0;
   return out;
+}
+
+Matrix Relu::DoBatchForward(const Matrix& input, bool cache) {
+  ISRL_CHECK_EQ(input.cols(), dim_);
+  if (cache) last_batch_input_ = input;
+  Matrix out(input.rows(), input.cols());
+  const std::vector<double>& in = input.data();
+  std::vector<double>& o = out.data();
+  for (size_t i = 0; i < in.size(); ++i) o[i] = in[i] > 0.0 ? in[i] : 0.0;
+  return out;
+}
+
+void Relu::DoBatchInferInto(const double* input, size_t rows, Matrix* out) {
+  if (out->rows() != rows || out->cols() != dim_) *out = Matrix(rows, dim_);
+  double* o = out->data().data();
+  for (size_t i = 0; i < rows * dim_; ++i) {
+    o[i] = input[i] > 0.0 ? input[i] : 0.0;
+  }
 }
 
 Vec Relu::Backward(const Vec& output_grad) {
@@ -93,12 +227,39 @@ Vec Relu::Backward(const Vec& output_grad) {
   return grad;
 }
 
-Vec Tanh::Forward(const Vec& input) {
+Matrix Relu::BatchBackward(const Matrix& output_grad) {
+  ISRL_CHECK_EQ(output_grad.cols(), dim_);
+  ISRL_CHECK_EQ(last_batch_input_.rows(), output_grad.rows());
+  Matrix grad(output_grad.rows(), output_grad.cols());
+  const std::vector<double>& g = output_grad.data();
+  const std::vector<double>& x = last_batch_input_.data();
+  std::vector<double>& o = grad.data();
+  for (size_t i = 0; i < g.size(); ++i) o[i] = x[i] > 0.0 ? g[i] : 0.0;
+  return grad;
+}
+
+Vec Tanh::DoForward(const Vec& input, bool cache) {
   ISRL_CHECK_EQ(input.dim(), dim_);
   Vec out(dim_);
   for (size_t i = 0; i < dim_; ++i) out[i] = std::tanh(input[i]);
-  last_output_ = out;
+  if (cache) last_output_ = out;
   return out;
+}
+
+Matrix Tanh::DoBatchForward(const Matrix& input, bool cache) {
+  ISRL_CHECK_EQ(input.cols(), dim_);
+  Matrix out(input.rows(), input.cols());
+  const std::vector<double>& in = input.data();
+  std::vector<double>& o = out.data();
+  for (size_t i = 0; i < in.size(); ++i) o[i] = std::tanh(in[i]);
+  if (cache) last_batch_output_ = out;
+  return out;
+}
+
+void Tanh::DoBatchInferInto(const double* input, size_t rows, Matrix* out) {
+  if (out->rows() != rows || out->cols() != dim_) *out = Matrix(rows, dim_);
+  double* o = out->data().data();
+  for (size_t i = 0; i < rows * dim_; ++i) o[i] = std::tanh(input[i]);
 }
 
 Vec Tanh::Backward(const Vec& output_grad) {
@@ -106,6 +267,17 @@ Vec Tanh::Backward(const Vec& output_grad) {
   for (size_t i = 0; i < dim_; ++i) {
     grad[i] = output_grad[i] * (1.0 - last_output_[i] * last_output_[i]);
   }
+  return grad;
+}
+
+Matrix Tanh::BatchBackward(const Matrix& output_grad) {
+  ISRL_CHECK_EQ(output_grad.cols(), dim_);
+  ISRL_CHECK_EQ(last_batch_output_.rows(), output_grad.rows());
+  Matrix grad(output_grad.rows(), output_grad.cols());
+  const std::vector<double>& g = output_grad.data();
+  const std::vector<double>& y = last_batch_output_.data();
+  std::vector<double>& o = grad.data();
+  for (size_t i = 0; i < g.size(); ++i) o[i] = g[i] * (1.0 - y[i] * y[i]);
   return grad;
 }
 

@@ -2,8 +2,20 @@
 //
 // The paper's agent is deliberately small — one hidden layer of 64 neurons
 // with SELU activation trained by MSE — so a straightforward from-scratch
-// dense implementation (double precision, sample-at-a-time with gradient
-// accumulation) is faster than any framework would be at this scale.
+// dense implementation (double precision) is faster than any framework would
+// be at this scale. Every layer supports two execution granularities:
+//
+//   * scalar: Vec in, Vec out — one sample at a time, the original
+//     audit/teaching reference path;
+//   * batched: Matrix in, Matrix out — one sample per row, backed by the
+//     cache-blocked GEMM in common/matrix.h.
+//
+// Both granularities come in a training mode (Forward/BatchForward, which
+// cache whatever Backward needs) and an inference mode (Infer/BatchInfer,
+// which skip the activation caching entirely — target-network evaluation and
+// action scoring never call Backward, so they never pay for the copies).
+// The batched path accumulates gradients in sample-row order, so batched and
+// scalar results are bit-identical, not merely close (DESIGN.md §12).
 #ifndef ISRL_NN_LAYER_H_
 #define ISRL_NN_LAYER_H_
 
@@ -11,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/matrix.h"
 #include "common/rng.h"
 #include "common/vec.h"
 
@@ -22,15 +35,55 @@ struct ParamBlock {
   std::vector<double>* grads;
 };
 
-/// Base class for differentiable layers. Forward caches whatever Backward
-/// needs; Backward accumulates parameter gradients (callers zero them via the
-/// optimiser between steps) and returns the gradient w.r.t. the input.
+/// Base class for differentiable layers. The training-mode forwards cache
+/// whatever Backward needs; the backwards accumulate parameter gradients
+/// (callers zero them via the optimiser between steps) and return the
+/// gradient w.r.t. the input.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  virtual Vec Forward(const Vec& input) = 0;
+  /// Training-mode forward: caches activations for a following Backward.
+  Vec Forward(const Vec& input) { return DoForward(input, /*cache=*/true); }
+  /// Inference-mode forward: no activation caching. Backward must not be
+  /// called on the strength of an Infer.
+  Vec Infer(const Vec& input) { return DoForward(input, /*cache=*/false); }
+  /// Training-mode batched forward over row-stacked samples.
+  Matrix BatchForward(const Matrix& input) {
+    return DoBatchForward(input, /*cache=*/true);
+  }
+  /// Inference-mode batched forward (no caching).
+  Matrix BatchInfer(const Matrix& input) {
+    return DoBatchForward(input, /*cache=*/false);
+  }
+  /// Inference-mode batched forward into a caller-owned buffer: reads `rows`
+  /// row-major samples (each `input_dim()` wide) starting at `input` and
+  /// writes the layer's output into `*out`, reallocating it only on shape
+  /// change. The raw-block input lets Network::PredictBatch feed row chunks
+  /// of a stacked input matrix without materialising per-chunk copies, and
+  /// the persistent `*out` amortises allocation (and the std::vector
+  /// zero-fill) across chunks. Results are identical to BatchInfer.
+  void BatchInferInto(const double* input, size_t rows, Matrix* out) {
+    DoBatchInferInto(input, rows, out);
+  }
+
   virtual Vec Backward(const Vec& output_grad) = 0;
+  /// Batched backward: row r of `output_grad` is sample r's output gradient.
+  /// Parameter gradients accumulate over rows in row order — every element
+  /// receives the same terms in the same order as running the scalar
+  /// Backward once per sample, so the results are identical (the scalar
+  /// path's exact-zero skip can at most flip the sign of a ±0.0). Valid
+  /// only after a BatchForward of the matching batch.
+  virtual Matrix BatchBackward(const Matrix& output_grad) = 0;
+
+  /// Like BatchBackward when the caller will not read the returned input
+  /// gradient (a network's bottom layer has no consumer for it). Parameter
+  /// gradients accumulate exactly as in BatchBackward; the default still
+  /// computes the input gradient, but Linear overrides this to skip one of
+  /// its two backward GEMMs and returns an empty matrix.
+  virtual Matrix BatchBackwardNoInputGrad(const Matrix& output_grad) {
+    return BatchBackward(output_grad);
+  }
 
   /// Parameter/gradient blocks; empty for stateless activations.
   virtual std::vector<ParamBlock> Params() { return {}; }
@@ -43,6 +96,14 @@ class Layer {
 
   /// Deep copy (used to build the target network).
   virtual std::unique_ptr<Layer> Clone() const = 0;
+
+ protected:
+  virtual Vec DoForward(const Vec& input, bool cache) = 0;
+  virtual Matrix DoBatchForward(const Matrix& input, bool cache) = 0;
+  /// Default: copy the block into a Matrix and run the uncached batched
+  /// forward. Linear and the activations override to write straight into
+  /// `*out` with no intermediate copies.
+  virtual void DoBatchInferInto(const double* input, size_t rows, Matrix* out);
 };
 
 /// Fully connected layer y = W x + b.
@@ -52,8 +113,9 @@ class Linear : public Layer {
   /// recommended initialisation for SELU networks, and zero biases.
   Linear(size_t in_dim, size_t out_dim, Rng& rng);
 
-  Vec Forward(const Vec& input) override;
   Vec Backward(const Vec& output_grad) override;
+  Matrix BatchBackward(const Matrix& output_grad) override;
+  Matrix BatchBackwardNoInputGrad(const Matrix& output_grad) override;
   std::vector<ParamBlock> Params() override;
   std::string Kind() const override { return "linear"; }
   size_t input_dim() const override { return in_dim_; }
@@ -67,19 +129,30 @@ class Linear : public Layer {
   const std::vector<double>& weights() const { return weights_; }
   const std::vector<double>& biases() const { return biases_; }
 
+ protected:
+  Vec DoForward(const Vec& input, bool cache) override;
+  Matrix DoBatchForward(const Matrix& input, bool cache) override;
+  void DoBatchInferInto(const double* input, size_t rows,
+                        Matrix* out) override;
+
  private:
+  /// Shared by both batched backwards: accumulates bias and weight
+  /// gradients over the batch rows in sample order.
+  void AccumulateBatchParamGrads(const Matrix& output_grad);
+
   size_t in_dim_, out_dim_;
   std::vector<double> weights_, biases_;
   std::vector<double> weight_grads_, bias_grads_;
   Vec last_input_;
+  Matrix last_batch_input_;
 };
 
 /// SELU activation (Klambauer et al., the paper's choice).
 class Selu : public Layer {
  public:
   explicit Selu(size_t dim) : dim_(dim) {}
-  Vec Forward(const Vec& input) override;
   Vec Backward(const Vec& output_grad) override;
+  Matrix BatchBackward(const Matrix& output_grad) override;
   std::string Kind() const override { return "selu"; }
   size_t input_dim() const override { return dim_; }
   size_t output_dim() const override { return dim_; }
@@ -90,17 +163,24 @@ class Selu : public Layer {
   static constexpr double kAlpha = 1.6732632423543772;
   static constexpr double kScale = 1.0507009873554805;
 
+ protected:
+  Vec DoForward(const Vec& input, bool cache) override;
+  Matrix DoBatchForward(const Matrix& input, bool cache) override;
+  void DoBatchInferInto(const double* input, size_t rows,
+                        Matrix* out) override;
+
  private:
   size_t dim_;
   Vec last_input_;
+  Matrix last_batch_input_;
 };
 
 /// ReLU activation (for ablations).
 class Relu : public Layer {
  public:
   explicit Relu(size_t dim) : dim_(dim) {}
-  Vec Forward(const Vec& input) override;
   Vec Backward(const Vec& output_grad) override;
+  Matrix BatchBackward(const Matrix& output_grad) override;
   std::string Kind() const override { return "relu"; }
   size_t input_dim() const override { return dim_; }
   size_t output_dim() const override { return dim_; }
@@ -108,17 +188,24 @@ class Relu : public Layer {
     return std::make_unique<Relu>(dim_);
   }
 
+ protected:
+  Vec DoForward(const Vec& input, bool cache) override;
+  Matrix DoBatchForward(const Matrix& input, bool cache) override;
+  void DoBatchInferInto(const double* input, size_t rows,
+                        Matrix* out) override;
+
  private:
   size_t dim_;
   Vec last_input_;
+  Matrix last_batch_input_;
 };
 
 /// Tanh activation (for ablations).
 class Tanh : public Layer {
  public:
   explicit Tanh(size_t dim) : dim_(dim) {}
-  Vec Forward(const Vec& input) override;
   Vec Backward(const Vec& output_grad) override;
+  Matrix BatchBackward(const Matrix& output_grad) override;
   std::string Kind() const override { return "tanh"; }
   size_t input_dim() const override { return dim_; }
   size_t output_dim() const override { return dim_; }
@@ -126,9 +213,16 @@ class Tanh : public Layer {
     return std::make_unique<Tanh>(dim_);
   }
 
+ protected:
+  Vec DoForward(const Vec& input, bool cache) override;
+  Matrix DoBatchForward(const Matrix& input, bool cache) override;
+  void DoBatchInferInto(const double* input, size_t rows,
+                        Matrix* out) override;
+
  private:
   size_t dim_;
   Vec last_output_;
+  Matrix last_batch_output_;
 };
 
 }  // namespace isrl::nn

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/matrix.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "nn/layer.h"
@@ -34,8 +35,29 @@ class Network {
   /// Backward pass from the output-gradient; accumulates parameter grads.
   void Backward(const Vec& output_grad);
 
+  /// Batched training forward: one sample per row; caches per-layer batch
+  /// state for BatchBackward.
+  Matrix BatchForward(const Matrix& inputs);
+
+  /// Batched backward: row r of `output_grads` is sample r's output
+  /// gradient. Accumulates parameter gradients in sample-row order —
+  /// bit-identical to per-sample Backward calls.
+  void BatchBackward(const Matrix& output_grads);
+
   /// Convenience for scalar heads: returns Forward(input)[0].
   double Predict(const Vec& input);
+
+  /// Inference-mode Predict: no activation caching (Backward is invalid
+  /// afterwards). Use for target-network evaluation and action scoring.
+  double Infer(const Vec& input);
+
+  /// Batched inference for scalar-head networks: row-stacked inputs in, one
+  /// predicted value per row out. No activation caching — scoring a
+  /// candidate pool costs one blocked GEMM per layer instead of
+  /// |pool| scalar dispatches. Bit-identical to calling Predict per row.
+  Vec PredictBatch(const Matrix& inputs);
+  /// Convenience overload that stacks the samples first.
+  Vec PredictBatch(const std::vector<Vec>& inputs);
 
   /// One MSE sample: accumulates gradients of ½(pred − target)² and returns
   /// the squared error. Call an optimiser Step to apply.
@@ -47,6 +69,14 @@ class Network {
   /// the raw error pred − target.
   double AccumulateRegressionSample(const Vec& input, double target,
                                     double weight, double huber_delta);
+
+  /// Batched AccumulateRegressionSample: one batched forward plus one
+  /// batched backward over the whole row-stacked batch, with gradient
+  /// accumulation preserved (bit-identical to the per-sample loop).
+  /// `weights` is either empty (all samples weighted 1) or one weight per
+  /// row. Returns the per-row raw errors pred − target.
+  Vec AccumulateRegressionBatch(const Matrix& inputs, const Vec& targets,
+                                const Vec& weights, double huber_delta);
 
   /// All parameter blocks across layers (optimiser interface).
   std::vector<ParamBlock> Params();

@@ -49,18 +49,34 @@ double DqnAgent::QValue(const Vec& state_action) {
   return main_.Predict(state_action);
 }
 
+Vec DqnAgent::QValues(const std::vector<Vec>& candidate_features) {
+  ISRL_CHECK(!candidate_features.empty());
+  ISRL_CHECK_EQ(candidate_features[0].dim(), input_dim_);
+  return main_.PredictBatch(candidate_features);
+}
+
 size_t DqnAgent::SelectGreedy(const std::vector<Vec>& candidate_features) {
   ISRL_CHECK(!candidate_features.empty());
+  if (options_.batched_execution) {
+    return QValues(candidate_features).ArgMax();
+  }
+  // Scalar reference path (inference mode: action scoring never backprops).
   size_t best = 0;
-  double best_q = QValue(candidate_features[0]);
+  double best_q = main_.Infer(candidate_features[0]);
   for (size_t i = 1; i < candidate_features.size(); ++i) {
-    double q = QValue(candidate_features[i]);
+    double q = main_.Infer(candidate_features[i]);
     if (q > best_q) {
       best_q = q;
       best = i;
     }
   }
   return best;
+}
+
+size_t DqnAgent::SelectGreedy(const Matrix& candidate_features) {
+  ISRL_CHECK_GE(candidate_features.rows(), 1u);
+  ISRL_CHECK_EQ(candidate_features.cols(), input_dim_);
+  return main_.PredictBatch(candidate_features).ArgMax();
 }
 
 size_t DqnAgent::SelectEpsilonGreedy(
@@ -95,22 +111,84 @@ double DqnAgent::TargetFor(const Transition& t) {
     // Double DQN: the main network chooses the next action, the target
     // network scores it — removes the max-operator overestimation bias.
     size_t best = 0;
-    double best_main = main_.Predict(t.next_candidates[0]);
+    double best_main = main_.Infer(t.next_candidates[0]);
     for (size_t i = 1; i < t.next_candidates.size(); ++i) {
-      double q = main_.Predict(t.next_candidates[i]);
+      double q = main_.Infer(t.next_candidates[i]);
       if (q > best_main) {
         best_main = q;
         best = i;
       }
     }
-    best_next = target_.Predict(t.next_candidates[best]);
+    best_next = target_.Infer(t.next_candidates[best]);
   } else {
-    best_next = target_.Predict(t.next_candidates[0]);
+    best_next = target_.Infer(t.next_candidates[0]);
     for (size_t i = 1; i < t.next_candidates.size(); ++i) {
-      best_next = std::max(best_next, target_.Predict(t.next_candidates[i]));
+      best_next = std::max(best_next, target_.Infer(t.next_candidates[i]));
     }
   }
   return target + options_.gamma * best_next;
+}
+
+Vec DqnAgent::TargetsFor(const std::vector<const Transition*>& batch) {
+  Vec targets(batch.size());
+  // Stack every next-candidate feature row of the whole batch into one
+  // matrix; `offsets[i]` is transition i's first row, npos = no bootstrap.
+  constexpr size_t kNoRows = static_cast<size_t>(-1);
+  std::vector<size_t> offsets(batch.size(), kNoRows);
+  size_t total_rows = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Transition& t = *batch[i];
+    if (t.terminal || t.next_candidates.empty()) continue;
+    offsets[i] = total_rows;
+    total_rows += t.next_candidates.size();
+  }
+  if (total_rows == 0) {
+    for (size_t i = 0; i < batch.size(); ++i) targets[i] = batch[i]->reward;
+    return targets;
+  }
+  std::vector<double> flat;
+  flat.reserve(total_rows * input_dim_);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (offsets[i] == kNoRows) continue;
+    for (const Vec& cand : batch[i]->next_candidates) {
+      ISRL_CHECK_EQ(cand.dim(), input_dim_);
+      const double* src = cand.raw();
+      flat.insert(flat.end(), src, src + input_dim_);
+    }
+  }
+  const Matrix stacked(total_rows, input_dim_, std::move(flat));
+  // One batched forward per network for the whole batch's candidate pools.
+  const Vec target_q = target_.PredictBatch(stacked);
+  Vec main_q;
+  if (options_.double_dqn) main_q = main_.PredictBatch(stacked);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Transition& t = *batch[i];
+    if (offsets[i] == kNoRows) {
+      targets[i] = t.reward;
+      continue;
+    }
+    const size_t off = offsets[i];
+    const size_t count = t.next_candidates.size();
+    double best_next;
+    if (options_.double_dqn) {
+      size_t best = 0;
+      double best_main = main_q[off];
+      for (size_t c = 1; c < count; ++c) {
+        if (main_q[off + c] > best_main) {
+          best_main = main_q[off + c];
+          best = c;
+        }
+      }
+      best_next = target_q[off + best];
+    } else {
+      best_next = target_q[off];
+      for (size_t c = 1; c < count; ++c) {
+        best_next = std::max(best_next, target_q[off + c]);
+      }
+    }
+    targets[i] = t.reward + options_.gamma * best_next;
+  }
+  return targets;
 }
 
 double DqnAgent::UpdateUniform(Rng& rng) {
@@ -119,10 +197,21 @@ double DqnAgent::UpdateUniform(Rng& rng) {
   const double delta = options_.loss == LossKind::kHuber ? options_.huber_delta
                                                          : 0.0;
   double loss_sum = 0.0;
-  for (const Transition* t : batch) {
-    double err = main_.AccumulateRegressionSample(t->state_action,
-                                                  TargetFor(*t), 1.0, delta);
-    loss_sum += err * err;
+  if (options_.batched_execution) {
+    Matrix inputs(batch.size(), input_dim_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const double* src = batch[i]->state_action.raw();
+      std::copy(src, src + input_dim_, inputs.row(i));
+    }
+    Vec errs =
+        main_.AccumulateRegressionBatch(inputs, TargetsFor(batch), Vec(), delta);
+    for (size_t i = 0; i < errs.dim(); ++i) loss_sum += errs[i] * errs[i];
+  } else {
+    for (const Transition* t : batch) {
+      double err = main_.AccumulateRegressionSample(t->state_action,
+                                                    TargetFor(*t), 1.0, delta);
+      loss_sum += err * err;
+    }
   }
   optimizer_->Step(batch.size());
   return loss_sum / static_cast<double>(batch.size());
@@ -134,11 +223,31 @@ double DqnAgent::UpdatePrioritized(Rng& rng) {
   const double delta = options_.loss == LossKind::kHuber ? options_.huber_delta
                                                          : 0.0;
   double loss_sum = 0.0;
-  for (const PrioritizedSample& s : batch) {
-    double err = main_.AccumulateRegressionSample(
-        s.transition->state_action, TargetFor(*s.transition), s.weight, delta);
-    prioritized_.UpdatePriority(s, err);
-    loss_sum += err * err;
+  if (options_.batched_execution) {
+    std::vector<const Transition*> transitions;
+    transitions.reserve(batch.size());
+    Matrix inputs(batch.size(), input_dim_);
+    Vec weights(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      transitions.push_back(batch[i].transition);
+      const double* src = batch[i].transition->state_action.raw();
+      std::copy(src, src + input_dim_, inputs.row(i));
+      weights[i] = batch[i].weight;
+    }
+    Vec errs = main_.AccumulateRegressionBatch(inputs, TargetsFor(transitions),
+                                               weights, delta);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      prioritized_.UpdatePriority(batch[i], errs[i]);
+      loss_sum += errs[i] * errs[i];
+    }
+  } else {
+    for (const PrioritizedSample& s : batch) {
+      double err = main_.AccumulateRegressionSample(
+          s.transition->state_action, TargetFor(*s.transition), s.weight,
+          delta);
+      prioritized_.UpdatePriority(s, err);
+      loss_sum += err * err;
+    }
   }
   optimizer_->Step(batch.size());
   return loss_sum / static_cast<double>(batch.size());

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/matrix.h"
 #include "common/rng.h"
 #include "common/vec.h"
 #include "nn/network.h"
@@ -56,6 +57,12 @@ struct DqnOptions {
   /// a per-round penalty keeps Q linear in the remaining rounds. Pair with
   /// a discount near 1.
   double step_penalty = 0.0;
+  /// Batched execution (DESIGN.md §12): candidate scoring, TD-target
+  /// computation, and the training forward/backward run as blocked-GEMM
+  /// batches instead of per-sample dispatches. Results are bit-identical to
+  /// the scalar path, which stays available (OFF) as the audit/teaching
+  /// reference and for the scalar-vs-batched microbenchmarks.
+  bool batched_execution = true;
 };
 
 /// DQN agent over featurised (state, action) inputs.
@@ -75,8 +82,16 @@ class DqnAgent {
   /// Q(s,a;Θ) for one featurised input.
   double QValue(const Vec& state_action);
 
+  /// Q-values of a whole candidate pool in one batched inference pass.
+  Vec QValues(const std::vector<Vec>& candidate_features);
+
   /// Index of the action with the largest main-network Q-value.
   size_t SelectGreedy(const std::vector<Vec>& candidate_features);
+
+  /// SelectGreedy over row-stacked candidate features (one candidate per
+  /// row) — the zero-copy entry point for EA/AA action scoring: one batched
+  /// forward per round instead of |actions| scalar dispatches.
+  size_t SelectGreedy(const Matrix& candidate_features);
 
   /// ε-greedy: uniform-random candidate with probability `epsilon`, greedy
   /// otherwise.
@@ -108,8 +123,14 @@ class DqnAgent {
   size_t input_dim() const { return input_dim_; }
 
  private:
-  /// TD target for one transition under the configured (double-)DQN rule.
+  /// TD target for one transition under the configured (double-)DQN rule
+  /// (scalar reference path).
   double TargetFor(const Transition& t);
+  /// TD targets for a whole sampled batch: stacks every next-candidate row
+  /// of every transition into one matrix and runs one target-net (and, for
+  /// double DQN, one main-net) batched forward for the per-transition
+  /// argmax/max. Bit-identical to per-transition TargetFor.
+  Vec TargetsFor(const std::vector<const Transition*>& batch);
   double UpdateUniform(Rng& rng);
   double UpdatePrioritized(Rng& rng);
 

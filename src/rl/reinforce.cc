@@ -23,14 +23,17 @@ double ReinforceAgent::Score(const Vec& state_action) {
   return network_.Predict(state_action);
 }
 
-std::vector<double> ReinforceAgent::Probabilities(
-    const std::vector<Vec>& candidates) {
-  ISRL_CHECK(!candidates.empty());
+namespace {
+// Stabilised softmax over raw scores scaled by 1/temperature. Shared by the
+// sampling path (batched inference scores) and the update path (scores from
+// the cached training forward) so both produce identical probabilities.
+std::vector<double> SoftmaxOverScores(const std::vector<double>& raw,
+                                      double temperature) {
   std::vector<double> scores;
-  scores.reserve(candidates.size());
+  scores.reserve(raw.size());
   double max_score = -1e300;
-  for (const Vec& c : candidates) {
-    scores.push_back(Score(c) / options_.temperature);
+  for (double s : raw) {
+    scores.push_back(s / temperature);
     max_score = std::max(max_score, scores.back());
   }
   double total = 0.0;
@@ -40,6 +43,16 @@ std::vector<double> ReinforceAgent::Probabilities(
   }
   for (double& s : scores) s /= total;
   return scores;
+}
+}  // namespace
+
+std::vector<double> ReinforceAgent::Probabilities(
+    const std::vector<Vec>& candidates) {
+  ISRL_CHECK(!candidates.empty());
+  // One batched inference pass scores the whole pool.
+  Vec preds = network_.PredictBatch(candidates);
+  std::vector<double> raw(preds.data().begin(), preds.data().end());
+  return SoftmaxOverScores(raw, options_.temperature);
 }
 
 size_t ReinforceAgent::SampleAction(const std::vector<Vec>& candidate_features,
@@ -57,16 +70,7 @@ size_t ReinforceAgent::SampleAction(const std::vector<Vec>& candidate_features,
 size_t ReinforceAgent::SelectGreedy(
     const std::vector<Vec>& candidate_features) {
   ISRL_CHECK(!candidate_features.empty());
-  size_t best = 0;
-  double best_score = Score(candidate_features[0]);
-  for (size_t i = 1; i < candidate_features.size(); ++i) {
-    double s = Score(candidate_features[i]);
-    if (s > best_score) {
-      best_score = s;
-      best = i;
-    }
-  }
-  return best;
+  return network_.PredictBatch(candidate_features).ArgMax();
 }
 
 double ReinforceAgent::UpdateFromEpisode(
@@ -90,19 +94,32 @@ double ReinforceAgent::UpdateFromEpisode(
   size_t samples = 0;
   for (size_t t = 0; t < episode.size(); ++t) {
     const PolicyStep& step = episode[t];
-    ISRL_CHECK_LT(step.chosen, step.candidate_features.size());
-    std::vector<double> probs = Probabilities(step.candidate_features);
+    const size_t num_candidates = step.candidate_features.size();
+    ISRL_CHECK_LT(step.chosen, num_candidates);
+    // One batched training forward scores the pool AND caches the per-layer
+    // batch state, so the policy-gradient backward for every candidate is a
+    // single batched pass instead of |pool| refresh-Predict + Backward
+    // round trips.
+    Matrix feats = Matrix::FromRows(step.candidate_features);
+    Matrix scores = network_.BatchForward(feats);
+    ISRL_CHECK_EQ(scores.cols(), 1u);
+    std::vector<double> raw(num_candidates);
+    for (size_t j = 0; j < num_candidates; ++j) raw[j] = scores(j, 0);
+    std::vector<double> probs = SoftmaxOverScores(raw, options_.temperature);
     const double advantage = returns[t] - baseline_;
     // ∂(−log π(chosen)) / ∂score_j = (p_j − 1[j==chosen]) / T; gradient
     // descent on −advantage·log π(chosen) ascends the weighted likelihood.
-    for (size_t j = 0; j < step.candidate_features.size(); ++j) {
+    Matrix grads(num_candidates, 1);
+    size_t nonzero = 0;
+    for (size_t j = 0; j < num_candidates; ++j) {
       double indicator = j == step.chosen ? 1.0 : 0.0;
       double grad = advantage * (probs[j] - indicator) / options_.temperature;
       if (grad == 0.0) continue;  // float-eq-ok: exact-zero skip-work
-      network_.Predict(step.candidate_features[j]);  // refresh layer caches
-      network_.Backward(Vec{grad});
-      ++samples;
+      grads(j, 0) = grad;
+      ++nonzero;
     }
+    if (nonzero > 0) network_.BatchBackward(grads);
+    samples += nonzero;
   }
   if (samples > 0) optimizer_->Step(samples);
   baseline_ = options_.baseline_decay * baseline_ +

@@ -107,6 +107,73 @@ TEST(MatrixTest, Identity) {
   EXPECT_TRUE(ApproxEqual(id.Multiply(x), x));
 }
 
+TEST(MatrixTest, FromRowsStacksAndRowVecExtracts) {
+  std::vector<Vec> rows = {Vec{1.0, 2.0}, Vec{3.0, 4.0}, Vec{5.0, 6.0}};
+  Matrix m = Matrix::FromRows(rows);
+  ASSERT_EQ(m.rows(), 3u);
+  ASSERT_EQ(m.cols(), 2u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(ApproxEqual(m.RowVec(r), rows[r], 0.0));
+  }
+}
+
+TEST(GemmTest, TransposedBMatchesNaive) {
+  // Shapes straddling the 32×32 tile boundary exercise full tiles, the
+  // 4-wide register-tile remainder, and partial edge tiles.
+  Rng rng(21);
+  for (size_t m : {1u, 3u, 33u}) {
+    for (size_t n : {1u, 5u, 37u}) {
+      const size_t k = 1 + static_cast<size_t>(rng.UniformInt(1, 40));
+      Matrix a(m, k), b(n, k);
+      for (double& v : a.data()) v = rng.Uniform(-1.0, 1.0);
+      for (double& v : b.data()) v = rng.Uniform(-1.0, 1.0);
+      Matrix c = MatMulTransposedB(a, b);
+      ASSERT_EQ(c.rows(), m);
+      ASSERT_EQ(c.cols(), n);
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          double want = 0.0;
+          for (size_t t = 0; t < k; ++t) want += a(i, t) * b(j, t);
+          EXPECT_NEAR(c(i, j), want, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmTest, BiasIsAddedPerColumn) {
+  Matrix a(2, 3), b(4, 3);
+  Rng rng(22);
+  for (double& v : a.data()) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.Uniform(-1.0, 1.0);
+  Vec bias{0.5, -1.0, 2.0, 0.0};
+  Matrix c(2, 4);
+  GemmTransposedB(2, 4, 3, a.data().data(), b.data().data(), bias.raw(),
+                  c.data().data());
+  Matrix no_bias = MatMulTransposedB(a, b);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(c(i, j), no_bias(i, j) + bias[j], 1e-12);
+    }
+  }
+}
+
+TEST(GemmTest, SingleRowIsBitIdenticalToDotProduct) {
+  // The scalar NN path is the m=1 case of the batched kernel; the sequential
+  // k-accumulation makes them exactly equal, not just close.
+  Rng rng(23);
+  const size_t k = 70;  // crosses the 4-wide inner tile several times
+  Matrix a(1, k), b(6, k);
+  for (double& v : a.data()) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.Uniform(-1.0, 1.0);
+  Matrix c = MatMulTransposedB(a, b);
+  for (size_t j = 0; j < 6; ++j) {
+    double want = 0.0;
+    for (size_t t = 0; t < k; ++t) want += a(0, t) * b(j, t);
+    EXPECT_EQ(c(0, j), want);
+  }
+}
+
 TEST(LinearSolveTest, SolvesDiagonal) {
   Matrix a(2, 2);
   a(0, 0) = 2.0;

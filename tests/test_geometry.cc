@@ -320,6 +320,40 @@ TEST(ConvexHullTest, ArgmaxOfLinearFunctionIsExtreme) {
   }
 }
 
+TEST(ConvexHullTest, SharedLpMatchesPerPointQueries) {
+  // ExtremePointIndices patches one shared LP per query (excluded column +
+  // RHS); its verdicts must match fresh single-point IsExtremePoint calls,
+  // which rebuild from scratch — a regression check on the column
+  // restore/exclude bookkeeping.
+  Rng rng(13);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 15; ++i) {
+    pts.push_back(Vec{rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0),
+                      rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+  }
+  // Add interior points (convex combinations) that must never be extreme.
+  pts.push_back((pts[0] + pts[1]) / 2.0);
+  pts.push_back((pts[2] + pts[3] + pts[4]) / 3.0);
+  std::vector<size_t> shared = ExtremePointIndices(pts);
+  std::vector<size_t> fresh;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (IsExtremePoint(pts, i)) fresh.push_back(i);
+  }
+  EXPECT_EQ(shared, fresh);
+  for (size_t idx : shared) EXPECT_LT(idx, pts.size() - 2);
+}
+
+TEST(ConvexHullTest, DuplicateQueriesReuseSharedModel) {
+  // Re-querying the same index through the shared model (restore → exclude
+  // round trip on the same column) must be idempotent.
+  std::vector<Vec> pts{Vec{0.0, 0.0}, Vec{1.0, 0.0}, Vec{0.0, 1.0},
+                       Vec{0.25, 0.25}};
+  std::vector<size_t> first = ExtremePointIndices(pts);
+  std::vector<size_t> second = ExtremePointIndices(pts);
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first.size(), 3u);
+}
+
 // ---------- Hit-and-run ----------
 
 TEST(HitAndRunTest, SamplesSatisfyConstraints) {

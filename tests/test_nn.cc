@@ -256,6 +256,158 @@ TEST(RegressionSampleTest, HuberClipsLargeErrors) {
   }
 }
 
+// ---------- Batched execution (DESIGN.md §12) ----------
+
+Matrix RandomBatch(size_t rows, size_t dim, Rng& rng) {
+  Matrix m(rows, dim);
+  for (double& v : m.data()) v = rng.Uniform(-1.0, 1.0);
+  return m;
+}
+
+class BatchedEquivalence : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(BatchedEquivalence, PredictBatchMatchesScalarExactly) {
+  Rng rng(31);
+  Network net = Network::Mlp({5, 9, 1}, GetParam(), rng);
+  Matrix batch = RandomBatch(7, 5, rng);
+  Vec preds = net.PredictBatch(batch);
+  ASSERT_EQ(preds.dim(), 7u);
+  for (size_t r = 0; r < batch.rows(); ++r) {
+    // Exact equality: the batched kernel keeps the scalar summation order.
+    EXPECT_EQ(preds[r], net.Predict(batch.RowVec(r)));
+    EXPECT_EQ(preds[r], net.Infer(batch.RowVec(r)));
+  }
+}
+
+TEST_P(BatchedEquivalence, BatchForwardMatchesScalarOnWideHead) {
+  Rng rng(32);
+  Network net = Network::Mlp({4, 6, 3}, GetParam(), rng);
+  Matrix batch = RandomBatch(5, 4, rng);
+  Matrix out = net.BatchForward(batch);
+  ASSERT_EQ(out.rows(), 5u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (size_t r = 0; r < batch.rows(); ++r) {
+    Vec scalar = net.Forward(batch.RowVec(r));
+    for (size_t c = 0; c < out.cols(); ++c) EXPECT_EQ(out(r, c), scalar[c]);
+  }
+}
+
+TEST_P(BatchedEquivalence, BatchBackwardAccumulatesScalarGradients) {
+  Rng rng(33);
+  Network scalar_net = Network::Mlp({4, 8, 1}, GetParam(), rng);
+  Network batched_net = scalar_net.Clone();
+  Matrix batch = RandomBatch(6, 4, rng);
+  Vec out_grads(6);
+  for (size_t r = 0; r < 6; ++r) out_grads[r] = rng.Uniform(-2.0, 2.0);
+
+  for (size_t r = 0; r < 6; ++r) {
+    scalar_net.Forward(batch.RowVec(r));
+    scalar_net.Backward(Vec{out_grads[r]});
+  }
+  Matrix grads(6, 1);
+  for (size_t r = 0; r < 6; ++r) grads(r, 0) = out_grads[r];
+  batched_net.BatchForward(batch);
+  batched_net.BatchBackward(grads);
+
+  std::vector<ParamBlock> gs = scalar_net.Params();
+  std::vector<ParamBlock> gb = batched_net.Params();
+  ASSERT_EQ(gs.size(), gb.size());
+  for (size_t blk = 0; blk < gs.size(); ++blk) {
+    for (size_t i = 0; i < gs[blk].grads->size(); ++i) {
+      // Exact equality: BatchBackward accumulates in sample-row order, the
+      // same order as the sequential scalar Backward calls.
+      EXPECT_EQ((*gb[blk].grads)[i], (*gs[blk].grads)[i]);
+    }
+  }
+}
+
+TEST_P(BatchedEquivalence, RegressionBatchMatchesSampleLoopThroughAdamStep) {
+  Rng rng(34);
+  Network scalar_net = Network::Mlp({3, 7, 1}, GetParam(), rng);
+  Network batched_net = scalar_net.Clone();
+  Adam scalar_opt(scalar_net.Params(), 0.01);
+  Adam batched_opt(batched_net.Params(), 0.01);
+
+  Matrix inputs = RandomBatch(5, 3, rng);
+  Vec targets(5), weights(5);
+  for (size_t r = 0; r < 5; ++r) {
+    targets[r] = rng.Uniform(-1.0, 1.0);
+    weights[r] = rng.Uniform(0.1, 2.0);
+  }
+  const double huber_delta = 0.5;
+
+  Vec scalar_errs(5);
+  for (size_t r = 0; r < 5; ++r) {
+    scalar_errs[r] = scalar_net.AccumulateRegressionSample(
+        inputs.RowVec(r), targets[r], weights[r], huber_delta);
+  }
+  Vec batched_errs =
+      batched_net.AccumulateRegressionBatch(inputs, targets, weights,
+                                            huber_delta);
+  ASSERT_EQ(batched_errs.dim(), 5u);
+  for (size_t r = 0; r < 5; ++r) EXPECT_EQ(batched_errs[r], scalar_errs[r]);
+
+  scalar_opt.Step(5);
+  batched_opt.Step(5);
+  std::vector<ParamBlock> ps = scalar_net.Params();
+  std::vector<ParamBlock> pb = batched_net.Params();
+  for (size_t blk = 0; blk < ps.size(); ++blk) {
+    for (size_t i = 0; i < ps[blk].values->size(); ++i) {
+      EXPECT_EQ((*pb[blk].values)[i], (*ps[blk].values)[i]);
+    }
+  }
+  // After the step both nets must still predict identically.
+  Vec probe{0.2, -0.4, 0.9};
+  EXPECT_EQ(batched_net.Predict(probe), scalar_net.Predict(probe));
+}
+
+TEST_P(BatchedEquivalence, EmptyWeightsMeanUnitWeights) {
+  Rng rng(35);
+  Network a = Network::Mlp({2, 5, 1}, GetParam(), rng);
+  Network b = a.Clone();
+  Matrix inputs = RandomBatch(4, 2, rng);
+  Vec targets{0.1, -0.2, 0.3, -0.4};
+  Vec unit(4, 1.0);
+  Vec ea = a.AccumulateRegressionBatch(inputs, targets, Vec(), 0.0);
+  Vec eb = b.AccumulateRegressionBatch(inputs, targets, unit, 0.0);
+  for (size_t r = 0; r < 4; ++r) EXPECT_EQ(ea[r], eb[r]);
+  std::vector<ParamBlock> ga = a.Params(), gb = b.Params();
+  for (size_t blk = 0; blk < ga.size(); ++blk) {
+    for (size_t i = 0; i < ga[blk].grads->size(); ++i) {
+      EXPECT_EQ((*ga[blk].grads)[i], (*gb[blk].grads)[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, BatchedEquivalence,
+                         ::testing::Values(Activation::kSelu, Activation::kRelu,
+                                           Activation::kTanh));
+
+TEST(InferenceModeTest, InferDoesNotDisturbTrainingCache) {
+  Rng rng(36);
+  Network with_infer = Network::Mlp({3, 6, 1}, Activation::kSelu, rng);
+  Network without = with_infer.Clone();
+  Vec train_x{0.4, -0.1, 0.8};
+  Vec other{0.9, 0.9, -0.9};
+
+  with_infer.Forward(train_x);
+  // Inference between Forward and Backward (e.g. target-network scoring in
+  // the middle of a DQN update) must leave the cached activations intact.
+  (void)with_infer.Infer(other);
+  (void)with_infer.PredictBatch(Matrix::FromRows({other, train_x}));
+  with_infer.Backward(Vec{1.0});
+
+  without.Forward(train_x);
+  without.Backward(Vec{1.0});
+
+  std::vector<ParamBlock> ga = with_infer.Params(), gb = without.Params();
+  for (size_t blk = 0; blk < ga.size(); ++blk) {
+    for (size_t i = 0; i < ga[blk].grads->size(); ++i) {
+      EXPECT_EQ((*ga[blk].grads)[i], (*gb[blk].grads)[i]);
+    }
+  }
+}
+
 TEST(RegressionSampleTest, HuberMatchesMseInsideDelta) {
   Rng rng(14);
   Network a = Network::Mlp({1, 3, 1}, Activation::kSelu, rng);

@@ -305,5 +305,88 @@ TEST(DqnDeathTest, WrongInputDimAborts) {
   EXPECT_DEATH(agent.QValue(Vec{1.0}), "ISRL_CHECK");
 }
 
+// ---------- Batched vs scalar execution (DESIGN.md §12) ----------
+
+// Feeds two identically-seeded agents — one batched, one on the scalar
+// reference path — the same transition stream, then drives both through the
+// same number of updates with identically-seeded sampling Rngs. The batched
+// hot path keeps the scalar summation/accumulation order, so every loss (and
+// every network weight behind it) must come out exactly equal, not merely
+// close.
+void ExpectBatchedMatchesScalar(bool prioritized, bool double_dqn) {
+  DqnOptions opt = SmallOptions();
+  opt.prioritized_replay = prioritized;
+  opt.double_dqn = double_dqn;
+  opt.target_sync_every = 7;
+  opt.loss = LossKind::kHuber;
+  DqnOptions scalar_opt = opt;
+  scalar_opt.batched_execution = false;
+  opt.batched_execution = true;
+
+  Rng init_a(77), init_b(77);
+  DqnAgent batched(2, opt, init_a);
+  DqnAgent scalar(2, scalar_opt, init_b);
+
+  Rng stream(78);
+  for (int i = 0; i < 60; ++i) {
+    Transition t;
+    t.state_action = Vec{stream.Uniform(-1.0, 1.0), stream.Uniform(-1.0, 1.0)};
+    t.reward = stream.Uniform(-1.0, 2.0);
+    t.terminal = i % 3 == 0;
+    if (!t.terminal) {
+      const size_t pool = 1 + static_cast<size_t>(stream.UniformInt(0, 4));
+      for (size_t c = 0; c < pool; ++c) {
+        t.next_candidates.push_back(
+            Vec{stream.Uniform(-1.0, 1.0), stream.Uniform(-1.0, 1.0)});
+      }
+    }
+    Transition copy = t;
+    batched.Remember(std::move(t));
+    scalar.Remember(std::move(copy));
+  }
+
+  Rng update_a(79), update_b(79);
+  for (int i = 0; i < 25; ++i) {
+    const double loss_batched = batched.Update(update_a);
+    const double loss_scalar = scalar.Update(update_b);
+    EXPECT_EQ(loss_batched, loss_scalar) << "update " << i;
+  }
+  Vec probe{0.3, -0.6};
+  EXPECT_EQ(batched.QValue(probe), scalar.QValue(probe));
+
+  // Greedy selection agrees too (same weights, same tie-breaking).
+  std::vector<Vec> candidates{Vec{0.1, 0.2}, Vec{0.5, -0.3}, Vec{0.9, 0.9},
+                              Vec{-0.2, 0.4}};
+  EXPECT_EQ(batched.SelectGreedy(candidates), scalar.SelectGreedy(candidates));
+}
+
+TEST(DqnBatchedTest, UniformReplayLossIdenticalToScalar) {
+  ExpectBatchedMatchesScalar(/*prioritized=*/false, /*double_dqn=*/false);
+}
+
+TEST(DqnBatchedTest, UniformReplayDoubleDqnLossIdenticalToScalar) {
+  ExpectBatchedMatchesScalar(/*prioritized=*/false, /*double_dqn=*/true);
+}
+
+TEST(DqnBatchedTest, PrioritizedReplayLossIdenticalToScalar) {
+  ExpectBatchedMatchesScalar(/*prioritized=*/true, /*double_dqn=*/false);
+}
+
+TEST(DqnBatchedTest, PrioritizedDoubleDqnLossIdenticalToScalar) {
+  ExpectBatchedMatchesScalar(/*prioritized=*/true, /*double_dqn=*/true);
+}
+
+TEST(DqnBatchedTest, MatrixSelectGreedyMatchesVectorOverload) {
+  Rng rng(80);
+  DqnAgent agent(2, SmallOptions(), rng);
+  std::vector<Vec> candidates{Vec{0.1, 0.2}, Vec{0.5, -0.3}, Vec{0.9, 0.9}};
+  Matrix stacked = Matrix::FromRows(candidates);
+  EXPECT_EQ(agent.SelectGreedy(stacked), agent.SelectGreedy(candidates));
+  Vec qs = agent.QValues(candidates);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(qs[i], agent.QValue(candidates[i]));
+  }
+}
+
 }  // namespace
 }  // namespace isrl::rl

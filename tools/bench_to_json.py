@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Distill scalar-vs-batched microbenchmark runs into BENCH_micro.json.
+
+Runs the micro_substrates google-benchmark binary (or reads a previously
+captured ``--benchmark_format=json`` dump) and pairs each batched
+configuration with its scalar twin — the benchmarks in bench/micro_substrates
+that carry a path-mode argument (0 = scalar reference, 1 = batched):
+
+  BM_NnPredictBatch      raw network inference   args: {batch, mode}
+  BM_DqnScoreCandidates  greedy action scoring   args: {pool, mode}
+  BM_DqnUpdateBatch64    full training update    args: {mode, act, pool}
+
+The output records, per configuration, the scalar and batched CPU time and
+their ratio, so the checked-in BENCH_micro.json is a self-contained
+before/after table (DESIGN.md section 12 explains the configurations).
+
+Usage:
+  tools/bench_to_json.py [--bench build/bench/micro_substrates]
+                         [--min-time 0.3] [--from-json raw.json]
+                         [--out BENCH_micro.json]
+
+Exit status is non-zero when any expected pair is missing, so CI can use a
+short run of this script as a smoke test of the benchmark suite.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Which slash-separated argument of each benchmark selects the execution
+# path (0 = scalar, 1 = batched), and how to label the remaining arguments.
+ACTIVATIONS = {0: "selu", 1: "relu"}
+BENCHMARKS = {
+    "BM_NnPredictBatch": {
+        "mode_arg": 1,
+        "label": lambda rest: f"batch{rest[0]}",
+    },
+    "BM_DqnScoreCandidates": {
+        "mode_arg": 1,
+        "label": lambda rest: f"pool{rest[0]}",
+    },
+    "BM_DqnUpdateBatch64": {
+        "mode_arg": 0,
+        "label": lambda rest: f"{ACTIVATIONS[rest[0]]}/pool{rest[1]}",
+    },
+}
+FILTER = "|".join(BENCHMARKS)
+
+
+def run_benchmarks(bench: Path, min_time: float, repetitions: int) -> dict:
+    cmd = [
+        str(bench),
+        f"--benchmark_filter={FILTER}",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    if repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={repetitions}")
+    result = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return json.loads(result.stdout)
+
+
+def distill(raw: dict) -> list:
+    """Pairs scalar/batched rows; returns one record per configuration.
+
+    With repetitions the median aggregate is used — single runs on a busy
+    host swing by ±15%, medians are stable.
+    """
+    has_aggregates = any(
+        row.get("run_type") == "aggregate" for row in raw.get("benchmarks", [])
+    )
+    # (benchmark, config-label) -> {"scalar": ns, "batched": ns}
+    pairs = {}
+    for row in raw.get("benchmarks", []):
+        if has_aggregates:
+            if row.get("aggregate_name") != "median":
+                continue
+        elif row.get("run_type") == "aggregate":
+            continue
+        parts = row["name"].removesuffix("_median").split("/")
+        base, args = parts[0], [int(p) for p in parts[1:]]
+        spec = BENCHMARKS.get(base)
+        if spec is None:
+            continue
+        mode = args[spec["mode_arg"]]
+        rest = [a for i, a in enumerate(args) if i != spec["mode_arg"]]
+        key = (base, spec["label"](rest))
+        pairs.setdefault(key, {})["batched" if mode == 1 else "scalar"] = row[
+            "cpu_time"
+        ]
+
+    records, missing = [], []
+    for (base, label), times in sorted(pairs.items()):
+        if "scalar" not in times or "batched" not in times:
+            missing.append(f"{base}[{label}]")
+            continue
+        records.append(
+            {
+                "benchmark": base,
+                "config": label,
+                "scalar_cpu_ns": round(times["scalar"], 1),
+                "batched_cpu_ns": round(times["batched"], 1),
+                "speedup": round(times["scalar"] / times["batched"], 2),
+            }
+        )
+    if missing:
+        raise SystemExit(f"unpaired benchmark configurations: {missing}")
+    if not records:
+        raise SystemExit("no scalar-vs-batched benchmark rows found")
+    return records
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench",
+        type=Path,
+        default=REPO_ROOT / "build" / "bench" / "micro_substrates",
+        help="path to the micro_substrates binary",
+    )
+    parser.add_argument(
+        "--min-time",
+        type=float,
+        default=0.3,
+        help="--benchmark_min_time per configuration, in seconds",
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=1,
+        help="benchmark repetitions; > 1 records the median of each "
+        "configuration instead of a single sample",
+    )
+    parser.add_argument(
+        "--from-json",
+        type=Path,
+        default=None,
+        help="parse an existing --benchmark_format=json dump instead of "
+        "running the binary",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_micro.json",
+        help="output file",
+    )
+    args = parser.parse_args()
+
+    if args.from_json is not None:
+        raw = json.loads(args.from_json.read_text())
+    else:
+        raw = run_benchmarks(args.bench, args.min_time, args.repetitions)
+
+    context = raw.get("context", {})
+    out = {
+        "generated_by": "tools/bench_to_json.py",
+        "date": context.get("date", "unknown"),
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "statistic": (
+            f"median of {args.repetitions} repetitions"
+            if args.from_json is None and args.repetitions > 1
+            else "as captured"
+        ),
+        "note": "speedup = scalar_cpu_ns / batched_cpu_ns; both paths "
+        "produce bit-identical results (DESIGN.md section 12)",
+        "results": distill(raw),
+    }
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+    for r in out["results"]:
+        print(
+            f"{r['benchmark']:<24} {r['config']:<12} "
+            f"scalar {r['scalar_cpu_ns'] / 1e3:>9.1f} us   "
+            f"batched {r['batched_cpu_ns'] / 1e3:>9.1f} us   "
+            f"{r['speedup']:.2f}x"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
