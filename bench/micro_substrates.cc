@@ -4,7 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "core/aa.h"
 #include "core/aa_state.h"
+#include "core/ea.h"
+#include "core/scheduler.h"
 #include "core/ea_state.h"
 #include "core/terminal.h"
 #include "geometry/volume.h"
@@ -334,6 +337,113 @@ void BM_FeasibilityMargin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeasibilityMargin)->Arg(8)->Arg(32);
+
+// ---- Sans-IO scheduler throughput (DESIGN.md §13). ----
+// N complete episodes, mode 0 = N sequential Interact() calls, mode 1 = one
+// SessionScheduler interleaving all N with cross-session coalesced
+// Q-inference (one PredictBatch over every in-flight session's candidate
+// pool per tick, instead of one small call per session per round). Both
+// modes run the identical seeded episodes — items processed counts the
+// questions answered, so items/sec is the serving throughput headline.
+
+InteractionResult RunSeeded(InteractiveAlgorithm& algo, const Vec& utility,
+                            uint64_t seed, const RunBudget& budget) {
+  algo.Reseed(seed);
+  LinearUser user(utility);
+  return algo.Interact(user, budget);
+}
+
+void RunSessionThroughput(benchmark::State& state, InteractiveAlgorithm& algo,
+                          const std::vector<Vec>& utilities) {
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  const bool scheduled = state.range(1) == 1;
+  RunBudget budget;
+  budget.max_rounds = 10;  // interactive users answer a handful of questions
+  int64_t questions = 0;
+  for (auto _ : state) {
+    if (scheduled) {
+      SessionScheduler scheduler;
+      std::vector<std::unique_ptr<UserOracle>> owned;
+      std::vector<UserOracle*> users;
+      for (size_t i = 0; i < sessions; ++i) {
+        SessionConfig config;
+        config.budget = budget;
+        config.seed = SplitSeed(17, i);
+        scheduler.Add(algo.StartSession(config));
+        owned.push_back(std::make_unique<LinearUser>(utilities[i]));
+        users.push_back(owned.back().get());
+      }
+      for (const InteractionResult& r : DriveWithUsers(scheduler, users)) {
+        questions += static_cast<int64_t>(r.rounds);
+      }
+    } else {
+      for (size_t i = 0; i < sessions; ++i) {
+        questions += static_cast<int64_t>(
+            RunSeeded(algo, utilities[i], SplitSeed(17, i), budget).rounds);
+      }
+    }
+  }
+  state.SetItemsProcessed(questions);
+}
+
+// Serving-shaped configuration: the trained Q-network is the per-round cost
+// EA/AA add over the baselines, so give it paper-real width and keep the
+// action sampling lean — the regime where coalescing pays.
+rl::DqnOptions ServingDqn() {
+  rl::DqnOptions opt;
+  opt.hidden_neurons = 256;
+  return opt;
+}
+
+void BM_SessionThroughputEa(benchmark::State& state) {
+  Rng rng(18);
+  Dataset raw = GenerateSynthetic(800, 3, Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  EaOptions opt;
+  opt.epsilon = 0.05;
+  opt.dqn = ServingDqn();
+  opt.actions.num_samples = 16;
+  Ea ea(sky, opt);
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  std::vector<Vec> utilities;
+  for (size_t i = 0; i < sessions; ++i) {
+    utilities.push_back(rng.SimplexUniform(3));
+  }
+  RunSessionThroughput(state, ea, utilities);
+}
+BENCHMARK(BM_SessionThroughputEa)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SessionThroughputAa(benchmark::State& state) {
+  Rng rng(19);
+  Dataset raw = GenerateSynthetic(800, 3, Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  AaOptions opt;
+  opt.epsilon = 0.1;
+  opt.dqn = ServingDqn();
+  opt.actions.pool_samples = 16;
+  Aa aa(sky, opt);
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  std::vector<Vec> utilities;
+  for (size_t i = 0; i < sessions; ++i) {
+    utilities.push_back(rng.SimplexUniform(3));
+  }
+  RunSessionThroughput(state, aa, utilities);
+}
+BENCHMARK(BM_SessionThroughputAa)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimplexVolume(benchmark::State& state) {
   Rng rng(13);

@@ -1,0 +1,133 @@
+// Interactive CLI: a real human drives an episode over stdin through the
+// sans-IO step API (DESIGN.md §13).
+//
+// This is the example the step API exists for. The blocking Interact()
+// driver needs a UserOracle it can call synchronously; a person typing at a
+// terminal is the opposite — slow, asynchronous, free to walk away. So the
+// program holds an InteractionSession and owns all the IO itself:
+//
+//   NextQuestion()  ->  print the two tuples, read a line from stdin
+//   PostAnswer()    <-  "1" / "2" (or "s" to skip the question)
+//   Cancel()        <-  "q" — the session still returns its best-so-far
+//
+// Run:  ./build/examples/interactive_cli [algorithm]
+// where [algorithm] is one of: ea (default), uh-random, uh-simplex,
+// single-pass, utility-approx.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/single_pass.h"
+#include "baselines/uh_random.h"
+#include "baselines/uh_simplex.h"
+#include "baselines/utility_approx.h"
+#include "core/ea.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "user/sampler.h"
+
+namespace {
+
+using namespace isrl;
+
+std::unique_ptr<InteractiveAlgorithm> MakeAlgorithm(const std::string& which,
+                                                    const Dataset& sky,
+                                                    Rng& rng) {
+  if (which == "ea") {
+    EaOptions options;
+    options.epsilon = 0.1;
+    auto ea = std::make_unique<Ea>(sky, options);
+    std::printf("training EA on 50 simulated users...\n");
+    ea->Train(SampleUtilityVectors(50, sky.dim(), rng));
+    return ea;
+  }
+  if (which == "uh-random") {
+    UhOptions options;
+    options.epsilon = 0.1;
+    return std::make_unique<UhRandom>(sky, options);
+  }
+  if (which == "uh-simplex") {
+    UhOptions options;
+    options.epsilon = 0.1;
+    return std::make_unique<UhSimplex>(sky, options);
+  }
+  if (which == "single-pass") {
+    SinglePassOptions options;
+    options.epsilon = 0.1;
+    return std::make_unique<SinglePass>(sky, options);
+  }
+  if (which == "utility-approx") {
+    UtilityApproxOptions options;
+    options.epsilon = 0.1;
+    return std::make_unique<UtilityApprox>(sky, options);
+  }
+  return nullptr;
+}
+
+void PrintOption(int label, const Vec& point, bool synthetic) {
+  std::printf("  [%d] %s%s\n", label, point.ToString(3).c_str(),
+              synthetic ? "  (constructed trade-off, not a real tuple)" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "ea";
+
+  Rng rng(2025);
+  Dataset raw = GenerateSynthetic(/*n=*/2000, /*d=*/3,
+                                  Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  std::printf("skyline: %zu tuples, d=%zu\n", sky.size(), sky.dim());
+
+  std::unique_ptr<InteractiveAlgorithm> algorithm =
+      MakeAlgorithm(which, sky, rng);
+  if (algorithm == nullptr) {
+    std::fprintf(stderr,
+                 "unknown algorithm '%s' (use ea, uh-random, uh-simplex, "
+                 "single-pass, utility-approx)\n",
+                 which.c_str());
+    return 1;
+  }
+
+  SessionConfig config;
+  config.budget.max_rounds = 30;  // nobody answers hundreds of questions
+  std::unique_ptr<InteractionSession> session =
+      algorithm->StartSession(config);
+
+  std::printf(
+      "\n%s will ask which tuple you prefer (larger values are better on "
+      "every attribute).\nAnswer 1 or 2, s to skip a question, q to stop "
+      "early.\n\n",
+      algorithm->name().c_str());
+
+  char line[64];
+  size_t asked = 0;
+  while (true) {
+    std::optional<SessionQuestion> question = session->NextQuestion();
+    if (!question.has_value()) break;
+    std::printf("question %zu:\n", ++asked);
+    PrintOption(1, question->first, question->synthetic);
+    PrintOption(2, question->second, question->synthetic);
+    std::printf("> ");
+    std::fflush(stdout);
+    if (std::fgets(line, sizeof line, stdin) == nullptr || line[0] == 'q') {
+      session->Cancel();  // EOF or quit: best-so-far, not a crash
+      break;
+    }
+    switch (line[0]) {
+      case '1': session->PostAnswer(Answer::kFirst); break;
+      case '2': session->PostAnswer(Answer::kSecond); break;
+      default: session->PostAnswer(Answer::kNoAnswer); break;  // skipped
+    }
+  }
+
+  InteractionResult result = session->Finish();
+  std::printf("\nafter %zu questions (%zu skipped), %s recommends tuple "
+              "#%zu:\n  %s\n",
+              result.rounds, result.no_answers, algorithm->name().c_str(),
+              result.best_index,
+              sky.point(result.best_index).ToString(3).c_str());
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "common/stopwatch.h"
 #include "geometry/hit_and_run.h"
@@ -39,68 +40,197 @@ SinglePass::SinglePass(const Dataset& data, const SinglePassOptions& options)
   ISRL_CHECK_LT(options.epsilon, 1.0);
 }
 
-InteractionResult SinglePass::DoInteract(InteractionContext& ctx) {
-  InteractionResult result;
-  Stopwatch watch;
-  const size_t d = data_.dim();
-  const size_t max_questions = ctx.MaxRounds(options_.max_questions);
-  const size_t max_lp = ctx.budget.max_lp_iterations;
-  const double stop_dist =
-      2.0 * std::sqrt(static_cast<double>(d)) * options_.epsilon;
-  const double pad = 0.5 * options_.epsilon;
+// The streaming champion loop inverted into a sans-IO state machine
+// (DESIGN.md §13): the nested pass/stream loops become two cursors (pass_,
+// pos_) that Advance() walks exactly as the old for-loops did — including
+// the pass epilogue's certificate checks and the end-of-pass reshuffle
+// (which the old loop ran even before a final, never-executed pass), so
+// stepped episodes are bit-identical to Interact() down to the Rng state.
+class SinglePass::Session final : public InteractionSession {
+ public:
+  Session(SinglePass& owner, const SessionConfig& config)
+      : owner_(owner),
+        trace_(config.trace),
+        d_(owner.data_.dim()),
+        max_questions_(
+            config.budget.EffectiveMaxRounds(owner.options_.max_questions)),
+        max_lp_(config.budget.max_lp_iterations),
+        stop_dist_(2.0 * std::sqrt(static_cast<double>(owner.data_.dim())) *
+                   owner.options_.epsilon),
+        pad_(0.5 * owner.options_.epsilon),
+        deadline_(Deadline::FromBudget(config.budget)),
+        owned_rng_(config.seed ? std::optional<Rng>(Rng(*config.seed))
+                               : std::nullopt),
+        e_min_(owner.data_.dim(), 0.0),
+        e_max_(owner.data_.dim(), 1.0),
+        order_(owner.data_.size()) {
+    // SinglePass keeps no polyhedron and solves no LPs; its entire learned
+    // state is the half-space list plus a particle set of consistent
+    // utility vectors that powers both the rule-based filter and the stop
+    // certificate.
+    particles_ = SampleUtilityVectors(owner_.options_.particles, d_, rng());
+    std::iota(order_.begin(), order_.end(), 0);
+    rng().Shuffle(&order_);
+    champion_ = order_[0];
+    Advance();
+  }
 
-  // SinglePass keeps no polyhedron and solves no LPs; its entire learned
-  // state is the half-space list plus a particle set of consistent utility
-  // vectors that powers both the rule-based filter and the stop certificate.
-  std::vector<LearnedHalfspace> h;
-  std::vector<Vec> particles =
-      SampleUtilityVectors(options_.particles, d, rng_);
-  Vec e_min(d, 0.0), e_max(d, 1.0);
+  std::optional<SessionQuestion> NextQuestion() override {
+    if (finished_) return std::nullopt;
+    return question_;
+  }
 
-  std::vector<size_t> order(data_.size());
-  std::iota(order.begin(), order.end(), 0);
-  rng_.Shuffle(&order);
-  size_t champion = order[0];
+  void PostAnswer(Answer answer) override {
+    ISRL_CHECK(asking_);
+    asking_ = false;
+    const size_t idx = challenger_;
+    ++result_.rounds;
+    ++questions_this_pass_;
+    if (answer == Answer::kNoAnswer) {
+      // Timed-out question: the stream moves on; the challenger gets
+      // another chance next pass.
+      ++result_.no_answers;
+      RecordRound();
+      ++pos_;
+      Advance();
+      return;
+    }
+    const bool prefers_challenger = answer == Answer::kFirst;
+
+    LearnedHalfspace lh;
+    lh.winner = prefers_challenger ? idx : champion_;
+    lh.loser = prefers_challenger ? champion_ : idx;
+    lh.h = PreferenceHalfspace(owner_.data_.point(lh.winner),
+                               owner_.data_.point(lh.loser));
+    h_.push_back(std::move(lh));
+    if (prefers_challenger) champion_ = idx;
+
+    // Filter particles by the new answer; replenish when thin.
+    const Halfspace& learned = h_.back().h;
+    particles_.erase(std::remove_if(particles_.begin(), particles_.end(),
+                                    [&](const Vec& u) {
+                                      return !learned.Contains(u, 0.0);
+                                    }),
+                     particles_.end());
+    Replenish();
+    if (!particles_.empty()) SampleRect(particles_, pad_, &e_min_, &e_max_);
+
+    RecordRound();
+    // Mid-pass: the cheap particle certificate only (the LP rectangle is
+    // reserved for pass boundaries).
+    if (result_.rounds % owner_.options_.stop_check_every == 0 &&
+        ParticleStop()) {
+      certified_ = true;
+      Terminate();
+      return;
+    }
+    ++pos_;
+    Advance();
+  }
+
+  void Cancel() override {
+    if (finished_) return;
+    result_.best_index = champion_;
+    result_.termination = Termination::kBudgetExhausted;
+    result_.seconds += watch_.ElapsedSeconds();
+    asking_ = false;
+    finished_ = true;
+  }
+
+  bool Finished() const override { return finished_; }
+
+  InteractionResult Finish() override {
+    ISRL_CHECK(finished_);
+    InteractionResult result = result_;
+    result.converged = result.termination == Termination::kConverged;
+    return result;
+  }
+
+ private:
+  /// Walks the stream cursors to the next askable challenger, running pass
+  /// epilogues (certificates, stuck detection, reshuffle) along the way —
+  /// the exact control flow of the old nested loops.
+  void Advance() {
+    while (true) {
+      if (pass_ >= owner_.options_.max_passes) {
+        Terminate();
+        return;
+      }
+      while (pos_ < order_.size()) {
+        const size_t idx = order_[pos_];
+        if (idx == champion_) {
+          ++pos_;
+          continue;
+        }
+        if (result_.rounds >= max_questions_ || deadline_.Expired()) break;
+        if (ChallengerImpossible(idx)) {
+          ++pos_;
+          continue;
+        }
+        challenger_ = idx;
+        question_.first = owner_.data_.point(idx);
+        question_.second = owner_.data_.point(champion_);
+        question_.pair = Question{idx, champion_};
+        question_.synthetic = false;
+        asking_ = true;
+        return;
+      }
+      // Pass epilogue (also reached on a budget/deadline inner break).
+      if (result_.rounds >= max_questions_ || deadline_.Expired()) {
+        Terminate();
+        return;
+      }
+      if (CertifiedStop()) {
+        certified_ = true;
+        Terminate();
+        return;
+      }
+      if (questions_this_pass_ == 0) {
+        // The filter skips every challenger although no certificate fired:
+        // the particle rectangle cannot shrink further. Best-so-far,
+        // degraded.
+        stuck_ = true;
+        Terminate();
+        return;
+      }
+      rng().Shuffle(&order_);
+      ++pass_;
+      pos_ = 0;
+      questions_this_pass_ = 0;
+    }
+  }
 
   // Rule-based filter: skip the challenger when even the loosest utility in
   // the rectangle around the consistent region cannot prefer it.
-  auto challenger_impossible = [&](size_t idx) {
-    const Vec& p = data_.point(idx);
-    const Vec& c = data_.point(champion);
+  bool ChallengerImpossible(size_t idx) const {
+    const Vec& p = owner_.data_.point(idx);
+    const Vec& c = owner_.data_.point(champion_);
     double ub = 0.0;
-    for (size_t k = 0; k < d; ++k) {
+    for (size_t k = 0; k < d_; ++k) {
       double diff = p[k] - c[k];
-      ub += diff >= 0.0 ? e_max[k] * diff : e_min[k] * diff;
+      ub += diff >= 0.0 ? e_max_[k] * diff : e_min_[k] * diff;
     }
     return ub <= 0.0;
-  };
+  }
 
-  auto replenish = [&]() {
-    if (particles.size() >= options_.min_particles) return;
-    // Walk over the most recent cuts only — bounds the chain's per-step cost
-    // as |H| grows into the thousands. Samples may violate ancient cuts and
-    // land slightly outside R; that only makes the particle-based filter and
-    // stop test more conservative.
-    const size_t window = std::min<size_t>(512, h.size());
+  void Replenish() {
+    if (particles_.size() >= owner_.options_.min_particles) return;
+    // Walk over the most recent cuts only — bounds the chain's per-step
+    // cost as |H| grows into the thousands. Samples may violate ancient
+    // cuts and land slightly outside R; that only makes the particle-based
+    // filter and stop test more conservative.
+    const size_t window = std::min<size_t>(512, h_.size());
     std::vector<Halfspace> cuts;
     cuts.reserve(window);
-    for (size_t k = h.size() - window; k < h.size(); ++k) {
-      cuts.push_back(h[k].h);
+    for (size_t k = h_.size() - window; k < h_.size(); ++k) {
+      cuts.push_back(h_[k].h);
     }
-    Vec start = particles.empty() ? Vec(d, 1.0 / static_cast<double>(d))
-                                  : particles.back();
+    Vec start = particles_.empty() ? Vec(d_, 1.0 / static_cast<double>(d_))
+                                   : particles_.back();
     std::vector<Vec> fresh =
-        HitAndRunSample(cuts, start, options_.particles, rng_);
-    if (!fresh.empty()) particles = std::move(fresh);
-  };
-
-  auto record_round = [&]() {
-    if (ctx.trace == nullptr) return;
-    const double elapsed = watch.ElapsedSeconds();
-    ctx.trace->Record(champion, particles, elapsed);
-    watch.Restart();
-    result.seconds += elapsed;
-  };
+        HitAndRunSample(cuts, start, owner_.options_.particles, rng());
+    if (!fresh.empty()) particles_ = std::move(fresh);
+  }
 
   // Stop certificate, two-tiered and cheap:
   //  (1) the champion's maximum regret ratio over the consistent particles
@@ -109,101 +239,87 @@ InteractionResult SinglePass::DoInteract(InteractionContext& ctx) {
   //  (2) the sound LP outer rectangle over a window of the most recent
   //      half-spaces satisfies the ‖e_min − e_max‖ ≤ 2√d·ε bound (exact
   //      while |H| fits the window, conservative afterwards).
-  auto particle_stop = [&]() {
-    if (particles.size() < options_.min_particles) return false;
-    const Vec& champ = data_.point(champion);
+  bool ParticleStop() const {
+    if (particles_.size() < owner_.options_.min_particles) return false;
+    const Vec& champ = owner_.data_.point(champion_);
     double worst = 0.0;
-    for (const Vec& u : particles) {
-      double top = data_.TopUtility(u);
+    for (const Vec& u : particles_) {
+      double top = owner_.data_.TopUtility(u);
       worst = std::max(worst, (top - Dot(u, champ)) / top);
-      if (worst > 0.5 * options_.epsilon) return false;
+      if (worst > 0.5 * owner_.options_.epsilon) return false;
     }
-    return worst <= 0.5 * options_.epsilon;
-  };
-  auto certified_stop = [&]() {
-    if (particle_stop()) return true;
-    const size_t window = std::min(options_.stop_check_window, h.size());
-    std::vector<LearnedHalfspace> recent(h.end() - window, h.end());
-    AaGeometry geo = ComputeAaGeometry(d, recent, max_lp);
+    return worst <= 0.5 * owner_.options_.epsilon;
+  }
+
+  bool CertifiedStop() {
+    if (ParticleStop()) return true;
+    const size_t window =
+        std::min(owner_.options_.stop_check_window, h_.size());
+    std::vector<LearnedHalfspace> recent(h_.end() - window, h_.end());
+    AaGeometry geo = ComputeAaGeometry(d_, recent, max_lp_);
     if (!geo.feasible) return false;
-    return Distance(geo.e_min, geo.e_max) <= stop_dist;
-  };
-
-  bool certified = false;
-  bool stuck = false;
-  for (size_t pass = 0; pass < options_.max_passes; ++pass) {
-    size_t questions_this_pass = 0;
-    for (size_t idx : order) {
-      if (idx == champion) continue;
-      if (result.rounds >= max_questions || ctx.DeadlineExpired()) break;
-      if (challenger_impossible(idx)) continue;
-
-      const Answer answer =
-          ctx.user.Ask(data_.point(idx), data_.point(champion));
-      ++result.rounds;
-      ++questions_this_pass;
-      if (answer == Answer::kNoAnswer) {
-        // Timed-out question: the stream moves on; the challenger gets
-        // another chance next pass.
-        ++result.no_answers;
-        record_round();
-        continue;
-      }
-      const bool prefers_challenger = answer == Answer::kFirst;
-
-      LearnedHalfspace lh;
-      lh.winner = prefers_challenger ? idx : champion;
-      lh.loser = prefers_challenger ? champion : idx;
-      lh.h = PreferenceHalfspace(data_.point(lh.winner), data_.point(lh.loser));
-      h.push_back(std::move(lh));
-      if (prefers_challenger) champion = idx;
-
-      // Filter particles by the new answer; replenish when thin.
-      const Halfspace& learned = h.back().h;
-      particles.erase(std::remove_if(particles.begin(), particles.end(),
-                                     [&](const Vec& u) {
-                                       return !learned.Contains(u, 0.0);
-                                     }),
-                      particles.end());
-      replenish();
-      if (!particles.empty()) SampleRect(particles, pad, &e_min, &e_max);
-
-      record_round();
-      // Mid-pass: the cheap particle certificate only (the LP rectangle is
-      // reserved for pass boundaries).
-      if (result.rounds % options_.stop_check_every == 0 && particle_stop()) {
-        certified = true;
-        break;
-      }
-    }
-    if (certified || result.rounds >= max_questions || ctx.DeadlineExpired()) {
-      break;
-    }
-    if (certified_stop()) {
-      certified = true;
-      break;
-    }
-    if (questions_this_pass == 0) {
-      // The filter skips every challenger although no certificate fired: the
-      // particle rectangle cannot shrink further. Best-so-far, degraded.
-      stuck = true;
-      break;
-    }
-    rng_.Shuffle(&order);
+    return Distance(geo.e_min, geo.e_max) <= stop_dist_;
   }
 
-  result.best_index = champion;
-  if (certified) {
-    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
-                                                    : Termination::kConverged;
-  } else if (stuck) {
-    result.termination = Termination::kDegraded;
-  } else {
-    // max_questions, max_passes, or the deadline ran out first.
-    result.termination = Termination::kBudgetExhausted;
+  void RecordRound() {
+    if (trace_ == nullptr) return;
+    const double elapsed = watch_.ElapsedSeconds();
+    trace_->Record(champion_, particles_, elapsed);
+    watch_.Restart();
+    result_.seconds += elapsed;
   }
-  result.seconds += watch.ElapsedSeconds();
-  return result;
+
+  void Terminate() {
+    result_.best_index = champion_;
+    if (certified_) {
+      result_.termination = result_.dropped_answers > 0
+                                ? Termination::kDegraded
+                                : Termination::kConverged;
+    } else if (stuck_) {
+      result_.termination = Termination::kDegraded;
+    } else {
+      // max_questions, max_passes, or the deadline ran out first.
+      result_.termination = Termination::kBudgetExhausted;
+    }
+    result_.seconds += watch_.ElapsedSeconds();
+    asking_ = false;
+    finished_ = true;
+  }
+
+  Rng& rng() { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
+
+  SinglePass& owner_;
+  InteractionTrace* trace_;
+  InteractionResult result_;
+  Stopwatch watch_;
+  size_t d_;
+  size_t max_questions_;
+  size_t max_lp_;
+  double stop_dist_;
+  double pad_;
+  Deadline deadline_;
+  std::optional<Rng> owned_rng_;
+
+  std::vector<LearnedHalfspace> h_;
+  std::vector<Vec> particles_;
+  Vec e_min_, e_max_;
+  std::vector<size_t> order_;
+  size_t champion_ = 0;
+  size_t pass_ = 0;
+  size_t pos_ = 0;
+  size_t questions_this_pass_ = 0;
+  size_t challenger_ = 0;
+  bool certified_ = false;
+  bool stuck_ = false;
+
+  SessionQuestion question_;
+  bool asking_ = false;
+  bool finished_ = false;
+};
+
+std::unique_ptr<InteractionSession> SinglePass::StartSession(
+    const SessionConfig& config) {
+  return std::make_unique<Session>(*this, config);
 }
 
 }  // namespace isrl

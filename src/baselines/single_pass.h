@@ -58,10 +58,14 @@ class SinglePass : public InteractiveAlgorithm {
   /// evaluation; see core/session.cc).
   void Reseed(uint64_t seed) override { rng_ = Rng(seed); }
 
- protected:
-  InteractionResult DoInteract(InteractionContext& ctx) override;
+  /// The streaming champion loop as a resumable sans-IO session (DESIGN.md
+  /// §13): pass/stream-position cursors replace the nested loops.
+  std::unique_ptr<InteractionSession> StartSession(
+      const SessionConfig& config) override;
 
  private:
+  class Session;
+
   const Dataset& data_;
   SinglePassOptions options_;
   Rng rng_;

@@ -73,89 +73,172 @@ void UhBase::FullPrune(std::vector<size_t>* candidates,
   *candidates = std::move(kept);
 }
 
-InteractionResult UhBase::DoInteract(InteractionContext& ctx) {
-  InteractionResult result;
-  Stopwatch watch;
-  const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);
+// The hardened UH loop inverted into a sans-IO state machine (DESIGN.md
+// §13). Prepare() is the old loop top — budget/deadline guard, best
+// recompute, resolution check, question selection with the FullPrune
+// fallback — and PostAnswer() the loop body, in the original order, so
+// stepped episodes are bit-identical to Interact().
+class UhBase::Session final : public InteractionSession {
+ public:
+  Session(UhBase& owner, const SessionConfig& config)
+      : owner_(owner),
+        trace_(config.trace),
+        max_rounds_(config.budget.EffectiveMaxRounds(owner.options_.max_rounds)),
+        deadline_(Deadline::FromBudget(config.budget)),
+        owned_rng_(config.seed ? std::optional<Rng>(Rng(*config.seed))
+                               : std::nullopt),
+        range_(Polyhedron::UnitSimplex(owner.data_.dim())),
+        candidates_(owner.data_.size()) {
+    std::iota(candidates_.begin(), candidates_.end(), 0);
+    best_ = owner_.data_.TopIndex(range_.Centroid());
+    Prepare();
+  }
 
-  Polyhedron range = Polyhedron::UnitSimplex(data_.dim());
-  std::vector<size_t> candidates(data_.size());
-  std::iota(candidates.begin(), candidates.end(), 0);
+  std::optional<SessionQuestion> NextQuestion() override {
+    if (finished_) return std::nullopt;
+    return question_;
+  }
 
-  auto record_round = [&](size_t best) {
-    if (ctx.trace == nullptr) return;
-    const double elapsed = watch.ElapsedSeconds();
-    std::vector<Vec> consistent;
-    if (!range.IsEmpty()) {
-      consistent.reserve(ctx.trace->regret_samples());
-      for (size_t s = 0; s < ctx.trace->regret_samples(); ++s) {
-        consistent.push_back(range.SampleInterior(ctx.trace->rng()));
-      }
+  void PostAnswer(Answer answer) override {
+    ISRL_CHECK(asking_);
+    asking_ = false;
+    const Question q = question_.pair;
+    ++result_.rounds;
+    if (answer == Answer::kNoAnswer) {
+      // Timed-out question: learn nothing (selection is stochastic, so the
+      // next round tries a different pair).
+      ++result_.no_answers;
+      RecordRound();
+      Prepare();
+      return;
     }
-    ctx.trace->Record(best, consistent, elapsed);
-    watch.Restart();
-    result.seconds += elapsed;
-  };
-
-  size_t best = data_.TopIndex(range.Centroid());
-  bool resolved = false;
-  while (result.rounds < max_rounds && !ctx.DeadlineExpired()) {
-    best = candidates.size() == 1 ? candidates[0]
-                                  : data_.TopIndex(range.Centroid());
-    if (candidates.size() <= 1) {
-      resolved = true;
-      break;
+    const bool prefers_i = answer == Answer::kFirst;
+    const size_t winner = prefers_i ? q.i : q.j;
+    const size_t loser = prefers_i ? q.j : q.i;
+    if (!range_.TryCut(PreferenceHalfspace(owner_.data_.point(winner),
+                                           owner_.data_.point(loser)))) {
+      // Contradictory answer (noisy user): dropping it — the minimal
+      // most-recent conflicting suffix — keeps R non-empty.
+      ++result_.dropped_answers;
+      RecordRound();
+      Prepare();
+      return;
     }
 
-    std::optional<Question> q = SelectQuestion(candidates, range, rng_);
+    owner_.PruneCandidates(&candidates_, winner, range_);
+    best_ = owner_.data_.TopIndex(range_.Centroid());
+    owner_.PruneCandidates(&candidates_, best_, range_);
+    RecordRound();
+    Prepare();
+  }
+
+  void Cancel() override {
+    if (finished_) return;
+    result_.best_index = best_;
+    result_.termination = Termination::kBudgetExhausted;
+    result_.seconds += watch_.ElapsedSeconds();
+    asking_ = false;
+    finished_ = true;
+  }
+
+  bool Finished() const override { return finished_; }
+
+  InteractionResult Finish() override {
+    ISRL_CHECK(finished_);
+    InteractionResult result = result_;
+    result.converged = result.termination == Termination::kConverged;
+    return result;
+  }
+
+ private:
+  void Prepare() {
+    if (result_.rounds >= max_rounds_ || deadline_.Expired()) {
+      Terminate();
+      return;
+    }
+    best_ = candidates_.size() == 1 ? candidates_[0]
+                                    : owner_.data_.TopIndex(range_.Centroid());
+    if (candidates_.size() <= 1) {
+      resolved_ = true;
+      Terminate();
+      return;
+    }
+
+    std::optional<Question> q =
+        owner_.SelectQuestion(candidates_, range_, rng());
     if (!q.has_value()) {
       // Selection stalled: collapse candidates that R already resolves. If
       // survivors are still plural they are indistinguishable within R (no
       // informative question exists) — that is full resolution too.
-      FullPrune(&candidates, range);
-      if (candidates.size() > 1) q = SelectQuestion(candidates, range, rng_);
+      owner_.FullPrune(&candidates_, range_);
+      if (candidates_.size() > 1) {
+        q = owner_.SelectQuestion(candidates_, range_, rng());
+      }
       if (!q.has_value()) {
-        resolved = true;
-        break;
+        resolved_ = true;
+        Terminate();
+        return;
       }
     }
-
-    const Answer answer = ctx.user.Ask(data_.point(q->i), data_.point(q->j));
-    ++result.rounds;
-    if (answer == Answer::kNoAnswer) {
-      // Timed-out question: learn nothing (selection is stochastic, so the
-      // next round tries a different pair).
-      ++result.no_answers;
-      record_round(best);
-      continue;
-    }
-    const bool prefers_i = answer == Answer::kFirst;
-    const size_t winner = prefers_i ? q->i : q->j;
-    const size_t loser = prefers_i ? q->j : q->i;
-    if (!range.TryCut(
-            PreferenceHalfspace(data_.point(winner), data_.point(loser)))) {
-      // Contradictory answer (noisy user): dropping it — the minimal
-      // most-recent conflicting suffix — keeps R non-empty.
-      ++result.dropped_answers;
-      record_round(best);
-      continue;
-    }
-
-    PruneCandidates(&candidates, winner, range);
-    best = data_.TopIndex(range.Centroid());
-    PruneCandidates(&candidates, best, range);
-    record_round(best);
+    question_.first = owner_.data_.point(q->i);
+    question_.second = owner_.data_.point(q->j);
+    question_.pair = *q;
+    question_.synthetic = false;
+    asking_ = true;
   }
 
-  result.best_index = best;
-  if (resolved) {
-    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
-                                                    : Termination::kConverged;
-  } else {
-    result.termination = Termination::kBudgetExhausted;
+  void RecordRound() {
+    if (trace_ == nullptr) return;
+    const double elapsed = watch_.ElapsedSeconds();
+    std::vector<Vec> consistent;
+    if (!range_.IsEmpty()) {
+      consistent.reserve(trace_->regret_samples());
+      for (size_t s = 0; s < trace_->regret_samples(); ++s) {
+        consistent.push_back(range_.SampleInterior(trace_->rng()));
+      }
+    }
+    trace_->Record(best_, consistent, elapsed);
+    watch_.Restart();
+    result_.seconds += elapsed;
   }
-  result.seconds += watch.ElapsedSeconds();
-  return result;
+
+  void Terminate() {
+    result_.best_index = best_;
+    if (resolved_) {
+      result_.termination = result_.dropped_answers > 0
+                                ? Termination::kDegraded
+                                : Termination::kConverged;
+    } else {
+      result_.termination = Termination::kBudgetExhausted;
+    }
+    result_.seconds += watch_.ElapsedSeconds();
+    asking_ = false;
+    finished_ = true;
+  }
+
+  Rng& rng() { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
+
+  UhBase& owner_;
+  InteractionTrace* trace_;
+  InteractionResult result_;
+  Stopwatch watch_;
+  size_t max_rounds_;
+  Deadline deadline_;
+  std::optional<Rng> owned_rng_;
+
+  Polyhedron range_;
+  std::vector<size_t> candidates_;
+  size_t best_ = 0;
+  bool resolved_ = false;
+
+  SessionQuestion question_;
+  bool asking_ = false;
+  bool finished_ = false;
+};
+
+std::unique_ptr<InteractionSession> UhBase::StartSession(
+    const SessionConfig& config) {
+  return std::make_unique<Session>(*this, config);
 }
 
 }  // namespace isrl

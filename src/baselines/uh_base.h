@@ -44,12 +44,14 @@ class UhBase : public InteractiveAlgorithm {
   /// classes, which know their concrete type.
   void Reseed(uint64_t seed) override { rng_ = Rng(seed); }
 
- protected:
-  /// Hardened UH loop: conflicting (noisy) answers are dropped rather than
-  /// emptying R, unanswered questions are skipped, and the context's budget
-  /// caps rounds and wall-clock time.
-  InteractionResult DoInteract(InteractionContext& ctx) override;
+  /// Hardened UH loop as a resumable sans-IO session (DESIGN.md §13):
+  /// conflicting (noisy) answers are dropped rather than emptying R,
+  /// unanswered questions are skipped, and the config's budget caps rounds
+  /// and wall-clock time.
+  std::unique_ptr<InteractionSession> StartSession(
+      const SessionConfig& config) override;
 
+ protected:
   /// Selects the next question over `candidates`; questions whose hyper-plane
   /// does not cut R are useless, so implementations should prefer pairs for
   /// which IsInformative() holds. Returns nullopt to give up (no informative
@@ -66,6 +68,8 @@ class UhBase : public InteractiveAlgorithm {
   UhOptions options_;
 
  private:
+  class Session;
+
   /// Removes candidates that `winner` beats at every vertex of R.
   void PruneCandidates(std::vector<size_t>* candidates, size_t winner,
                        const Polyhedron& range) const;

@@ -15,123 +15,202 @@ UtilityApprox::UtilityApprox(const Dataset& data,
   ISRL_CHECK_GT(options.epsilon, 0.0);
 }
 
-InteractionResult UtilityApprox::DoInteract(InteractionContext& ctx) {
-  InteractionResult result;
-  Stopwatch watch;
-  const size_t d = data_.dim();
-  const double stop_dist =
-      2.0 * std::sqrt(static_cast<double>(d)) * options_.epsilon;
-  const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);
-  const size_t max_lp = ctx.budget.max_lp_iterations;
+// The ratio-bisection loop inverted into a sans-IO state machine (DESIGN.md
+// §13). Prepare() is the old loop top — budget guard, geometry certificate
+// (with its in-loop converged return), widest-interval pick, fake-tuple
+// construction — and PostAnswer() the loop body, in the original order, so
+// stepped episodes are bit-identical to Interact(). The questions compare
+// constructed points, so SessionQuestion::synthetic is set and the answer
+// handling works off the stored point vectors, never dataset indices.
+class UtilityApprox::Session final : public InteractionSession {
+ public:
+  Session(UtilityApprox& owner, const SessionConfig& config)
+      : owner_(owner),
+        trace_(config.trace),
+        d_(owner.data_.dim()),
+        stop_dist_(2.0 * std::sqrt(static_cast<double>(owner.data_.dim())) *
+                   owner.options_.epsilon),
+        max_rounds_(config.budget.EffectiveMaxRounds(owner.options_.max_rounds)),
+        max_lp_(config.budget.max_lp_iterations),
+        deadline_(Deadline::FromBudget(config.budget)),
+        lo_(d_, 0.0),
+        hi_(d_, owner.options_.max_ratio) {
+    // Per-dimension binary-search interval for r_c = u[c]/u[0].
+    lo_[0] = hi_[0] = 1.0;
+    Prepare();
+  }
 
-  // Per-dimension binary-search interval for r_c = u[c]/u[0].
-  std::vector<double> lo(d, 0.0), hi(d, options_.max_ratio);
-  lo[0] = hi[0] = 1.0;
-  std::vector<LearnedHalfspace> h;
+  std::optional<SessionQuestion> NextQuestion() override {
+    if (finished_) return std::nullopt;
+    return question_;
+  }
 
-  // Fake tuples for the question "is u[c] ≥ t·u[0]?": a puts everything on
-  // attribute c, b puts t (rescaled into (0,1]) on attribute 0.
-  auto fake_pair = [&](size_t c, double t) {
-    Vec a(d, 1e-6), b(d, 1e-6);
-    double scale = std::max(1.0, t);
-    a[c] = 1.0 / scale;
-    b[0] = t / scale;
-    return std::pair<Vec, Vec>(a, b);
-  };
-
-  size_t cursor = 1;  // round-robin over dimensions 1..d-1
-  bool resolved = false;
-  while (result.rounds < max_rounds && !ctx.DeadlineExpired()) {
-    // Certificate: outer rectangle of the learned half-spaces.
-    AaGeometry geo = ComputeAaGeometry(d, h, max_lp);
-    if (!geo.feasible) {
-      // Contradictory answers (noisy user): drop the minimal most-recent
-      // suffix of half-spaces until the set is consistent again. The ratio
-      // intervals stay as narrowed — they are estimates, not certificates.
-      while (!h.empty() && !geo.feasible) {
-        h.pop_back();
-        ++result.dropped_answers;
-        geo = ComputeAaGeometry(d, h, max_lp);
-      }
-      if (!geo.feasible) {
-        // LP failed even on H = ∅: the solver itself is broken.
-        result.status = Status::Internal("geometry LP failed on empty H");
-        break;
-      }
-    }
-    if (Distance(geo.e_min, geo.e_max) <= stop_dist) {
-      result.termination = result.dropped_answers > 0
-                               ? Termination::kDegraded
-                               : Termination::kConverged;
-      result.best_index = data_.TopIndex((geo.e_min + geo.e_max) / 2.0);
-      result.seconds += watch.ElapsedSeconds();
-      return result;
-    }
-
-    // Pick the dimension with the widest remaining ratio interval.
-    size_t c = 0;
-    double widest = 0.0;
-    for (size_t k = 1; k < d; ++k) {
-      size_t cand = 1 + (cursor + k - 1) % (d - 1);
-      if (hi[cand] - lo[cand] > widest) {
-        widest = hi[cand] - lo[cand];
-        c = cand;
-      }
-    }
-    if (c == 0 || widest < 1e-6) {
-      resolved = true;  // all ratios pinned; certificate soon follows
-      break;
-    }
-    cursor = c;
-
-    const double t = 0.5 * (lo[c] + hi[c]);
-    auto [a, b] = fake_pair(c, t);
-    const Answer answer = ctx.user.Ask(a, b);
-    ++result.rounds;
+  void PostAnswer(Answer answer) override {
+    ISRL_CHECK(asking_);
+    asking_ = false;
+    ++result_.rounds;
     if (answer == Answer::kNoAnswer) {
       // Timed-out question: re-ask the widest interval next round.
-      ++result.no_answers;
-      continue;
+      ++result_.no_answers;
+      Prepare();
+      return;
     }
     const bool prefers_a = answer == Answer::kFirst;
+    const Vec& a = question_.first;
+    const Vec& b = question_.second;
 
     LearnedHalfspace lh;
     lh.winner = 0;  // fake tuples have no dataset index
     lh.loser = 0;
     lh.h = prefers_a ? PreferenceHalfspace(a, b) : PreferenceHalfspace(b, a);
-    h.push_back(std::move(lh));
+    h_.push_back(std::move(lh));
     if (prefers_a) {
-      lo[c] = t;  // u[c] ≥ t·u[0]
+      lo_[c_] = t_;  // u[c] ≥ t·u[0]
     } else {
-      hi[c] = t;
+      hi_[c_] = t_;
     }
 
-    if (ctx.trace != nullptr) {
-      const double elapsed = watch.ElapsedSeconds();
-      AaGeometry mid_geo = ComputeAaGeometry(d, h, max_lp);
-      size_t best = mid_geo.feasible
-                        ? data_.TopIndex((mid_geo.e_min + mid_geo.e_max) / 2.0)
-                        : result.best_index;
-      ctx.trace->Record(best, {}, elapsed);
-      watch.Restart();
-      result.seconds += elapsed;
+    if (trace_ != nullptr) {
+      const double elapsed = watch_.ElapsedSeconds();
+      AaGeometry mid_geo = ComputeAaGeometry(d_, h_, max_lp_);
+      size_t best =
+          mid_geo.feasible
+              ? owner_.data_.TopIndex((mid_geo.e_min + mid_geo.e_max) / 2.0)
+              : result_.best_index;
+      trace_->Record(best, {}, elapsed);
+      watch_.Restart();
+      result_.seconds += elapsed;
     }
+    Prepare();
   }
 
-  AaGeometry geo = ComputeAaGeometry(d, h, max_lp);
-  Vec estimate(d, 1.0 / static_cast<double>(d));
-  if (geo.feasible) estimate = (geo.e_min + geo.e_max) / 2.0;
-  result.best_index = data_.TopIndex(estimate);
-  if (!result.status.ok()) {
-    result.termination = Termination::kAborted;
-  } else if (resolved) {
-    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
-                                                    : Termination::kConverged;
-  } else {
-    result.termination = Termination::kBudgetExhausted;
+  void Cancel() override {
+    if (finished_) return;
+    // Best-so-far from the current geometry — exactly the budget-exhausted
+    // exit of the old loop.
+    TerminateFinal();
   }
-  result.seconds += watch.ElapsedSeconds();
-  return result;
+
+  bool Finished() const override { return finished_; }
+
+  InteractionResult Finish() override {
+    ISRL_CHECK(finished_);
+    InteractionResult result = result_;
+    result.converged = result.termination == Termination::kConverged;
+    return result;
+  }
+
+ private:
+  void Prepare() {
+    if (result_.rounds >= max_rounds_ || deadline_.Expired()) {
+      TerminateFinal();
+      return;
+    }
+    // Certificate: outer rectangle of the learned half-spaces.
+    AaGeometry geo = ComputeAaGeometry(d_, h_, max_lp_);
+    if (!geo.feasible) {
+      // Contradictory answers (noisy user): drop the minimal most-recent
+      // suffix of half-spaces until the set is consistent again. The ratio
+      // intervals stay as narrowed — they are estimates, not certificates.
+      while (!h_.empty() && !geo.feasible) {
+        h_.pop_back();
+        ++result_.dropped_answers;
+        geo = ComputeAaGeometry(d_, h_, max_lp_);
+      }
+      if (!geo.feasible) {
+        // LP failed even on H = ∅: the solver itself is broken.
+        result_.status = Status::Internal("geometry LP failed on empty H");
+        TerminateFinal();
+        return;
+      }
+    }
+    if (Distance(geo.e_min, geo.e_max) <= stop_dist_) {
+      result_.termination = result_.dropped_answers > 0
+                                ? Termination::kDegraded
+                                : Termination::kConverged;
+      result_.best_index = owner_.data_.TopIndex((geo.e_min + geo.e_max) / 2.0);
+      result_.seconds += watch_.ElapsedSeconds();
+      asking_ = false;
+      finished_ = true;
+      return;
+    }
+
+    // Pick the dimension with the widest remaining ratio interval.
+    size_t c = 0;
+    double widest = 0.0;
+    for (size_t k = 1; k < d_; ++k) {
+      size_t cand = 1 + (cursor_ + k - 1) % (d_ - 1);
+      if (hi_[cand] - lo_[cand] > widest) {
+        widest = hi_[cand] - lo_[cand];
+        c = cand;
+      }
+    }
+    if (c == 0 || widest < 1e-6) {
+      resolved_ = true;  // all ratios pinned; certificate soon follows
+      TerminateFinal();
+      return;
+    }
+    cursor_ = c;
+    c_ = c;
+    t_ = 0.5 * (lo_[c] + hi_[c]);
+
+    // Fake tuples for the question "is u[c] ≥ t·u[0]?": a puts everything
+    // on attribute c, b puts t (rescaled into (0,1]) on attribute 0.
+    Vec a(d_, 1e-6), b(d_, 1e-6);
+    const double scale = std::max(1.0, t_);
+    a[c_] = 1.0 / scale;
+    b[0] = t_ / scale;
+    question_.first = std::move(a);
+    question_.second = std::move(b);
+    question_.pair = Question{};
+    question_.synthetic = true;
+    asking_ = true;
+  }
+
+  void TerminateFinal() {
+    AaGeometry geo = ComputeAaGeometry(d_, h_, max_lp_);
+    Vec estimate(d_, 1.0 / static_cast<double>(d_));
+    if (geo.feasible) estimate = (geo.e_min + geo.e_max) / 2.0;
+    result_.best_index = owner_.data_.TopIndex(estimate);
+    if (!result_.status.ok()) {
+      result_.termination = Termination::kAborted;
+    } else if (resolved_) {
+      result_.termination = result_.dropped_answers > 0
+                                ? Termination::kDegraded
+                                : Termination::kConverged;
+    } else {
+      result_.termination = Termination::kBudgetExhausted;
+    }
+    result_.seconds += watch_.ElapsedSeconds();
+    asking_ = false;
+    finished_ = true;
+  }
+
+  UtilityApprox& owner_;
+  InteractionTrace* trace_;
+  InteractionResult result_;
+  Stopwatch watch_;
+  size_t d_;
+  double stop_dist_;
+  size_t max_rounds_;
+  size_t max_lp_;
+  Deadline deadline_;
+
+  std::vector<double> lo_, hi_;
+  std::vector<LearnedHalfspace> h_;
+  size_t cursor_ = 1;  // round-robin over dimensions 1..d-1
+  size_t c_ = 0;       // dimension of the in-flight question
+  double t_ = 0.0;     // bisection threshold of the in-flight question
+  bool resolved_ = false;
+
+  SessionQuestion question_;
+  bool asking_ = false;
+  bool finished_ = false;
+};
+
+std::unique_ptr<InteractionSession> UtilityApprox::StartSession(
+    const SessionConfig& config) {
+  return std::make_unique<Session>(*this, config);
 }
 
 }  // namespace isrl

@@ -42,10 +42,15 @@ class UtilityApprox : public InteractiveAlgorithm {
     return std::make_unique<UtilityApprox>(*this);
   }
 
- protected:
-  InteractionResult DoInteract(InteractionContext& ctx) override;
+  /// The ratio-bisection loop as a resumable sans-IO session (DESIGN.md
+  /// §13). Questions compare constructed points (SessionQuestion::synthetic)
+  /// — the step API carries the point vectors, not dataset indices.
+  std::unique_ptr<InteractionSession> StartSession(
+      const SessionConfig& config) override;
 
  private:
+  class Session;
+
   const Dataset& data_;
   UtilityApproxOptions options_;
 };

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "audit/audit.h"
 #include "audit/checkers.h"
@@ -149,124 +150,235 @@ TrainStats Aa::Train(const std::vector<Vec>& training_utilities) {
   return stats;
 }
 
-InteractionResult Aa::DoInteract(InteractionContext& ctx) {
-  // Audit at the inference call site (see Ea::DoInteract).
-  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
-    audit::Auditor().Record(
-        audit::Checker::kNnFinite, "Aa.DoInteract",
-        audit::CheckNetworkFinite(agent_.main_network(), "main"));
-  }
-  InteractionResult result;
-  Stopwatch watch;
-  const double stop_dist = StopDistance();
-  const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);
-  const size_t max_lp = ctx.budget.max_lp_iterations;
-
-  std::vector<LearnedHalfspace> h;
-  AaGeometry geo = ComputeAaGeometry(data_.dim(), h, max_lp);
-  if (!geo.feasible) {
-    // The empty-H geometry is the unit simplex itself; failure means the LP
-    // budget is too tight even for the trivial model. Recommend something
-    // sensible and report the abort instead of crashing.
-    result.best_index = data_.TopIndex(Vec(data_.dim(), 1.0 / data_.dim()));
-    result.termination = Termination::kAborted;
-    result.status = Status::Internal("initial AA geometry LP failed");
-    result.seconds = watch.ElapsedSeconds();
-    return result;
-  }
-  Vec state = EncodeAaState(geo);
-  std::vector<AaAction> actions =
-      BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
-  size_t best = MidpointBest(geo);
-
-  auto record_round = [&](const std::vector<Vec>& consistent) {
-    if (ctx.trace == nullptr) return;
-    const double elapsed = watch.ElapsedSeconds();
-    ctx.trace->Record(best, consistent, elapsed);
-    watch.Restart();
-    result.seconds += elapsed;
-  };
-
-  bool deadline_hit = false;
-  while (Distance(geo.e_min, geo.e_max) > stop_dist && !actions.empty() &&
-         result.rounds < max_rounds) {
-    if (ctx.DeadlineExpired()) {
-      deadline_hit = true;
-      break;
+// Algorithm 4 inverted into a sans-IO state machine (DESIGN.md §13). Same
+// structure as Ea::Session: Prepare() is the old loop top, PostAnswer() the
+// loop body, with every LP/RNG call in the original order so stepped
+// episodes are bit-identical to Interact().
+class Aa::Session final : public InteractionSession {
+ public:
+  Session(Aa& owner, const SessionConfig& config)
+      : owner_(owner),
+        trace_(config.trace),
+        stop_dist_(owner.StopDistance()),
+        max_rounds_(config.budget.EffectiveMaxRounds(owner.options_.max_rounds)),
+        max_lp_(config.budget.max_lp_iterations),
+        deadline_(Deadline::FromBudget(config.budget)),
+        owned_rng_(config.seed ? std::optional<Rng>(Rng(*config.seed))
+                               : std::nullopt) {
+    geo_ = ComputeAaGeometry(owner_.data_.dim(), h_, max_lp_);
+    if (!geo_.feasible) {
+      // The empty-H geometry is the unit simplex itself; failure means the
+      // LP budget is too tight even for the trivial model. Recommend
+      // something sensible and report the abort instead of crashing.
+      const size_t d = owner_.data_.dim();
+      result_.best_index = owner_.data_.TopIndex(Vec(d, 1.0 / d));
+      result_.termination = Termination::kAborted;
+      result_.status = Status::Internal("initial AA geometry LP failed");
+      result_.seconds = watch_.ElapsedSeconds();
+      finished_ = true;
+      return;
     }
-    // Batched action scoring: one GEMM over the row-stacked candidate pool
-    // (bit-identical picks to the scalar per-candidate loop).
-    size_t pick = agent_.SelectGreedy(FeaturizeCandidatesMatrix(state, actions));
-    const Question q = actions[pick].q;
+    state_ = EncodeAaState(geo_);
+    actions_ = BuildAaActionSpace(owner_.data_, h_, geo_,
+                                  owner_.options_.actions, rng());
+    best_ = owner_.MidpointBest(geo_);
+    Prepare();
+  }
 
-    const Answer answer = ctx.user.Ask(data_.point(q.i), data_.point(q.j));
-    ++result.rounds;
+  std::optional<SessionQuestion> NextQuestion() override {
+    if (finished_) return std::nullopt;
+    if (scoring_pending_) {
+      TakePick(owner_.agent_.SelectGreedy(pending_features_));
+    }
+    return question_;
+  }
+
+  void PostAnswer(Answer answer) override {
+    ISRL_CHECK(asking_);
+    asking_ = false;
+    ++result_.rounds;
     if (answer == Answer::kNoAnswer) {
       // Timed-out question: learn nothing; re-sample the action pool so the
       // next round asks a different question.
-      ++result.no_answers;
-      actions = BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
-      record_round({});
-      continue;
+      ++result_.no_answers;
+      actions_ = BuildAaActionSpace(owner_.data_, h_, geo_,
+                                    owner_.options_.actions, rng());
+      RecordRound({});
+      Prepare();
+      return;
     }
     const bool prefers_i = answer == Answer::kFirst;
+    const Question q = question_.pair;
     LearnedHalfspace lh;
     lh.winner = prefers_i ? q.i : q.j;
     lh.loser = prefers_i ? q.j : q.i;
-    lh.h = PreferenceHalfspace(data_.point(lh.winner), data_.point(lh.loser));
-    h.push_back(std::move(lh));
+    lh.h = PreferenceHalfspace(owner_.data_.point(lh.winner),
+                               owner_.data_.point(lh.loser));
+    h_.push_back(std::move(lh));
 
-    AaGeometry next_geo = ComputeAaGeometry(data_.dim(), h, max_lp);
+    AaGeometry next_geo = ComputeAaGeometry(owner_.data_.dim(), h_, max_lp_);
     if (!next_geo.feasible) {
       // Contradictory answers (noisy user): H has no common utility vector.
       // Drop the minimal most-recent suffix of half-spaces that restores
       // feasibility and continue from the reduced H.
-      while (!h.empty() && !next_geo.feasible) {
-        h.pop_back();
-        ++result.dropped_answers;
-        next_geo = ComputeAaGeometry(data_.dim(), h, max_lp);
+      while (!h_.empty() && !next_geo.feasible) {
+        h_.pop_back();
+        ++result_.dropped_answers;
+        next_geo = ComputeAaGeometry(owner_.data_.dim(), h_, max_lp_);
       }
       if (!next_geo.feasible) {
         // Even H = ∅ failed: the LP itself is broken. Abort gracefully.
-        result.best_index = best;
-        result.termination = Termination::kAborted;
-        result.status = Status::Internal("AA geometry LP failed on empty H");
-        result.seconds += watch.ElapsedSeconds();
-        record_round({});
-        return result;
+        result_.best_index = best_;
+        result_.termination = Termination::kAborted;
+        result_.status = Status::Internal("AA geometry LP failed on empty H");
+        result_.seconds += watch_.ElapsedSeconds();
+        RecordRound({});
+        finished_ = true;
+        return;
       }
     }
-    geo = std::move(next_geo);
-    state = EncodeAaState(geo);
-    actions = BuildAaActionSpace(data_, h, geo, options_.actions, rng_);
-    best = MidpointBest(geo);
+    geo_ = std::move(next_geo);
+    state_ = EncodeAaState(geo_);
+    actions_ = BuildAaActionSpace(owner_.data_, h_, geo_,
+                                  owner_.options_.actions, rng());
+    best_ = owner_.MidpointBest(geo_);
 
-    if (ctx.trace != nullptr) {
+    if (trace_ != nullptr) {
       std::vector<Halfspace> cuts;
-      cuts.reserve(h.size());
-      for (const LearnedHalfspace& learned : h) cuts.push_back(learned.h);
+      cuts.reserve(h_.size());
+      for (const LearnedHalfspace& learned : h_) cuts.push_back(learned.h);
       std::vector<Vec> consistent = HitAndRunSample(
-          cuts, geo.inner.center, ctx.trace->regret_samples(), ctx.trace->rng());
-      record_round(consistent);
+          cuts, geo_.inner.center, trace_->regret_samples(), trace_->rng());
+      RecordRound(consistent);
     }
+    Prepare();
   }
 
-  result.best_index = best;
-  const bool stopped = Distance(geo.e_min, geo.e_max) <= stop_dist;
-  const bool stalled = actions.empty() && !stopped;
-  if (stopped) {
-    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
-                                                    : Termination::kConverged;
-  } else if (stalled) {
-    // No splitting pair left although the rectangle is still wide: the
-    // sampler is exhausted. Best-so-far under a degraded certificate.
-    result.termination = Termination::kDegraded;
-  } else {
-    result.termination = Termination::kBudgetExhausted;
-    (void)deadline_hit;
+  void Cancel() override {
+    if (finished_) return;
+    result_.best_index = best_;
+    result_.termination = Termination::kBudgetExhausted;
+    result_.seconds += watch_.ElapsedSeconds();
+    scoring_pending_ = false;
+    asking_ = false;
+    finished_ = true;
   }
-  result.seconds += watch.ElapsedSeconds();
-  return result;
+
+  bool Finished() const override { return finished_; }
+
+  InteractionResult Finish() override {
+    ISRL_CHECK(finished_);
+    InteractionResult result = result_;
+    result.converged = result.termination == Termination::kConverged;
+    return result;
+  }
+
+  const Matrix* PendingCandidateFeatures() const override {
+    return scoring_pending_ ? &pending_features_ : nullptr;
+  }
+
+  nn::Network* ScoringNetwork() override {
+    return scoring_pending_ ? &owner_.agent_.main_network() : nullptr;
+  }
+
+  void PostCandidateScores(const double* scores, size_t count) override {
+    ISRL_CHECK(scoring_pending_);
+    ISRL_CHECK_EQ(count, pending_features_.rows());
+    size_t pick = 0;
+    for (size_t i = 1; i < count; ++i) {
+      if (scores[i] > scores[pick]) pick = i;
+    }
+    TakePick(pick);
+  }
+
+ private:
+  void Prepare() {
+    if (!(Distance(geo_.e_min, geo_.e_max) > stop_dist_) ||
+        actions_.empty() || result_.rounds >= max_rounds_) {
+      Terminate();
+      return;
+    }
+    if (deadline_.Expired()) {
+      Terminate();
+      return;
+    }
+    pending_features_ = owner_.FeaturizeCandidatesMatrix(state_, actions_);
+    scoring_pending_ = true;
+  }
+
+  void TakePick(size_t pick) {
+    const Question q = actions_[pick].q;
+    question_.first = owner_.data_.point(q.i);
+    question_.second = owner_.data_.point(q.j);
+    question_.pair = q;
+    question_.synthetic = false;
+    scoring_pending_ = false;
+    asking_ = true;
+  }
+
+  void RecordRound(const std::vector<Vec>& consistent) {
+    if (trace_ == nullptr) return;
+    const double elapsed = watch_.ElapsedSeconds();
+    trace_->Record(best_, consistent, elapsed);
+    watch_.Restart();
+    result_.seconds += elapsed;
+  }
+
+  void Terminate() {
+    result_.best_index = best_;
+    const bool stopped = Distance(geo_.e_min, geo_.e_max) <= stop_dist_;
+    const bool stalled = actions_.empty() && !stopped;
+    if (stopped) {
+      result_.termination = result_.dropped_answers > 0
+                                ? Termination::kDegraded
+                                : Termination::kConverged;
+    } else if (stalled) {
+      // No splitting pair left although the rectangle is still wide: the
+      // sampler is exhausted. Best-so-far under a degraded certificate.
+      result_.termination = Termination::kDegraded;
+    } else {
+      result_.termination = Termination::kBudgetExhausted;
+    }
+    result_.seconds += watch_.ElapsedSeconds();
+    scoring_pending_ = false;
+    asking_ = false;
+    finished_ = true;
+  }
+
+  Rng& rng() { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
+
+  Aa& owner_;
+  InteractionTrace* trace_;
+  InteractionResult result_;
+  Stopwatch watch_;
+  double stop_dist_;
+  size_t max_rounds_;
+  size_t max_lp_;
+  Deadline deadline_;
+  std::optional<Rng> owned_rng_;
+
+  std::vector<LearnedHalfspace> h_;
+  AaGeometry geo_;
+  Vec state_;
+  std::vector<AaAction> actions_;
+  size_t best_ = 0;
+
+  Matrix pending_features_;
+  SessionQuestion question_;
+  bool scoring_pending_ = false;
+  bool asking_ = false;
+  bool finished_ = false;
+};
+
+std::unique_ptr<InteractionSession> Aa::StartSession(
+    const SessionConfig& config) {
+  // Audit at the inference call site (see Ea::StartSession).
+  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
+    audit::Auditor().Record(
+        audit::Checker::kNnFinite, "Aa.StartSession",
+        audit::CheckNetworkFinite(agent_.main_network(), "main"));
+  }
+  return std::make_unique<Session>(*this, config);
 }
 
 

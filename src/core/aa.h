@@ -72,14 +72,18 @@ class Aa : public InteractiveAlgorithm {
   /// The stopping bound 2√d·ε for this instance.
   double StopDistance() const;
 
- protected:
-  /// Algorithm 4: greedy interaction, hardened — when noisy answers make H
-  /// infeasible the minimal most-recent suffix of half-spaces is dropped,
-  /// unanswered questions are skipped, and the context's budget caps rounds
-  /// and wall-clock time.
-  InteractionResult DoInteract(InteractionContext& ctx) override;
+  /// Algorithm 4 as a resumable sans-IO session (DESIGN.md §13), hardened —
+  /// when noisy answers make H infeasible the minimal most-recent suffix of
+  /// half-spaces is dropped, unanswered questions are skipped, and the
+  /// config's budget caps rounds and wall-clock time. Exposes the
+  /// batched-scoring protocol so the SessionScheduler can coalesce
+  /// candidate scoring across sessions.
+  std::unique_ptr<InteractionSession> StartSession(
+      const SessionConfig& config) override;
 
  private:
+  class Session;
+
   Vec FeaturizeAction(const AaAction& action) const;
   std::vector<Vec> FeaturizeCandidates(const Vec& state,
                                        const std::vector<AaAction>& actions) const;

@@ -1,10 +1,19 @@
 // The common interface of all interactive algorithms (EA, AA, and the
 // baselines), plus the per-round tracing used for the interaction-progress
 // figures (Figures 7 and 8).
+//
+// Interaction is sans-IO (DESIGN.md §13): every algorithm exposes its episode
+// as a resumable InteractionSession — a state machine that emits questions
+// and consumes answers without ever touching a UserOracle or a socket. The
+// blocking Interact() entry point is a thin driver over that step API, so
+// synchronous callers are untouched while asynchronous drivers (a real human
+// on stdin, the multi-session SessionScheduler) can interleave thousands of
+// user-paced episodes on one thread.
 #ifndef ISRL_CORE_ALGORITHM_H_
 #define ISRL_CORE_ALGORITHM_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +25,11 @@
 #include "user/user.h"
 
 namespace isrl {
+
+class Matrix;
+namespace nn {
+class Network;
+}  // namespace nn
 
 /// A question: "do you prefer data.point(i) or data.point(j)?".
 struct Question {
@@ -71,27 +85,101 @@ class InteractionTrace {
   std::vector<size_t> best_index_;
 };
 
-/// Everything one interaction session carries through the engine: the user,
-/// the optional trace, and the resource budget (with its armed deadline).
-/// Built by InteractiveAlgorithm::Interact and handed to DoInteract.
-struct InteractionContext {
-  UserOracle& user;
-  InteractionTrace* trace = nullptr;
+/// The question an InteractionSession is currently waiting on: the two
+/// points shown to the user. For most algorithms these are dataset tuples
+/// (indices in `pair`); UtilityApprox asks about constructed points, marked
+/// `synthetic` (then `pair` is meaningless).
+struct SessionQuestion {
+  Vec first;
+  Vec second;
+  Question pair;
+  bool synthetic = false;
+};
+
+/// How an interaction session is started: the resource budget (armed into a
+/// wall-clock deadline at session start), the optional per-round trace, and
+/// the randomness source.
+struct SessionConfig {
   RunBudget budget;
-  Deadline deadline;
+  InteractionTrace* trace = nullptr;
+  /// When set, the session owns a private Rng seeded with *seed, making it
+  /// independent of every other session — required when several sessions of
+  /// one algorithm instance are in flight (SessionScheduler). When unset the
+  /// session draws from the algorithm's member Rng, exactly like the
+  /// blocking Interact() path — never run two seedless sessions
+  /// concurrently.
+  std::optional<uint64_t> seed;
+};
 
-  /// The round cap in force for an algorithm whose own default cap is
-  /// `algorithm_default`.
-  size_t MaxRounds(size_t algorithm_default) const {
-    return budget.EffectiveMaxRounds(algorithm_default);
+/// One resumable interactive episode, inverted into a sans-IO state machine
+/// (DESIGN.md §13). All per-episode state — polyhedron / half-space set /
+/// candidate set, budget, deadline, trace hook — lives inside the session;
+/// the driver owns only the IO:
+///
+///   auto session = algorithm.StartSession(config);
+///   while (auto q = session->NextQuestion()) {
+///     session->PostAnswer(AskTheUserSomehow(*q));   // may take days
+///   }
+///   InteractionResult result = session->Finish();
+///
+/// Sessions borrow their algorithm (and its dataset): the algorithm must
+/// outlive every session it started.
+class InteractionSession {
+ public:
+  virtual ~InteractionSession() = default;
+
+  /// The question awaiting an answer, or nullopt once the session has
+  /// terminated (then call Finish()). Idempotent: repeated calls without an
+  /// intervening PostAnswer return the same question and do not advance the
+  /// state machine.
+  virtual std::optional<SessionQuestion> NextQuestion() = 0;
+
+  /// Delivers the user's answer to the current question and advances the
+  /// state machine to the next question or to termination. kNoAnswer is a
+  /// valid delivery (timed-out question).
+  virtual void PostAnswer(Answer answer) = 0;
+
+  /// Ends the session now with its best-so-far recommendation (the user
+  /// walked away). No-op once terminated; NextQuestion() returns nullopt
+  /// afterwards.
+  virtual void Cancel() = 0;
+
+  /// True once the session has terminated (NextQuestion() returns nullopt).
+  virtual bool Finished() const = 0;
+
+  /// The episode outcome. Only valid once Finished().
+  virtual InteractionResult Finish() = 0;
+
+  // ---- Cross-session batched-scoring protocol (optional; EA/AA). --------
+  // An RL session that is about to pick its next question first exposes the
+  // row-stacked features of its candidate pool here. A driver MAY score
+  // them (one Q-value per row, via ScoringNetwork()->PredictBatch — the
+  // SessionScheduler coalesces many sessions' rows into one call) and post
+  // the scores back; a driver that ignores the protocol loses nothing, as
+  // the session scores itself on the next NextQuestion(). Both routes are
+  // bit-identical (PredictBatch is bit-identical per row at any batch size).
+
+  /// Candidate features awaiting scoring, or nullptr. One row per
+  /// candidate; valid until PostCandidateScores/NextQuestion/PostAnswer.
+  virtual const Matrix* PendingCandidateFeatures() const { return nullptr; }
+
+  /// The network that must score PendingCandidateFeatures(); sessions of
+  /// one algorithm instance share it, which is what makes cross-session
+  /// coalescing possible. Null when no scoring is pending.
+  virtual nn::Network* ScoringNetwork() { return nullptr; }
+
+  /// Delivers the Q-values of PendingCandidateFeatures() (`count` must equal
+  /// its row count); the session picks argmax exactly as it would have
+  /// scoring itself.
+  virtual void PostCandidateScores(const double* scores, size_t count) {
+    (void)scores;
+    (void)count;
   }
-
-  /// True when the wall-clock deadline has passed.
-  bool DeadlineExpired() const { return deadline.Expired(); }
 };
 
 /// An interactive algorithm bound to a dataset and a regret threshold ε.
-/// Interact() is re-entrant: each call is an independent episode.
+/// Interact() and StartSession() are re-entrant: each call is an independent
+/// episode.
 class InteractiveAlgorithm {
  public:
   virtual ~InteractiveAlgorithm() = default;
@@ -117,6 +205,16 @@ class InteractiveAlgorithm {
   /// this and CloneForEval to be deterministically evaluable in parallel.
   virtual void Reseed(uint64_t seed) { (void)seed; }
 
+  /// Opens one episode as a resumable sans-IO session (DESIGN.md §13). The
+  /// session must never abort on user answers, LP outcomes, or geometry
+  /// degeneracies: conflicting answers degrade (dropping the minimal
+  /// most-recent suffix of half-spaces), budget exhaustion returns
+  /// best-so-far, and unrecoverable failures surface as termination ==
+  /// kAborted with a non-OK status — still with the best available
+  /// recommendation.
+  virtual std::unique_ptr<InteractionSession> StartSession(
+      const SessionConfig& config) = 0;
+
   /// Runs one full interaction against `user`; when `trace` is non-null the
   /// algorithm records per-round progress into it.
   InteractionResult Interact(UserOracle& user,
@@ -127,22 +225,22 @@ class InteractiveAlgorithm {
   /// Interact() under a resource budget: the session additionally stops —
   /// with Termination::kBudgetExhausted and its best-so-far recommendation —
   /// when the budget's round cap or wall-clock deadline is reached.
+  ///
+  /// This is the blocking driver over the step API; results are
+  /// bit-identical to stepping the session externally.
   InteractionResult Interact(UserOracle& user, const RunBudget& budget,
                              InteractionTrace* trace = nullptr) {
-    InteractionContext ctx{user, trace, budget, Deadline::FromBudget(budget)};
-    InteractionResult result = DoInteract(ctx);
+    SessionConfig config;
+    config.budget = budget;
+    config.trace = trace;
+    std::unique_ptr<InteractionSession> session = StartSession(config);
+    while (std::optional<SessionQuestion> q = session->NextQuestion()) {
+      session->PostAnswer(user.Ask(q->first, q->second));
+    }
+    InteractionResult result = session->Finish();
     result.converged = result.termination == Termination::kConverged;
     return result;
   }
-
- protected:
-  /// Algorithm implementation. Must never abort on user answers, LP
-  /// outcomes, or geometry degeneracies: conflicting answers degrade
-  /// (dropping the minimal most-recent suffix of half-spaces), budget
-  /// exhaustion returns best-so-far, and unrecoverable failures surface as
-  /// termination == kAborted with a non-OK status — still with the best
-  /// available recommendation.
-  virtual InteractionResult DoInteract(InteractionContext& ctx) = 0;
 };
 
 }  // namespace isrl

@@ -3,6 +3,7 @@
 #include "nn/serialize.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "audit/audit.h"
 #include "audit/checkers.h"
@@ -24,7 +25,7 @@ Ea::Ea(const Dataset& data, const EaOptions& options)
   ISRL_CHECK_LT(options.epsilon, 1.0);
 }
 
-Ea::RoundPlan Ea::PlanRound(const Polyhedron& range) {
+Ea::RoundPlan Ea::PlanRound(const Polyhedron& range, Rng& rng) {
   RoundPlan plan;
   if (range.IsEmpty()) {
     // Callers keep R non-empty (TryCut); an empty R here is a numeric
@@ -40,7 +41,7 @@ Ea::RoundPlan Ea::PlanRound(const Polyhedron& range) {
     return plan;
   }
   EaActionSpace space = BuildEaActionSpace(data_, range, options_.epsilon,
-                                           options_.actions, rng_);
+                                           options_.actions, rng);
   if (space.actions.empty()) {
     if (space.winners.empty()) {
       // Degenerate data (no utility vector of V had a positive top score):
@@ -103,7 +104,7 @@ TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
   for (const Vec& u : training_utilities) {
     const double epsilon_greedy = agent_.EpsilonAt(episodes_trained_);
     Polyhedron range = Polyhedron::UnitSimplex(data_.dim());
-    RoundPlan plan = PlanRound(range);
+    RoundPlan plan = PlanRound(range, rng_);
     Vec state = EncodeEaState(range, options_.state);
 
     size_t rounds = 0;
@@ -121,7 +122,7 @@ TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
       ++rounds;
       if (range.IsEmpty()) break;  // numeric degeneracy guard
 
-      RoundPlan next_plan = PlanRound(range);
+      RoundPlan next_plan = PlanRound(range, rng_);
       Vec next_state = EncodeEaState(range, options_.state);
 
       const bool episode_over = next_plan.terminal || next_plan.stalled;
@@ -157,95 +158,211 @@ TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
   return stats;
 }
 
-InteractionResult Ea::DoInteract(InteractionContext& ctx) {
-  // Audit at the inference call site: a session served from a NaN-weighted
-  // Q-network asks arbitrary questions yet terminates "normally".
-  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
-    audit::Auditor().Record(
-        audit::Checker::kNnFinite, "Ea.DoInteract",
-        audit::CheckNetworkFinite(agent_.main_network(), "main"));
+// Algorithm 2 inverted into a sans-IO state machine (DESIGN.md §13). The
+// per-round sequence of the old blocking loop — guard, deadline, score,
+// ask, cut, re-plan, record — is preserved exactly, split across the step
+// API: Prepare() is the loop top (guards + candidate featurisation),
+// NextQuestion()/PostCandidateScores() is the greedy pick, PostAnswer() is
+// the loop body. Every geometric/RNG operation runs in the original order,
+// so stepped episodes are bit-identical to Interact().
+class Ea::Session final : public InteractionSession {
+ public:
+  Session(Ea& owner, const SessionConfig& config)
+      : owner_(owner),
+        trace_(config.trace),
+        max_rounds_(config.budget.EffectiveMaxRounds(owner.options_.max_rounds)),
+        deadline_(Deadline::FromBudget(config.budget)),
+        owned_rng_(config.seed ? std::optional<Rng>(Rng(*config.seed))
+                               : std::nullopt),
+        range_(Polyhedron::UnitSimplex(owner.data_.dim())) {
+    plan_ = owner_.PlanRound(range_, rng());
+    state_ = EncodeEaState(range_, owner_.options_.state);
+    fallback_best_ = owner_.data_.TopIndex(range_.Centroid());
+    Prepare();
   }
-  InteractionResult result;
-  Stopwatch watch;
-  const size_t max_rounds = ctx.MaxRounds(options_.max_rounds);
 
-  Polyhedron range = Polyhedron::UnitSimplex(data_.dim());
-  RoundPlan plan = PlanRound(range);
-  Vec state = EncodeEaState(range, options_.state);
-  size_t fallback_best = data_.TopIndex(range.Centroid());
-  bool deadline_hit = false;
-
-  auto record_round = [&]() {
-    if (ctx.trace == nullptr) return;
-    const double elapsed = watch.ElapsedSeconds();
-    std::vector<Vec> consistent;
-    if (!range.IsEmpty()) {
-      consistent.reserve(ctx.trace->regret_samples());
-      for (size_t s = 0; s < ctx.trace->regret_samples(); ++s) {
-        consistent.push_back(range.SampleInterior(ctx.trace->rng()));
-      }
+  std::optional<SessionQuestion> NextQuestion() override {
+    if (finished_) return std::nullopt;
+    if (scoring_pending_) {
+      // No driver scored the candidates for us: score them here. Same
+      // matrix, same network, same argmax — bit-identical either way.
+      TakePick(owner_.agent_.SelectGreedy(pending_features_));
     }
-    ctx.trace->Record(fallback_best, consistent, elapsed);
-    watch.Restart();  // exclude trace bookkeeping from algorithm time
-    result.seconds += elapsed;
-  };
+    return question_;
+  }
 
-  while (!plan.terminal && !plan.stalled && result.rounds < max_rounds) {
-    if (ctx.DeadlineExpired()) {
-      deadline_hit = true;
-      break;
-    }
-    // Batched action scoring: one GEMM over the row-stacked candidate pool
-    // (bit-identical picks to the scalar per-candidate loop).
-    size_t pick =
-        agent_.SelectGreedy(FeaturizeCandidatesMatrix(state, plan.actions));
-    const Question q = plan.actions[pick].q;
-
-    const Answer answer = ctx.user.Ask(data_.point(q.i), data_.point(q.j));
-    ++result.rounds;
+  void PostAnswer(Answer answer) override {
+    ISRL_CHECK(asking_);
+    asking_ = false;
+    ++result_.rounds;
     if (answer == Answer::kNoAnswer) {
       // Timed-out question: learn nothing, re-plan (the action sampler is
       // stochastic, so the next round asks a fresh set of questions).
-      ++result.no_answers;
-      plan = PlanRound(range);
-      record_round();
-      continue;
+      ++result_.no_answers;
+      plan_ = owner_.PlanRound(range_, rng());
+      RecordRound();
+      Prepare();
+      return;
     }
     const bool prefers_i = answer == Answer::kFirst;
-    const Vec& winner = data_.point(prefers_i ? q.i : q.j);
-    const Vec& loser = data_.point(prefers_i ? q.j : q.i);
-    if (!range.TryCut(PreferenceHalfspace(winner, loser))) {
+    const Question q = question_.pair;
+    const Vec& winner = owner_.data_.point(prefers_i ? q.i : q.j);
+    const Vec& loser = owner_.data_.point(prefers_i ? q.j : q.i);
+    if (!range_.TryCut(PreferenceHalfspace(winner, loser))) {
       // The answer contradicts everything learned so far (inconsistent
       // noisy user): dropping the minimal most-recent suffix of conflicting
       // half-spaces — here exactly this one, since R was non-empty before —
       // keeps the session alive.
-      ++result.dropped_answers;
-      plan = PlanRound(range);
-      record_round();
-      continue;
+      ++result_.dropped_answers;
+      plan_ = owner_.PlanRound(range_, rng());
+      RecordRound();
+      Prepare();
+      return;
     }
 
-    plan = PlanRound(range);
-    if (!plan.terminal && !plan.stalled) {
-      state = EncodeEaState(range, options_.state);
+    plan_ = owner_.PlanRound(range_, rng());
+    if (!plan_.terminal && !plan_.stalled) {
+      state_ = EncodeEaState(range_, owner_.options_.state);
     }
-    fallback_best = plan.terminal ? plan.winner
-                                  : data_.TopIndex(range.Centroid());
-    record_round();
+    fallback_best_ = plan_.terminal
+                         ? plan_.winner
+                         : owner_.data_.TopIndex(range_.Centroid());
+    RecordRound();
+    Prepare();
   }
 
-  result.best_index = plan.terminal ? plan.winner : fallback_best;
-  if (plan.terminal) {
-    result.termination = result.dropped_answers > 0 ? Termination::kDegraded
-                                                    : Termination::kConverged;
-  } else if (plan.stalled) {
-    result.termination = Termination::kDegraded;
-  } else {
-    result.termination = Termination::kBudgetExhausted;
-    (void)deadline_hit;
+  void Cancel() override {
+    if (finished_) return;
+    // Prepare() already terminated every certificate/stall state, so the
+    // session is mid-question: best-so-far, budget semantics.
+    result_.best_index = fallback_best_;
+    result_.termination = Termination::kBudgetExhausted;
+    result_.seconds += watch_.ElapsedSeconds();
+    scoring_pending_ = false;
+    asking_ = false;
+    finished_ = true;
   }
-  result.seconds += watch.ElapsedSeconds();
-  return result;
+
+  bool Finished() const override { return finished_; }
+
+  InteractionResult Finish() override {
+    ISRL_CHECK(finished_);
+    InteractionResult result = result_;
+    result.converged = result.termination == Termination::kConverged;
+    return result;
+  }
+
+  const Matrix* PendingCandidateFeatures() const override {
+    return scoring_pending_ ? &pending_features_ : nullptr;
+  }
+
+  nn::Network* ScoringNetwork() override {
+    return scoring_pending_ ? &owner_.agent_.main_network() : nullptr;
+  }
+
+  void PostCandidateScores(const double* scores, size_t count) override {
+    ISRL_CHECK(scoring_pending_);
+    ISRL_CHECK_EQ(count, pending_features_.rows());
+    // First-max argmax, exactly Vec::ArgMax over a PredictBatch row — the
+    // coalesced scores pick the same action the self-scoring path would.
+    size_t pick = 0;
+    for (size_t i = 1; i < count; ++i) {
+      if (scores[i] > scores[pick]) pick = i;
+    }
+    TakePick(pick);
+  }
+
+ private:
+  /// The top of the old blocking loop: evaluate the loop guard and the
+  /// deadline, then stage the candidate features for scoring.
+  void Prepare() {
+    if (plan_.terminal || plan_.stalled || result_.rounds >= max_rounds_) {
+      Terminate();
+      return;
+    }
+    if (deadline_.Expired()) {
+      Terminate();
+      return;
+    }
+    pending_features_ =
+        owner_.FeaturizeCandidatesMatrix(state_, plan_.actions);
+    scoring_pending_ = true;
+  }
+
+  void TakePick(size_t pick) {
+    const Question q = plan_.actions[pick].q;
+    question_.first = owner_.data_.point(q.i);
+    question_.second = owner_.data_.point(q.j);
+    question_.pair = q;
+    question_.synthetic = false;
+    scoring_pending_ = false;
+    asking_ = true;
+  }
+
+  void RecordRound() {
+    if (trace_ == nullptr) return;
+    const double elapsed = watch_.ElapsedSeconds();
+    std::vector<Vec> consistent;
+    if (!range_.IsEmpty()) {
+      consistent.reserve(trace_->regret_samples());
+      for (size_t s = 0; s < trace_->regret_samples(); ++s) {
+        consistent.push_back(range_.SampleInterior(trace_->rng()));
+      }
+    }
+    trace_->Record(fallback_best_, consistent, elapsed);
+    watch_.Restart();  // exclude trace bookkeeping from algorithm time
+    result_.seconds += elapsed;
+  }
+
+  void Terminate() {
+    result_.best_index = plan_.terminal ? plan_.winner : fallback_best_;
+    if (plan_.terminal) {
+      result_.termination = result_.dropped_answers > 0
+                                ? Termination::kDegraded
+                                : Termination::kConverged;
+    } else if (plan_.stalled) {
+      result_.termination = Termination::kDegraded;
+    } else {
+      result_.termination = Termination::kBudgetExhausted;
+    }
+    result_.seconds += watch_.ElapsedSeconds();
+    scoring_pending_ = false;
+    asking_ = false;
+    finished_ = true;
+  }
+
+  Rng& rng() { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
+
+  Ea& owner_;
+  InteractionTrace* trace_;
+  InteractionResult result_;
+  Stopwatch watch_;
+  size_t max_rounds_;
+  Deadline deadline_;
+  std::optional<Rng> owned_rng_;
+
+  Polyhedron range_;
+  RoundPlan plan_;
+  Vec state_;
+  size_t fallback_best_ = 0;
+
+  Matrix pending_features_;
+  SessionQuestion question_;
+  bool scoring_pending_ = false;
+  bool asking_ = false;
+  bool finished_ = false;
+};
+
+std::unique_ptr<InteractionSession> Ea::StartSession(
+    const SessionConfig& config) {
+  // Audit at the inference call site: a session served from a NaN-weighted
+  // Q-network asks arbitrary questions yet terminates "normally".
+  if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
+    audit::Auditor().Record(
+        audit::Checker::kNnFinite, "Ea.StartSession",
+        audit::CheckNetworkFinite(agent_.main_network(), "main"));
+  }
+  return std::make_unique<Session>(*this, config);
 }
 
 

@@ -78,13 +78,17 @@ class Ea : public InteractiveAlgorithm {
   /// instance's input_dim); the target network is synchronised to it.
   Status LoadAgent(const std::string& path);
 
- protected:
-  /// Algorithm 2: greedy interaction, hardened — conflicting (noisy) answers
-  /// are dropped most-recent-first instead of emptying R, unanswered
-  /// questions are skipped, and the context's budget caps rounds and time.
-  InteractionResult DoInteract(InteractionContext& ctx) override;
+  /// Algorithm 2 as a resumable sans-IO session (DESIGN.md §13), hardened —
+  /// conflicting (noisy) answers are dropped most-recent-first instead of
+  /// emptying R, unanswered questions are skipped, and the config's budget
+  /// caps rounds and time. Exposes the batched-scoring protocol so the
+  /// SessionScheduler can coalesce candidate scoring across sessions.
+  std::unique_ptr<InteractionSession> StartSession(
+      const SessionConfig& config) override;
 
  private:
+  class Session;
+
   /// One round's decision basis: a terminal certificate, candidate actions,
   /// or a stall (degenerate data — no winners and no questions left).
   struct RoundPlan {
@@ -94,7 +98,7 @@ class Ea : public InteractiveAlgorithm {
     std::vector<EaAction> actions;
   };
 
-  RoundPlan PlanRound(const Polyhedron& range);
+  RoundPlan PlanRound(const Polyhedron& range, Rng& rng);
   Vec FeaturizeAction(const EaAction& action) const;
   std::vector<Vec> FeaturizeCandidates(const Vec& state,
                                        const std::vector<EaAction>& actions) const;

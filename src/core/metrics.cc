@@ -9,6 +9,15 @@
 
 namespace isrl {
 
+void OutcomeCounts::Count(Termination termination) {
+  switch (termination) {
+    case Termination::kConverged: break;
+    case Termination::kDegraded: ++degraded; break;
+    case Termination::kBudgetExhausted: ++budget_exhausted; break;
+    case Termination::kAborted: ++aborted; break;
+  }
+}
+
 Summary Summarize(const std::vector<double>& values) {
   Summary s;
   s.count = values.size();

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
+
 namespace isrl {
 
 /// Basic summary statistics of a sample.
@@ -19,10 +21,26 @@ struct Summary {
 /// Summarises `values` (all-zero Summary for an empty input).
 Summary Summarize(const std::vector<double>& values);
 
+/// Failure-outcome counters over a population of episodes (noisy users /
+/// tight budgets). Every aggregate that tallies terminal outcomes —
+/// EvalStats, TraceSummary — inherits this one struct instead of repeating
+/// the fields; every episode still returns a recommendation.
+struct OutcomeCounts {
+  size_t degraded = 0;          ///< ended Termination::kDegraded
+  size_t budget_exhausted = 0;  ///< ended Termination::kBudgetExhausted
+  size_t aborted = 0;           ///< ended Termination::kAborted
+
+  /// Tallies one episode's terminal outcome (kConverged counts nowhere).
+  void Count(Termination termination);
+  /// Episodes that ended in any non-converged outcome.
+  size_t Failures() const { return degraded + budget_exhausted + aborted; }
+};
+
 /// Per-algorithm evaluation outcome over a population of simulated users —
 /// the three measurements of §V (questions asked, execution time, regret
-/// ratio of the returned point).
-struct EvalStats {
+/// ratio of the returned point). The inherited OutcomeCounts hold the raw
+/// failure tallies; the frac_ fields are those counts over all episodes.
+struct EvalStats : OutcomeCounts {
   std::string algorithm;
   double mean_rounds = 0.0;
   double mean_seconds = 0.0;
@@ -31,11 +49,8 @@ struct EvalStats {
   double frac_within_eps = 0.0;  ///< episodes with final regret < ε
   double frac_converged = 0.0;   ///< episodes not stopped by a safety cap
   size_t episodes = 0;
-  // Failure outcomes (noisy users / tight budgets). Fractions are over all
-  // episodes; every episode still returns a recommendation.
-  double frac_degraded = 0.0;          ///< ended Termination::kDegraded
-  double frac_budget_exhausted = 0.0;  ///< ended Termination::kBudgetExhausted
-  size_t aborted = 0;                  ///< ended Termination::kAborted
+  double frac_degraded = 0.0;          ///< degraded / episodes
+  double frac_budget_exhausted = 0.0;  ///< budget_exhausted / episodes
   double mean_dropped_answers = 0.0;   ///< conflicting answers dropped / user
   double mean_no_answers = 0.0;        ///< unanswered questions / user
 };

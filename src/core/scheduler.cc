@@ -1,0 +1,143 @@
+#include "core/scheduler.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/matrix.h"
+#include "common/vec.h"
+#include "nn/network.h"
+
+namespace isrl {
+
+SessionScheduler::SessionId SessionScheduler::Add(
+    std::unique_ptr<InteractionSession> session) {
+  ISRL_CHECK(session != nullptr);
+  Slot slot;
+  slot.session = std::move(session);
+  // A session can terminate inside StartSession (infeasible geometry, zero
+  // budget); it then never becomes runnable.
+  slot.state = slot.session->Finished() ? SlotState::kFinished
+                                        : SlotState::kRunnable;
+  if (slot.state == SlotState::kRunnable) ++active_;
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+std::vector<PendingQuestion> SessionScheduler::Tick() {
+  // Coalesced scoring pass: group the pending feature rows of all runnable
+  // sessions by scoring network, in first-seen session order. Group layout
+  // and batch size never affect a row's scores (PredictBatch is
+  // bit-identical per row), so this is purely a throughput optimisation.
+  struct Group {
+    nn::Network* network;
+    std::vector<double> rows;                        // row-major stack
+    size_t cols = 0;
+    std::vector<std::pair<size_t, size_t>> members;  // (session id, row count)
+  };
+  std::vector<Group> groups;
+  for (size_t id = 0; id < slots_.size(); ++id) {
+    Slot& slot = slots_[id];
+    if (slot.state != SlotState::kRunnable) continue;
+    const Matrix* features = slot.session->PendingCandidateFeatures();
+    nn::Network* network = slot.session->ScoringNetwork();
+    if (features == nullptr || network == nullptr || features->rows() == 0) {
+      continue;  // session scores itself (or has nothing to score)
+    }
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.network == network) { group = &g; break; }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{network, {}, features->cols(), {}});
+      group = &groups.back();
+    }
+    ISRL_CHECK_EQ(group->cols, features->cols());
+    const double* flat = features->row(0);
+    group->rows.insert(group->rows.end(), flat,
+                       flat + features->rows() * features->cols());
+    group->members.emplace_back(id, features->rows());
+  }
+  for (Group& group : groups) {
+    const size_t total = group.rows.size() / group.cols;
+    Matrix batch(total, group.cols, std::move(group.rows));
+    Vec scores = group.network->PredictBatch(batch);
+    size_t offset = 0;
+    for (const auto& [id, count] : group.members) {
+      slots_[id].session->PostCandidateScores(&scores[offset], count);
+      offset += count;
+    }
+  }
+
+  // Question pass: collect every runnable session's next question, in id
+  // order so any session-shared state (unseeded sessions, trace Rngs) is
+  // consumed in a reproducible order.
+  std::vector<PendingQuestion> questions;
+  for (size_t id = 0; id < slots_.size(); ++id) {
+    Slot& slot = slots_[id];
+    if (slot.state != SlotState::kRunnable) continue;
+    std::optional<SessionQuestion> question = slot.session->NextQuestion();
+    if (question.has_value()) {
+      slot.state = SlotState::kAwaitingAnswer;
+      questions.push_back(PendingQuestion{id, std::move(*question)});
+    } else {
+      slot.state = SlotState::kFinished;
+      --active_;
+    }
+  }
+  return questions;
+}
+
+void SessionScheduler::PostAnswer(SessionId id, Answer answer) {
+  ISRL_CHECK_LT(id, slots_.size());
+  Slot& slot = slots_[id];
+  ISRL_CHECK(slot.state == SlotState::kAwaitingAnswer);
+  slot.session->PostAnswer(answer);
+  slot.state = SlotState::kRunnable;
+}
+
+void SessionScheduler::Cancel(SessionId id) {
+  ISRL_CHECK_LT(id, slots_.size());
+  Slot& slot = slots_[id];
+  if (slot.state == SlotState::kFinished || slot.state == SlotState::kTaken) {
+    return;
+  }
+  slot.session->Cancel();
+  slot.state = SlotState::kFinished;
+  --active_;
+}
+
+bool SessionScheduler::finished(SessionId id) const {
+  ISRL_CHECK_LT(id, slots_.size());
+  return slots_[id].state == SlotState::kFinished;
+}
+
+InteractionResult SessionScheduler::Take(SessionId id) {
+  ISRL_CHECK_LT(id, slots_.size());
+  Slot& slot = slots_[id];
+  ISRL_CHECK(slot.state == SlotState::kFinished);
+  InteractionResult result = slot.session->Finish();
+  result.converged = result.termination == Termination::kConverged;
+  slot.state = SlotState::kTaken;
+  slot.session.reset();
+  return result;
+}
+
+std::vector<InteractionResult> DriveWithUsers(
+    SessionScheduler& scheduler, const std::vector<UserOracle*>& users) {
+  ISRL_CHECK_EQ(users.size(), scheduler.size());
+  while (scheduler.active() > 0) {
+    for (const PendingQuestion& pq : scheduler.Tick()) {
+      scheduler.PostAnswer(
+          pq.session_id,
+          users[pq.session_id]->Ask(pq.question.first, pq.question.second));
+    }
+  }
+  std::vector<InteractionResult> results;
+  results.reserve(scheduler.size());
+  for (size_t id = 0; id < scheduler.size(); ++id) {
+    results.push_back(scheduler.Take(id));
+  }
+  return results;
+}
+
+}  // namespace isrl

@@ -1,0 +1,111 @@
+// Multi-session scheduler: interleaves many sans-IO interaction sessions on
+// one thread and coalesces their candidate-scoring work into shared batched
+// inference calls (DESIGN.md §13).
+//
+// One in-flight user no longer pins a thread: the scheduler holds every
+// session between its PostAnswer and the next NextQuestion, and each Tick()
+// advances all runnable sessions at once. RL sessions (EA/AA) that are
+// about to pick a question expose their row-stacked candidate features
+// through the InteractionSession scoring protocol; the scheduler stacks the
+// rows of every runnable session that shares a Q-network into ONE
+// Network::PredictBatch call per tick — the PR-4 GEMM kernels finally run
+// at cross-session batch sizes instead of one round's pool. Because
+// PredictBatch is bit-identical per row at any batch size and the argmax is
+// per-session, every session still picks exactly the action it would have
+// picked scoring itself: scheduler results equal sequential Interact()
+// results whenever the sessions are seeded (SessionConfig::seed).
+#ifndef ISRL_CORE_SCHEDULER_H_
+#define ISRL_CORE_SCHEDULER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "user/user.h"
+
+namespace isrl {
+
+/// A question emitted by Tick(): which session asks it, and what it asks.
+struct PendingQuestion {
+  size_t session_id = 0;
+  SessionQuestion question;
+};
+
+/// Single-threaded cooperative scheduler over InteractionSessions. Typical
+/// drive loop:
+///
+///   SessionScheduler scheduler;
+///   for (...) scheduler.Add(algorithm.StartSession(config));  // seeded!
+///   while (scheduler.active() > 0) {
+///     for (const PendingQuestion& pq : scheduler.Tick()) {
+///       scheduler.PostAnswer(pq.session_id, AnswerSomehow(pq.question));
+///     }
+///   }
+///   ... scheduler.Take(id) ...
+///
+/// Answers may arrive in any order and across any number of ticks — a
+/// session whose user is still thinking simply stays out of the next
+/// tick's batch. Determinism: sessions are processed in id order and the
+/// coalesced batch only changes *which rows share a GEMM call*, never a
+/// row's scores, so results are independent of answer arrival order.
+class SessionScheduler {
+ public:
+  using SessionId = size_t;
+
+  /// Adopts a session; returns its id (dense, starting at 0). Sessions of
+  /// stochastic algorithms MUST be seeded (SessionConfig::seed) — unseeded
+  /// sessions share the algorithm's member Rng, whose draw order would then
+  /// depend on scheduling.
+  SessionId Add(std::unique_ptr<InteractionSession> session);
+
+  /// Advances every runnable session to its next question. First coalesces
+  /// pending candidate scoring: the feature rows of all runnable sessions
+  /// are grouped by scoring network (in first-seen session order), each
+  /// group runs one PredictBatch, and the per-session slices are posted
+  /// back. Then NextQuestion() is collected per session in id order.
+  /// Sessions that terminate contribute no question and become finished.
+  std::vector<PendingQuestion> Tick();
+
+  /// Delivers a user's answer; the session becomes runnable for the next
+  /// Tick(). The id must currently be awaiting an answer.
+  void PostAnswer(SessionId id, Answer answer);
+
+  /// Cancels a session mid-episode (the user walked away); it finishes with
+  /// its best-so-far recommendation. No-op when already finished.
+  void Cancel(SessionId id);
+
+  bool finished(SessionId id) const;
+
+  /// The finished session's result (invalidates the slot).
+  InteractionResult Take(SessionId id);
+
+  /// Sessions not yet finished.
+  size_t active() const { return active_; }
+  size_t size() const { return slots_.size(); }
+
+ private:
+  enum class SlotState { kRunnable, kAwaitingAnswer, kFinished, kTaken };
+
+  struct Slot {
+    std::unique_ptr<InteractionSession> session;
+    SlotState state = SlotState::kRunnable;
+  };
+
+  std::vector<Slot> slots_;
+  size_t active_ = 0;
+};
+
+/// Convenience driver for simulation: answers every pending question from
+/// the per-session oracle `users[id]` until all sessions finish. Returns
+/// the results in session-id order. This is the batched counterpart of N
+/// sequential Interact() calls — identical results (for seeded sessions),
+/// one coalesced PredictBatch per network per tick instead of one per
+/// session per round.
+std::vector<InteractionResult> DriveWithUsers(
+    SessionScheduler& scheduler,
+    const std::vector<UserOracle*>& users);
+
+}  // namespace isrl
+
+#endif  // ISRL_CORE_SCHEDULER_H_

@@ -106,7 +106,7 @@ EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
   // floating-point rounding — is fixed regardless of thread count.
   double rounds_sum = 0.0, seconds_sum = 0.0, regret_sum = 0.0;
   double dropped_sum = 0.0, no_answer_sum = 0.0;
-  size_t within = 0, converged = 0, degraded = 0, exhausted = 0;
+  size_t within = 0, converged = 0;
   for (const Outcome& o : outcomes) {
     const InteractionResult& r = o.result;
     rounds_sum += static_cast<double>(r.rounds);
@@ -116,12 +116,8 @@ EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
     no_answer_sum += static_cast<double>(r.no_answers);
     stats.max_regret = std::max(stats.max_regret, o.regret);
     if (o.regret < epsilon) ++within;
-    switch (r.termination) {
-      case Termination::kConverged: ++converged; break;
-      case Termination::kDegraded: ++degraded; break;
-      case Termination::kBudgetExhausted: ++exhausted; break;
-      case Termination::kAborted: ++stats.aborted; break;
-    }
+    if (r.termination == Termination::kConverged) ++converged;
+    stats.Count(r.termination);
   }
   const double n = static_cast<double>(utilities.size());
   stats.mean_rounds = rounds_sum / n;
@@ -129,8 +125,9 @@ EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
   stats.mean_regret = regret_sum / n;
   stats.frac_within_eps = static_cast<double>(within) / n;
   stats.frac_converged = static_cast<double>(converged) / n;
-  stats.frac_degraded = static_cast<double>(degraded) / n;
-  stats.frac_budget_exhausted = static_cast<double>(exhausted) / n;
+  stats.frac_degraded = static_cast<double>(stats.degraded) / n;
+  stats.frac_budget_exhausted =
+      static_cast<double>(stats.budget_exhausted) / n;
   stats.mean_dropped_answers = dropped_sum / n;
   stats.mean_no_answers = no_answer_sum / n;
   return stats;
@@ -169,12 +166,7 @@ TraceSummary EvaluateTrajectory(InteractiveAlgorithm& algorithm,
 
   size_t max_rounds = 0;
   for (const UserTrace& t : traces) {
-    switch (t.termination) {
-      case Termination::kConverged: break;
-      case Termination::kDegraded: ++summary.degraded; break;
-      case Termination::kBudgetExhausted: ++summary.budget_exhausted; break;
-      case Termination::kAborted: ++summary.aborted; break;
-    }
+    summary.Count(t.termination);
     max_rounds = std::max(max_rounds, t.regrets.size());
   }
 

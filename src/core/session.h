@@ -73,14 +73,10 @@ EvalStats Evaluate(InteractiveAlgorithm& algorithm, const Dataset& data,
 /// current recommendation and the cumulative execution time at the end of
 /// each interactive round, averaged over the users. Users that stop early
 /// contribute their final values to later rounds.
-struct TraceSummary {
+struct TraceSummary : OutcomeCounts {
   std::vector<double> mean_max_regret;
   std::vector<double> mean_cumulative_seconds;
   size_t users = 0;
-  // Failure outcomes across the traced users.
-  size_t degraded = 0;          ///< ended Termination::kDegraded
-  size_t budget_exhausted = 0;  ///< ended Termination::kBudgetExhausted
-  size_t aborted = 0;           ///< ended Termination::kAborted
 };
 
 /// `seed` doubles as the master seed for the per-user stream derivation;

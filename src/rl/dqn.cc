@@ -73,10 +73,14 @@ size_t DqnAgent::SelectGreedy(const std::vector<Vec>& candidate_features) {
   return best;
 }
 
-size_t DqnAgent::SelectGreedy(const Matrix& candidate_features) {
+Vec DqnAgent::ScoreCandidates(const Matrix& candidate_features) {
   ISRL_CHECK_GE(candidate_features.rows(), 1u);
   ISRL_CHECK_EQ(candidate_features.cols(), input_dim_);
-  return main_.PredictBatch(candidate_features).ArgMax();
+  return main_.PredictBatch(candidate_features);
+}
+
+size_t DqnAgent::SelectGreedy(const Matrix& candidate_features) {
+  return ScoreCandidates(candidate_features).ArgMax();
 }
 
 size_t DqnAgent::SelectEpsilonGreedy(

@@ -88,6 +88,12 @@ class DqnAgent {
   /// Index of the action with the largest main-network Q-value.
   size_t SelectGreedy(const std::vector<Vec>& candidate_features);
 
+  /// Q-values of row-stacked candidate features (one candidate per row) in
+  /// one batched inference pass. This is the scoring primitive behind both
+  /// SelectGreedy(Matrix) and the cross-session coalesced scoring of the
+  /// SessionScheduler — bit-identical per row at any batch size.
+  Vec ScoreCandidates(const Matrix& candidate_features);
+
   /// SelectGreedy over row-stacked candidate features (one candidate per
   /// row) — the zero-copy entry point for EA/AA action scoring: one batched
   /// forward per round instead of |actions| scalar dispatches.

@@ -1,23 +1,28 @@
 #!/usr/bin/env python3
-"""Distill scalar-vs-batched microbenchmark runs into BENCH_micro.json.
+"""Distill paired A/B microbenchmark runs into a checked-in BENCH_*.json.
 
 Runs the micro_substrates google-benchmark binary (or reads a previously
-captured ``--benchmark_format=json`` dump) and pairs each batched
-configuration with its scalar twin — the benchmarks in bench/micro_substrates
-that carry a path-mode argument (0 = scalar reference, 1 = batched):
+captured ``--benchmark_format=json`` dump) and pairs each variant
+configuration with its baseline twin. Two suites:
 
+--suite micro (default, scalar vs batched; DESIGN.md section 12):
   BM_NnPredictBatch      raw network inference   args: {batch, mode}
   BM_DqnScoreCandidates  greedy action scoring   args: {pool, mode}
   BM_DqnUpdateBatch64    full training update    args: {mode, act, pool}
 
-The output records, per configuration, the scalar and batched CPU time and
-their ratio, so the checked-in BENCH_micro.json is a self-contained
-before/after table (DESIGN.md section 12 explains the configurations).
+--suite scheduler (sequential Interact() vs SessionScheduler with
+cross-session coalesced Q-inference; DESIGN.md section 13):
+  BM_SessionThroughputEa  N full EA episodes   args: {sessions, mode}
+  BM_SessionThroughputAa  N full AA episodes   args: {sessions, mode}
+
+The output records, per configuration, both CPU times and their ratio, so
+each checked-in BENCH_*.json is a self-contained before/after table.
 
 Usage:
-  tools/bench_to_json.py [--bench build/bench/micro_substrates]
+  tools/bench_to_json.py [--suite micro|scheduler]
+                         [--bench build/bench/micro_substrates]
                          [--min-time 0.3] [--from-json raw.json]
-                         [--out BENCH_micro.json]
+                         [--out BENCH_<suite>.json]
 
 Exit status is non-zero when any expected pair is missing, so CI can use a
 short run of this script as a smoke test of the benchmark suite.
@@ -32,29 +37,59 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # Which slash-separated argument of each benchmark selects the execution
-# path (0 = scalar, 1 = batched), and how to label the remaining arguments.
+# path (0 = baseline, 1 = variant), and how to label the remaining arguments.
 ACTIVATIONS = {0: "selu", 1: "relu"}
-BENCHMARKS = {
-    "BM_NnPredictBatch": {
-        "mode_arg": 1,
-        "label": lambda rest: f"batch{rest[0]}",
+SUITES = {
+    "micro": {
+        "benchmarks": {
+            "BM_NnPredictBatch": {
+                "mode_arg": 1,
+                "label": lambda rest: f"batch{rest[0]}",
+            },
+            "BM_DqnScoreCandidates": {
+                "mode_arg": 1,
+                "label": lambda rest: f"pool{rest[0]}",
+            },
+            "BM_DqnUpdateBatch64": {
+                "mode_arg": 0,
+                "label": lambda rest: f"{ACTIVATIONS[rest[0]]}/pool{rest[1]}",
+            },
+        },
+        # Field names keep their historical suite-specific spelling so the
+        # checked-in BENCH_micro.json stays diff-stable.
+        "baseline_field": "scalar_cpu_ns",
+        "variant_field": "batched_cpu_ns",
+        "note": "speedup = scalar_cpu_ns / batched_cpu_ns; both paths "
+        "produce bit-identical results (DESIGN.md section 12)",
     },
-    "BM_DqnScoreCandidates": {
-        "mode_arg": 1,
-        "label": lambda rest: f"pool{rest[0]}",
-    },
-    "BM_DqnUpdateBatch64": {
-        "mode_arg": 0,
-        "label": lambda rest: f"{ACTIVATIONS[rest[0]]}/pool{rest[1]}",
+    "scheduler": {
+        "benchmarks": {
+            "BM_SessionThroughputEa": {
+                "mode_arg": 1,
+                "label": lambda rest: f"sessions{rest[0]}",
+            },
+            "BM_SessionThroughputAa": {
+                "mode_arg": 1,
+                "label": lambda rest: f"sessions{rest[0]}",
+            },
+        },
+        "baseline_field": "sequential_cpu_ns",
+        "variant_field": "scheduler_cpu_ns",
+        "note": "speedup = sequential_cpu_ns / scheduler_cpu_ns for N "
+        "complete episodes; the scheduler interleaves all N sessions and "
+        "coalesces their Q-inference into one PredictBatch per tick, with "
+        "bit-identical per-session results (DESIGN.md section 13)",
     },
 }
-FILTER = "|".join(BENCHMARKS)
 
 
-def run_benchmarks(bench: Path, min_time: float, repetitions: int) -> dict:
+def run_benchmarks(
+    bench: Path, suite: dict, min_time: float, repetitions: int
+) -> dict:
+    bench_filter = "|".join(f"{name}/" for name in suite["benchmarks"])
     cmd = [
         str(bench),
-        f"--benchmark_filter={FILTER}",
+        f"--benchmark_filter={bench_filter}",
         f"--benchmark_min_time={min_time}",
         "--benchmark_format=json",
     ]
@@ -64,8 +99,13 @@ def run_benchmarks(bench: Path, min_time: float, repetitions: int) -> dict:
     return json.loads(result.stdout)
 
 
-def distill(raw: dict) -> list:
-    """Pairs scalar/batched rows; returns one record per configuration.
+def to_ns(row: dict) -> float:
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return row["cpu_time"] * scale.get(row.get("time_unit", "ns"), 1.0)
+
+
+def distill(raw: dict, suite: dict) -> list:
+    """Pairs baseline/variant rows; returns one record per configuration.
 
     With repetitions the median aggregate is used — single runs on a busy
     host swing by ±15%, medians are stable.
@@ -73,7 +113,7 @@ def distill(raw: dict) -> list:
     has_aggregates = any(
         row.get("run_type") == "aggregate" for row in raw.get("benchmarks", [])
     )
-    # (benchmark, config-label) -> {"scalar": ns, "batched": ns}
+    # (benchmark, config-label) -> {"baseline": ns, "variant": ns}
     pairs = {}
     for row in raw.get("benchmarks", []):
         if has_aggregates:
@@ -83,39 +123,45 @@ def distill(raw: dict) -> list:
             continue
         parts = row["name"].removesuffix("_median").split("/")
         base, args = parts[0], [int(p) for p in parts[1:]]
-        spec = BENCHMARKS.get(base)
+        spec = suite["benchmarks"].get(base)
         if spec is None:
             continue
         mode = args[spec["mode_arg"]]
         rest = [a for i, a in enumerate(args) if i != spec["mode_arg"]]
         key = (base, spec["label"](rest))
-        pairs.setdefault(key, {})["batched" if mode == 1 else "scalar"] = row[
-            "cpu_time"
-        ]
+        pairs.setdefault(key, {})["variant" if mode == 1 else "baseline"] = (
+            to_ns(row)
+        )
 
     records, missing = [], []
     for (base, label), times in sorted(pairs.items()):
-        if "scalar" not in times or "batched" not in times:
+        if "baseline" not in times or "variant" not in times:
             missing.append(f"{base}[{label}]")
             continue
         records.append(
             {
                 "benchmark": base,
                 "config": label,
-                "scalar_cpu_ns": round(times["scalar"], 1),
-                "batched_cpu_ns": round(times["batched"], 1),
-                "speedup": round(times["scalar"] / times["batched"], 2),
+                suite["baseline_field"]: round(times["baseline"], 1),
+                suite["variant_field"]: round(times["variant"], 1),
+                "speedup": round(times["baseline"] / times["variant"], 2),
             }
         )
     if missing:
         raise SystemExit(f"unpaired benchmark configurations: {missing}")
     if not records:
-        raise SystemExit("no scalar-vs-batched benchmark rows found")
+        raise SystemExit("no paired benchmark rows found")
     return records
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="micro",
+        help="which paired benchmark family to distill",
+    )
     parser.add_argument(
         "--bench",
         type=Path,
@@ -145,15 +191,19 @@ def main() -> None:
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_micro.json",
-        help="output file",
+        default=None,
+        help="output file (default BENCH_<suite>.json at the repo root)",
     )
     args = parser.parse_args()
+    suite = SUITES[args.suite]
+    if args.out is None:
+        args.out = REPO_ROOT / f"BENCH_{args.suite}.json"
 
     if args.from_json is not None:
         raw = json.loads(args.from_json.read_text())
     else:
-        raw = run_benchmarks(args.bench, args.min_time, args.repetitions)
+        raw = run_benchmarks(args.bench, suite, args.min_time,
+                             args.repetitions)
 
     context = raw.get("context", {})
     out = {
@@ -169,16 +219,17 @@ def main() -> None:
             if args.from_json is None and args.repetitions > 1
             else "as captured"
         ),
-        "note": "speedup = scalar_cpu_ns / batched_cpu_ns; both paths "
-        "produce bit-identical results (DESIGN.md section 12)",
-        "results": distill(raw),
+        "note": suite["note"],
+        "results": distill(raw, suite),
     }
     args.out.write_text(json.dumps(out, indent=2) + "\n")
+    base_name = suite["baseline_field"].removesuffix("_cpu_ns")
+    variant_name = suite["variant_field"].removesuffix("_cpu_ns")
     for r in out["results"]:
         print(
             f"{r['benchmark']:<24} {r['config']:<12} "
-            f"scalar {r['scalar_cpu_ns'] / 1e3:>9.1f} us   "
-            f"batched {r['batched_cpu_ns'] / 1e3:>9.1f} us   "
+            f"{base_name} {r[suite['baseline_field']] / 1e3:>11.1f} us   "
+            f"{variant_name} {r[suite['variant_field']] / 1e3:>11.1f} us   "
             f"{r['speedup']:.2f}x"
         )
     print(f"wrote {args.out}")

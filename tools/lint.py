@@ -9,6 +9,11 @@ Rules (see DESIGN.md section 11):
                 `float-eq-ok` comment on the same or the preceding line.
   hot-check     ISRL_CHECK* in designated hot files (innermost numeric
                 loops) — use the debug-only ISRL_DCHECK* variants there.
+  direct-ask    UserOracle::Ask called from algorithm code under src/core/
+                or src/baselines/. Interaction is sans-IO (DESIGN.md
+                section 13): algorithms emit questions through their
+                InteractionSession; only the blocking driver, the
+                scheduler, and the evaluation layer may touch an oracle.
 
 Usage: tools/lint.py [paths...]   (defaults to src/)
 Exit status is the number of findings (0 == clean).
@@ -50,6 +55,20 @@ FLOAT_EQ_RE = re.compile(
 )
 
 HOT_CHECK_RE = re.compile(r"\bISRL_CHECK(?:_[A-Z]+)?\s*\(")
+
+# Sans-IO discipline: algorithm code never talks to an oracle directly. The
+# only places allowed to call `.Ask(` / `->Ask(` under src/core/ and
+# src/baselines/ are the IO drivers.
+ASK_DRIVER_FILES = {
+    "src/core/algorithm.h",   # the blocking Interact() driver
+    "src/core/scheduler.h",   # DriveWithUsers
+    "src/core/scheduler.cc",
+    "src/core/session.cc",    # the evaluation layer
+}
+
+ASK_SCOPES = ("src/core/", "src/baselines/")
+
+DIRECT_ASK_RE = re.compile(r"(?:\.|->)\s*Ask\s*\(")
 
 SUPPRESS_TOKEN = "float-eq-ok"
 
@@ -111,6 +130,22 @@ def lint_file(path: Path) -> list:
                         f"test with `// {SUPPRESS_TOKEN}: <reason>`",
                     )
                 )
+
+        if (
+            rel.startswith(ASK_SCOPES)
+            and rel not in ASK_DRIVER_FILES
+            and DIRECT_ASK_RE.search(code)
+        ):
+            findings.append(
+                (
+                    rel,
+                    lineno,
+                    "direct-ask",
+                    "UserOracle::Ask outside an IO driver; emit the "
+                    "question through the InteractionSession step API "
+                    "(DESIGN.md section 13)",
+                )
+            )
 
         if rel in HOT_FILES and HOT_CHECK_RE.search(code):
             findings.append(
