@@ -3,6 +3,10 @@
 // forward/backward — the per-round cost drivers of EA and AA.
 #include <benchmark/benchmark.h>
 
+#include "baselines/single_pass.h"
+#include "baselines/uh_random.h"
+#include "baselines/uh_simplex.h"
+#include "baselines/utility_approx.h"
 #include "common/rng.h"
 #include "core/aa.h"
 #include "core/aa_state.h"
@@ -441,6 +445,142 @@ BENCHMARK(BM_SessionThroughputAa)
     ->Args({1, 1})
     ->Args({64, 0})
     ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Durable sessions: checkpoint save / restore (DESIGN.md §14). ----
+// A scheduler population of N sessions parked mid-conversation. Mode 0
+// times CheckpointAll() — serialize every live session into one framed,
+// checksummed population snapshot — and mode 1 times RestoreAll() — verify
+// the frame and rebuild every session from its bytes. The snapshot_bytes
+// counter reports the population snapshot size, so the checked-in
+// BENCH_checkpoint.json doubles as a size-regression record.
+
+Dataset CheckpointSkyline() {
+  Rng rng(21);
+  Dataset raw = GenerateSynthetic(400, 4, Distribution::kAntiCorrelated, rng);
+  return SkylineOf(raw);
+}
+
+void RunCheckpoint(benchmark::State& state, InteractiveAlgorithm& algo) {
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  const bool restore = state.range(1) == 1;
+  Rng rng(22);
+  RunBudget budget;
+  budget.max_rounds = 50;
+  SessionScheduler scheduler;
+  std::vector<std::unique_ptr<UserOracle>> owned;
+  std::vector<UserOracle*> users;
+  for (size_t i = 0; i < sessions; ++i) {
+    SessionConfig config;
+    config.budget = budget;
+    config.seed = SplitSeed(23, i);
+    scheduler.Add(algo.StartSession(config), &algo);
+    owned.push_back(std::make_unique<LinearUser>(rng.SimplexUniform(4)));
+    users.push_back(owned.back().get());
+  }
+  // Two answered rounds each: the snapshot carries real mid-flight state
+  // (cut polyhedra / learned halfspaces), not freshly constructed sessions.
+  for (int tick = 0; tick < 2; ++tick) {
+    for (const PendingQuestion& pq : scheduler.Tick()) {
+      scheduler.PostAnswer(
+          pq.session_id,
+          users[pq.session_id]->Ask(pq.question.first, pq.question.second));
+    }
+  }
+  Result<std::string> snapshot = scheduler.CheckpointAll();
+  if (!snapshot.ok()) {
+    state.SkipWithError(snapshot.status().ToString().c_str());
+    return;
+  }
+  AlgorithmResolver resolver =
+      [&algo](const std::string& name) -> InteractiveAlgorithm* {
+    return name == algo.name() ? &algo : nullptr;
+  };
+  for (auto _ : state) {
+    if (restore) {
+      Result<SessionScheduler> restored =
+          SessionScheduler::RestoreAll(*snapshot, resolver);
+      benchmark::DoNotOptimize(restored);
+    } else {
+      Result<std::string> bytes = scheduler.CheckpointAll();
+      benchmark::DoNotOptimize(bytes);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sessions));
+  state.counters["snapshot_bytes"] = static_cast<double>(snapshot->size());
+}
+
+void BM_CheckpointEa(benchmark::State& state) {
+  Dataset sky = CheckpointSkyline();
+  EaOptions opt;
+  opt.epsilon = 0.1;
+  Ea ea(sky, opt);
+  RunCheckpoint(state, ea);
+}
+BENCHMARK(BM_CheckpointEa)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointAa(benchmark::State& state) {
+  Dataset sky = CheckpointSkyline();
+  AaOptions opt;
+  opt.epsilon = 0.1;
+  Aa aa(sky, opt);
+  RunCheckpoint(state, aa);
+}
+BENCHMARK(BM_CheckpointAa)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointUhRandom(benchmark::State& state) {
+  Dataset sky = CheckpointSkyline();
+  UhOptions opt;
+  opt.epsilon = 0.1;
+  UhRandom uh(sky, opt);
+  RunCheckpoint(state, uh);
+}
+BENCHMARK(BM_CheckpointUhRandom)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointUhSimplex(benchmark::State& state) {
+  Dataset sky = CheckpointSkyline();
+  UhOptions opt;
+  opt.epsilon = 0.1;
+  UhSimplex uh(sky, opt);
+  RunCheckpoint(state, uh);
+}
+BENCHMARK(BM_CheckpointUhSimplex)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointSinglePass(benchmark::State& state) {
+  Dataset sky = CheckpointSkyline();
+  SinglePassOptions opt;
+  opt.epsilon = 0.1;
+  SinglePass sp(sky, opt);
+  RunCheckpoint(state, sp);
+}
+BENCHMARK(BM_CheckpointSinglePass)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointUtilityApprox(benchmark::State& state) {
+  Dataset sky = CheckpointSkyline();
+  UtilityApproxOptions opt;
+  opt.epsilon = 0.1;
+  UtilityApprox ua(sky, opt);
+  RunCheckpoint(state, ua);
+}
+BENCHMARK(BM_CheckpointUtilityApprox)
     ->Args({1024, 0})
     ->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);

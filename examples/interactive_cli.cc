@@ -10,9 +10,15 @@
 //   PostAnswer()    <-  "1" / "2" (or "s" to skip the question)
 //   Cancel()        <-  "q" — the session still returns its best-so-far
 //
-// Run:  ./build/examples/interactive_cli [algorithm]
+// Run:  ./build/examples/interactive_cli [algorithm] [--save F] [--resume F]
 // where [algorithm] is one of: ea (default), uh-random, uh-simplex,
 // single-pass, utility-approx.
+//
+// Durability (DESIGN.md §14): with --save FILE, quitting ('q' or EOF) writes
+// the session's checkpoint to FILE instead of cancelling, so the episode can
+// be picked up later; with --resume FILE, the program reopens that
+// checkpoint and continues exactly where the saved run stopped (the dataset
+// and EA training are deterministic, so the restored session matches).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -23,6 +29,7 @@
 #include "baselines/uh_simplex.h"
 #include "baselines/utility_approx.h"
 #include "core/ea.h"
+#include "core/snapshot.h"
 #include "data/skyline.h"
 #include "data/synthetic.h"
 #include "user/sampler.h"
@@ -73,7 +80,24 @@ void PrintOption(int label, const Vec& point, bool synthetic) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string which = argc > 1 ? argv[1] : "ea";
+  std::string which = "ea";
+  std::string save_path;
+  std::string resume_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--save" && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: interactive_cli [algorithm] [--save FILE] "
+                   "[--resume FILE]\n");
+      return 1;
+    } else {
+      which = arg;
+    }
+  }
 
   Rng rng(2025);
   Dataset raw = GenerateSynthetic(/*n=*/2000, /*d=*/3,
@@ -93,8 +117,26 @@ int main(int argc, char** argv) {
 
   SessionConfig config;
   config.budget.max_rounds = 30;  // nobody answers hundreds of questions
-  std::unique_ptr<InteractionSession> session =
-      algorithm->StartSession(config);
+  std::unique_ptr<InteractionSession> session;
+  if (!resume_path.empty()) {
+    Result<std::string> bytes = snapshot::ReadFileBytes(resume_path);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "cannot read checkpoint: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::unique_ptr<InteractionSession>> restored =
+        algorithm->RestoreSession(*bytes, config);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot resume session: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    session = std::move(*restored);
+    std::printf("resumed session from %s\n", resume_path.c_str());
+  } else {
+    session = algorithm->StartSession(config);
+  }
 
   std::printf(
       "\n%s will ask which tuple you prefer (larger values are better on "
@@ -113,6 +155,24 @@ int main(int argc, char** argv) {
     std::printf("> ");
     std::fflush(stdout);
     if (std::fgets(line, sizeof line, stdin) == nullptr || line[0] == 'q') {
+      if (!save_path.empty()) {
+        // Quit-with-save: checkpoint the live session instead of cancelling,
+        // so `--resume` continues from this exact question.
+        Result<std::string> state = session->SaveState();
+        Status written = state.ok()
+                             ? snapshot::WriteFileBytes(save_path, *state)
+                             : state.status();
+        if (!written.ok()) {
+          std::fprintf(stderr, "checkpoint failed: %s\n",
+                       written.ToString().c_str());
+          session->Cancel();
+          break;
+        }
+        std::printf("\nsession checkpointed to %s — resume with:\n"
+                    "  interactive_cli %s --resume %s\n",
+                    save_path.c_str(), which.c_str(), save_path.c_str());
+        return 0;
+      }
       session->Cancel();  // EOF or quit: best-so-far, not a crash
       break;
     }

@@ -7,11 +7,15 @@
 #include <optional>
 
 #include "common/stopwatch.h"
+#include "core/snapshot.h"
 #include "geometry/hit_and_run.h"
 #include "user/sampler.h"
 
 namespace isrl {
 namespace {
+
+constexpr char kSpSnapshotKind[] = "sp-session";
+constexpr uint32_t kSpSnapshotVersion = 1;
 
 // Axis-aligned bounding box of a utility-vector sample, padded by `pad` and
 // clipped to [0,1]. An inner approximation of the true outer rectangle; the
@@ -144,6 +148,177 @@ class SinglePass::Session final : public InteractionSession {
     InteractionResult result = result_;
     result.converged = result.termination == Termination::kConverged;
     return result;
+  }
+
+  // ---- Durability (DESIGN.md §14). ---------------------------------------
+
+  /// Tag ctor for RestoreSession (see Ea::Session::RestoreTag). Fixed
+  /// parameters (d, the stop bound, the rectangle padding) are recomputed
+  /// from the owner; everything learned comes from Decode().
+  struct RestoreTag {};
+  Session(SinglePass& owner, InteractionTrace* trace, RestoreTag)
+      : owner_(owner),
+        trace_(trace),
+        d_(owner.data_.dim()),
+        max_questions_(0),
+        max_lp_(0),
+        stop_dist_(2.0 * std::sqrt(static_cast<double>(owner.data_.dim())) *
+                   owner.options_.epsilon),
+        pad_(0.5 * owner.options_.epsilon),
+        owned_rng_(std::nullopt),
+        e_min_(owner.data_.dim(), 0.0),
+        e_max_(owner.data_.dim(), 1.0) {}
+
+  Result<std::string> SaveState() const override {
+    snapshot::Writer w;
+    snapshot::SessionCore core;
+    core.algorithm = owner_.name();
+    core.data_size = owner_.data_.size();
+    core.data_dim = owner_.data_.dim();
+    core.result = result_;
+    if (!finished_) core.result.seconds += watch_.ElapsedSeconds();
+    core.max_rounds = max_questions_;
+    core.deadline = deadline_;
+    core.stage =
+        finished_ ? snapshot::kStageFinished : snapshot::kStageAsking;
+    core.question = question_;
+    core.has_rng = true;
+    core.rng = rng();
+    core.trace = trace_;
+    snapshot::EncodeSessionCore(core, &w);
+    w.U64(max_lp_);
+    w.U64(h_.size());
+    for (const LearnedHalfspace& lh : h_) {
+      snapshot::EncodeLearnedHalfspace(lh, &w);
+    }
+    w.U64(particles_.size());
+    for (const Vec& u : particles_) snapshot::EncodeVec(u, &w);
+    snapshot::EncodeVec(e_min_, &w);
+    snapshot::EncodeVec(e_max_, &w);
+    snapshot::EncodeIndexVector(order_, &w);
+    w.U64(champion_);
+    w.U64(pass_);
+    w.U64(pos_);
+    w.U64(questions_this_pass_);
+    w.U64(challenger_);
+    w.Bool(certified_);
+    w.Bool(stuck_);
+    return snapshot::WrapFrame(kSpSnapshotKind, kSpSnapshotVersion, w.Take());
+  }
+
+  Status Decode(const std::string& payload) {
+    snapshot::Reader r(payload);
+    snapshot::SessionCore core;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeSessionCore(&r, &core));
+    ISRL_RETURN_IF_ERROR(snapshot::ValidateSessionCore(
+        core, owner_.name(), owner_.data_.size(), owner_.data_.dim()));
+    if (!core.has_rng) {
+      return Status::InvalidArgument("SinglePass snapshot: missing rng state");
+    }
+    if (core.stage == snapshot::kStageScoring) {
+      return Status::InvalidArgument(
+          "SinglePass snapshot: scoring stage is not part of the protocol");
+    }
+    const size_t n = owner_.data_.size();
+    const uint64_t max_lp = r.U64();
+    const uint64_t num_h = r.U64();
+    if (!r.failed() && num_h > snapshot::kMaxElements) {
+      return Status::InvalidArgument(
+          "SinglePass snapshot: implausible H size");
+    }
+    std::vector<LearnedHalfspace> h;
+    for (uint64_t i = 0; i < num_h && !r.failed(); ++i) {
+      LearnedHalfspace lh;
+      ISRL_RETURN_IF_ERROR(snapshot::DecodeLearnedHalfspace(&r, &lh, n));
+      if (lh.h.normal.dim() != d_) {
+        return Status::InvalidArgument(
+            "SinglePass snapshot: halfspace dimension mismatch");
+      }
+      h.push_back(std::move(lh));
+    }
+    const uint64_t num_particles = r.U64();
+    if (!r.failed() && num_particles > snapshot::kMaxElements) {
+      return Status::InvalidArgument(
+          "SinglePass snapshot: implausible particle count");
+    }
+    std::vector<Vec> particles;
+    for (uint64_t i = 0; i < num_particles && !r.failed(); ++i) {
+      Vec u;
+      ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &u));
+      if (u.dim() != d_) {
+        return Status::InvalidArgument(
+            "SinglePass snapshot: particle dimension mismatch");
+      }
+      particles.push_back(std::move(u));
+    }
+    Vec e_min, e_max;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &e_min));
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &e_max));
+    std::vector<size_t> order;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeIndexVector(&r, &order, n));
+    const uint64_t champion = r.U64();
+    const uint64_t pass = r.U64();
+    const uint64_t pos = r.U64();
+    const uint64_t questions_this_pass = r.U64();
+    const uint64_t challenger = r.U64();
+    const bool certified = r.Bool();
+    const bool stuck = r.Bool();
+    ISRL_RETURN_IF_ERROR(r.status());
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument(
+          "SinglePass snapshot: trailing payload bytes");
+    }
+    if (e_min.dim() != d_ || e_max.dim() != d_) {
+      return Status::InvalidArgument(
+          "SinglePass snapshot: rectangle dimension mismatch");
+    }
+    // Advance() walks order_[pos_] directly, so the stream order must be a
+    // genuine permutation of the dataset and the cursor must stay within
+    // one-past-the-end.
+    if (order.size() != n) {
+      return Status::InvalidArgument(
+          "SinglePass snapshot: stream order size mismatch");
+    }
+    std::vector<bool> seen(n, false);
+    for (size_t idx : order) {
+      if (seen[idx]) {
+        return Status::InvalidArgument(
+            "SinglePass snapshot: stream order is not a permutation");
+      }
+      seen[idx] = true;
+    }
+    if (champion >= n || challenger >= n || pos > n) {
+      return Status::InvalidArgument(
+          "SinglePass snapshot: stream cursor out of range");
+    }
+
+    result_ = core.result;
+    max_questions_ = static_cast<size_t>(core.max_rounds);
+    max_lp_ = static_cast<size_t>(max_lp);
+    deadline_ = core.deadline;
+    owned_rng_ = core.rng;
+    if (core.has_trace && trace_ != nullptr) {
+      trace_->RestoreHistory(std::move(core.trace_max_regret),
+                             std::move(core.trace_seconds),
+                             std::move(core.trace_best_index));
+    }
+    h_ = std::move(h);
+    particles_ = std::move(particles);
+    e_min_ = std::move(e_min);
+    e_max_ = std::move(e_max);
+    order_ = std::move(order);
+    champion_ = static_cast<size_t>(champion);
+    pass_ = static_cast<size_t>(pass);
+    pos_ = static_cast<size_t>(pos);
+    questions_this_pass_ = static_cast<size_t>(questions_this_pass);
+    challenger_ = static_cast<size_t>(challenger);
+    certified_ = certified;
+    stuck_ = stuck;
+    question_ = core.question;
+    finished_ = core.stage == snapshot::kStageFinished;
+    asking_ = core.stage == snapshot::kStageAsking;
+    watch_.Restart();
+    return Status::Ok();
   }
 
  private:
@@ -287,6 +462,7 @@ class SinglePass::Session final : public InteractionSession {
   }
 
   Rng& rng() { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
+  const Rng& rng() const { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
 
   SinglePass& owner_;
   InteractionTrace* trace_;
@@ -320,6 +496,17 @@ class SinglePass::Session final : public InteractionSession {
 std::unique_ptr<InteractionSession> SinglePass::StartSession(
     const SessionConfig& config) {
   return std::make_unique<Session>(*this, config);
+}
+
+Result<std::unique_ptr<InteractionSession>> SinglePass::RestoreSession(
+    const std::string& bytes, const SessionConfig& config) {
+  ISRL_ASSIGN_OR_RETURN(
+      std::string payload,
+      snapshot::UnwrapFrame(kSpSnapshotKind, kSpSnapshotVersion, bytes));
+  auto session =
+      std::make_unique<Session>(*this, config.trace, Session::RestoreTag{});
+  ISRL_RETURN_IF_ERROR(session->Decode(payload));
+  return std::unique_ptr<InteractionSession>(std::move(session));
 }
 
 }  // namespace isrl

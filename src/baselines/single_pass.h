@@ -63,6 +63,12 @@ class SinglePass : public InteractiveAlgorithm {
   std::unique_ptr<InteractionSession> StartSession(
       const SessionConfig& config) override;
 
+  /// Reopens a checkpointed SinglePass session (DESIGN.md §14): half-space
+  /// list, particle set, stream order and cursors all come from the
+  /// snapshot, so the restored stream continues bit-identically.
+  Result<std::unique_ptr<InteractionSession>> RestoreSession(
+      const std::string& bytes, const SessionConfig& config) override;
+
  private:
   class Session;
 

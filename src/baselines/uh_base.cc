@@ -4,9 +4,15 @@
 #include <numeric>
 
 #include "common/stopwatch.h"
+#include "core/snapshot.h"
 #include "geometry/halfspace.h"
 
 namespace isrl {
+
+namespace {
+constexpr char kUhSnapshotKind[] = "uh-session";
+constexpr uint32_t kUhSnapshotVersion = 1;
+}  // namespace
 
 UhBase::UhBase(const Dataset& data, const UhOptions& options)
     : data_(data), options_(options), rng_(options.seed) {
@@ -150,6 +156,99 @@ class UhBase::Session final : public InteractionSession {
     return result;
   }
 
+  // ---- Durability (DESIGN.md §14). ---------------------------------------
+
+  /// Tag ctor for RestoreSession (see Ea::Session::RestoreTag).
+  struct RestoreTag {};
+  Session(UhBase& owner, InteractionTrace* trace, RestoreTag)
+      : owner_(owner),
+        trace_(trace),
+        max_rounds_(0),
+        owned_rng_(std::nullopt),
+        range_(Polyhedron::UnitSimplex(owner.data_.dim())) {}
+
+  Result<std::string> SaveState() const override {
+    snapshot::Writer w;
+    snapshot::SessionCore core;
+    core.algorithm = owner_.name();
+    core.data_size = owner_.data_.size();
+    core.data_dim = owner_.data_.dim();
+    core.result = result_;
+    if (!finished_) core.result.seconds += watch_.ElapsedSeconds();
+    core.max_rounds = max_rounds_;
+    core.deadline = deadline_;
+    core.stage =
+        finished_ ? snapshot::kStageFinished : snapshot::kStageAsking;
+    core.question = question_;
+    core.has_rng = true;
+    core.rng = rng();
+    core.trace = trace_;
+    snapshot::EncodeSessionCore(core, &w);
+    snapshot::EncodePolyhedron(range_, &w);
+    snapshot::EncodeIndexVector(candidates_, &w);
+    w.U64(best_);
+    w.Bool(resolved_);
+    return snapshot::WrapFrame(kUhSnapshotKind, kUhSnapshotVersion, w.Take());
+  }
+
+  Status Decode(const std::string& payload) {
+    snapshot::Reader r(payload);
+    snapshot::SessionCore core;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeSessionCore(&r, &core));
+    ISRL_RETURN_IF_ERROR(snapshot::ValidateSessionCore(
+        core, owner_.name(), owner_.data_.size(), owner_.data_.dim()));
+    if (!core.has_rng) {
+      return Status::InvalidArgument("UH snapshot: missing rng state");
+    }
+    if (core.stage == snapshot::kStageScoring) {
+      return Status::InvalidArgument(
+          "UH snapshot: scoring stage is not part of the UH protocol");
+    }
+    const size_t n = owner_.data_.size();
+    Result<Polyhedron> range = snapshot::DecodePolyhedron(&r);
+    ISRL_RETURN_IF_ERROR(range.status());
+    if (range->dim() != owner_.data_.dim()) {
+      return Status::InvalidArgument(
+          "UH snapshot: polyhedron dimension does not match the dataset");
+    }
+    std::vector<size_t> candidates;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeIndexVector(&r, &candidates, n));
+    const uint64_t best = r.U64();
+    const bool resolved = r.Bool();
+    ISRL_RETURN_IF_ERROR(r.status());
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("UH snapshot: trailing payload bytes");
+    }
+    if (best >= n) {
+      return Status::InvalidArgument(
+          "UH snapshot: recommendation index out of dataset range");
+    }
+    if (core.stage == snapshot::kStageAsking &&
+        (core.question.pair.i >= n || core.question.pair.j >= n)) {
+      return Status::InvalidArgument(
+          "UH snapshot: in-flight question index out of dataset range");
+    }
+
+    result_ = core.result;
+    max_rounds_ = static_cast<size_t>(core.max_rounds);
+    deadline_ = core.deadline;
+    owned_rng_ = core.rng;
+    if (core.has_trace && trace_ != nullptr) {
+      trace_->RestoreHistory(std::move(core.trace_max_regret),
+                             std::move(core.trace_seconds),
+                             std::move(core.trace_best_index));
+    }
+    range_ = std::move(range.value());
+    candidates_ = std::move(candidates);
+    best_ = static_cast<size_t>(best);
+    resolved_ = resolved;
+    question_ = core.question;
+    finished_ = core.stage == snapshot::kStageFinished;
+    asking_ = core.stage == snapshot::kStageAsking;
+    watch_.Restart();
+    return Status::Ok();
+  }
+
  private:
   void Prepare() {
     if (result_.rounds >= max_rounds_ || deadline_.Expired()) {
@@ -217,6 +316,7 @@ class UhBase::Session final : public InteractionSession {
   }
 
   Rng& rng() { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
+  const Rng& rng() const { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
 
   UhBase& owner_;
   InteractionTrace* trace_;
@@ -239,6 +339,17 @@ class UhBase::Session final : public InteractionSession {
 std::unique_ptr<InteractionSession> UhBase::StartSession(
     const SessionConfig& config) {
   return std::make_unique<Session>(*this, config);
+}
+
+Result<std::unique_ptr<InteractionSession>> UhBase::RestoreSession(
+    const std::string& bytes, const SessionConfig& config) {
+  ISRL_ASSIGN_OR_RETURN(
+      std::string payload,
+      snapshot::UnwrapFrame(kUhSnapshotKind, kUhSnapshotVersion, bytes));
+  auto session =
+      std::make_unique<Session>(*this, config.trace, Session::RestoreTag{});
+  ISRL_RETURN_IF_ERROR(session->Decode(payload));
+  return std::unique_ptr<InteractionSession>(std::move(session));
 }
 
 }  // namespace isrl

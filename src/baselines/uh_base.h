@@ -51,6 +51,14 @@ class UhBase : public InteractiveAlgorithm {
   std::unique_ptr<InteractionSession> StartSession(
       const SessionConfig& config) override;
 
+  /// Reopens a checkpointed UH session (DESIGN.md §14). UH-Random and
+  /// UH-Simplex share the frame layout; the leaf algorithm's name() is part
+  /// of the snapshot, so a UH-Random snapshot cannot restore under
+  /// UH-Simplex (different future question policy) — that mismatch is a
+  /// FailedPrecondition.
+  Result<std::unique_ptr<InteractionSession>> RestoreSession(
+      const std::string& bytes, const SessionConfig& config) override;
+
  protected:
   /// Selects the next question over `candidates`; questions whose hyper-plane
   /// does not cut R are useless, so implementations should prefer pairs for

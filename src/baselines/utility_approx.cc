@@ -4,8 +4,14 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "core/snapshot.h"
 
 namespace isrl {
+
+namespace {
+constexpr char kUaSnapshotKind[] = "ua-session";
+constexpr uint32_t kUaSnapshotVersion = 1;
+}  // namespace
 
 UtilityApprox::UtilityApprox(const Dataset& data,
                              const UtilityApproxOptions& options)
@@ -98,6 +104,124 @@ class UtilityApprox::Session final : public InteractionSession {
     InteractionResult result = result_;
     result.converged = result.termination == Termination::kConverged;
     return result;
+  }
+
+  // ---- Durability (DESIGN.md §14). ---------------------------------------
+
+  /// Tag ctor for RestoreSession (see Ea::Session::RestoreTag).
+  struct RestoreTag {};
+  Session(UtilityApprox& owner, InteractionTrace* trace, RestoreTag)
+      : owner_(owner),
+        trace_(trace),
+        d_(owner.data_.dim()),
+        stop_dist_(2.0 * std::sqrt(static_cast<double>(owner.data_.dim())) *
+                   owner.options_.epsilon),
+        max_rounds_(0),
+        max_lp_(0),
+        lo_(d_, 0.0),
+        hi_(d_, 0.0) {}
+
+  Result<std::string> SaveState() const override {
+    snapshot::Writer w;
+    snapshot::SessionCore core;
+    core.algorithm = owner_.name();
+    core.data_size = owner_.data_.size();
+    core.data_dim = owner_.data_.dim();
+    core.result = result_;
+    if (!finished_) core.result.seconds += watch_.ElapsedSeconds();
+    core.max_rounds = max_rounds_;
+    core.deadline = deadline_;
+    core.stage =
+        finished_ ? snapshot::kStageFinished : snapshot::kStageAsking;
+    core.question = question_;
+    core.has_rng = false;  // fully deterministic algorithm
+    core.trace = trace_;
+    snapshot::EncodeSessionCore(core, &w);
+    w.U64(max_lp_);
+    snapshot::EncodeVec(Vec(lo_), &w);
+    snapshot::EncodeVec(Vec(hi_), &w);
+    w.U64(h_.size());
+    for (const LearnedHalfspace& lh : h_) {
+      snapshot::EncodeLearnedHalfspace(lh, &w);
+    }
+    w.U64(cursor_);
+    w.U64(c_);
+    w.F64(t_);
+    w.Bool(resolved_);
+    return snapshot::WrapFrame(kUaSnapshotKind, kUaSnapshotVersion, w.Take());
+  }
+
+  Status Decode(const std::string& payload) {
+    snapshot::Reader r(payload);
+    snapshot::SessionCore core;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeSessionCore(&r, &core));
+    ISRL_RETURN_IF_ERROR(snapshot::ValidateSessionCore(
+        core, owner_.name(), owner_.data_.size(), owner_.data_.dim()));
+    if (core.stage == snapshot::kStageScoring) {
+      return Status::InvalidArgument(
+          "UtilityApprox snapshot: scoring stage is not part of the protocol");
+    }
+    const uint64_t max_lp = r.U64();
+    Vec lo, hi;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &lo));
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &hi));
+    const uint64_t num_h = r.U64();
+    if (!r.failed() && num_h > snapshot::kMaxElements) {
+      return Status::InvalidArgument(
+          "UtilityApprox snapshot: implausible H size");
+    }
+    std::vector<LearnedHalfspace> h;
+    for (uint64_t i = 0; i < num_h && !r.failed(); ++i) {
+      LearnedHalfspace lh;
+      // Fake-tuple half-spaces carry no dataset indices (winner = loser =
+      // 0), so the bound only needs to admit index 0.
+      ISRL_RETURN_IF_ERROR(
+          snapshot::DecodeLearnedHalfspace(&r, &lh, owner_.data_.size()));
+      if (lh.h.normal.dim() != d_) {
+        return Status::InvalidArgument(
+            "UtilityApprox snapshot: halfspace dimension mismatch");
+      }
+      h.push_back(std::move(lh));
+    }
+    const uint64_t cursor = r.U64();
+    const uint64_t c = r.U64();
+    const double t = r.FiniteF64();
+    const bool resolved = r.Bool();
+    ISRL_RETURN_IF_ERROR(r.status());
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument(
+          "UtilityApprox snapshot: trailing payload bytes");
+    }
+    if (lo.dim() != d_ || hi.dim() != d_) {
+      return Status::InvalidArgument(
+          "UtilityApprox snapshot: ratio interval dimension mismatch");
+    }
+    if (cursor == 0 || cursor >= d_ || c >= d_) {
+      return Status::InvalidArgument(
+          "UtilityApprox snapshot: bisection cursor out of range");
+    }
+
+    result_ = core.result;
+    max_rounds_ = static_cast<size_t>(core.max_rounds);
+    max_lp_ = static_cast<size_t>(max_lp);
+    deadline_ = core.deadline;
+    if (core.has_trace && trace_ != nullptr) {
+      trace_->RestoreHistory(std::move(core.trace_max_regret),
+                             std::move(core.trace_seconds),
+                             std::move(core.trace_best_index));
+    }
+    lo_ = lo.data();
+    hi_ = hi.data();
+    h_ = std::move(h);
+    cursor_ = static_cast<size_t>(cursor);
+    c_ = static_cast<size_t>(c);
+    t_ = t;
+    resolved_ = resolved;
+    question_ = core.question;
+    finished_ = core.stage == snapshot::kStageFinished;
+    asking_ = core.stage == snapshot::kStageAsking;
+    watch_.Restart();
+    return Status::Ok();
   }
 
  private:
@@ -211,6 +335,17 @@ class UtilityApprox::Session final : public InteractionSession {
 std::unique_ptr<InteractionSession> UtilityApprox::StartSession(
     const SessionConfig& config) {
   return std::make_unique<Session>(*this, config);
+}
+
+Result<std::unique_ptr<InteractionSession>> UtilityApprox::RestoreSession(
+    const std::string& bytes, const SessionConfig& config) {
+  ISRL_ASSIGN_OR_RETURN(
+      std::string payload,
+      snapshot::UnwrapFrame(kUaSnapshotKind, kUaSnapshotVersion, bytes));
+  auto session =
+      std::make_unique<Session>(*this, config.trace, Session::RestoreTag{});
+  ISRL_RETURN_IF_ERROR(session->Decode(payload));
+  return std::unique_ptr<InteractionSession>(std::move(session));
 }
 
 }  // namespace isrl

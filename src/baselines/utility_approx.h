@@ -48,6 +48,12 @@ class UtilityApprox : public InteractiveAlgorithm {
   std::unique_ptr<InteractionSession> StartSession(
       const SessionConfig& config) override;
 
+  /// Reopens a checkpointed UtilityApprox session (DESIGN.md §14). The
+  /// algorithm is deterministic, so the snapshot carries no Rng — just the
+  /// ratio intervals, the learned half-spaces, and the bisection cursors.
+  Result<std::unique_ptr<InteractionSession>> RestoreSession(
+      const std::string& bytes, const SessionConfig& config) override;
+
  private:
   class Session;
 

@@ -54,6 +54,15 @@ class Deadline {
   bool armed() const { return armed_; }
   bool Expired() const { return armed_ && Clock::now() >= at_; }
 
+  /// Seconds until expiry (negative once expired; 0 when unarmed). The
+  /// checkpoint codec persists deadlines as remaining time and re-arms them
+  /// with After() at restore, so wall-clock pauses while a session sits in
+  /// a snapshot — a restored dialogue does not owe the crash its downtime.
+  double RemainingSeconds() const {
+    if (!armed_) return 0.0;
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   bool armed_ = false;

@@ -58,6 +58,9 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+  /// Read-only engine access (checkpointing: the engine state streams out
+  /// through operator<< without disturbing the draw sequence).
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   uint64_t seed_;

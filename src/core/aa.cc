@@ -9,9 +9,16 @@
 #include "audit/audit.h"
 #include "audit/checkers.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/snapshot.h"
 #include "geometry/hit_and_run.h"
 
 namespace isrl {
+
+namespace {
+constexpr char kAaSnapshotKind[] = "aa-session";
+constexpr uint32_t kAaSnapshotVersion = 1;
+}  // namespace
 
 Aa::Aa(const Dataset& data, const AaOptions& options)
     : data_(data),
@@ -291,6 +298,185 @@ class Aa::Session final : public InteractionSession {
     TakePick(pick);
   }
 
+  // ---- Durability (DESIGN.md §14). ---------------------------------------
+
+  /// Tag ctor for RestoreSession (see Ea::Session::RestoreTag).
+  struct RestoreTag {};
+  Session(Aa& owner, InteractionTrace* trace, RestoreTag)
+      : owner_(owner),
+        trace_(trace),
+        stop_dist_(owner.StopDistance()),
+        max_rounds_(0),
+        max_lp_(0),
+        owned_rng_(std::nullopt) {}
+
+  Result<std::string> SaveState() const override {
+    snapshot::Writer w;
+    snapshot::SessionCore core;
+    core.algorithm = owner_.name();
+    core.data_size = owner_.data_.size();
+    core.data_dim = owner_.data_.dim();
+    core.result = result_;
+    if (!finished_) core.result.seconds += watch_.ElapsedSeconds();
+    core.max_rounds = max_rounds_;
+    core.deadline = deadline_;
+    core.stage = finished_ ? snapshot::kStageFinished
+                           : (asking_ ? snapshot::kStageAsking
+                                      : snapshot::kStageScoring);
+    core.question = question_;
+    core.has_rng = true;
+    core.rng = rng();
+    core.trace = trace_;
+    snapshot::EncodeSessionCore(core, &w);
+    w.U64(nn::NetworkFingerprint(owner_.agent_.main_network()));
+    w.U64(max_lp_);
+    w.U64(h_.size());
+    for (const LearnedHalfspace& lh : h_) {
+      snapshot::EncodeLearnedHalfspace(lh, &w);
+    }
+    w.Bool(geo_.feasible);
+    snapshot::EncodeVec(geo_.inner.center, &w);
+    w.F64(geo_.inner.radius);
+    snapshot::EncodeVec(geo_.e_min, &w);
+    snapshot::EncodeVec(geo_.e_max, &w);
+    snapshot::EncodeVec(state_, &w);
+    w.U64(actions_.size());
+    for (const AaAction& a : actions_) {
+      w.U64(a.q.i);
+      w.U64(a.q.j);
+      w.F64(a.balance);
+      w.F64(a.alignment);
+      w.F64(a.center_dist);
+    }
+    w.U64(best_);
+    return snapshot::WrapFrame(kAaSnapshotKind, kAaSnapshotVersion, w.Take());
+  }
+
+  Status Decode(const std::string& payload) {
+    snapshot::Reader r(payload);
+    snapshot::SessionCore core;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeSessionCore(&r, &core));
+    ISRL_RETURN_IF_ERROR(snapshot::ValidateSessionCore(
+        core, owner_.name(), owner_.data_.size(), owner_.data_.dim()));
+    if (!core.has_rng) {
+      return Status::InvalidArgument("AA snapshot: missing rng state");
+    }
+    const uint64_t fingerprint = r.U64();
+    const uint64_t live_fingerprint =
+        nn::NetworkFingerprint(owner_.agent_.main_network());
+    if (!r.failed() && fingerprint != live_fingerprint) {
+      return Status::FailedPrecondition(Format(
+          "AA snapshot is bound to Q-network %016llx but this instance "
+          "serves %016llx (retrained or different model)",
+          static_cast<unsigned long long>(fingerprint),
+          static_cast<unsigned long long>(live_fingerprint)));
+    }
+    const size_t n = owner_.data_.size();
+    const size_t d = owner_.data_.dim();
+    const uint64_t max_lp = r.U64();
+    const uint64_t num_h = r.U64();
+    if (!r.failed() && num_h > snapshot::kMaxElements) {
+      return Status::InvalidArgument("AA snapshot: implausible H size");
+    }
+    std::vector<LearnedHalfspace> h;
+    for (uint64_t i = 0; i < num_h && !r.failed(); ++i) {
+      LearnedHalfspace lh;
+      ISRL_RETURN_IF_ERROR(snapshot::DecodeLearnedHalfspace(&r, &lh, n));
+      if (lh.h.normal.dim() != d) {
+        return Status::InvalidArgument(
+            "AA snapshot: learned halfspace dimension mismatch");
+      }
+      h.push_back(std::move(lh));
+    }
+    AaGeometry geo;
+    geo.feasible = r.Bool();
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &geo.inner.center));
+    geo.inner.radius = r.FiniteF64();
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &geo.e_min));
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &geo.e_max));
+    Vec state;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &state));
+    const uint64_t num_actions = r.U64();
+    if (!r.failed() && num_actions > snapshot::kMaxElements) {
+      return Status::InvalidArgument("AA snapshot: implausible action count");
+    }
+    std::vector<AaAction> actions;
+    for (uint64_t i = 0; i < num_actions && !r.failed(); ++i) {
+      AaAction a;
+      a.q.i = static_cast<size_t>(r.U64());
+      a.q.j = static_cast<size_t>(r.U64());
+      a.balance = r.FiniteF64();
+      a.alignment = r.FiniteF64();
+      a.center_dist = r.FiniteF64();
+      if (!r.failed() && (a.q.i >= n || a.q.j >= n)) {
+        return Status::InvalidArgument(
+            "AA snapshot: action index out of dataset range");
+      }
+      actions.push_back(a);
+    }
+    const uint64_t best = r.U64();
+    ISRL_RETURN_IF_ERROR(r.status());
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("AA snapshot: trailing payload bytes");
+    }
+    if (best >= n) {
+      return Status::InvalidArgument(
+          "AA snapshot: recommendation index out of dataset range");
+    }
+    const bool restored_finished = core.stage == snapshot::kStageFinished;
+    if (!restored_finished) {
+      // Live sessions always hold a feasible geometry of the dataset's
+      // dimension (infeasible geometries only occur on the abort paths,
+      // which finish the session before it can be saved mid-flight).
+      if (!geo.feasible || geo.inner.center.dim() != d ||
+          geo.e_min.dim() != d || geo.e_max.dim() != d) {
+        return Status::InvalidArgument(
+            "AA snapshot: live session carries an unusable geometry");
+      }
+      const size_t expected_state_dim =
+          owner_.input_dim_ - 3 * d - Aa::kActionDescriptors;
+      if (state.dim() != expected_state_dim) {
+        return Status::InvalidArgument(
+            "AA snapshot: state vector dimension mismatch");
+      }
+    }
+    if (core.stage == snapshot::kStageAsking &&
+        (core.question.pair.i >= n || core.question.pair.j >= n)) {
+      return Status::InvalidArgument(
+          "AA snapshot: in-flight question index out of dataset range");
+    }
+    if (core.stage == snapshot::kStageScoring && actions.empty()) {
+      return Status::InvalidArgument(
+          "AA snapshot: scoring stage without staged candidates");
+    }
+
+    result_ = core.result;
+    max_rounds_ = static_cast<size_t>(core.max_rounds);
+    max_lp_ = static_cast<size_t>(max_lp);
+    deadline_ = core.deadline;
+    owned_rng_ = core.rng;
+    if (core.has_trace && trace_ != nullptr) {
+      trace_->RestoreHistory(std::move(core.trace_max_regret),
+                             std::move(core.trace_seconds),
+                             std::move(core.trace_best_index));
+    }
+    h_ = std::move(h);
+    geo_ = std::move(geo);
+    state_ = std::move(state);
+    actions_ = std::move(actions);
+    best_ = static_cast<size_t>(best);
+    question_ = core.question;
+    finished_ = restored_finished;
+    asking_ = core.stage == snapshot::kStageAsking;
+    scoring_pending_ = false;
+    if (core.stage == snapshot::kStageScoring) {
+      pending_features_ = owner_.FeaturizeCandidatesMatrix(state_, actions_);
+      scoring_pending_ = true;
+    }
+    watch_.Restart();
+    return Status::Ok();
+  }
+
  private:
   void Prepare() {
     if (!(Distance(geo_.e_min, geo_.e_max) > stop_dist_) ||
@@ -346,6 +532,7 @@ class Aa::Session final : public InteractionSession {
   }
 
   Rng& rng() { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
+  const Rng& rng() const { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
 
   Aa& owner_;
   InteractionTrace* trace_;
@@ -381,6 +568,16 @@ std::unique_ptr<InteractionSession> Aa::StartSession(
   return std::make_unique<Session>(*this, config);
 }
 
+Result<std::unique_ptr<InteractionSession>> Aa::RestoreSession(
+    const std::string& bytes, const SessionConfig& config) {
+  ISRL_ASSIGN_OR_RETURN(
+      std::string payload,
+      snapshot::UnwrapFrame(kAaSnapshotKind, kAaSnapshotVersion, bytes));
+  auto session =
+      std::make_unique<Session>(*this, config.trace, Session::RestoreTag{});
+  ISRL_RETURN_IF_ERROR(session->Decode(payload));
+  return std::unique_ptr<InteractionSession>(std::move(session));
+}
 
 Status Aa::SaveAgent(const std::string& path) {
   return nn::SaveNetwork(agent_.main_network(), path);

@@ -81,6 +81,12 @@ class Aa : public InteractiveAlgorithm {
   std::unique_ptr<InteractionSession> StartSession(
       const SessionConfig& config) override;
 
+  /// Reopens a checkpointed AA session (DESIGN.md §14). Snapshots carry the
+  /// Q-network's fingerprint, not its weights; restore fails with
+  /// FailedPrecondition when this instance's network differs.
+  Result<std::unique_ptr<InteractionSession>> RestoreSession(
+      const std::string& bytes, const SessionConfig& config) override;
+
  private:
   class Session;
 

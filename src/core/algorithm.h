@@ -69,6 +69,20 @@ class InteractionTrace {
   size_t regret_samples() const { return regret_samples_; }
   Rng& rng() const { return *rng_; }
 
+  /// Replaces the recorded history with checkpointed vectors (core/snapshot
+  /// trace codec). The three vectors must have equal length; used when a
+  /// driver restores a session together with its trace so the combined
+  /// figure data is bit-identical to an uninterrupted run.
+  void RestoreHistory(std::vector<double> max_regret,
+                      std::vector<double> cumulative_seconds,
+                      std::vector<size_t> best_index) {
+    ISRL_CHECK_EQ(max_regret.size(), cumulative_seconds.size());
+    ISRL_CHECK_EQ(max_regret.size(), best_index.size());
+    max_regret_ = std::move(max_regret);
+    cumulative_seconds_ = std::move(cumulative_seconds);
+    best_index_ = std::move(best_index);
+  }
+
   const std::vector<double>& max_regret() const { return max_regret_; }
   const std::vector<double>& cumulative_seconds() const {
     return cumulative_seconds_;
@@ -175,6 +189,21 @@ class InteractionSession {
     (void)scores;
     (void)count;
   }
+
+  // ---- Durability (DESIGN.md §14). ---------------------------------------
+
+  /// Serialises the complete episode state into a versioned, CRC-framed
+  /// byte string (core/snapshot framing). A session restored from these
+  /// bytes via InteractiveAlgorithm::RestoreSession continues bit-
+  /// identically: same questions, same Rng draw order, same Termination.
+  /// Q-network weights are NOT embedded — RL snapshots carry a model
+  /// fingerprint and are bound to their algorithm instance's live network
+  /// at restore. Callable in any state, including mid-question and after
+  /// termination. Default: Unimplemented (a session type without
+  /// durability support degrades to a Status, never a crash).
+  virtual Result<std::string> SaveState() const {
+    return Status::Unimplemented("session checkpointing not supported");
+  }
 };
 
 /// An interactive algorithm bound to a dataset and a regret threshold ε.
@@ -214,6 +243,21 @@ class InteractiveAlgorithm {
   /// recommendation.
   virtual std::unique_ptr<InteractionSession> StartSession(
       const SessionConfig& config) = 0;
+
+  /// Reopens a session from InteractionSession::SaveState bytes
+  /// (DESIGN.md §14). Only `config.trace` is honoured — budget caps, the
+  /// remaining deadline, and the Rng state all come from the snapshot, so
+  /// the restored episode continues bit-identically to one that never
+  /// stopped. Every failure mode — wrong algorithm kind, truncated or
+  /// corrupted frames, version skew, non-finite payloads, dataset or
+  /// Q-network mismatch — returns a descriptive Status; restore never
+  /// crashes. Default: Unimplemented.
+  virtual Result<std::unique_ptr<InteractionSession>> RestoreSession(
+      const std::string& bytes, const SessionConfig& config) {
+    (void)bytes;
+    (void)config;
+    return Status::Unimplemented("session restore not supported");
+  }
 
   /// Runs one full interaction against `user`; when `trace` is non-null the
   /// algorithm records per-round progress into it.

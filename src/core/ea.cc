@@ -8,10 +8,17 @@
 #include "audit/audit.h"
 #include "audit/checkers.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/snapshot.h"
 #include "core/terminal.h"
 #include "geometry/halfspace.h"
 
 namespace isrl {
+
+namespace {
+constexpr char kEaSnapshotKind[] = "ea-session";
+constexpr uint32_t kEaSnapshotVersion = 1;
+}  // namespace
 
 Ea::Ea(const Dataset& data, const EaOptions& options)
     : data_(data),
@@ -272,6 +279,162 @@ class Ea::Session final : public InteractionSession {
     TakePick(pick);
   }
 
+  // ---- Durability (DESIGN.md §14). ---------------------------------------
+
+  /// Tag ctor for RestoreSession: builds an empty shell (no planning, no
+  /// Rng draws) that Decode() then fills from snapshot bytes.
+  struct RestoreTag {};
+  Session(Ea& owner, InteractionTrace* trace, RestoreTag)
+      : owner_(owner),
+        trace_(trace),
+        max_rounds_(0),
+        owned_rng_(std::nullopt),
+        range_(Polyhedron::UnitSimplex(owner.data_.dim())) {}
+
+  Result<std::string> SaveState() const override {
+    snapshot::Writer w;
+    snapshot::SessionCore core;
+    core.algorithm = owner_.name();
+    core.data_size = owner_.data_.size();
+    core.data_dim = owner_.data_.dim();
+    core.result = result_;
+    // Fold the live stopwatch into the persisted seconds; a fresh stopwatch
+    // starts at restore, so snapshot downtime never counts as algorithm time.
+    if (!finished_) core.result.seconds += watch_.ElapsedSeconds();
+    core.max_rounds = max_rounds_;
+    core.deadline = deadline_;
+    core.stage = finished_ ? snapshot::kStageFinished
+                           : (asking_ ? snapshot::kStageAsking
+                                      : snapshot::kStageScoring);
+    core.question = question_;
+    core.has_rng = true;
+    core.rng = rng();
+    core.trace = trace_;  // figure vectors ride along (may be null)
+    snapshot::EncodeSessionCore(core, &w);
+    // Model identity, not model weights: the Q-network belongs to the
+    // algorithm instance and is persisted separately (nn/serialize).
+    w.U64(nn::NetworkFingerprint(owner_.agent_.main_network()));
+    snapshot::EncodePolyhedron(range_, &w);
+    w.Bool(plan_.terminal);
+    w.Bool(plan_.stalled);
+    w.U64(plan_.winner);
+    w.U64(plan_.actions.size());
+    for (const EaAction& a : plan_.actions) {
+      w.U64(a.q.i);
+      w.U64(a.q.j);
+      w.F64(a.balance);
+      w.F64(a.center_dist);
+    }
+    snapshot::EncodeVec(state_, &w);
+    w.U64(fallback_best_);
+    return snapshot::WrapFrame(kEaSnapshotKind, kEaSnapshotVersion, w.Take());
+  }
+
+  /// Fills the shell from an unwrapped payload; every failure leaves the
+  /// shell unusable but the process unharmed (the caller discards it).
+  Status Decode(const std::string& payload) {
+    snapshot::Reader r(payload);
+    snapshot::SessionCore core;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeSessionCore(&r, &core));
+    ISRL_RETURN_IF_ERROR(snapshot::ValidateSessionCore(
+        core, owner_.name(), owner_.data_.size(), owner_.data_.dim()));
+    if (!core.has_rng) {
+      return Status::InvalidArgument("EA snapshot: missing rng state");
+    }
+    const uint64_t fingerprint = r.U64();
+    const uint64_t live_fingerprint =
+        nn::NetworkFingerprint(owner_.agent_.main_network());
+    if (!r.failed() && fingerprint != live_fingerprint) {
+      return Status::FailedPrecondition(Format(
+          "EA snapshot is bound to Q-network %016llx but this instance "
+          "serves %016llx (retrained or different model)",
+          static_cast<unsigned long long>(fingerprint),
+          static_cast<unsigned long long>(live_fingerprint)));
+    }
+    Result<Polyhedron> range = snapshot::DecodePolyhedron(&r);
+    ISRL_RETURN_IF_ERROR(range.status());
+    const size_t n = owner_.data_.size();
+    if (range->dim() != owner_.data_.dim()) {
+      return Status::InvalidArgument(
+          "EA snapshot: polyhedron dimension does not match the dataset");
+    }
+    RoundPlan plan;
+    plan.terminal = r.Bool();
+    plan.stalled = r.Bool();
+    plan.winner = static_cast<size_t>(r.U64());
+    const uint64_t num_actions = r.U64();
+    if (!r.failed() && num_actions > snapshot::kMaxElements) {
+      return Status::InvalidArgument("EA snapshot: implausible action count");
+    }
+    for (uint64_t i = 0; i < num_actions && !r.failed(); ++i) {
+      EaAction a;
+      a.q.i = static_cast<size_t>(r.U64());
+      a.q.j = static_cast<size_t>(r.U64());
+      a.balance = r.FiniteF64();
+      a.center_dist = r.FiniteF64();
+      if (!r.failed() && (a.q.i >= n || a.q.j >= n)) {
+        return Status::InvalidArgument(
+            "EA snapshot: action index out of dataset range");
+      }
+      plan.actions.push_back(a);
+    }
+    Vec state;
+    ISRL_RETURN_IF_ERROR(snapshot::DecodeVec(&r, &state));
+    const uint64_t fallback = r.U64();
+    ISRL_RETURN_IF_ERROR(r.status());
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("EA snapshot: trailing payload bytes");
+    }
+    if (plan.winner >= n || fallback >= n) {
+      return Status::InvalidArgument(
+          "EA snapshot: recommendation index out of dataset range");
+    }
+    const size_t expected_state_dim =
+        owner_.input_dim_ - 3 * owner_.data_.dim() - Ea::kActionDescriptors;
+    if (state.dim() != expected_state_dim) {
+      return Status::InvalidArgument(
+          "EA snapshot: state vector dimension mismatch");
+    }
+    if (core.stage == snapshot::kStageAsking &&
+        (core.question.pair.i >= n || core.question.pair.j >= n)) {
+      return Status::InvalidArgument(
+          "EA snapshot: in-flight question index out of dataset range");
+    }
+    if (core.stage == snapshot::kStageScoring &&
+        (plan.terminal || plan.stalled || plan.actions.empty())) {
+      return Status::InvalidArgument(
+          "EA snapshot: scoring stage without staged candidates");
+    }
+
+    result_ = core.result;
+    max_rounds_ = static_cast<size_t>(core.max_rounds);
+    deadline_ = core.deadline;
+    owned_rng_ = core.rng;
+    if (core.has_trace && trace_ != nullptr) {
+      trace_->RestoreHistory(std::move(core.trace_max_regret),
+                             std::move(core.trace_seconds),
+                             std::move(core.trace_best_index));
+    }
+    range_ = std::move(range.value());
+    plan_ = std::move(plan);
+    state_ = std::move(state);
+    fallback_best_ = static_cast<size_t>(fallback);
+    question_ = core.question;
+    finished_ = core.stage == snapshot::kStageFinished;
+    asking_ = core.stage == snapshot::kStageAsking;
+    scoring_pending_ = false;
+    if (core.stage == snapshot::kStageScoring) {
+      // FeaturizeCandidatesMatrix is a pure function of (state, actions), so
+      // recomputing it reproduces the exact rows the saved session staged —
+      // the greedy argmax (self-scored or coalesced) picks the same action.
+      pending_features_ =
+          owner_.FeaturizeCandidatesMatrix(state_, plan_.actions);
+      scoring_pending_ = true;
+    }
+    watch_.Restart();
+    return Status::Ok();
+  }
+
  private:
   /// The top of the old blocking loop: evaluate the loop guard and the
   /// deadline, then stage the candidate features for scoring.
@@ -332,6 +495,7 @@ class Ea::Session final : public InteractionSession {
   }
 
   Rng& rng() { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
+  const Rng& rng() const { return owned_rng_ ? *owned_rng_ : owner_.rng_; }
 
   Ea& owner_;
   InteractionTrace* trace_;
@@ -365,6 +529,16 @@ std::unique_ptr<InteractionSession> Ea::StartSession(
   return std::make_unique<Session>(*this, config);
 }
 
+Result<std::unique_ptr<InteractionSession>> Ea::RestoreSession(
+    const std::string& bytes, const SessionConfig& config) {
+  ISRL_ASSIGN_OR_RETURN(
+      std::string payload,
+      snapshot::UnwrapFrame(kEaSnapshotKind, kEaSnapshotVersion, bytes));
+  auto session =
+      std::make_unique<Session>(*this, config.trace, Session::RestoreTag{});
+  ISRL_RETURN_IF_ERROR(session->Decode(payload));
+  return std::unique_ptr<InteractionSession>(std::move(session));
+}
 
 Status Ea::SaveAgent(const std::string& path) {
   return nn::SaveNetwork(agent_.main_network(), path);

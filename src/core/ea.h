@@ -86,6 +86,13 @@ class Ea : public InteractiveAlgorithm {
   std::unique_ptr<InteractionSession> StartSession(
       const SessionConfig& config) override;
 
+  /// Reopens a checkpointed EA session (DESIGN.md §14). The snapshot stores
+  /// the Q-network's fingerprint, not its weights: restore fails with
+  /// FailedPrecondition when this instance's network differs from the one
+  /// the session was saved under (e.g. it has been retrained since).
+  Result<std::unique_ptr<InteractionSession>> RestoreSession(
+      const std::string& bytes, const SessionConfig& config) override;
+
  private:
   class Session;
 

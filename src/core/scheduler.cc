@@ -1,13 +1,54 @@
 #include "core/scheduler.h"
 
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/matrix.h"
+#include "common/strings.h"
 #include "common/vec.h"
+#include "core/snapshot.h"
 #include "nn/network.h"
 
 namespace isrl {
+
+namespace {
+
+constexpr const char* kPopulationKind = "scheduler-population";
+constexpr uint32_t kPopulationVersion = 1;
+constexpr const char* kStoreKind = "session-store";
+constexpr uint32_t kStoreVersion = 1;
+
+// Per-slot markers inside a population snapshot.
+constexpr uint8_t kSlotLive = 0;     // algorithm name + session bytes follow
+constexpr uint8_t kSlotTaken = 1;    // result already handed out; no payload
+constexpr uint8_t kSlotAborted = 2;  // status code + message follow
+
+/// Stand-in for a session whose snapshot could not be reopened: already
+/// finished, and Finish() reports Termination::kAborted with the cause. The
+/// scheduler keeps serving every other slot (DESIGN.md §14), and a
+/// re-checkpoint of the degraded population carries the status forward.
+class AbortedSession final : public InteractionSession {
+ public:
+  explicit AbortedSession(Status cause) {
+    result_.termination = Termination::kAborted;
+    result_.status = std::move(cause);
+  }
+
+  std::optional<SessionQuestion> NextQuestion() override {
+    return std::nullopt;
+  }
+  void PostAnswer(Answer /*answer*/) override {}  // stale WAL records land here
+  void Cancel() override {}
+  bool Finished() const override { return true; }
+  InteractionResult Finish() override { return result_; }
+
+ private:
+  InteractionResult result_;
+};
+
+}  // namespace
 
 SessionScheduler::SessionId SessionScheduler::Add(
     std::unique_ptr<InteractionSession> session) {
@@ -21,6 +62,124 @@ SessionScheduler::SessionId SessionScheduler::Add(
   if (slot.state == SlotState::kRunnable) ++active_;
   slots_.push_back(std::move(slot));
   return slots_.size() - 1;
+}
+
+SessionScheduler::SessionId SessionScheduler::Add(
+    std::unique_ptr<InteractionSession> session,
+    InteractiveAlgorithm* algorithm) {
+  ISRL_CHECK(algorithm != nullptr);
+  SessionId id = Add(std::move(session));
+  slots_[id].algorithm = algorithm;
+  return id;
+}
+
+Result<std::string> SessionScheduler::CheckpointAll() const {
+  snapshot::Writer w;
+  w.U64(slots_.size());
+  for (size_t id = 0; id < slots_.size(); ++id) {
+    const Slot& slot = slots_[id];
+    if (slot.state == SlotState::kTaken) {
+      w.U8(kSlotTaken);
+      continue;
+    }
+    if (!slot.abort_status.ok()) {
+      // A slot that already degraded at a previous restore: keep the cause
+      // so a restore-of-the-restore still reports it.
+      w.U8(kSlotAborted);
+      w.U8(static_cast<uint8_t>(slot.abort_status.code()));
+      w.Str(slot.abort_status.message());
+      continue;
+    }
+    if (slot.algorithm == nullptr) {
+      return Status::FailedPrecondition(Format(
+          "checkpoint: session %zu was added without its algorithm "
+          "(use Add(session, algorithm) for durable populations)",
+          id));
+    }
+    ISRL_ASSIGN_OR_RETURN(std::string bytes, slot.session->SaveState());
+    w.U8(kSlotLive);
+    w.Str(slot.algorithm->name());
+    w.Str(bytes);
+  }
+  return snapshot::WrapFrame(kPopulationKind, kPopulationVersion, w.bytes());
+}
+
+Result<SessionScheduler> SessionScheduler::RestoreAll(
+    const std::string& bytes, const AlgorithmResolver& resolver) {
+  ISRL_ASSIGN_OR_RETURN(
+      std::string payload,
+      snapshot::UnwrapFrame(kPopulationKind, kPopulationVersion, bytes));
+  snapshot::Reader r(payload);
+  uint64_t count = r.U64();
+  if (count > snapshot::kMaxElements) {
+    r.Fail("implausible slot count");
+  }
+  SessionScheduler scheduler;
+  for (uint64_t id = 0; !r.failed() && id < count; ++id) {
+    uint8_t marker = r.U8();
+    Slot slot;
+    switch (marker) {
+      case kSlotTaken:
+        slot.state = SlotState::kTaken;
+        break;
+      case kSlotAborted: {
+        uint8_t code = r.U8();
+        std::string message = r.Str();
+        if (code == static_cast<uint8_t>(StatusCode::kOk) ||
+            code > static_cast<uint8_t>(StatusCode::kUnbounded)) {
+          r.Fail("bad aborted-slot status code");
+          break;
+        }
+        slot.abort_status = Status(static_cast<StatusCode>(code),
+                                   std::move(message));
+        slot.session = std::make_unique<AbortedSession>(slot.abort_status);
+        slot.state = SlotState::kFinished;
+        break;
+      }
+      case kSlotLive: {
+        std::string name = r.Str();
+        std::string session_bytes = r.Str();
+        if (r.failed()) break;
+        // Per-slot failures degrade just this slot; the frame itself is
+        // fine, so the rest of the population still restores.
+        Status cause = Status::Ok();
+        InteractiveAlgorithm* algorithm = resolver ? resolver(name) : nullptr;
+        if (algorithm == nullptr) {
+          cause = Status::NotFound(Format(
+              "restore: no algorithm registered for '%s'", name.c_str()));
+        } else {
+          Result<std::unique_ptr<InteractionSession>> session =
+              algorithm->RestoreSession(session_bytes, SessionConfig{});
+          if (session.ok()) {
+            slot.session = std::move(*session);
+            slot.algorithm = algorithm;
+            slot.state = slot.session->Finished() ? SlotState::kFinished
+                                                  : SlotState::kRunnable;
+          } else {
+            cause = session.status();
+          }
+        }
+        if (!cause.ok()) {
+          slot.abort_status = std::move(cause);
+          slot.session = std::make_unique<AbortedSession>(slot.abort_status);
+          slot.state = SlotState::kFinished;
+        }
+        break;
+      }
+      default:
+        r.Fail("bad slot marker");
+        break;
+    }
+    if (r.failed()) break;
+    if (slot.state == SlotState::kRunnable) ++scheduler.active_;
+    scheduler.slots_.push_back(std::move(slot));
+  }
+  ISRL_RETURN_IF_ERROR(r.status());
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "snapshot payload: trailing bytes after population");
+  }
+  return scheduler;
 }
 
 std::vector<PendingQuestion> SessionScheduler::Tick() {
@@ -70,11 +229,17 @@ std::vector<PendingQuestion> SessionScheduler::Tick() {
 
   // Question pass: collect every runnable session's next question, in id
   // order so any session-shared state (unseeded sessions, trace Rngs) is
-  // consumed in a reproducible order.
+  // consumed in a reproducible order. Slots already awaiting an answer
+  // re-emit their in-flight question (NextQuestion is idempotent): after a
+  // crash recovery replays a partial tick, the preempted questions must
+  // reach a user again or their sessions would stay active forever.
   std::vector<PendingQuestion> questions;
   for (size_t id = 0; id < slots_.size(); ++id) {
     Slot& slot = slots_[id];
-    if (slot.state != SlotState::kRunnable) continue;
+    if (slot.state != SlotState::kRunnable &&
+        slot.state != SlotState::kAwaitingAnswer) {
+      continue;
+    }
     std::optional<SessionQuestion> question = slot.session->NextQuestion();
     if (question.has_value()) {
       slot.state = SlotState::kAwaitingAnswer;
@@ -111,6 +276,11 @@ bool SessionScheduler::finished(SessionId id) const {
   return slots_[id].state == SlotState::kFinished;
 }
 
+bool SessionScheduler::awaiting(SessionId id) const {
+  ISRL_CHECK_LT(id, slots_.size());
+  return slots_[id].state == SlotState::kAwaitingAnswer;
+}
+
 InteractionResult SessionScheduler::Take(SessionId id) {
   ISRL_CHECK_LT(id, slots_.size());
   Slot& slot = slots_[id];
@@ -138,6 +308,154 @@ std::vector<InteractionResult> DriveWithUsers(
     results.push_back(scheduler.Take(id));
   }
   return results;
+}
+
+void SessionStore::BeginEpoch(std::string population_snapshot) {
+  population_ = std::move(population_snapshot);
+  wal_.clear();
+}
+
+void SessionStore::LogAnswer(size_t session_id, Answer answer) {
+  wal_.push_back(WalRecord{session_id, WalRecord::kAnswer, answer});
+}
+
+void SessionStore::LogCancel(size_t session_id) {
+  wal_.push_back(WalRecord{session_id, WalRecord::kCancel, Answer::kFirst});
+}
+
+std::string SessionStore::Serialize() const {
+  snapshot::Writer w;
+  w.Str(population_);
+  w.U64(wal_.size());
+  for (const WalRecord& record : wal_) {
+    w.U64(record.session_id);
+    w.U8(record.kind);
+    w.U8(static_cast<uint8_t>(record.answer));
+  }
+  return snapshot::WrapFrame(kStoreKind, kStoreVersion, w.bytes());
+}
+
+Result<SessionStore> SessionStore::Deserialize(const std::string& bytes) {
+  ISRL_ASSIGN_OR_RETURN(
+      std::string payload,
+      snapshot::UnwrapFrame(kStoreKind, kStoreVersion, bytes));
+  snapshot::Reader r(payload);
+  SessionStore store;
+  store.population_ = r.Str();
+  uint64_t count = r.U64();
+  if (count > snapshot::kMaxElements) r.Fail("implausible WAL length");
+  for (uint64_t i = 0; !r.failed() && i < count; ++i) {
+    WalRecord record;
+    record.session_id = r.U64();
+    record.kind = r.U8();
+    uint8_t answer = r.U8();
+    if (record.kind > WalRecord::kCancel) {
+      r.Fail("bad WAL record kind");
+      break;
+    }
+    if (answer > static_cast<uint8_t>(Answer::kNoAnswer)) {
+      r.Fail("bad WAL answer value");
+      break;
+    }
+    record.answer = static_cast<Answer>(answer);
+    store.wal_.push_back(record);
+  }
+  ISRL_RETURN_IF_ERROR(r.status());
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "snapshot payload: trailing bytes after WAL");
+  }
+  return store;
+}
+
+Status SessionStore::SaveFile(const std::string& path) const {
+  return snapshot::WriteFileBytes(path, Serialize());
+}
+
+Result<SessionStore> SessionStore::LoadFile(const std::string& path) {
+  ISRL_ASSIGN_OR_RETURN(std::string bytes, snapshot::ReadFileBytes(path));
+  return Deserialize(bytes);
+}
+
+Result<SessionScheduler> RecoverScheduler(const SessionStore& store,
+                                          const AlgorithmResolver& resolver) {
+  ISRL_ASSIGN_OR_RETURN(
+      SessionScheduler scheduler,
+      SessionScheduler::RestoreAll(store.population(), resolver));
+  // Replay the WAL on top of the snapshot. Answers were logged in delivery
+  // order, and within one original Tick each session answers at most once —
+  // so whenever the next record's target is runnable (not yet asked), ALL
+  // answers of the previous tick have been replayed and one scheduler.Tick()
+  // re-reaches exactly the original tick boundary. NextQuestion() is
+  // idempotent and sessions restore bit-identically, so the replayed
+  // questions equal the asked-and-logged ones.
+  for (size_t i = 0; i < store.wal().size(); ++i) {
+    const WalRecord& record = store.wal()[i];
+    if (record.session_id >= scheduler.size()) {
+      return Status::InvalidArgument(
+          Format("recover: WAL record %zu targets unknown session %zu", i,
+                 record.session_id));
+    }
+    if (scheduler.finished(record.session_id)) {
+      // Degraded (aborted) or already-terminated slot: the record is stale;
+      // absorbing it keeps one bad slot from blocking population recovery.
+      continue;
+    }
+    if (record.kind == WalRecord::kCancel) {
+      scheduler.Cancel(record.session_id);
+      continue;
+    }
+    if (!scheduler.awaiting(record.session_id)) {
+      (void)scheduler.Tick();  // advance to the tick this record came from
+    }
+    if (scheduler.finished(record.session_id)) continue;  // terminated instead
+    if (!scheduler.awaiting(record.session_id)) {
+      return Status::FailedPrecondition(
+          Format("recover: WAL record %zu out of sync — session %zu has no "
+                 "outstanding question (log and snapshot do not match)",
+                 i, record.session_id));
+    }
+    scheduler.PostAnswer(record.session_id, record.answer);
+  }
+  return scheduler;
+}
+
+Result<DurableDriveOutcome> DriveWithUsersDurable(
+    SessionScheduler& scheduler, const std::vector<UserOracle*>& users,
+    SessionStore& store, size_t checkpoint_every_ticks, CrashPoint crash) {
+  ISRL_CHECK_EQ(users.size(), scheduler.size());
+  ISRL_ASSIGN_OR_RETURN(std::string snapshot, scheduler.CheckpointAll());
+  store.BeginEpoch(std::move(snapshot));
+  DurableDriveOutcome outcome;
+  size_t answers = 0;
+  size_t ticks = 0;
+  while (scheduler.active() > 0) {
+    for (const PendingQuestion& pq : scheduler.Tick()) {
+      if (answers == crash.after_answers) {
+        // Simulated crash BEFORE the Ask: the user for this (and every
+        // later) question never consumes an Rng draw, so recovery resumes
+        // with user fault streams exactly where the log left them.
+        outcome.crashed = true;
+        return outcome;
+      }
+      Answer answer =
+          users[pq.session_id]->Ask(pq.question.first, pq.question.second);
+      store.LogAnswer(pq.session_id, answer);  // write-ahead
+      scheduler.PostAnswer(pq.session_id, answer);
+      ++answers;
+    }
+    ++ticks;
+    if (checkpoint_every_ticks > 0 && ticks % checkpoint_every_ticks == 0 &&
+        scheduler.active() > 0) {
+      ISRL_ASSIGN_OR_RETURN(std::string fresh, scheduler.CheckpointAll());
+      store.BeginEpoch(std::move(fresh));
+    }
+  }
+  outcome.results.reserve(scheduler.size());
+  for (size_t id = 0; id < scheduler.size(); ++id) {
+    outcome.results.push_back(scheduler.Take(id));
+  }
+  return outcome;
 }
 
 }  // namespace isrl

@@ -14,13 +14,23 @@
 // per-session, every session still picks exactly the action it would have
 // picked scoring itself: scheduler results equal sequential Interact()
 // results whenever the sessions are seeded (SessionConfig::seed).
+// Durability (DESIGN.md §14): the scheduler's population can be checkpointed
+// as one framed blob (CheckpointAll/RestoreAll), and SessionStore adds a
+// write-ahead answer log on top — every answer is logged before it is
+// applied, so replaying "last population snapshot + WAL" reconstructs the
+// exact pre-crash state. DriveWithUsersDurable is the crash-safe driver (and
+// crash-injection harness) over those pieces.
 #ifndef ISRL_CORE_SCHEDULER_H_
 #define ISRL_CORE_SCHEDULER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/algorithm.h"
 #include "user/user.h"
 
@@ -31,6 +41,13 @@ struct PendingQuestion {
   size_t session_id = 0;
   SessionQuestion question;
 };
+
+/// Maps an algorithm name (InteractiveAlgorithm::name()) to the live
+/// instance that should reopen its sessions at restore time. Returning
+/// nullptr means "unknown algorithm": the slot degrades to an aborted
+/// session instead of failing the whole restore.
+using AlgorithmResolver =
+    std::function<InteractiveAlgorithm*(const std::string& name)>;
 
 /// Single-threaded cooperative scheduler over InteractionSessions. Typical
 /// drive loop:
@@ -59,6 +76,27 @@ class SessionScheduler {
   /// depend on scheduling.
   SessionId Add(std::unique_ptr<InteractionSession> session);
 
+  /// Like Add(), but also records which algorithm owns the session so that
+  /// CheckpointAll() can name it in the population snapshot. Required for
+  /// every slot that should survive a checkpoint.
+  SessionId Add(std::unique_ptr<InteractionSession> session,
+                InteractiveAlgorithm* algorithm);
+
+  /// Serialises the whole population into one framed snapshot
+  /// ("scheduler-population"): per slot, the owning algorithm's name plus
+  /// the session's SaveState() bytes (taken slots keep only a marker,
+  /// aborted slots keep their status). Fails if a live session was Add()ed
+  /// without its algorithm or does not support SaveState().
+  Result<std::string> CheckpointAll() const;
+
+  /// Rebuilds a scheduler from CheckpointAll() bytes. A corrupt frame is a
+  /// hard error; a *per-slot* failure (unknown algorithm, rejected session
+  /// snapshot) degrades that slot to a finished session whose result is
+  /// Termination::kAborted carrying the cause — the scheduler keeps serving
+  /// every other slot (DESIGN.md §14).
+  static Result<SessionScheduler> RestoreAll(const std::string& bytes,
+                                             const AlgorithmResolver& resolver);
+
   /// Advances every runnable session to its next question. First coalesces
   /// pending candidate scoring: the feature rows of all runnable sessions
   /// are grouped by scoring network (in first-seen session order), each
@@ -77,6 +115,10 @@ class SessionScheduler {
 
   bool finished(SessionId id) const;
 
+  /// True while the session has an asked-but-unanswered question (the state
+  /// WAL replay must reach before re-posting a logged answer).
+  bool awaiting(SessionId id) const;
+
   /// The finished session's result (invalidates the slot).
   InteractionResult Take(SessionId id);
 
@@ -90,6 +132,12 @@ class SessionScheduler {
   struct Slot {
     std::unique_ptr<InteractionSession> session;
     SlotState state = SlotState::kRunnable;
+    /// Owner used by CheckpointAll() to name the session's algorithm;
+    /// nullptr for sessions added without one and for aborted stubs.
+    InteractiveAlgorithm* algorithm = nullptr;
+    /// Non-OK iff this slot degraded to an aborted stub at restore time
+    /// (kept so a re-checkpoint can carry the cause forward).
+    Status abort_status = Status::Ok();
   };
 
   std::vector<Slot> slots_;
@@ -105,6 +153,95 @@ class SessionScheduler {
 std::vector<InteractionResult> DriveWithUsers(
     SessionScheduler& scheduler,
     const std::vector<UserOracle*>& users);
+
+/// One write-ahead-log record: an answer (or cancellation) delivered to a
+/// session after the population snapshot was taken.
+struct WalRecord {
+  static constexpr uint8_t kAnswer = 0;
+  static constexpr uint8_t kCancel = 1;
+
+  size_t session_id = 0;
+  uint8_t kind = kAnswer;
+  Answer answer = Answer::kFirst;  ///< meaningful only when kind == kAnswer
+};
+
+/// Durable scheduler state: the latest population snapshot plus the answer
+/// WAL accumulated since it was taken. The contract (DESIGN.md §14):
+///
+///   1. BeginEpoch(CheckpointAll()) — snapshot the population, clear the WAL.
+///   2. For every answer: LogAnswer() FIRST, then scheduler.PostAnswer().
+///   3. On crash, RecoverScheduler(store, resolver) replays the WAL on top
+///      of the snapshot and yields a scheduler bit-identical to the one
+///      that crashed.
+///
+/// Serialize()/SaveFile() persist the pair as one framed "session-store"
+/// blob; they may be called at any point (typically right after each log
+/// append, which is what DriveWithUsersDurable models).
+class SessionStore {
+ public:
+  /// Adopts a new population snapshot and clears the WAL: everything logged
+  /// before this instant is now baked into the snapshot.
+  void BeginEpoch(std::string population_snapshot);
+
+  /// Appends an answer record. Call BEFORE PostAnswer (write-ahead).
+  void LogAnswer(size_t session_id, Answer answer);
+
+  /// Appends a cancellation record. Call BEFORE Cancel.
+  void LogCancel(size_t session_id);
+
+  const std::string& population() const { return population_; }
+  const std::vector<WalRecord>& wal() const { return wal_; }
+
+  std::string Serialize() const;
+  static Result<SessionStore> Deserialize(const std::string& bytes);
+
+  Status SaveFile(const std::string& path) const;
+  static Result<SessionStore> LoadFile(const std::string& path);
+
+ private:
+  std::string population_;
+  std::vector<WalRecord> wal_;
+};
+
+/// Snapshot-then-replay recovery: RestoreAll(store.population()) followed by
+/// an in-order replay of the WAL. Replay never consults a user — answers
+/// come from the log — so user-side Rng streams are untouched. Records
+/// addressed at slots that degraded to aborted stubs are skipped (the stub
+/// absorbed the session); a record that a *healthy* session cannot accept is
+/// a hard "WAL out of sync" error, because it means the log and snapshot do
+/// not belong together.
+Result<SessionScheduler> RecoverScheduler(const SessionStore& store,
+                                          const AlgorithmResolver& resolver);
+
+/// Crash-injection point for the durability harness: the simulated process
+/// dies immediately BEFORE asking the user for answer number
+/// `after_answers` (0-based count of answers already delivered). Dying
+/// before the Ask keeps simulated users' Rng streams aligned across the
+/// crash: a user is only ever consulted for answers that were also logged.
+struct CrashPoint {
+  static constexpr size_t kNever = static_cast<size_t>(-1);
+  size_t after_answers = kNever;
+};
+
+/// Outcome of a durable drive: either the population ran to completion
+/// (results in session-id order) or the injected crash fired first.
+struct DurableDriveOutcome {
+  bool crashed = false;
+  std::vector<InteractionResult> results;
+};
+
+/// DriveWithUsers with durability: checkpoints the population into `store`
+/// up front and then every `checkpoint_every_ticks` ticks (0 = only the
+/// initial checkpoint), and write-ahead-logs every answer before posting
+/// it. With the default CrashPoint it returns exactly DriveWithUsers'
+/// results; with an armed CrashPoint it returns {crashed = true} at the
+/// injected point, leaving `store` holding everything recovery needs.
+Result<DurableDriveOutcome> DriveWithUsersDurable(
+    SessionScheduler& scheduler,
+    const std::vector<UserOracle*>& users,
+    SessionStore& store,
+    size_t checkpoint_every_ticks,
+    CrashPoint crash = CrashPoint{});
 
 }  // namespace isrl
 

@@ -1,0 +1,614 @@
+#include "core/snapshot.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace isrl::snapshot {
+
+namespace {
+
+constexpr char kMagic[4] = {'I', 'S', 'R', 'L'};
+constexpr uint32_t kCrcPoly = 0xEDB88320u;
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (kCrcPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const std::string& bytes) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    c = table[(c ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---- Frame. ---------------------------------------------------------------
+
+std::string WrapFrame(const std::string& kind, uint32_t version,
+                      const std::string& payload) {
+  Writer w;
+  for (char m : kMagic) w.U8(static_cast<uint8_t>(m));
+  w.Str(kind);
+  w.U32(version);
+  w.U64(payload.size());
+  std::string frame = w.Take();
+  frame += payload;
+  Writer crc;
+  crc.U32(Crc32(payload));
+  frame += crc.bytes();
+  return frame;
+}
+
+Result<std::string> UnwrapFrame(const std::string& kind, uint32_t version,
+                                const std::string& bytes) {
+  Reader r(bytes);
+  char magic[4] = {};
+  for (char& m : magic) m = static_cast<char>(r.U8());
+  if (r.failed() || magic[0] != kMagic[0] || magic[1] != kMagic[1] ||
+      magic[2] != kMagic[2] || magic[3] != kMagic[3]) {
+    return Status::InvalidArgument(
+        "snapshot frame: bad magic (not an ISRL snapshot)");
+  }
+  std::string got_kind = r.Str();
+  if (r.failed()) {
+    return Status::InvalidArgument("snapshot frame: truncated kind tag");
+  }
+  if (got_kind != kind) {
+    return Status::InvalidArgument(Format(
+        "snapshot frame: kind mismatch (snapshot holds a '%s', expected "
+        "'%s')",
+        got_kind.c_str(), kind.c_str()));
+  }
+  uint32_t got_version = r.U32();
+  if (r.failed()) {
+    return Status::InvalidArgument("snapshot frame: truncated version field");
+  }
+  if (got_version != version) {
+    return Status::InvalidArgument(
+        Format("snapshot frame: version skew ('%s' version %u, this build "
+               "reads version %u)",
+               kind.c_str(), got_version, version));
+  }
+  uint64_t payload_size = r.U64();
+  if (r.failed()) {
+    return Status::InvalidArgument("snapshot frame: truncated size field");
+  }
+  // Header = magic(4) + kind(8 + len) + version(4) + size(8).
+  const size_t header = 4 + 8 + got_kind.size() + 4 + 8;
+  if (payload_size > bytes.size() || bytes.size() - header < payload_size + 4) {
+    return Status::InvalidArgument(Format(
+        "snapshot frame: truncated ('%s' payload of %llu bytes does not fit "
+        "in %llu remaining)",
+        kind.c_str(), static_cast<unsigned long long>(payload_size),
+        static_cast<unsigned long long>(
+            bytes.size() > header ? bytes.size() - header : 0)));
+  }
+  if (bytes.size() != header + payload_size + 4) {
+    return Status::InvalidArgument(
+        Format("snapshot frame: %llu trailing bytes after '%s' frame",
+               static_cast<unsigned long long>(bytes.size() - header -
+                                               payload_size - 4),
+               kind.c_str()));
+  }
+  std::string payload = bytes.substr(header, payload_size);
+  // Read the stored CRC from the final four bytes.
+  uint32_t stored = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(bytes[header + payload_size + i]))
+              << (8 * i);
+  }
+  const uint32_t computed = Crc32(payload);
+  if (stored != computed) {
+    return Status::InvalidArgument(
+        Format("snapshot frame: CRC mismatch on '%s' payload (stored "
+               "%08x, computed %08x) — snapshot is corrupted",
+               kind.c_str(), stored, computed));
+  }
+  return payload;
+}
+
+// ---- Writer. --------------------------------------------------------------
+
+void Writer::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void Writer::Str(const std::string& s) {
+  U64(s.size());
+  out_.append(s);
+}
+
+// ---- Reader. --------------------------------------------------------------
+
+bool Reader::Need(size_t n) {
+  if (failed_) return false;
+  if (bytes_.size() - pos_ < n) {
+    Fail("unexpected end of payload");
+    return false;
+  }
+  return true;
+}
+
+void Reader::Fail(const std::string& message) {
+  if (!failed_) {
+    failed_ = true;
+    message_ = message;
+  }
+}
+
+uint8_t Reader::U8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+uint32_t Reader::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Reader::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double Reader::F64() { return std::bit_cast<double>(U64()); }
+
+double Reader::FiniteF64() {
+  double v = F64();
+  if (!failed_ && !std::isfinite(v)) {
+    Fail("non-finite value in payload");
+    return 0.0;
+  }
+  return v;
+}
+
+std::string Reader::Str() {
+  uint64_t n = U64();
+  if (failed_) return std::string();
+  if (!Need(n)) return std::string();
+  std::string s = bytes_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+Status Reader::status() const {
+  if (!failed_) return Status::Ok();
+  return Status::InvalidArgument("snapshot payload: " + message_);
+}
+
+// ---- Value codecs. --------------------------------------------------------
+
+namespace {
+
+/// Shared epilogue: surface the reader's sticky failure as the codec Status.
+Status Finish(const Reader& r, const char* what) {
+  if (r.failed()) {
+    return Status::InvalidArgument(std::string(what) + ": " +
+                                   r.status().message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeRng(const Rng& rng, Writer* w) {
+  w->U64(rng.seed());
+  std::ostringstream os;
+  os << rng.engine();
+  w->Str(os.str());
+}
+
+Status DecodeRng(Reader* r, Rng* out) {
+  uint64_t seed = r->U64();
+  std::string state = r->Str();
+  ISRL_RETURN_IF_ERROR(Finish(*r, "rng snapshot"));
+  Rng restored(seed);
+  std::istringstream is(state);
+  is >> restored.engine();
+  if (is.fail()) {
+    r->Fail("malformed mt19937_64 engine state");
+    return Status::InvalidArgument(
+        "rng snapshot: malformed mt19937_64 engine state");
+  }
+  *out = restored;
+  return Status::Ok();
+}
+
+void EncodeVec(const Vec& v, Writer* w) {
+  w->U64(v.dim());
+  for (size_t i = 0; i < v.dim(); ++i) w->F64(v[i]);
+}
+
+Status DecodeVec(Reader* r, Vec* out) {
+  uint64_t dim = r->U64();
+  if (!r->failed() && dim > kMaxElements) {
+    r->Fail("vector dimension exceeds the element ceiling");
+  }
+  std::vector<double> data;
+  if (!r->failed()) {
+    data.reserve(dim);
+    for (uint64_t i = 0; i < dim && !r->failed(); ++i) {
+      data.push_back(r->FiniteF64());
+    }
+  }
+  ISRL_RETURN_IF_ERROR(Finish(*r, "vector snapshot"));
+  *out = Vec(std::move(data));
+  return Status::Ok();
+}
+
+void EncodeMatrix(const Matrix& m, Writer* w) {
+  w->U64(m.rows());
+  w->U64(m.cols());
+  for (double v : m.data()) w->F64(v);
+}
+
+Status DecodeMatrix(Reader* r, Matrix* out) {
+  uint64_t rows = r->U64();
+  uint64_t cols = r->U64();
+  if (!r->failed() &&
+      (rows > kMaxElements || cols > kMaxElements ||
+       (cols != 0 && rows > kMaxElements / cols))) {
+    r->Fail("matrix shape exceeds the element ceiling");
+  }
+  std::vector<double> data;
+  if (!r->failed()) {
+    data.reserve(rows * cols);
+    for (uint64_t i = 0; i < rows * cols && !r->failed(); ++i) {
+      data.push_back(r->FiniteF64());
+    }
+  }
+  ISRL_RETURN_IF_ERROR(Finish(*r, "matrix snapshot"));
+  *out = Matrix(rows, cols, std::move(data));
+  return Status::Ok();
+}
+
+void EncodeHalfspace(const Halfspace& h, Writer* w) {
+  EncodeVec(h.normal, w);
+  w->F64(h.offset);
+}
+
+Status DecodeHalfspace(Reader* r, Halfspace* out) {
+  Vec normal;
+  ISRL_RETURN_IF_ERROR(DecodeVec(r, &normal));
+  double offset = r->FiniteF64();
+  ISRL_RETURN_IF_ERROR(Finish(*r, "halfspace snapshot"));
+  out->normal = std::move(normal);
+  out->offset = offset;
+  return Status::Ok();
+}
+
+void EncodeLearnedHalfspace(const LearnedHalfspace& lh, Writer* w) {
+  w->U64(lh.winner);
+  w->U64(lh.loser);
+  EncodeHalfspace(lh.h, w);
+}
+
+Status DecodeLearnedHalfspace(Reader* r, LearnedHalfspace* out,
+                              uint64_t max_index) {
+  uint64_t winner = r->U64();
+  uint64_t loser = r->U64();
+  Halfspace h;
+  ISRL_RETURN_IF_ERROR(DecodeHalfspace(r, &h));
+  if (winner >= max_index || loser >= max_index) {
+    r->Fail("learned halfspace pair index out of range");
+    return Status::InvalidArgument(
+        "learned halfspace snapshot: pair index out of dataset range");
+  }
+  out->winner = static_cast<size_t>(winner);
+  out->loser = static_cast<size_t>(loser);
+  out->h = std::move(h);
+  return Status::Ok();
+}
+
+void EncodePolyhedron(const Polyhedron& p, Writer* w) {
+  w->U64(p.dim());
+  w->U64(p.cuts().size());
+  for (const Halfspace& h : p.cuts()) EncodeHalfspace(h, w);
+  w->U64(p.vertices().size());
+  for (const Vec& v : p.vertices()) EncodeVec(v, w);
+}
+
+Result<Polyhedron> DecodePolyhedron(Reader* r) {
+  uint64_t dim = r->U64();
+  uint64_t num_cuts = r->U64();
+  if (!r->failed() && (dim > kMaxElements || num_cuts > kMaxElements)) {
+    r->Fail("polyhedron shape exceeds the element ceiling");
+  }
+  std::vector<Halfspace> cuts;
+  for (uint64_t i = 0; i < num_cuts && !r->failed(); ++i) {
+    Halfspace h;
+    ISRL_RETURN_IF_ERROR(DecodeHalfspace(r, &h));
+    cuts.push_back(std::move(h));
+  }
+  uint64_t num_vertices = r->U64();
+  if (!r->failed() && num_vertices > kMaxElements) {
+    r->Fail("polyhedron vertex count exceeds the element ceiling");
+  }
+  std::vector<Vec> vertices;
+  for (uint64_t i = 0; i < num_vertices && !r->failed(); ++i) {
+    Vec v;
+    ISRL_RETURN_IF_ERROR(DecodeVec(r, &v));
+    vertices.push_back(std::move(v));
+  }
+  ISRL_RETURN_IF_ERROR(Finish(*r, "polyhedron snapshot"));
+  Result<Polyhedron> p = Polyhedron::FromSnapshotParts(
+      dim, Polyhedron::Options(), std::move(cuts), std::move(vertices));
+  if (!p.ok()) r->Fail(p.status().message());
+  return p;
+}
+
+void EncodeDeadline(const Deadline& d, Writer* w) {
+  w->Bool(d.armed());
+  w->F64(d.armed() ? d.RemainingSeconds() : 0.0);
+}
+
+Status DecodeDeadline(Reader* r, Deadline* out) {
+  bool armed = r->Bool();
+  double remaining = r->FiniteF64();
+  ISRL_RETURN_IF_ERROR(Finish(*r, "deadline snapshot"));
+  *out = armed ? Deadline::After(remaining) : Deadline();
+  return Status::Ok();
+}
+
+void EncodeInteractionResult(const InteractionResult& result, Writer* w) {
+  w->U64(result.best_index);
+  w->U64(result.rounds);
+  w->F64(result.seconds);
+  w->U8(static_cast<uint8_t>(result.termination));
+  w->U64(result.dropped_answers);
+  w->U64(result.no_answers);
+  w->U8(static_cast<uint8_t>(result.status.code()));
+  w->Str(result.status.message());
+}
+
+Status DecodeInteractionResult(Reader* r, InteractionResult* out) {
+  InteractionResult result;
+  result.best_index = static_cast<size_t>(r->U64());
+  result.rounds = static_cast<size_t>(r->U64());
+  result.seconds = r->FiniteF64();
+  uint8_t termination = r->U8();
+  if (!r->failed() && termination > static_cast<uint8_t>(Termination::kAborted)) {
+    r->Fail("termination enum out of range");
+  }
+  result.dropped_answers = static_cast<size_t>(r->U64());
+  result.no_answers = static_cast<size_t>(r->U64());
+  uint8_t code = r->U8();
+  if (!r->failed() && code > static_cast<uint8_t>(StatusCode::kUnbounded)) {
+    r->Fail("status code out of range");
+  }
+  std::string message = r->Str();
+  ISRL_RETURN_IF_ERROR(Finish(*r, "interaction result snapshot"));
+  result.termination = static_cast<Termination>(termination);
+  result.converged = result.termination == Termination::kConverged;
+  result.status = Status(static_cast<StatusCode>(code), std::move(message));
+  *out = result;
+  return Status::Ok();
+}
+
+void EncodeSessionQuestion(const SessionQuestion& q, Writer* w) {
+  EncodeVec(q.first, w);
+  EncodeVec(q.second, w);
+  w->U64(q.pair.i);
+  w->U64(q.pair.j);
+  w->Bool(q.synthetic);
+}
+
+Status DecodeSessionQuestion(Reader* r, SessionQuestion* out) {
+  SessionQuestion q;
+  ISRL_RETURN_IF_ERROR(DecodeVec(r, &q.first));
+  ISRL_RETURN_IF_ERROR(DecodeVec(r, &q.second));
+  q.pair.i = static_cast<size_t>(r->U64());
+  q.pair.j = static_cast<size_t>(r->U64());
+  q.synthetic = r->Bool();
+  ISRL_RETURN_IF_ERROR(Finish(*r, "session question snapshot"));
+  *out = std::move(q);
+  return Status::Ok();
+}
+
+void EncodeIndexVector(const std::vector<size_t>& v, Writer* w) {
+  w->U64(v.size());
+  for (size_t idx : v) w->U64(idx);
+}
+
+Status DecodeIndexVector(Reader* r, std::vector<size_t>* out, uint64_t bound) {
+  uint64_t n = r->U64();
+  if (!r->failed() && n > kMaxElements) {
+    r->Fail("index vector length exceeds the element ceiling");
+  }
+  std::vector<size_t> v;
+  if (!r->failed()) {
+    v.reserve(n);
+    for (uint64_t i = 0; i < n && !r->failed(); ++i) {
+      uint64_t idx = r->U64();
+      if (!r->failed() && idx >= bound) {
+        r->Fail("index vector entry out of range");
+      }
+      v.push_back(static_cast<size_t>(idx));
+    }
+  }
+  ISRL_RETURN_IF_ERROR(Finish(*r, "index vector snapshot"));
+  *out = std::move(v);
+  return Status::Ok();
+}
+
+void EncodeTrace(const InteractionTrace& trace, Writer* w) {
+  w->U64(trace.rounds());
+  for (double v : trace.max_regret()) w->F64(v);
+  for (double v : trace.cumulative_seconds()) w->F64(v);
+  for (size_t v : trace.best_index()) w->U64(v);
+}
+
+Status DecodeTrace(Reader* r, std::vector<double>* max_regret,
+                   std::vector<double>* cumulative_seconds,
+                   std::vector<size_t>* best_index) {
+  uint64_t rounds = r->U64();
+  if (!r->failed() && rounds > kMaxElements) {
+    r->Fail("trace length exceeds the element ceiling");
+  }
+  std::vector<double> mr, cs;
+  std::vector<size_t> bi;
+  if (!r->failed()) {
+    mr.reserve(rounds);
+    cs.reserve(rounds);
+    bi.reserve(rounds);
+    for (uint64_t i = 0; i < rounds && !r->failed(); ++i) {
+      mr.push_back(r->FiniteF64());
+    }
+    for (uint64_t i = 0; i < rounds && !r->failed(); ++i) {
+      cs.push_back(r->FiniteF64());
+    }
+    for (uint64_t i = 0; i < rounds && !r->failed(); ++i) {
+      bi.push_back(static_cast<size_t>(r->U64()));
+    }
+  }
+  ISRL_RETURN_IF_ERROR(Finish(*r, "trace snapshot"));
+  *max_regret = std::move(mr);
+  *cumulative_seconds = std::move(cs);
+  *best_index = std::move(bi);
+  return Status::Ok();
+}
+
+Status DecodeTraceInto(Reader* r, InteractionTrace* trace) {
+  std::vector<double> max_regret, cumulative_seconds;
+  std::vector<size_t> best_index;
+  ISRL_RETURN_IF_ERROR(
+      DecodeTrace(r, &max_regret, &cumulative_seconds, &best_index));
+  trace->RestoreHistory(std::move(max_regret), std::move(cumulative_seconds),
+                        std::move(best_index));
+  return Status::Ok();
+}
+
+// ---- Session core. --------------------------------------------------------
+
+void EncodeSessionCore(const SessionCore& core, Writer* w) {
+  w->Str(core.algorithm);
+  w->U64(core.data_size);
+  w->U64(core.data_dim);
+  EncodeInteractionResult(core.result, w);
+  w->U64(core.max_rounds);
+  EncodeDeadline(core.deadline, w);
+  w->U8(core.stage);
+  EncodeSessionQuestion(core.question, w);
+  w->Bool(core.has_rng);
+  if (core.has_rng) EncodeRng(core.rng, w);
+  w->Bool(core.trace != nullptr);
+  if (core.trace != nullptr) EncodeTrace(*core.trace, w);
+}
+
+Status DecodeSessionCore(Reader* r, SessionCore* out) {
+  SessionCore core;
+  core.algorithm = r->Str();
+  core.data_size = r->U64();
+  core.data_dim = r->U64();
+  ISRL_RETURN_IF_ERROR(DecodeInteractionResult(r, &core.result));
+  core.max_rounds = r->U64();
+  ISRL_RETURN_IF_ERROR(DecodeDeadline(r, &core.deadline));
+  core.stage = r->U8();
+  if (!r->failed() && core.stage > kStageFinished) {
+    r->Fail("session stage out of range");
+  }
+  ISRL_RETURN_IF_ERROR(DecodeSessionQuestion(r, &core.question));
+  core.has_rng = r->Bool();
+  if (core.has_rng) ISRL_RETURN_IF_ERROR(DecodeRng(r, &core.rng));
+  core.has_trace = r->Bool();
+  if (core.has_trace) {
+    ISRL_RETURN_IF_ERROR(DecodeTrace(r, &core.trace_max_regret,
+                                     &core.trace_seconds,
+                                     &core.trace_best_index));
+  }
+  ISRL_RETURN_IF_ERROR(Finish(*r, "session core snapshot"));
+  if (core.result.best_index >= core.data_size) {
+    return Status::InvalidArgument(
+        "session core snapshot: best_index out of dataset range");
+  }
+  *out = std::move(core);
+  return Status::Ok();
+}
+
+Status ValidateSessionCore(const SessionCore& core,
+                           const std::string& algorithm_name,
+                           size_t data_size, size_t data_dim) {
+  if (core.algorithm != algorithm_name) {
+    return Status::FailedPrecondition(
+        Format("session snapshot belongs to algorithm '%s', cannot restore "
+               "under '%s'",
+               core.algorithm.c_str(), algorithm_name.c_str()));
+  }
+  if (core.data_size != data_size || core.data_dim != data_dim) {
+    return Status::FailedPrecondition(Format(
+        "session snapshot was taken on a %llu-point, %llu-dimensional "
+        "dataset; this algorithm serves %llu points in %llu dimensions",
+        static_cast<unsigned long long>(core.data_size),
+        static_cast<unsigned long long>(core.data_dim),
+        static_cast<unsigned long long>(data_size),
+        static_cast<unsigned long long>(data_dim)));
+  }
+  return Status::Ok();
+}
+
+// ---- Files. ---------------------------------------------------------------
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failure on '" + path + "'");
+  }
+  return buffer.str();
+}
+
+}  // namespace isrl::snapshot

@@ -20,6 +20,34 @@ Polyhedron Polyhedron::UnitSimplex(size_t d, Options options) {
   return p;
 }
 
+Result<Polyhedron> Polyhedron::FromSnapshotParts(size_t d, Options options,
+                                                 std::vector<Halfspace> cuts,
+                                                 std::vector<Vec> vertices) {
+  if (d < 2) {
+    return Status::InvalidArgument("polyhedron snapshot: dimension < 2");
+  }
+  for (const Halfspace& h : cuts) {
+    if (h.normal.dim() != d) {
+      return Status::InvalidArgument(
+          "polyhedron snapshot: cut normal dimension mismatch");
+    }
+  }
+  Polyhedron p(d, options);
+  p.cuts_ = std::move(cuts);
+  // Containment at a loose tolerance: snapshot vertices were enumerated at
+  // feasibility_tol, so an honest snapshot passes easily, while corrupted
+  // coordinates (bit flips survive CRC only if re-framed) are rejected.
+  const double tol = 1e-6;
+  for (const Vec& v : vertices) {
+    if (v.dim() != d || !p.Contains(v, tol)) {
+      return Status::InvalidArgument(
+          "polyhedron snapshot: vertex outside the polyhedron");
+    }
+  }
+  p.vertices_ = std::move(vertices);
+  return p;
+}
+
 void Polyhedron::Cut(const Halfspace& h) {
   ISRL_CHECK_EQ(h.normal.dim(), dim_);
   // A cut already satisfied everywhere would survive DropRedundantCuts but

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/vec.h"
 #include "geometry/halfspace.h"
 
@@ -33,6 +34,16 @@ class Polyhedron {
   /// The whole utility space U (the unit simplex) in d dimensions, d ≥ 2.
   static Polyhedron UnitSimplex(size_t d);
   static Polyhedron UnitSimplex(size_t d, Options options);
+
+  /// Rebuilds a polyhedron from checkpointed cuts + vertices (core/snapshot
+  /// codec). The vertex set is adopted verbatim — NOT re-enumerated — so a
+  /// restored session sees bit-identical extreme vectors; the parts are
+  /// validated instead (dimension agreement, every vertex feasible under
+  /// the cuts and the simplex constraints) and inconsistent input surfaces
+  /// as an InvalidArgument Status, never a CHECK.
+  static Result<Polyhedron> FromSnapshotParts(size_t d, Options options,
+                                              std::vector<Halfspace> cuts,
+                                              std::vector<Vec> vertices);
 
   /// Intersects R with the half-space and recomputes the vertex set.
   /// Redundant cuts (strictly slack at every vertex) are dropped.

@@ -1,6 +1,8 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -27,17 +29,39 @@ std::string SerializeNetwork(const Network& net) {
   return out.str();
 }
 
+namespace {
+
+// Sanity ceilings for deserialised architectures. A corrupted or hostile
+// header must not turn into a multi-gigabyte allocation (or a size_t
+// overflow in in_dim*out_dim) before any real validation runs; honest
+// networks in this project are orders of magnitude below both caps.
+constexpr size_t kMaxLayers = 1024;
+constexpr size_t kMaxLayerDim = size_t{1} << 20;
+// The per-dimension cap alone still admits an 8-terabyte weight matrix
+// (2^20 x 2^20), so the element product gets its own ceiling.
+constexpr size_t kMaxLayerElements = size_t{1} << 24;
+
+}  // namespace
+
 Result<Network> DeserializeNetwork(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || Trim(line) != "isrl-network v1") {
-    return Status::InvalidArgument("bad network header");
+    return Status::InvalidArgument(
+        "network deserialize: bad header (expected 'isrl-network v1')");
   }
   size_t num_layers = 0;
   {
     std::string tag;
-    in >> tag >> num_layers;
-    if (tag != "layers") return Status::InvalidArgument("missing layer count");
+    if (!(in >> tag >> num_layers) || tag != "layers") {
+      return Status::InvalidArgument(
+          "network deserialize: missing or malformed layer count");
+    }
+    if (num_layers > kMaxLayers) {
+      return Status::InvalidArgument(
+          Format("network deserialize: implausible layer count %zu (cap %zu)",
+                 num_layers, kMaxLayers));
+    }
   }
   Network net;
   Rng dummy_rng(0);
@@ -45,15 +69,47 @@ Result<Network> DeserializeNetwork(const std::string& text) {
     std::string kind;
     size_t in_dim = 0, out_dim = 0;
     if (!(in >> kind >> in_dim >> out_dim)) {
-      return Status::InvalidArgument("truncated layer header");
+      return Status::InvalidArgument(
+          Format("network deserialize: truncated header of layer %zu", i));
+    }
+    // Dimension validation happens BEFORE the Linear allocation: the layer
+    // constructor trusts its arguments, so the bound check here is what
+    // stands between a corrupted dimension field and an OOM/overflow.
+    if (in_dim == 0 || in_dim > kMaxLayerDim || out_dim == 0 ||
+        out_dim > kMaxLayerDim) {
+      return Status::InvalidArgument(
+          Format("network deserialize: layer %zu dimensions %zu x %zu out of "
+                 "range [1, %zu]",
+                 i, in_dim, out_dim, kMaxLayerDim));
+    }
+    // Both factors are <= 2^20 here, so the product cannot overflow size_t.
+    if (in_dim * out_dim > kMaxLayerElements) {
+      return Status::InvalidArgument(
+          Format("network deserialize: layer %zu weight count %zu x %zu out of "
+                 "range (cap %zu elements)",
+                 i, in_dim, out_dim, kMaxLayerElements));
     }
     if (kind == "linear") {
       auto layer = std::make_unique<Linear>(in_dim, out_dim, dummy_rng);
       for (double& w : layer->weights()) {
-        if (!(in >> w)) return Status::InvalidArgument("truncated weights");
+        if (!(in >> w)) {
+          return Status::InvalidArgument(
+              Format("network deserialize: truncated weights in layer %zu", i));
+        }
+        if (!std::isfinite(w)) {
+          return Status::InvalidArgument(
+              Format("network deserialize: non-finite weight in layer %zu", i));
+        }
       }
       for (double& b : layer->biases()) {
-        if (!(in >> b)) return Status::InvalidArgument("truncated biases");
+        if (!(in >> b)) {
+          return Status::InvalidArgument(
+              Format("network deserialize: truncated biases in layer %zu", i));
+        }
+        if (!std::isfinite(b)) {
+          return Status::InvalidArgument(
+              Format("network deserialize: non-finite bias in layer %zu", i));
+        }
       }
       net.AddLayer(std::move(layer));
     } else if (kind == "selu") {
@@ -63,10 +119,45 @@ Result<Network> DeserializeNetwork(const std::string& text) {
     } else if (kind == "tanh") {
       net.AddLayer(std::make_unique<Tanh>(in_dim));
     } else {
-      return Status::InvalidArgument("unknown layer kind: " + kind);
+      return Status::InvalidArgument(
+          "network deserialize: unknown layer kind '" + kind + "'");
     }
   }
   return net;
+}
+
+uint64_t NetworkFingerprint(const Network& net) {
+  // FNV-1a over the architecture fields and the raw weight/bias bit
+  // patterns. Hashing double bits directly (instead of the %.17g text
+  // form) keeps the fingerprint sensitive to every ULP while making the
+  // per-snapshot cost a plain linear scan — session checkpoints fold the
+  // fingerprint into every SaveState, so no formatting or allocation here.
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix_byte = [&h](uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  };
+  auto mix_u64 = [&mix_byte](uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<uint8_t>(v >> (8 * i)));
+  };
+  auto mix_double = [&mix_u64](double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix_u64(bits);
+  };
+  mix_u64(net.num_layers());
+  for (size_t i = 0; i < net.num_layers(); ++i) {
+    const Layer& layer = net.layer(i);
+    for (char c : layer.Kind()) mix_byte(static_cast<uint8_t>(c));
+    mix_u64(layer.input_dim());
+    mix_u64(layer.output_dim());
+    if (layer.Kind() == "linear") {
+      const auto& linear = static_cast<const Linear&>(layer);
+      for (double w : linear.weights()) mix_double(w);
+      for (double b : linear.biases()) mix_double(b);
+    }
+  }
+  return h;
 }
 
 Status SaveNetwork(const Network& net, const std::string& path) {

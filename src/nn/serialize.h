@@ -14,8 +14,19 @@ namespace isrl::nn {
 /// string: one header line per layer followed by its parameters.
 std::string SerializeNetwork(const Network& net);
 
-/// Rebuilds a network from SerializeNetwork output.
+/// Rebuilds a network from SerializeNetwork output. Hardened against
+/// adversarial or corrupted input: implausible layer counts and dimensions
+/// are rejected *before* any allocation, truncated parameter lists and
+/// non-finite weights surface as descriptive InvalidArgument Statuses, and
+/// no input can trigger a CHECK or undefined behaviour.
 Result<Network> DeserializeNetwork(const std::string& text);
+
+/// Stable 64-bit identity of a network's architecture + exact weights:
+/// FNV-1a over the SerializeNetwork text. Session snapshots store this
+/// fingerprint instead of duplicating Q-network weights (DESIGN.md §14);
+/// restore verifies it against the live algorithm's network, so a snapshot
+/// can never silently continue under a retrained or different model.
+uint64_t NetworkFingerprint(const Network& net);
 
 /// File wrappers.
 Status SaveNetwork(const Network& net, const std::string& path);

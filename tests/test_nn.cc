@@ -209,6 +209,81 @@ TEST(SerializeTest, RejectsGarbage) {
       DeserializeNetwork("isrl-network v1\nlayers 1\nlinear 2 2\n1 2 3\n").ok());
 }
 
+// Corpus of hostile/corrupted inputs (DESIGN.md §14): each one must come
+// back as a descriptive InvalidArgument — never a CHECK abort, never an
+// over-allocation, never UB. The `expect_in_message` substring pins each
+// input to its intended rejection path so a later refactor cannot quietly
+// start rejecting (or accepting) them for the wrong reason.
+TEST(SerializeTest, NegativeCorpusYieldsDescriptiveStatuses) {
+  struct Case {
+    const char* label;
+    std::string text;
+    const char* expect_in_message;
+    // Some rejections are platform-dependent in *message* (libstdc++'s
+    // num_get refuses "nan"/"inf" at parse time, libc++ parses them and
+    // trips the finiteness check); either message is a correct rejection.
+    const char* alt_message = nullptr;
+  };
+  const std::vector<Case> corpus = {
+      {"empty input", "", "bad header"},
+      {"future version", "isrl-network v2\nlayers 1\nlinear 2 2\n", "header"},
+      {"layer count missing", "isrl-network v1\n", "layer count"},
+      {"layer count not a number", "isrl-network v1\nlayers many\n",
+       "layer count"},
+      {"implausible layer count", "isrl-network v1\nlayers 400000000\n",
+       "implausible layer count"},
+      {"truncated layer header", "isrl-network v1\nlayers 2\nlinear 2 2\n"
+       "1 1 1 1\n1 1\n", "truncated header"},
+      {"zero dimension", "isrl-network v1\nlayers 1\nlinear 0 4\n",
+       "out of range"},
+      // A 2^40-element weight allocation must be refused before it happens.
+      {"giant dimensions", "isrl-network v1\nlayers 1\nlinear 1048576 1048576\n",
+       "out of range"},
+      {"unknown layer kind", "isrl-network v1\nlayers 1\nconv 2 2\n",
+       "unknown layer kind"},
+      {"truncated weights", "isrl-network v1\nlayers 1\nlinear 2 2\n1 2 3\n",
+       "truncated weights"},
+      {"truncated biases", "isrl-network v1\nlayers 1\nlinear 2 2\n"
+       "1 2 3 4\n1\n", "truncated biases"},
+      {"NaN weight", "isrl-network v1\nlayers 1\nlinear 2 2\n"
+       "1 nan 3 4\n0 0\n", "non-finite weight", "truncated weights"},
+      {"infinite bias", "isrl-network v1\nlayers 1\nlinear 2 2\n"
+       "1 2 3 4\ninf 0\n", "non-finite bias", "truncated biases"},
+      {"weight that is not a number", "isrl-network v1\nlayers 1\nlinear 2 2\n"
+       "1 x 3 4\n0 0\n", "truncated weights"},
+  };
+  for (const Case& c : corpus) {
+    Result<Network> net = DeserializeNetwork(c.text);
+    ASSERT_FALSE(net.ok()) << c.label;
+    EXPECT_EQ(net.status().code(), StatusCode::kInvalidArgument) << c.label;
+    const std::string& msg = net.status().message();
+    const bool matched =
+        msg.find(c.expect_in_message) != std::string::npos ||
+        (c.alt_message != nullptr &&
+         msg.find(c.alt_message) != std::string::npos);
+    EXPECT_TRUE(matched) << c.label << ": got '" << net.status().ToString()
+                         << "'";
+  }
+}
+
+TEST(SerializeTest, FingerprintTracksWeightsAndArchitecture) {
+  Rng rng(13);
+  Network a = Network::Mlp({3, 7, 1}, Activation::kSelu, rng);
+  Network b = a.Clone();
+  EXPECT_EQ(NetworkFingerprint(a), NetworkFingerprint(b));
+
+  // One optimiser step must change the identity...
+  Sgd sgd(b.Params(), 0.1);
+  b.AccumulateMseSample(Vec{0.1, 0.2, 0.3}, 1.0);
+  sgd.Step(1);
+  EXPECT_NE(NetworkFingerprint(a), NetworkFingerprint(b));
+
+  // ...and the fingerprint survives a serialisation round trip.
+  Result<Network> reloaded = DeserializeNetwork(SerializeNetwork(a));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(NetworkFingerprint(a), NetworkFingerprint(*reloaded));
+}
+
 TEST(SerializeTest, FileRoundTrip) {
   Rng rng(11);
   Network net = Network::Mlp({2, 4, 1}, Activation::kTanh, rng);

@@ -15,6 +15,12 @@ cross-session coalesced Q-inference; DESIGN.md section 13):
   BM_SessionThroughputEa  N full EA episodes   args: {sessions, mode}
   BM_SessionThroughputAa  N full AA episodes   args: {sessions, mode}
 
+--suite checkpoint (population snapshot save vs restore; DESIGN.md
+section 14): BM_Checkpoint{Ea,Aa,UhRandom,UhSimplex,SinglePass,
+UtilityApprox}, args: {sessions, mode} where mode 0 = CheckpointAll()
+and mode 1 = RestoreAll(). Each record carries the snapshot_bytes
+counter, so the checked-in file doubles as a size-regression table.
+
 The output records, per configuration, both CPU times and their ratio, so
 each checked-in BENCH_*.json is a self-contained before/after table.
 
@@ -80,6 +86,31 @@ SUITES = {
         "coalesces their Q-inference into one PredictBatch per tick, with "
         "bit-identical per-session results (DESIGN.md section 13)",
     },
+    "checkpoint": {
+        "benchmarks": {
+            name: {
+                "mode_arg": 1,
+                "label": lambda rest: f"sessions{rest[0]}",
+            }
+            for name in (
+                "BM_CheckpointEa",
+                "BM_CheckpointAa",
+                "BM_CheckpointUhRandom",
+                "BM_CheckpointUhSimplex",
+                "BM_CheckpointSinglePass",
+                "BM_CheckpointUtilityApprox",
+            )
+        },
+        "baseline_field": "save_cpu_ns",
+        "variant_field": "restore_cpu_ns",
+        "counters": ["snapshot_bytes"],
+        "note": "speedup = save_cpu_ns / restore_cpu_ns for one scheduler "
+        "population parked mid-conversation; save is CheckpointAll() "
+        "(serialize every session into one framed, CRC-checked snapshot), "
+        "restore is RestoreAll() (verify and rebuild every session); "
+        "snapshot_bytes is the whole-population snapshot size "
+        "(DESIGN.md section 14)",
+    },
 }
 
 
@@ -129,24 +160,27 @@ def distill(raw: dict, suite: dict) -> list:
         mode = args[spec["mode_arg"]]
         rest = [a for i, a in enumerate(args) if i != spec["mode_arg"]]
         key = (base, spec["label"](rest))
-        pairs.setdefault(key, {})["variant" if mode == 1 else "baseline"] = (
-            to_ns(row)
-        )
+        entry = pairs.setdefault(key, {})
+        entry["variant" if mode == 1 else "baseline"] = to_ns(row)
+        for counter in suite.get("counters", []):
+            if counter in row:
+                entry.setdefault("counters", {})[counter] = row[counter]
 
     records, missing = [], []
     for (base, label), times in sorted(pairs.items()):
         if "baseline" not in times or "variant" not in times:
             missing.append(f"{base}[{label}]")
             continue
-        records.append(
-            {
-                "benchmark": base,
-                "config": label,
-                suite["baseline_field"]: round(times["baseline"], 1),
-                suite["variant_field"]: round(times["variant"], 1),
-                "speedup": round(times["baseline"] / times["variant"], 2),
-            }
-        )
+        record = {
+            "benchmark": base,
+            "config": label,
+            suite["baseline_field"]: round(times["baseline"], 1),
+            suite["variant_field"]: round(times["variant"], 1),
+            "speedup": round(times["baseline"] / times["variant"], 2),
+        }
+        for counter, value in times.get("counters", {}).items():
+            record[counter] = round(value)
+        records.append(record)
     if missing:
         raise SystemExit(f"unpaired benchmark configurations: {missing}")
     if not records:

@@ -14,6 +14,11 @@ Rules (see DESIGN.md section 11):
                 section 13): algorithms emit questions through their
                 InteractionSession; only the blocking driver, the
                 scheduler, and the evaluation layer may touch an oracle.
+  raw-serialize ad-hoc binary IO (fwrite/fread, reinterpret_cast to a char
+                pointer) outside the sanctioned codec layers. Every
+                persistent byte flows through core/snapshot (framed,
+                versioned, checksummed) or nn/serialize (DESIGN.md
+                section 14) so corruption surfaces as a Status, never UB.
 
 Usage: tools/lint.py [paths...]   (defaults to src/)
 Exit status is the number of findings (0 == clean).
@@ -69,6 +74,22 @@ ASK_DRIVER_FILES = {
 ASK_SCOPES = ("src/core/", "src/baselines/")
 
 DIRECT_ASK_RE = re.compile(r"(?:\.|->)\s*Ask\s*\(")
+
+# Durability discipline (DESIGN.md section 14): binary bytes are produced
+# and consumed ONLY by the framed snapshot codec and the network
+# serializer. fwrite/fread and reinterpret_cast-to-char elsewhere are how
+# unversioned, unchecksummed, UB-prone formats creep in.
+RAW_SERIALIZE_FILES = {
+    "src/core/snapshot.h",
+    "src/core/snapshot.cc",
+    "src/nn/serialize.h",
+    "src/nn/serialize.cc",
+}
+
+RAW_SERIALIZE_RE = re.compile(
+    r"\b(?:std::)?f(?:write|read)\s*\("
+    r"|reinterpret_cast\s*<\s*(?:const\s+)?(?:unsigned\s+)?char\s*\*"
+)
 
 SUPPRESS_TOKEN = "float-eq-ok"
 
@@ -144,6 +165,18 @@ def lint_file(path: Path) -> list:
                     "UserOracle::Ask outside an IO driver; emit the "
                     "question through the InteractionSession step API "
                     "(DESIGN.md section 13)",
+                )
+            )
+
+        if rel not in RAW_SERIALIZE_FILES and RAW_SERIALIZE_RE.search(code):
+            findings.append(
+                (
+                    rel,
+                    lineno,
+                    "raw-serialize",
+                    "ad-hoc binary IO; go through the framed snapshot "
+                    "codec (core/snapshot) or nn/serialize "
+                    "(DESIGN.md section 14)",
                 )
             )
 
