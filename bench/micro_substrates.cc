@@ -13,6 +13,7 @@
 #include "core/ea.h"
 #include "core/scheduler.h"
 #include "core/ea_state.h"
+#include "serve/sharding.h"
 #include "core/terminal.h"
 #include "geometry/volume.h"
 #include "data/skyline.h"
@@ -448,6 +449,118 @@ BENCHMARK(BM_SessionThroughputAa)
     ->Args({1024, 0})
     ->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);
+
+// ---- Sharded serving throughput (DESIGN.md §15). ----
+// N complete episodes on a ShardedScheduler: S SessionScheduler shards
+// pinned to worker threads, sessions routed by id % S, one coalesced
+// PredictBatch per shard per tick. shards == 1 is the scaling baseline —
+// the same engine with one worker — so the shard axis isolates what
+// adding threads buys. Wall-clock (UseRealTime) is the serving headline;
+// process CPU time is measured alongside so a single-core host — where S
+// shards interleave on one core instead of running in parallel — reports
+// the lack of speedup honestly instead of hiding it.
+
+void RunShardedThroughput(
+    benchmark::State& state,
+    const std::vector<std::unique_ptr<InteractiveAlgorithm>>& clones,
+    const std::vector<Vec>& utilities) {
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  const size_t shards = static_cast<size_t>(state.range(1));
+  RunBudget budget;
+  budget.max_rounds = 10;
+  int64_t questions = 0;
+  for (auto _ : state) {
+    ShardedScheduler sharded(ShardedOptions{shards});
+    std::vector<std::unique_ptr<UserOracle>> owned;
+    std::vector<UserOracle*> users;
+    for (size_t i = 0; i < sessions; ++i) {
+      SessionConfig config;
+      config.budget = budget;
+      config.seed = SplitSeed(17, i);
+      // Session i lands on shard i % S; hand it that shard's clone so RL
+      // scoring scratch is never shared across worker threads.
+      sharded.Add(clones[i % shards]->StartSession(config));
+      owned.push_back(std::make_unique<LinearUser>(utilities[i]));
+      users.push_back(owned.back().get());
+    }
+    Result<std::vector<InteractionResult>> results =
+        DriveSharded(sharded, users);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+      return;
+    }
+    for (const InteractionResult& r : results.value()) {
+      questions += static_cast<int64_t>(r.rounds);
+    }
+  }
+  state.SetItemsProcessed(questions);
+}
+
+void BM_ShardedThroughputEa(benchmark::State& state) {
+  Rng rng(18);  // same data/seeds as BM_SessionThroughputEa: comparable rows
+  Dataset raw = GenerateSynthetic(800, 3, Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  EaOptions opt;
+  opt.epsilon = 0.05;
+  opt.dqn = ServingDqn();
+  opt.actions.num_samples = 16;
+  Ea ea(sky, opt);
+  std::vector<std::unique_ptr<InteractiveAlgorithm>> clones;
+  for (int64_t k = 0; k < state.range(1); ++k) {
+    clones.push_back(ea.CloneForEval());
+  }
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  std::vector<Vec> utilities;
+  for (size_t i = 0; i < sessions; ++i) {
+    utilities.push_back(rng.SimplexUniform(3));
+  }
+  RunShardedThroughput(state, clones, utilities);
+}
+BENCHMARK(BM_ShardedThroughputEa)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({1024, 8})
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->Args({4096, 8})
+    ->Args({16384, 1})
+    ->Args({16384, 2})
+    ->Args({16384, 4})
+    ->Args({16384, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_ShardedThroughputAa(benchmark::State& state) {
+  Rng rng(19);  // same data/seeds as BM_SessionThroughputAa
+  Dataset raw = GenerateSynthetic(800, 3, Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  AaOptions opt;
+  opt.epsilon = 0.1;
+  opt.dqn = ServingDqn();
+  opt.actions.pool_samples = 16;
+  Aa aa(sky, opt);
+  std::vector<std::unique_ptr<InteractiveAlgorithm>> clones;
+  for (int64_t k = 0; k < state.range(1); ++k) {
+    clones.push_back(aa.CloneForEval());
+  }
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  std::vector<Vec> utilities;
+  for (size_t i = 0; i < sessions; ++i) {
+    utilities.push_back(rng.SimplexUniform(3));
+  }
+  RunShardedThroughput(state, clones, utilities);
+}
+BENCHMARK(BM_ShardedThroughputAa)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({1024, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 // ---- Durable sessions: checkpoint save / restore (DESIGN.md §14). ----
 // A scheduler population of N sessions parked mid-conversation. Mode 0

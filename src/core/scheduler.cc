@@ -19,6 +19,10 @@ constexpr const char* kPopulationKind = "scheduler-population";
 constexpr uint32_t kPopulationVersion = 1;
 constexpr const char* kStoreKind = "session-store";
 constexpr uint32_t kStoreVersion = 1;
+// Append-mode delta frame: WAL records logged after the leading full-store
+// frame was written (SessionStore::SyncFile).
+constexpr const char* kStoreWalKind = "session-store-wal";
+constexpr uint32_t kStoreWalVersion = 1;
 
 // Per-slot markers inside a population snapshot.
 constexpr uint8_t kSlotLive = 0;     // algorithm name + session bytes follow
@@ -253,22 +257,58 @@ std::vector<PendingQuestion> SessionScheduler::Tick() {
 }
 
 void SessionScheduler::PostAnswer(SessionId id, Answer answer) {
-  ISRL_CHECK_LT(id, slots_.size());
+  Status posted = TryPostAnswer(id, answer);
+  if (!posted.ok()) {
+    std::fprintf(stderr, "PostAnswer: %s\n", posted.ToString().c_str());
+  }
+  ISRL_CHECK(posted.ok());
+}
+
+Status SessionScheduler::TryPostAnswer(SessionId id, Answer answer) {
+  if (id >= slots_.size()) {
+    return Status::NotFound(Format("no session %zu (population of %zu)", id,
+                                   slots_.size()));
+  }
   Slot& slot = slots_[id];
-  ISRL_CHECK(slot.state == SlotState::kAwaitingAnswer);
+  switch (slot.state) {
+    case SlotState::kAwaitingAnswer:
+      break;
+    case SlotState::kRunnable:
+      return Status::FailedPrecondition(Format(
+          "session %zu has no outstanding question (already answered this "
+          "round?)",
+          id));
+    case SlotState::kFinished:
+      return Status::FailedPrecondition(
+          Format("session %zu has already finished", id));
+    case SlotState::kTaken:
+      return Status::FailedPrecondition(
+          Format("session %zu's result was already taken", id));
+  }
   slot.session->PostAnswer(answer);
   slot.state = SlotState::kRunnable;
+  return Status::Ok();
 }
 
 void SessionScheduler::Cancel(SessionId id) {
   ISRL_CHECK_LT(id, slots_.size());
+  Status cancelled = TryCancel(id);
+  ISRL_CHECK(cancelled.ok());
+}
+
+Status SessionScheduler::TryCancel(SessionId id) {
+  if (id >= slots_.size()) {
+    return Status::NotFound(Format("no session %zu (population of %zu)", id,
+                                   slots_.size()));
+  }
   Slot& slot = slots_[id];
   if (slot.state == SlotState::kFinished || slot.state == SlotState::kTaken) {
-    return;
+    return Status::Ok();  // idempotent no-op, matching Cancel()
   }
   slot.session->Cancel();
   slot.state = SlotState::kFinished;
   --active_;
+  return Status::Ok();
 }
 
 bool SessionScheduler::finished(SessionId id) const {
@@ -281,10 +321,34 @@ bool SessionScheduler::awaiting(SessionId id) const {
   return slots_[id].state == SlotState::kAwaitingAnswer;
 }
 
-InteractionResult SessionScheduler::Take(SessionId id) {
+bool SessionScheduler::taken(SessionId id) const {
   ISRL_CHECK_LT(id, slots_.size());
+  return slots_[id].state == SlotState::kTaken;
+}
+
+InteractionResult SessionScheduler::Take(SessionId id) {
+  Result<InteractionResult> result = TryTake(id);
+  if (!result.ok()) {
+    std::fprintf(stderr, "Take: %s\n", result.status().ToString().c_str());
+  }
+  ISRL_CHECK(result.ok());
+  return std::move(*result);
+}
+
+Result<InteractionResult> SessionScheduler::TryTake(SessionId id) {
+  if (id >= slots_.size()) {
+    return Status::NotFound(Format("no session %zu (population of %zu)", id,
+                                   slots_.size()));
+  }
   Slot& slot = slots_[id];
-  ISRL_CHECK(slot.state == SlotState::kFinished);
+  if (slot.state == SlotState::kTaken) {
+    return Status::FailedPrecondition(
+        Format("session %zu's result was already taken", id));
+  }
+  if (slot.state != SlotState::kFinished) {
+    return Status::FailedPrecondition(
+        Format("session %zu has not finished", id));
+  }
   InteractionResult result = slot.session->Finish();
   result.converged = result.termination == Termination::kConverged;
   slot.state = SlotState::kTaken;
@@ -310,9 +374,63 @@ std::vector<InteractionResult> DriveWithUsers(
   return results;
 }
 
+namespace {
+
+/// Appends one WAL record to a Writer (shared by the full-store payload and
+/// the append-mode delta frames).
+void EncodeWalRecord(const WalRecord& record, snapshot::Writer* w) {
+  w->U64(record.session_id);
+  w->U8(record.kind);
+  w->U8(static_cast<uint8_t>(record.answer));
+}
+
+/// Reads one WAL record; fails the reader on malformed kind/answer values.
+WalRecord DecodeWalRecord(snapshot::Reader* r) {
+  WalRecord record;
+  record.session_id = r->U64();
+  record.kind = r->U8();
+  uint8_t answer = r->U8();
+  if (r->failed()) return record;
+  if (record.kind > WalRecord::kCancel) {
+    r->Fail("bad WAL record kind");
+    return record;
+  }
+  if (answer > static_cast<uint8_t>(Answer::kNoAnswer)) {
+    r->Fail("bad WAL answer value");
+    return record;
+  }
+  record.answer = static_cast<Answer>(answer);
+  return record;
+}
+
+/// Parses the records of one append-mode delta frame into `out`. Returns
+/// non-OK (and leaves `out` untouched) on any malformed byte, so a torn
+/// append never contributes partial records.
+Status DecodeWalDelta(const std::string& payload,
+                      std::vector<WalRecord>* out) {
+  snapshot::Reader r(payload);
+  uint64_t count = r.U64();
+  if (count > snapshot::kMaxElements) r.Fail("implausible WAL delta length");
+  std::vector<WalRecord> records;
+  for (uint64_t i = 0; !r.failed() && i < count; ++i) {
+    records.push_back(DecodeWalRecord(&r));
+  }
+  ISRL_RETURN_IF_ERROR(r.status());
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "snapshot payload: trailing bytes after WAL delta");
+  }
+  out->insert(out->end(), records.begin(), records.end());
+  return Status::Ok();
+}
+
+}  // namespace
+
 void SessionStore::BeginEpoch(std::string population_snapshot) {
   population_ = std::move(population_snapshot);
   wal_.clear();
+  epoch_synced_ = false;
+  synced_wal_ = 0;
 }
 
 void SessionStore::LogAnswer(size_t session_id, Answer answer) {
@@ -328,9 +446,7 @@ std::string SessionStore::Serialize() const {
   w.Str(population_);
   w.U64(wal_.size());
   for (const WalRecord& record : wal_) {
-    w.U64(record.session_id);
-    w.U8(record.kind);
-    w.U8(static_cast<uint8_t>(record.answer));
+    EncodeWalRecord(record, &w);
   }
   return snapshot::WrapFrame(kStoreKind, kStoreVersion, w.bytes());
 }
@@ -345,20 +461,7 @@ Result<SessionStore> SessionStore::Deserialize(const std::string& bytes) {
   uint64_t count = r.U64();
   if (count > snapshot::kMaxElements) r.Fail("implausible WAL length");
   for (uint64_t i = 0; !r.failed() && i < count; ++i) {
-    WalRecord record;
-    record.session_id = r.U64();
-    record.kind = r.U8();
-    uint8_t answer = r.U8();
-    if (record.kind > WalRecord::kCancel) {
-      r.Fail("bad WAL record kind");
-      break;
-    }
-    if (answer > static_cast<uint8_t>(Answer::kNoAnswer)) {
-      r.Fail("bad WAL answer value");
-      break;
-    }
-    record.answer = static_cast<Answer>(answer);
-    store.wal_.push_back(record);
+    store.wal_.push_back(DecodeWalRecord(&r));
   }
   ISRL_RETURN_IF_ERROR(r.status());
   if (!r.AtEnd()) {
@@ -372,9 +475,87 @@ Status SessionStore::SaveFile(const std::string& path) const {
   return snapshot::WriteFileBytes(path, Serialize());
 }
 
+Status SessionStore::SyncFile(const std::string& path) {
+  if (!epoch_synced_) {
+    // First sync of this epoch: atomically replace the file with the full
+    // store. Everything logged so far is baked into this frame.
+    ISRL_RETURN_IF_ERROR(snapshot::WriteFileBytes(path, Serialize()));
+    epoch_synced_ = true;
+    synced_wal_ = wal_.size();
+    return Status::Ok();
+  }
+  if (synced_wal_ > wal_.size()) {
+    return Status::Internal(
+        "session store sync cursor ahead of the WAL (store was mutated "
+        "behind SyncFile's back)");
+  }
+  if (synced_wal_ == wal_.size()) return Status::Ok();
+  snapshot::Writer w;
+  w.U64(wal_.size() - synced_wal_);
+  for (size_t i = synced_wal_; i < wal_.size(); ++i) {
+    EncodeWalRecord(wal_[i], &w);
+  }
+  ISRL_RETURN_IF_ERROR(snapshot::AppendFileBytes(
+      path, snapshot::WrapFrame(kStoreWalKind, kStoreWalVersion, w.bytes())));
+  synced_wal_ = wal_.size();
+  return Status::Ok();
+}
+
 Result<SessionStore> SessionStore::LoadFile(const std::string& path) {
   ISRL_ASSIGN_OR_RETURN(std::string bytes, snapshot::ReadFileBytes(path));
-  return Deserialize(bytes);
+  // The leading frame must be a complete full-store frame (SaveFile and
+  // SyncFile both write it atomically, so a crash cannot tear it — if it is
+  // unreadable the file is corrupt, not torn).
+  size_t pos = 0;
+  std::string kind;
+  uint32_t version = 0;
+  std::string payload;
+  ISRL_RETURN_IF_ERROR(
+      snapshot::ReadFrameAt(bytes, &pos, &kind, &version, &payload));
+  if (kind != kStoreKind) {
+    return Status::InvalidArgument(Format(
+        "session store file: leading frame is a '%s', expected '%s'",
+        kind.c_str(), kStoreKind));
+  }
+  if (version != kStoreVersion) {
+    return Status::InvalidArgument(Format(
+        "session store file: version skew (%u, this build reads %u)",
+        version, kStoreVersion));
+  }
+  ISRL_ASSIGN_OR_RETURN(
+      SessionStore store,
+      Deserialize(snapshot::WrapFrame(kStoreKind, kStoreVersion, payload)));
+  // Delta frames appended by SyncFile. A torn or corrupted tail is the
+  // expected remains of a crash mid-append: recovery proceeds from the last
+  // complete frame (the discarded answers were never applied durably — the
+  // write-ahead contract re-asks those questions instead).
+  bool clean_tail = true;
+  while (pos < bytes.size()) {
+    std::string delta_kind;
+    uint32_t delta_version = 0;
+    std::string delta_payload;
+    Status frame = snapshot::ReadFrameAt(bytes, &pos, &delta_kind,
+                                         &delta_version, &delta_payload);
+    if (!frame.ok()) {
+      clean_tail = false;
+      break;
+    }
+    if (delta_kind != kStoreWalKind || delta_version != kStoreWalVersion) {
+      clean_tail = false;  // foreign bytes: stop at the last good frame
+      break;
+    }
+    if (!DecodeWalDelta(delta_payload, &store.wal_).ok()) {
+      clean_tail = false;
+      break;
+    }
+  }
+  // With a clean tail the loaded state is exactly what is on disk, so
+  // further SyncFile calls against the same path may append in place. A
+  // torn tail must not be appended after (the reader would stop at the torn
+  // frame), so the next SyncFile does a full atomic rewrite instead.
+  store.epoch_synced_ = clean_tail;
+  store.synced_wal_ = clean_tail ? store.wal_.size() : 0;
+  return store;
 }
 
 Result<SessionScheduler> RecoverScheduler(const SessionStore& store,
@@ -402,20 +583,22 @@ Result<SessionScheduler> RecoverScheduler(const SessionStore& store,
       continue;
     }
     if (record.kind == WalRecord::kCancel) {
-      scheduler.Cancel(record.session_id);
+      ISRL_RETURN_IF_ERROR(scheduler.TryCancel(record.session_id));
       continue;
     }
     if (!scheduler.awaiting(record.session_id)) {
       (void)scheduler.Tick();  // advance to the tick this record came from
     }
     if (scheduler.finished(record.session_id)) continue;  // terminated instead
-    if (!scheduler.awaiting(record.session_id)) {
+    Status posted = scheduler.TryPostAnswer(record.session_id, record.answer);
+    if (!posted.ok()) {
+      // A record a healthy session cannot accept means the log and snapshot
+      // do not belong together; surface it instead of crashing the process.
       return Status::FailedPrecondition(
-          Format("recover: WAL record %zu out of sync — session %zu has no "
-                 "outstanding question (log and snapshot do not match)",
-                 i, record.session_id));
+          Format("recover: WAL record %zu out of sync — %s (log and "
+                 "snapshot do not match)",
+                 i, posted.message().c_str()));
     }
-    scheduler.PostAnswer(record.session_id, record.answer);
   }
   return scheduler;
 }

@@ -106,12 +106,25 @@ class SessionScheduler {
   std::vector<PendingQuestion> Tick();
 
   /// Delivers a user's answer; the session becomes runnable for the next
-  /// Tick(). The id must currently be awaiting an answer.
+  /// Tick(). The id must currently be awaiting an answer (thin checked
+  /// wrapper over TryPostAnswer — crashes on misuse, for trusted drivers).
   void PostAnswer(SessionId id, Answer answer);
+
+  /// Status-returning form for serving front-ends, where a stale client can
+  /// legitimately double-post or answer a finished session and must get an
+  /// error back instead of killing the process: NotFound for an unknown id,
+  /// FailedPrecondition when the session has no outstanding question
+  /// (already answered this round, already finished, or result taken).
+  Status TryPostAnswer(SessionId id, Answer answer);
 
   /// Cancels a session mid-episode (the user walked away); it finishes with
   /// its best-so-far recommendation. No-op when already finished.
   void Cancel(SessionId id);
+
+  /// Status-returning Cancel: NotFound for an unknown id, Ok otherwise
+  /// (cancelling an already-finished or taken session is an idempotent
+  /// no-op, matching Cancel()).
+  Status TryCancel(SessionId id);
 
   bool finished(SessionId id) const;
 
@@ -119,8 +132,16 @@ class SessionScheduler {
   /// WAL replay must reach before re-posting a logged answer).
   bool awaiting(SessionId id) const;
 
-  /// The finished session's result (invalidates the slot).
+  /// True once the slot's result has been handed out via Take/TryTake.
+  bool taken(SessionId id) const;
+
+  /// The finished session's result (invalidates the slot). Checked wrapper
+  /// over TryTake — crashes on misuse.
   InteractionResult Take(SessionId id);
+
+  /// Status-returning Take: NotFound for an unknown id, FailedPrecondition
+  /// when the session has not finished or was already taken.
+  Result<InteractionResult> TryTake(SessionId id);
 
   /// Sessions not yet finished.
   size_t active() const { return active_; }
@@ -195,12 +216,34 @@ class SessionStore {
   std::string Serialize() const;
   static Result<SessionStore> Deserialize(const std::string& bytes);
 
+  /// Full rewrite (atomic via snapshot::WriteFileBytes). O(population +
+  /// whole WAL) per call — fine for a final save, quadratic when called per
+  /// answer; serving loops use SyncFile instead.
   Status SaveFile(const std::string& path) const;
+
+  /// Incremental durable persistence for the serving loop. The first call
+  /// after BeginEpoch (or on a fresh store) atomically rewrites `path` with
+  /// the full store; later calls append ONLY the WAL records logged since
+  /// the previous sync, as framed delta records, then fsync — O(new
+  /// answers) per call instead of O(population + whole log). Call after
+  /// LogAnswer/LogCancel and before applying the answer to keep the
+  /// write-ahead contract durable on disk, not just in memory.
+  Status SyncFile(const std::string& path);
+
+  /// Reads a store file written by SaveFile (one full-store frame — the
+  /// legacy format) or by SyncFile (a full-store frame followed by delta
+  /// frames). A torn or corrupted tail — the expected shape of a crash
+  /// mid-append — is discarded at the last complete frame; a file whose
+  /// leading full-store frame is unreadable is an error.
   static Result<SessionStore> LoadFile(const std::string& path);
 
  private:
   std::string population_;
   std::vector<WalRecord> wal_;
+  /// SyncFile cursor: whether the current epoch's full-store frame is on
+  /// disk, and how many WAL records have been persisted.
+  bool epoch_synced_ = false;
+  size_t synced_wal_ = 0;
 };
 
 /// Snapshot-then-replay recovery: RestoreAll(store.population()) followed by

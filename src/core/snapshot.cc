@@ -1,8 +1,13 @@
 #include "core/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -126,6 +131,66 @@ Result<std::string> UnwrapFrame(const std::string& kind, uint32_t version,
                kind.c_str(), stored, computed));
   }
   return payload;
+}
+
+Status ReadFrameAt(const std::string& bytes, size_t* pos, std::string* kind,
+                   uint32_t* version, std::string* payload) {
+  const size_t start = *pos;
+  if (start > bytes.size()) {
+    return Status::InvalidArgument("snapshot frame: scan position past end");
+  }
+  // The Reader has no seek, so parse a copy of the remaining bytes. Scan
+  // cost is frames × remaining-size — recovery-time only, never on the
+  // serving path.
+  const std::string rest = bytes.substr(start);
+  Reader rr(rest);
+  char magic[4] = {};
+  for (char& m : magic) m = static_cast<char>(rr.U8());
+  if (rr.failed() || magic[0] != kMagic[0] || magic[1] != kMagic[1] ||
+      magic[2] != kMagic[2] || magic[3] != kMagic[3]) {
+    return Status::InvalidArgument(
+        "snapshot frame: bad magic (not an ISRL snapshot)");
+  }
+  std::string got_kind = rr.Str();
+  if (rr.failed()) {
+    return Status::InvalidArgument("snapshot frame: truncated kind tag");
+  }
+  uint32_t got_version = rr.U32();
+  if (rr.failed()) {
+    return Status::InvalidArgument("snapshot frame: truncated version field");
+  }
+  uint64_t payload_size = rr.U64();
+  if (rr.failed()) {
+    return Status::InvalidArgument("snapshot frame: truncated size field");
+  }
+  const size_t header = 4 + 8 + got_kind.size() + 4 + 8;
+  if (payload_size > rest.size() || rest.size() - header < payload_size + 4) {
+    return Status::InvalidArgument(Format(
+        "snapshot frame: truncated ('%s' payload of %llu bytes does not fit "
+        "in %llu remaining)",
+        got_kind.c_str(), static_cast<unsigned long long>(payload_size),
+        static_cast<unsigned long long>(
+            rest.size() > header ? rest.size() - header : 0)));
+  }
+  std::string got_payload = rest.substr(header, payload_size);
+  uint32_t stored = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(rest[header + payload_size + i]))
+              << (8 * i);
+  }
+  const uint32_t computed = Crc32(got_payload);
+  if (stored != computed) {
+    return Status::InvalidArgument(
+        Format("snapshot frame: CRC mismatch on '%s' payload (stored "
+               "%08x, computed %08x) — snapshot is corrupted",
+               got_kind.c_str(), stored, computed));
+  }
+  *pos = start + header + payload_size + 4;
+  *kind = std::move(got_kind);
+  *version = got_version;
+  *payload = std::move(got_payload);
+  return Status::Ok();
 }
 
 // ---- Writer. --------------------------------------------------------------
@@ -585,17 +650,99 @@ Status ValidateSessionCore(const SessionCore& core,
 
 // ---- Files. ---------------------------------------------------------------
 
-Status WriteFileBytes(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open '" + path + "' for writing");
+namespace {
+
+/// One-shot short-write budget for the durability suite (kNoShortWrite =
+/// disarmed). Consumed by the next WriteFileBytes/AppendFileBytes call.
+std::atomic<size_t> g_short_write_budget{kNoShortWrite};
+
+size_t ConsumeShortWriteBudget() {
+  return g_short_write_budget.exchange(kNoShortWrite);
+}
+
+/// Writes all of `bytes` to `fd`, honouring an armed short-write budget
+/// (which simulates the process dying after `budget` bytes hit the file).
+Status WriteAllFd(int fd, const std::string& bytes, const std::string& path,
+                  size_t budget) {
+  const bool injected = budget < bytes.size();
+  size_t limit = injected ? budget : bytes.size();
+  size_t written = 0;
+  while (written < limit) {
+    ssize_t n = ::write(fd, bytes.data() + written, limit - written);
+    if (n < 0) {
+      return Status::IoError("write failure on '" + path + "'");
+    }
+    written += static_cast<size_t>(n);
   }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) {
-    return Status::IoError("short write to '" + path + "'");
+  if (injected) {
+    return Status::IoError("short write to '" + path +
+                           "' (injected crash for testing)");
   }
   return Status::Ok();
+}
+
+/// fsyncs the directory containing `path` so a just-renamed file's
+/// directory entry is durable too. Best-effort: some filesystems refuse
+/// directory fsync; the rename itself is already atomic.
+void SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+}
+
+}  // namespace
+
+void SetShortWriteForTesting(size_t max_bytes) {
+  g_short_write_budget.store(max_bytes);
+}
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  // Write-to-temp + rename: the target is replaced atomically, so a crash
+  // (or an injected short write) at any byte leaves the previous file
+  // intact instead of a torn, CRC-failing mixture.
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + tmp + "' for writing");
+  }
+  Status written = WriteAllFd(fd, bytes, tmp, ConsumeShortWriteBudget());
+  if (written.ok() && ::fsync(fd) != 0) {
+    written = Status::IoError("fsync failure on '" + tmp + "'");
+  }
+  if (::close(fd) != 0 && written.ok()) {
+    written = Status::IoError("close failure on '" + tmp + "'");
+  }
+  if (!written.ok()) {
+    (void)::unlink(tmp.c_str());
+    return written;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+}
+
+Status AppendFileBytes(const std::string& path, const std::string& bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "' for appending");
+  }
+  Status written = WriteAllFd(fd, bytes, path, ConsumeShortWriteBudget());
+  if (written.ok() && ::fsync(fd) != 0) {
+    written = Status::IoError("fsync failure on '" + path + "'");
+  }
+  if (::close(fd) != 0 && written.ok()) {
+    written = Status::IoError("close failure on '" + path + "'");
+  }
+  return written;
 }
 
 Result<std::string> ReadFileBytes(const std::string& path) {

@@ -215,12 +215,43 @@ Status ValidateSessionCore(const SessionCore& core,
                            const std::string& algorithm_name,
                            size_t data_size, size_t data_dim);
 
+// ---- Multi-frame scan. ----------------------------------------------------
+
+/// Incremental frame scan for multi-frame files (the append-mode session
+/// store): parses one frame starting at `*pos`, validates its magic and
+/// CRC, returns its kind/version/payload, and advances `*pos` past it.
+/// Unlike UnwrapFrame it accepts any kind and tolerates further frames
+/// after this one; a truncated or corrupted frame returns InvalidArgument
+/// and leaves `*pos` untouched (the caller decides whether a torn tail is
+/// recoverable).
+Status ReadFrameAt(const std::string& bytes, size_t* pos, std::string* kind,
+                   uint32_t* version, std::string* payload);
+
 // ---- Files. ---------------------------------------------------------------
 // The only sanctioned binary file IO in the tree (see the raw-serialization
 // lint rule): snapshots travel as opaque byte strings and land on disk here.
 
+/// Atomically replaces `path` with `bytes`: writes a temp file in the same
+/// directory, fsyncs it, then rename()s it over the target (and fsyncs the
+/// directory). A crash at any point leaves either the old file or the new
+/// one, never a torn mixture — the previous good snapshot survives a
+/// failed save.
 Status WriteFileBytes(const std::string& path, const std::string& bytes);
+
+/// Appends `bytes` to `path` (which must exist) and fsyncs. NOT atomic: a
+/// crash mid-append leaves a torn tail, so appended data must be framed and
+/// the reader must treat an unparseable tail as absent (see
+/// SessionStore::SyncFile / LoadFile).
+Status AppendFileBytes(const std::string& path, const std::string& bytes);
+
 Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Test-only crash injection for the durability suite: the next
+/// WriteFileBytes/AppendFileBytes call writes at most `max_bytes` bytes,
+/// then fails with IoError as if the process died mid-write (the hook
+/// disarms itself). Pass kNoShortWrite to disarm explicitly.
+inline constexpr size_t kNoShortWrite = static_cast<size_t>(-1);
+void SetShortWriteForTesting(size_t max_bytes);
 
 }  // namespace isrl::snapshot
 

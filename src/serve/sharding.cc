@@ -1,0 +1,483 @@
+#include "serve/sharding.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "core/snapshot.h"
+
+namespace isrl {
+
+namespace {
+
+constexpr char kManifestKind[] = "shard-manifest";
+constexpr uint32_t kManifestVersion = 1;
+
+// A batch entry whose mirror said it was deliverable must be applicable to
+// the shard's scheduler — a rejection means the mirror and the scheduler
+// disagreed, which is an engine bug, not client misuse.
+Status MirrorDesync(size_t shard, size_t local, const Status& cause) {
+  return Status::Internal(
+      Format("shard %zu: mirror accepted a record for local session %zu that "
+             "its scheduler rejects — %s",
+             shard, local, cause.message().c_str()));
+}
+
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(ShardedOptions options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedScheduler::~ShardedScheduler() { Stop(); }
+
+ShardedScheduler::SessionId ShardedScheduler::Add(
+    std::unique_ptr<InteractionSession> session) {
+  return Add(std::move(session), nullptr);
+}
+
+ShardedScheduler::SessionId ShardedScheduler::Add(
+    std::unique_ptr<InteractionSession> session,
+    InteractiveAlgorithm* algorithm) {
+  ISRL_CHECK(!running_.load(std::memory_order_acquire));
+  const SessionId id = size_++;
+  Shard& shard = ShardOf(id);
+  const size_t local = algorithm == nullptr
+                           ? shard.scheduler.Add(std::move(session))
+                           : shard.scheduler.Add(std::move(session), algorithm);
+  ISRL_CHECK_EQ(local, LocalOf(id));
+  shard.mirror.push_back(Mirror::kRunnable);
+  shard.delivered.push_back(0);
+  active_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string ShardedScheduler::ShardPath(const std::string& prefix,
+                                        size_t shard) {
+  return Format("%s.shard%zu", prefix.c_str(), shard);
+}
+
+std::string ShardedScheduler::ManifestPath(const std::string& prefix) {
+  return prefix + ".manifest";
+}
+
+Status ShardedScheduler::EnableDurability(const std::string& path_prefix) {
+  ISRL_CHECK(!running_.load(std::memory_order_acquire));
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = *shards_[k];
+    ISRL_ASSIGN_OR_RETURN(std::string snapshot, shard.scheduler.CheckpointAll());
+    shard.store.BeginEpoch(std::move(snapshot));
+    shard.store_path = ShardPath(path_prefix, k);
+    ISRL_RETURN_IF_ERROR(shard.store.SyncFile(shard.store_path));
+    shard.durable = true;
+    shard.ticks = 0;
+  }
+  snapshot::Writer w;
+  w.U64(shards_.size());
+  w.U64(size_);
+  return snapshot::WriteFileBytes(
+      ManifestPath(path_prefix),
+      snapshot::WrapFrame(kManifestKind, kManifestVersion, w.bytes()));
+}
+
+Result<std::unique_ptr<ShardedScheduler>> ShardedScheduler::Recover(
+    const ShardedOptions& options, const std::string& path_prefix,
+    const ShardAlgorithmResolver& resolver) {
+  auto engine = std::make_unique<ShardedScheduler>(options);
+  const size_t num_shards = engine->shards();
+
+  ISRL_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                        snapshot::ReadFileBytes(ManifestPath(path_prefix)));
+  ISRL_ASSIGN_OR_RETURN(
+      std::string manifest_payload,
+      snapshot::UnwrapFrame(kManifestKind, kManifestVersion, manifest_bytes));
+  snapshot::Reader manifest(manifest_payload);
+  const size_t saved_shards = manifest.U64();
+  const size_t saved_sessions = manifest.U64();
+  ISRL_RETURN_IF_ERROR(manifest.status());
+  if (saved_shards != num_shards) {
+    return Status::InvalidArgument(Format(
+        "recover: the manifest records a %zu-shard population but %zu "
+        "shards were requested — id routing would not match the files",
+        saved_shards, num_shards));
+  }
+
+  size_t total = 0;
+  for (size_t k = 0; k < num_shards; ++k) {
+    ISRL_ASSIGN_OR_RETURN(SessionStore store,
+                          SessionStore::LoadFile(ShardPath(path_prefix, k)));
+    AlgorithmResolver local_resolver =
+        [&resolver, k](const std::string& name) -> InteractiveAlgorithm* {
+      return resolver ? resolver(k, name) : nullptr;
+    };
+    ISRL_ASSIGN_OR_RETURN(SessionScheduler scheduler,
+                          RecoverScheduler(store, local_resolver));
+    engine->shards_[k]->scheduler = std::move(scheduler);
+    total += engine->shards_[k]->scheduler.size();
+  }
+  if (total != saved_sessions) {
+    return Status::InvalidArgument(Format(
+        "recover: shard files hold %zu sessions but the manifest records "
+        "%zu — the files do not belong to one run",
+        total, saved_sessions));
+  }
+  // Round-robin routing puts n/S (+1 for the first n%S shards) sessions on
+  // shard k; a mismatch means the files come from runs with different
+  // populations or shard counts.
+  for (size_t k = 0; k < num_shards; ++k) {
+    const size_t expect = total / num_shards + (k < total % num_shards ? 1 : 0);
+    if (engine->shards_[k]->scheduler.size() != expect) {
+      return Status::InvalidArgument(Format(
+          "recover: shard %zu holds %zu sessions but a %zu-session "
+          "%zu-shard population puts %zu there — the shard files do not "
+          "belong to one run",
+          k, engine->shards_[k]->scheduler.size(), total, num_shards, expect));
+    }
+  }
+  engine->size_ = total;
+  size_t active = 0;
+  for (size_t k = 0; k < num_shards; ++k) {
+    Shard& shard = *engine->shards_[k];
+    SyncMirror(shard);
+    active += shard.scheduler.active();
+  }
+  engine->active_.store(active, std::memory_order_relaxed);
+  return engine;
+}
+
+void ShardedScheduler::SyncMirror(Shard& shard) {
+  const size_t n = shard.scheduler.size();
+  shard.mirror.assign(n, Mirror::kRunnable);
+  shard.delivered.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (shard.scheduler.taken(i)) {
+      shard.mirror[i] = Mirror::kTaken;
+    } else if (shard.scheduler.finished(i)) {
+      shard.mirror[i] = Mirror::kFinished;
+    } else if (shard.scheduler.awaiting(i)) {
+      // The in-flight question re-emits on the first tick (at-least-once
+      // delivery); delivered stays 0 so the sink sees it again.
+      shard.mirror[i] = Mirror::kAwaiting;
+    }
+  }
+}
+
+void ShardedScheduler::Start(QuestionSink sink) {
+  ISRL_CHECK(!running_.load(std::memory_order_acquire));
+  sink_ = std::move(sink);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = *shards_[k];
+    {
+      // Re-deliver questions that were in flight when the previous Start()
+      // stopped (or when the population was recovered): at-least-once, the
+      // same contract as crash recovery.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      std::fill(shard.delivered.begin(), shard.delivered.end(),
+                static_cast<uint8_t>(0));
+    }
+    shard.last_active = shard.scheduler.active();
+    shard.worker = std::thread(&ShardedScheduler::WorkerLoop, this, k);
+  }
+}
+
+void ShardedScheduler::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  running_.store(false, std::memory_order_release);
+  NotifyDrained();
+}
+
+Status ShardedScheduler::WaitUntilDrained() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return active_.load(std::memory_order_acquire) == 0 ||
+           any_halted_.load(std::memory_order_acquire) ||
+           stop_.load(std::memory_order_acquire);
+  });
+  return error();
+}
+
+void ShardedScheduler::NotifyDrained() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+  }
+  drain_cv_.notify_all();
+}
+
+void ShardedScheduler::Halt(Shard& shard, Status cause) {
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.halted) {
+      shard.halted = true;
+      shard.error = std::move(cause);
+    }
+    shard.inbox.clear();
+  }
+  any_halted_.store(true, std::memory_order_release);
+  NotifyDrained();
+}
+
+Status ShardedScheduler::error() const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->error.ok()) return shard->error;
+  }
+  return Status::Ok();
+}
+
+Status ShardedScheduler::TryPostAnswer(SessionId id, Answer answer) {
+  if (id >= size_) {
+    return Status::NotFound(
+        Format("no session %zu (population of %zu)", id, size_));
+  }
+  Shard& shard = ShardOf(id);
+  const size_t local = LocalOf(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.halted) {
+      return Status::FailedPrecondition(
+          Format("session %zu's shard has halted: %s", id,
+                 shard.error.message().c_str()));
+    }
+    switch (shard.mirror[local]) {
+      case Mirror::kAwaiting:
+        break;
+      case Mirror::kRunnable:
+        return Status::FailedPrecondition(
+            Format("session %zu has no outstanding question", id));
+      case Mirror::kAnswerQueued:
+        return Status::FailedPrecondition(
+            Format("session %zu already has an answer queued", id));
+      case Mirror::kCancelQueued:
+        return Status::FailedPrecondition(
+            Format("session %zu has a cancellation queued", id));
+      case Mirror::kFinished:
+        return Status::FailedPrecondition(
+            Format("session %zu has already finished", id));
+      case Mirror::kTaken:
+        return Status::FailedPrecondition(
+            Format("session %zu's result was already taken", id));
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition(
+          "the engine is not serving (call Start() first)");
+    }
+    shard.mirror[local] = Mirror::kAnswerQueued;
+    shard.inbox.push_back(Inbound{local, WalRecord::kAnswer, answer});
+    shard.cv.notify_one();
+  }
+  return Status::Ok();
+}
+
+Status ShardedScheduler::TryCancel(SessionId id) {
+  if (id >= size_) {
+    return Status::NotFound(
+        Format("no session %zu (population of %zu)", id, size_));
+  }
+  Shard& shard = ShardOf(id);
+  const size_t local = LocalOf(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.halted) {
+      return Status::FailedPrecondition(
+          Format("session %zu's shard has halted: %s", id,
+                 shard.error.message().c_str()));
+    }
+    switch (shard.mirror[local]) {
+      case Mirror::kFinished:
+      case Mirror::kTaken:
+      case Mirror::kCancelQueued:
+        return Status::Ok();  // idempotent no-op, matching Cancel()
+      case Mirror::kRunnable:
+      case Mirror::kAwaiting:
+      case Mirror::kAnswerQueued:
+        break;
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition(
+          "the engine is not serving (call Start() first)");
+    }
+    shard.mirror[local] = Mirror::kCancelQueued;
+    shard.inbox.push_back(Inbound{local, WalRecord::kCancel, Answer::kFirst});
+    shard.cv.notify_one();
+  }
+  return Status::Ok();
+}
+
+Result<InteractionResult> ShardedScheduler::TryTake(SessionId id) {
+  if (id >= size_) {
+    return Status::NotFound(
+        Format("no session %zu (population of %zu)", id, size_));
+  }
+  Shard& shard = ShardOf(id);
+  const size_t local = LocalOf(id);
+  // Taking needs the scheduler itself, which the worker owns while serving:
+  // exec_mu fences the worker's apply+tick, mu fences the mirror.
+  std::scoped_lock lock(shard.exec_mu, shard.mu);
+  switch (shard.mirror[local]) {
+    case Mirror::kFinished:
+      break;
+    case Mirror::kTaken:
+      return Status::FailedPrecondition(
+          Format("session %zu's result was already taken", id));
+    default:
+      return Status::FailedPrecondition(
+          Format("session %zu has not finished", id));
+  }
+  ISRL_ASSIGN_OR_RETURN(InteractionResult result,
+                        shard.scheduler.TryTake(local));
+  shard.mirror[local] = Mirror::kTaken;
+  return result;
+}
+
+void ShardedScheduler::WorkerLoop(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::vector<Inbound> batch;
+  std::vector<uint8_t> finished_now;
+  std::vector<std::pair<SessionId, SessionQuestion>> fresh;
+  bool first = true;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      if (!first) {
+        shard.cv.wait(lock, [&] {
+          return stop_.load(std::memory_order_acquire) || !shard.inbox.empty();
+        });
+      }
+      first = false;
+      if (shard.halted) return;
+      batch.swap(shard.inbox);
+      if (batch.empty() && stop_.load(std::memory_order_acquire)) return;
+    }
+
+    std::vector<PendingQuestion> questions;
+    size_t now_active = 0;
+    {
+      std::lock_guard<std::mutex> exec(shard.exec_mu);
+      // Write-ahead: every record in this batch reaches the shard's store
+      // file before any of them is applied (DESIGN.md §14) — one fsynced
+      // append per batch, not per answer.
+      if (shard.durable && !batch.empty()) {
+        for (const Inbound& in : batch) {
+          if (in.kind == WalRecord::kAnswer) {
+            shard.store.LogAnswer(in.local_id, in.answer);
+          } else {
+            shard.store.LogCancel(in.local_id);
+          }
+        }
+        Status synced = shard.store.SyncFile(shard.store_path);
+        if (!synced.ok()) {
+          Halt(shard, std::move(synced));
+          return;
+        }
+      }
+      for (const Inbound& in : batch) {
+        Status applied =
+            in.kind == WalRecord::kAnswer
+                ? shard.scheduler.TryPostAnswer(in.local_id, in.answer)
+                : shard.scheduler.TryCancel(in.local_id);
+        if (!applied.ok()) {
+          Halt(shard, MirrorDesync(shard_index, in.local_id, applied));
+          return;
+        }
+      }
+      questions = shard.scheduler.Tick();
+      if (shard.durable && options_.checkpoint_every_ticks > 0 &&
+          ++shard.ticks >= options_.checkpoint_every_ticks) {
+        shard.ticks = 0;
+        Result<std::string> snapshot = shard.scheduler.CheckpointAll();
+        if (!snapshot.ok()) {
+          Halt(shard, snapshot.status());
+          return;
+        }
+        shard.store.BeginEpoch(std::move(snapshot.value()));
+        Status synced = shard.store.SyncFile(shard.store_path);
+        if (!synced.ok()) {
+          Halt(shard, std::move(synced));
+          return;
+        }
+      }
+      const size_t n = shard.scheduler.size();
+      finished_now.assign(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        finished_now[i] =
+            shard.scheduler.finished(i) || shard.scheduler.taken(i);
+      }
+      now_active = shard.scheduler.active();
+    }
+
+    fresh.clear();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      // Applied records consumed their question; whatever the session does
+      // next (new question, finish) is fresh.
+      for (const Inbound& in : batch) shard.delivered[in.local_id] = 0;
+      for (size_t i = 0; i < finished_now.size(); ++i) {
+        if (finished_now[i] && shard.mirror[i] != Mirror::kTaken) {
+          shard.mirror[i] = Mirror::kFinished;
+        }
+      }
+      // Tick re-emits in-flight questions (at-least-once across recovery);
+      // the delivered flag turns that into exactly-once towards the sink
+      // while this process lives.
+      for (const PendingQuestion& pq : questions) {
+        if (shard.delivered[pq.session_id]) continue;
+        shard.delivered[pq.session_id] = 1;
+        shard.mirror[pq.session_id] = Mirror::kAwaiting;
+        fresh.emplace_back(GlobalOf(shard_index, pq.session_id), pq.question);
+      }
+    }
+
+    // Deliver outside every lock: the sink may call TryPostAnswer/TryCancel
+    // for any session, including this one.
+    for (const auto& [global_id, question] : fresh) {
+      sink_(global_id, question);
+    }
+
+    if (now_active < shard.last_active) {
+      const size_t delta = shard.last_active - now_active;
+      shard.last_active = now_active;
+      if (active_.fetch_sub(delta, std::memory_order_acq_rel) == delta) {
+        NotifyDrained();
+      }
+    }
+  }
+}
+
+Result<std::vector<InteractionResult>> DriveSharded(
+    ShardedScheduler& sharded, const std::vector<UserOracle*>& users) {
+  ISRL_CHECK_EQ(users.size(), sharded.size());
+  sharded.Start([&](size_t id, const SessionQuestion& question) {
+    const Answer answer = users[id]->Ask(question.first, question.second);
+    // The only legitimate rejection here is a halted shard (surfaced below
+    // via WaitUntilDrained); anything else would be a mirror bug caught by
+    // the serving tests.
+    (void)sharded.TryPostAnswer(id, answer);
+  });
+  Status drained = sharded.WaitUntilDrained();
+  sharded.Stop();
+  ISRL_RETURN_IF_ERROR(drained);
+  std::vector<InteractionResult> results;
+  results.reserve(users.size());
+  for (size_t id = 0; id < users.size(); ++id) {
+    ISRL_ASSIGN_OR_RETURN(InteractionResult result, sharded.TryTake(id));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace isrl

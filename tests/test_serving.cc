@@ -1,0 +1,782 @@
+// Sharded serving suite (DESIGN.md §15): the multi-threaded ShardedScheduler
+// must be invisible to the sessions it serves — a seeded population finishes
+// bit-identical to the single-threaded SessionScheduler at ANY shard count,
+// with answers arriving from any number of client threads. The durability
+// half pins the §14 file contract at the storage layer: an atomic save killed
+// at any byte keeps the previous file, an append-mode store file truncated at
+// any byte recovers to the longest clean prefix (or a clean Status) and never
+// crashes, and a shard halted by a mid-run write failure is recoverable from
+// its own file. Run with `ctest -L serving`; CI runs this label under TSan.
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/single_pass.h"
+#include "baselines/uh_random.h"
+#include "baselines/uh_simplex.h"
+#include "baselines/utility_approx.h"
+#include "common/budget.h"
+#include "common/rng.h"
+#include "core/aa.h"
+#include "core/ea.h"
+#include "core/scheduler.h"
+#include "core/snapshot.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "serve/sharding.h"
+#include "user/sampler.h"
+#include "user/user.h"
+
+namespace isrl {
+namespace {
+
+Dataset SmallSkyline(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Dataset raw = GenerateSynthetic(n, d, Distribution::kAntiCorrelated, rng);
+  return SkylineOf(raw);
+}
+
+rl::DqnOptions FastDqn() {
+  rl::DqnOptions o;
+  o.hidden_neurons = 32;
+  o.batch_size = 16;
+  o.min_replay_before_update = 16;
+  return o;
+}
+
+void ExpectSameResult(const InteractionResult& a, const InteractionResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.best_index, b.best_index) << label;
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.converged, b.converged) << label;
+  EXPECT_EQ(a.termination, b.termination) << label;
+  EXPECT_EQ(a.dropped_answers, b.dropped_answers) << label;
+  EXPECT_EQ(a.no_answers, b.no_answers) << label;
+  EXPECT_EQ(a.status.ok(), b.status.ok()) << label;
+}
+
+// Same six-algorithm roster as the checkpoint suite.
+struct Roster {
+  Dataset sky;
+  Ea ea;
+  Aa aa;
+  UhRandom uh_random;
+  UhSimplex uh_simplex;
+  SinglePass single_pass;
+  UtilityApprox utility_approx;
+
+  explicit Roster(Dataset dataset)
+      : sky(std::move(dataset)),
+        ea(sky, EaOpt()),
+        aa(sky, AaOpt()),
+        uh_random(sky, UhOpt()),
+        uh_simplex(sky, UhOpt()),
+        single_pass(sky, SpOpt()),
+        utility_approx(sky, UaOpt()) {}
+
+  std::vector<InteractiveAlgorithm*> all() {
+    return {&ea, &aa, &uh_random, &uh_simplex, &single_pass, &utility_approx};
+  }
+
+  static EaOptions EaOpt() {
+    EaOptions o;
+    o.epsilon = 0.1;
+    o.dqn = FastDqn();
+    return o;
+  }
+  static AaOptions AaOpt() {
+    AaOptions o;
+    o.epsilon = 0.15;
+    o.dqn = FastDqn();
+    return o;
+  }
+  static UhOptions UhOpt() {
+    UhOptions o;
+    o.epsilon = 0.1;
+    return o;
+  }
+  static SinglePassOptions SpOpt() {
+    SinglePassOptions o;
+    o.epsilon = 0.1;
+    return o;
+  }
+  static UtilityApproxOptions UaOpt() {
+    UtilityApproxOptions o;
+    o.epsilon = 0.1;
+    return o;
+  }
+};
+
+struct Fleet {
+  std::vector<std::unique_ptr<UserOracle>> owned;
+  std::vector<UserOracle*> users;
+};
+
+Fleet LinearFleet(const std::vector<Vec>& utilities) {
+  Fleet fleet;
+  for (const Vec& u : utilities) {
+    fleet.owned.push_back(std::make_unique<LinearUser>(u));
+    fleet.users.push_back(fleet.owned.back().get());
+  }
+  return fleet;
+}
+
+std::vector<Vec> FleetUtilities(size_t count, size_t d, uint64_t seed) {
+  Rng urng(seed);
+  std::vector<Vec> utilities;
+  for (size_t i = 0; i < count; ++i) utilities.push_back(urng.SimplexUniform(d));
+  return utilities;
+}
+
+/// One independent algorithm stack per shard (CloneForEval copies), so no
+/// Q-network scratch is ever shared across worker threads. Clones must
+/// outlive the engine AND the Take() calls.
+struct ShardStacks {
+  std::vector<std::vector<std::unique_ptr<InteractiveAlgorithm>>> stacks;
+
+  ShardStacks(Roster& roster, size_t shards) {
+    stacks.resize(shards);
+    for (size_t k = 0; k < shards; ++k) {
+      for (InteractiveAlgorithm* algo : roster.all()) {
+        std::unique_ptr<InteractiveAlgorithm> clone = algo->CloneForEval();
+        EXPECT_NE(clone, nullptr) << algo->name();
+        stacks[k].push_back(std::move(clone));
+      }
+    }
+  }
+
+  InteractiveAlgorithm* at(size_t shard, size_t algo_index) {
+    return stacks[shard][algo_index].get();
+  }
+
+  ShardAlgorithmResolver Resolver() {
+    return [this](size_t shard, const std::string& name)
+               -> InteractiveAlgorithm* {
+      for (auto& algo : stacks[shard]) {
+        if (algo->name() == name) return algo.get();
+      }
+      return nullptr;
+    };
+  }
+};
+
+/// The reference: the same seeded population on one single-threaded
+/// SessionScheduler, driven sequentially.
+std::vector<InteractionResult> SequentialReference(
+    Roster& roster, size_t sessions, const RunBudget& budget, uint64_t master,
+    const std::vector<Vec>& utilities) {
+  SessionScheduler scheduler;
+  std::vector<InteractiveAlgorithm*> algos = roster.all();
+  for (size_t i = 0; i < sessions; ++i) {
+    SessionConfig config;
+    config.budget = budget;
+    config.seed = SplitSeed(master, i);
+    scheduler.Add(algos[i % algos.size()]->StartSession(config));
+  }
+  Fleet fleet = LinearFleet(utilities);
+  return DriveWithUsers(scheduler, fleet.users);
+}
+
+void AddShardedPopulation(ShardedScheduler& sharded, ShardStacks& stacks,
+                          size_t sessions, size_t num_algos,
+                          const RunBudget& budget, uint64_t master) {
+  for (size_t i = 0; i < sessions; ++i) {
+    SessionConfig config;
+    config.budget = budget;
+    config.seed = SplitSeed(master, i);
+    InteractiveAlgorithm* algo =
+        stacks.at(i % sharded.shards(), i % num_algos);
+    sharded.Add(algo->StartSession(config), algo);
+  }
+}
+
+// --------------------------------------------------- atomic file replacement
+
+TEST(AtomicWriteTest, KillingASaveAtAnyByteKeepsThePreviousFile) {
+  const std::string path = ::testing::TempDir() + "/isrl_atomic_write.bin";
+  const std::string v1 = "previous-good-snapshot-content";
+  const std::string v2 = "replacement-candidate-that-is-somewhat-longer";
+  ASSERT_TRUE(snapshot::WriteFileBytes(path, v1).ok());
+
+  for (size_t budget = 0; budget < v2.size(); ++budget) {
+    snapshot::SetShortWriteForTesting(budget);
+    Status died = snapshot::WriteFileBytes(path, v2);
+    ASSERT_FALSE(died.ok()) << "budget " << budget;
+    EXPECT_EQ(died.code(), StatusCode::kIoError) << "budget " << budget;
+    Result<std::string> survivor = snapshot::ReadFileBytes(path);
+    ASSERT_TRUE(survivor.ok()) << "budget " << budget;
+    EXPECT_EQ(*survivor, v1) << "budget " << budget;
+  }
+
+  // The hook is one-shot: the next save goes through untouched.
+  ASSERT_TRUE(snapshot::WriteFileBytes(path, v2).ok());
+  Result<std::string> replaced = snapshot::ReadFileBytes(path);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(*replaced, v2);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, StoreSaveKilledAtAnyByteKeepsThePreviousEpoch) {
+  const std::string path = ::testing::TempDir() + "/isrl_atomic_store.bin";
+  SessionStore previous;
+  previous.BeginEpoch("epoch-1-population");
+  previous.LogAnswer(0, Answer::kFirst);
+  ASSERT_TRUE(previous.SaveFile(path).ok());
+
+  SessionStore next;
+  next.BeginEpoch("epoch-2-population");
+  next.LogAnswer(1, Answer::kSecond);
+  next.LogCancel(2);
+  const size_t save_size = next.Serialize().size();
+  for (size_t budget = 0; budget < save_size; ++budget) {
+    snapshot::SetShortWriteForTesting(budget);
+    ASSERT_FALSE(next.SaveFile(path).ok()) << "budget " << budget;
+    Result<SessionStore> loaded = SessionStore::LoadFile(path);
+    ASSERT_TRUE(loaded.ok()) << "budget " << budget << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->population(), "epoch-1-population") << "budget "
+                                                          << budget;
+    ASSERT_EQ(loaded->wal().size(), 1u) << "budget " << budget;
+  }
+  ASSERT_TRUE(next.SaveFile(path).ok());
+  Result<SessionStore> loaded = SessionStore::LoadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->population(), "epoch-2-population");
+  EXPECT_EQ(loaded->wal().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, AppendShortWriteLeavesATornTailNotALostFile) {
+  const std::string path = ::testing::TempDir() + "/isrl_append.bin";
+  ASSERT_TRUE(snapshot::WriteFileBytes(path, "base").ok());
+  snapshot::SetShortWriteForTesting(2);
+  Status died = snapshot::AppendFileBytes(path, "extension");
+  ASSERT_FALSE(died.ok());
+  EXPECT_EQ(died.code(), StatusCode::kIoError);
+  Result<std::string> bytes = snapshot::ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "baseex");  // the torn tail is the reader's problem
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- append-mode session store
+
+TEST(SessionStoreAppendTest, SyncFileAppendsConstantBytesPerRecord) {
+  const std::string path = ::testing::TempDir() + "/isrl_sync_incr.bin";
+  SessionStore store;
+  store.BeginEpoch("population-bytes");
+  ASSERT_TRUE(store.SyncFile(path).ok());
+  std::vector<size_t> sizes;
+  {
+    Result<std::string> bytes = snapshot::ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    sizes.push_back(bytes->size());
+  }
+  for (size_t i = 0; i < 24; ++i) {
+    store.LogAnswer(i % 5, Answer::kFirst);
+    ASSERT_TRUE(store.SyncFile(path).ok()) << i;
+    Result<std::string> bytes = snapshot::ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    sizes.push_back(bytes->size());
+  }
+  // O(new records) per sync, not O(whole log): every per-record delta costs
+  // the same number of bytes, no matter how long the log already is.
+  const size_t per_record = sizes[1] - sizes[0];
+  for (size_t i = 2; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i] - sizes[i - 1], per_record) << "sync " << i;
+  }
+  // A sync with nothing new writes nothing.
+  ASSERT_TRUE(store.SyncFile(path).ok());
+  Result<std::string> unchanged = snapshot::ReadFileBytes(path);
+  ASSERT_TRUE(unchanged.ok());
+  EXPECT_EQ(unchanged->size(), sizes.back());
+
+  // The multi-frame file reloads to the exact in-memory store.
+  Result<SessionStore> loaded = SessionStore::LoadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->population(), "population-bytes");
+  ASSERT_EQ(loaded->wal().size(), store.wal().size());
+  for (size_t i = 0; i < store.wal().size(); ++i) {
+    EXPECT_EQ(loaded->wal()[i].session_id, store.wal()[i].session_id) << i;
+    EXPECT_EQ(loaded->wal()[i].kind, store.wal()[i].kind) << i;
+    EXPECT_EQ(loaded->wal()[i].answer, store.wal()[i].answer) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SessionStoreAppendTest, LegacySaveFileAndSyncFileLoadIdentically) {
+  const std::string legacy = ::testing::TempDir() + "/isrl_store_legacy.bin";
+  const std::string incremental = ::testing::TempDir() + "/isrl_store_incr.bin";
+  SessionStore store;
+  store.BeginEpoch("compat-population");
+  ASSERT_TRUE(store.SyncFile(incremental).ok());
+  store.LogAnswer(3, Answer::kNoAnswer);
+  store.LogCancel(1);
+  ASSERT_TRUE(store.SyncFile(incremental).ok());
+  // Legacy writer: one monolithic frame, same in-memory state.
+  ASSERT_TRUE(store.SaveFile(legacy).ok());
+
+  Result<SessionStore> from_legacy = SessionStore::LoadFile(legacy);
+  Result<SessionStore> from_incremental = SessionStore::LoadFile(incremental);
+  ASSERT_TRUE(from_legacy.ok()) << from_legacy.status().ToString();
+  ASSERT_TRUE(from_incremental.ok()) << from_incremental.status().ToString();
+  EXPECT_EQ(from_legacy->population(), from_incremental->population());
+  ASSERT_EQ(from_legacy->wal().size(), 2u);
+  ASSERT_EQ(from_incremental->wal().size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(from_legacy->wal()[i].session_id,
+              from_incremental->wal()[i].session_id);
+    EXPECT_EQ(from_legacy->wal()[i].kind, from_incremental->wal()[i].kind);
+  }
+  // Either loaded store serializes back into the legacy single-frame form.
+  EXPECT_EQ(from_legacy->Serialize(), from_incremental->Serialize());
+  std::remove(legacy.c_str());
+  std::remove(incremental.c_str());
+}
+
+TEST(SessionStoreAppendTest, TruncationAtEveryByteNeverCrashesLoadFile) {
+  const std::string path = ::testing::TempDir() + "/isrl_store_torn.bin";
+  const std::string torn = ::testing::TempDir() + "/isrl_store_torn_cut.bin";
+  SessionStore store;
+  store.BeginEpoch("torn-population");
+  ASSERT_TRUE(store.SyncFile(path).ok());
+  Result<std::string> epoch_only = snapshot::ReadFileBytes(path);
+  ASSERT_TRUE(epoch_only.ok());
+  const size_t epoch_size = epoch_only->size();
+  for (size_t i = 0; i < 6; ++i) {
+    store.LogAnswer(i, i % 2 == 0 ? Answer::kFirst : Answer::kSecond);
+    ASSERT_TRUE(store.SyncFile(path).ok());
+  }
+  Result<std::string> full = snapshot::ReadFileBytes(path);
+  ASSERT_TRUE(full.ok());
+
+  size_t last_recovered = 0;
+  for (size_t keep = 0; keep <= full->size(); ++keep) {
+    ASSERT_TRUE(snapshot::WriteFileBytes(torn, full->substr(0, keep)).ok());
+    Result<SessionStore> loaded = SessionStore::LoadFile(torn);
+    if (keep < epoch_size) {
+      // The epoch frame itself is torn: a clean error, never a crash.
+      EXPECT_FALSE(loaded.ok()) << "keep " << keep;
+      continue;
+    }
+    ASSERT_TRUE(loaded.ok()) << "keep " << keep << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->population(), "torn-population") << "keep " << keep;
+    // The recovered WAL is the longest clean prefix — monotone in the
+    // number of surviving bytes, and exactly the full log at full size.
+    ASSERT_LE(loaded->wal().size(), store.wal().size()) << "keep " << keep;
+    EXPECT_GE(loaded->wal().size(), last_recovered) << "keep " << keep;
+    last_recovered = loaded->wal().size();
+    for (size_t i = 0; i < loaded->wal().size(); ++i) {
+      EXPECT_EQ(loaded->wal()[i].session_id, store.wal()[i].session_id);
+      EXPECT_EQ(loaded->wal()[i].answer, store.wal()[i].answer);
+    }
+    // A store loaded from a torn tail must keep appending safely: the next
+    // sync rewrites the file whole and the tail damage is gone.
+    SessionStore continued = std::move(*loaded);
+    continued.LogCancel(99);
+    ASSERT_TRUE(continued.SyncFile(torn).ok()) << "keep " << keep;
+    Result<SessionStore> again = SessionStore::LoadFile(torn);
+    ASSERT_TRUE(again.ok()) << "keep " << keep;
+    ASSERT_EQ(again->wal().size(), continued.wal().size()) << "keep " << keep;
+    EXPECT_EQ(again->wal().back().kind, WalRecord::kCancel) << "keep " << keep;
+  }
+  EXPECT_EQ(last_recovered, store.wal().size());
+  std::remove(path.c_str());
+  std::remove(torn.c_str());
+}
+
+// --------------------------------------------- scheduler boundary Try-APIs
+
+TEST(TryApiTest, EveryMisuseComesBackAsAStatusNotACrash) {
+  Roster roster(SmallSkyline(150, 3, 201));
+  SessionScheduler scheduler;
+  SessionConfig config;
+  config.budget.max_rounds = 8;
+  config.seed = 5;
+  scheduler.Add(roster.uh_random.StartSession(config), &roster.uh_random);
+
+  // Unknown ids.
+  EXPECT_EQ(scheduler.TryPostAnswer(7, Answer::kFirst).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.TryCancel(7).code(), StatusCode::kNotFound);
+  EXPECT_EQ(scheduler.TryTake(7).status().code(), StatusCode::kNotFound);
+
+  // Runnable: no outstanding question yet.
+  EXPECT_EQ(scheduler.TryPostAnswer(0, Answer::kFirst).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(scheduler.TryTake(0).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Awaiting: post succeeds once, double-post is an error.
+  Rng urng(202);
+  LinearUser user(urng.SimplexUniform(3));
+  std::vector<PendingQuestion> questions = scheduler.Tick();
+  ASSERT_EQ(questions.size(), 1u);
+  EXPECT_TRUE(scheduler
+                  .TryPostAnswer(0, user.Ask(questions[0].question.first,
+                                             questions[0].question.second))
+                  .ok());
+  EXPECT_EQ(scheduler.TryPostAnswer(0, Answer::kFirst).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Drive to completion through the Try surface only.
+  while (scheduler.active() > 0) {
+    for (const PendingQuestion& pq : scheduler.Tick()) {
+      EXPECT_TRUE(scheduler
+                      .TryPostAnswer(pq.session_id,
+                                     user.Ask(pq.question.first,
+                                              pq.question.second))
+                      .ok());
+    }
+  }
+  EXPECT_EQ(scheduler.TryPostAnswer(0, Answer::kFirst).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(scheduler.TryCancel(0).ok());  // idempotent on finished
+  Result<InteractionResult> taken = scheduler.TryTake(0);
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+  EXPECT_EQ(scheduler.TryTake(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(scheduler.TryPostAnswer(0, Answer::kFirst).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(scheduler.TryCancel(0).ok());  // idempotent on taken
+}
+
+TEST(TryApiTest, MismatchedWalSurfacesAsOutOfSyncError) {
+  Roster roster(SmallSkyline(150, 3, 211));
+  SessionScheduler scheduler;
+  SessionConfig config;
+  config.budget.max_rounds = 8;
+  config.seed = 6;
+  scheduler.Add(roster.uh_random.StartSession(config), &roster.uh_random);
+  SessionStore store;
+  Result<std::string> snapshot = scheduler.CheckpointAll();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  store.BeginEpoch(*snapshot);
+  // The snapshot holds one session, but the log answers a seventh: this WAL
+  // belongs to a different population. Recovery must say so in a Status —
+  // it used to be an ISRL_CHECK abort.
+  store.LogAnswer(7, Answer::kFirst);
+
+  AlgorithmResolver resolver =
+      [&roster](const std::string& name) -> InteractiveAlgorithm* {
+    return name == roster.uh_random.name() ? &roster.uh_random : nullptr;
+  };
+  Result<SessionScheduler> recovered = RecoverScheduler(store, resolver);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(recovered.status().message().find("unknown session"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+// ------------------------------------------------------- sharded serving
+
+TEST(ShardedServingTest, SeededPopulationIsBitIdenticalAtAnyShardCount) {
+  Roster roster(SmallSkyline(200, 3, 221));
+  RunBudget budget;
+  budget.max_rounds = 12;
+  const uint64_t master = 0x5EED;
+  const size_t sessions = 12;
+  std::vector<Vec> utilities = FleetUtilities(sessions, 3, 222);
+  std::vector<InteractionResult> reference =
+      SequentialReference(roster, sessions, budget, master, utilities);
+
+  for (size_t shards : {1u, 2u, 4u}) {
+    const std::string label = "shards=" + std::to_string(shards);
+    ShardStacks stacks(roster, shards);
+    ShardedScheduler sharded(ShardedOptions{shards});
+    AddShardedPopulation(sharded, stacks, sessions, roster.all().size(),
+                         budget, master);
+    Fleet fleet = LinearFleet(utilities);
+    Result<std::vector<InteractionResult>> results =
+        DriveSharded(sharded, fleet.users);
+    ASSERT_TRUE(results.ok()) << label << ": " << results.status().ToString();
+    ASSERT_EQ(results->size(), reference.size()) << label;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ExpectSameResult(reference[i], (*results)[i],
+                       label + " session " + std::to_string(i));
+    }
+  }
+}
+
+TEST(ShardedServingTest, ConcurrentClientThreadsReproduceTheReference) {
+  Roster roster(SmallSkyline(200, 3, 231));
+  RunBudget budget;
+  budget.max_rounds = 10;
+  const uint64_t master = 0xC11E;
+  const size_t sessions = 24;
+  std::vector<Vec> utilities = FleetUtilities(sessions, 3, 232);
+  std::vector<InteractionResult> reference =
+      SequentialReference(roster, sessions, budget, master, utilities);
+
+  const size_t shards = 3;
+  ShardStacks stacks(roster, shards);
+  ShardedScheduler sharded(ShardedOptions{shards});
+  AddShardedPopulation(sharded, stacks, sessions, roster.all().size(), budget,
+                       master);
+  Fleet fleet = LinearFleet(utilities);
+
+  // The sink hands questions to a client pool: four external threads answer
+  // them through the thread-safe boundary, emulating independent front-end
+  // handlers (and giving TSan real cross-thread traffic).
+  std::mutex qmu;
+  std::condition_variable qcv;
+  std::deque<std::pair<size_t, SessionQuestion>> pending;
+  std::atomic<bool> done{false};
+  sharded.Start([&](size_t id, const SessionQuestion& question) {
+    {
+      std::lock_guard<std::mutex> lock(qmu);
+      pending.emplace_back(id, question);
+    }
+    qcv.notify_one();
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      while (true) {
+        std::pair<size_t, SessionQuestion> item;
+        {
+          std::unique_lock<std::mutex> lock(qmu);
+          qcv.wait(lock, [&] { return done.load() || !pending.empty(); });
+          if (pending.empty()) return;
+          item = std::move(pending.front());
+          pending.pop_front();
+        }
+        const Answer answer = fleet.users[item.first]->Ask(
+            item.second.first, item.second.second);
+        Status posted = sharded.TryPostAnswer(item.first, answer);
+        EXPECT_TRUE(posted.ok()) << posted.ToString();
+      }
+    });
+  }
+  Status drained = sharded.WaitUntilDrained();
+  done.store(true);
+  qcv.notify_all();
+  for (std::thread& client : clients) client.join();
+  sharded.Stop();
+  ASSERT_TRUE(drained.ok()) << drained.ToString();
+
+  for (size_t i = 0; i < sessions; ++i) {
+    Result<InteractionResult> result = sharded.TryTake(i);
+    ASSERT_TRUE(result.ok()) << i << ": " << result.status().ToString();
+    ExpectSameResult(reference[i], *result, "session " + std::to_string(i));
+  }
+}
+
+TEST(ShardedServingTest, BoundaryMisuseIsAlwaysAStatus) {
+  Roster roster(SmallSkyline(150, 3, 241));
+  RunBudget budget;
+  budget.max_rounds = 6;
+  ShardStacks stacks(roster, 2);
+  ShardedScheduler sharded(ShardedOptions{2});
+  AddShardedPopulation(sharded, stacks, 4, roster.all().size(), budget,
+                       0xB0B);
+  std::vector<Vec> utilities = FleetUtilities(4, 3, 242);
+  Fleet fleet = LinearFleet(utilities);
+
+  // Before Start(): valid ids are rejected with "not serving", bad ids with
+  // NotFound.
+  EXPECT_EQ(sharded.TryPostAnswer(0, Answer::kFirst).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.TryPostAnswer(99, Answer::kFirst).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sharded.TryCancel(99).code(), StatusCode::kNotFound);
+  EXPECT_EQ(sharded.TryTake(99).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(sharded.TryTake(0).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // While serving: double answers bounce, cancellation finishes the session
+  // with its best-so-far. The sink runs on the question's own shard worker,
+  // so the queued answer cannot be applied before the sink returns — the
+  // duplicate post is deterministically "already queued".
+  sharded.Start([&](size_t id, const SessionQuestion& question) {
+    if (id == 1) {
+      EXPECT_TRUE(sharded.TryCancel(id).ok());
+      EXPECT_TRUE(sharded.TryCancel(id).ok());  // queued-cancel is idempotent
+      return;
+    }
+    const Answer answer =
+        fleet.users[id]->Ask(question.first, question.second);
+    EXPECT_TRUE(sharded.TryPostAnswer(id, answer).ok());
+    EXPECT_EQ(sharded.TryPostAnswer(id, answer).code(),
+              StatusCode::kFailedPrecondition);
+  });
+  ASSERT_TRUE(sharded.WaitUntilDrained().ok());
+  sharded.Stop();
+  for (size_t id = 0; id < 4; ++id) {
+    Result<InteractionResult> result = sharded.TryTake(id);
+    ASSERT_TRUE(result.ok()) << id << ": " << result.status().ToString();
+  }
+  EXPECT_EQ(sharded.TryTake(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(sharded.TryCancel(0).ok());  // idempotent on taken, even stopped
+}
+
+TEST(ShardedDurabilityTest, DurableShardedRunRecoversPerShardFromItsFiles) {
+  Roster roster(SmallSkyline(200, 3, 251));
+  RunBudget budget;
+  budget.max_rounds = 8;
+  const uint64_t master = 0xD0C5;
+  const size_t sessions = 9;
+  const size_t shards = 3;
+  const std::string prefix = ::testing::TempDir() + "/isrl_shard_pop";
+  std::vector<Vec> utilities = FleetUtilities(sessions, 3, 252);
+  std::vector<InteractionResult> reference =
+      SequentialReference(roster, sessions, budget, master, utilities);
+
+  ShardStacks stacks(roster, shards);
+  ShardedOptions options;
+  options.shards = shards;
+  options.checkpoint_every_ticks = 2;
+  ShardedScheduler sharded(options);
+  AddShardedPopulation(sharded, stacks, sessions, roster.all().size(), budget,
+                       master);
+  ASSERT_TRUE(sharded.EnableDurability(prefix).ok());
+  Fleet fleet = LinearFleet(utilities);
+  Result<std::vector<InteractionResult>> results =
+      DriveSharded(sharded, fleet.users);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (size_t i = 0; i < sessions; ++i) {
+    ExpectSameResult(reference[i], (*results)[i],
+                     "durable session " + std::to_string(i));
+  }
+
+  // Every shard recovers independently from its own file. Sessions whose
+  // final answer sits in the WAL come back runnable (replay posts answers;
+  // the finishing tick belongs to serving), so restart serving: the first
+  // tick finishes them without asking anything, and every result matches
+  // the reference again (Take() was never logged, so the recovered slots
+  // still hold them).
+  ShardStacks recovery_stacks(roster, shards);
+  Result<std::unique_ptr<ShardedScheduler>> recovered =
+      ShardedScheduler::Recover(options, prefix, recovery_stacks.Resolver());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->size(), sessions);
+  Fleet fresh = LinearFleet(utilities);
+  Result<std::vector<InteractionResult>> refinished =
+      DriveSharded(**recovered, fresh.users);
+  ASSERT_TRUE(refinished.ok()) << refinished.status().ToString();
+  for (size_t i = 0; i < sessions; ++i) {
+    ExpectSameResult(reference[i], (*refinished)[i],
+                     "recovered session " + std::to_string(i));
+  }
+
+  // Shard files from mismatched populations are rejected as a unit.
+  ShardedOptions wrong = options;
+  wrong.shards = 2;
+  ShardStacks wrong_stacks(roster, 2);
+  Result<std::unique_ptr<ShardedScheduler>> mismatched =
+      ShardedScheduler::Recover(wrong, prefix, wrong_stacks.Resolver());
+  EXPECT_FALSE(mismatched.ok());
+
+  // Torn shard file: cut shard 0's final file at byte offsets across its
+  // whole length. LoadFile+RecoverScheduler must never crash; whenever they
+  // succeed, finishing the recovered sessions against fresh (stateless)
+  // users reproduces the reference exactly — the shard resumes from its
+  // last durable prefix.
+  const std::string shard0 = ShardedScheduler::ShardPath(prefix, 0);
+  const std::string torn = ::testing::TempDir() + "/isrl_shard_torn.bin";
+  Result<std::string> full = snapshot::ReadFileBytes(shard0);
+  ASSERT_TRUE(full.ok());
+  const std::vector<size_t> shard0_sessions = {0, 3, 6};
+  size_t recovered_ok = 0;
+  for (size_t keep = 0; keep <= full->size(); keep += 7) {
+    ASSERT_TRUE(snapshot::WriteFileBytes(torn, full->substr(0, keep)).ok());
+    Result<SessionStore> loaded = SessionStore::LoadFile(torn);
+    if (!loaded.ok()) continue;  // clean rejection (epoch frame torn)
+    ShardStacks torn_stacks(roster, 1);
+    AlgorithmResolver resolver =
+        [&torn_stacks](const std::string& name) -> InteractiveAlgorithm* {
+      return torn_stacks.Resolver()(0, name);
+    };
+    Result<SessionScheduler> scheduler = RecoverScheduler(*loaded, resolver);
+    ASSERT_TRUE(scheduler.ok()) << "keep " << keep << ": "
+                                << scheduler.status().ToString();
+    std::vector<Vec> local_utilities;
+    for (size_t global : shard0_sessions) {
+      local_utilities.push_back(utilities[global]);
+    }
+    Fleet local = LinearFleet(local_utilities);
+    std::vector<InteractionResult> finished =
+        DriveWithUsers(*scheduler, local.users);
+    ASSERT_EQ(finished.size(), shard0_sessions.size()) << "keep " << keep;
+    for (size_t j = 0; j < shard0_sessions.size(); ++j) {
+      ExpectSameResult(reference[shard0_sessions[j]], finished[j],
+                       "keep " + std::to_string(keep) + " local " +
+                           std::to_string(j));
+    }
+    ++recovered_ok;
+  }
+  EXPECT_GT(recovered_ok, 0u);
+
+  for (size_t k = 0; k < shards; ++k) {
+    std::remove(ShardedScheduler::ShardPath(prefix, k).c_str());
+  }
+  std::remove(ShardedScheduler::ManifestPath(prefix).c_str());
+  std::remove(torn.c_str());
+}
+
+TEST(ShardedDurabilityTest, MidRunWriteFailureHaltsTheShardRecoverably) {
+  Roster roster(SmallSkyline(200, 3, 261));
+  RunBudget budget;
+  budget.max_rounds = 8;
+  const uint64_t master = 0xFA17;
+  const size_t sessions = 6;
+  const size_t shards = 2;
+  const std::string prefix = ::testing::TempDir() + "/isrl_halt_pop";
+  std::vector<Vec> utilities = FleetUtilities(sessions, 3, 262);
+  std::vector<InteractionResult> reference =
+      SequentialReference(roster, sessions, budget, master, utilities);
+
+  ShardStacks stacks(roster, shards);
+  ShardedOptions options;
+  options.shards = shards;
+  ShardedScheduler sharded(options);
+  AddShardedPopulation(sharded, stacks, sessions, roster.all().size(), budget,
+                       master);
+  ASSERT_TRUE(sharded.EnableDurability(prefix).ok());
+
+  // The first durable append after Start dies mid-write: that shard halts
+  // with the IoError instead of applying unlogged answers, and the drive
+  // surfaces it.
+  snapshot::SetShortWriteForTesting(3);
+  Fleet fleet = LinearFleet(utilities);
+  Result<std::vector<InteractionResult>> crashed =
+      DriveSharded(sharded, fleet.users);
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(sharded.error().ok());
+
+  // Both shard files are still loadable (the torn append tail is dropped),
+  // and the whole population recovers and finishes against fresh stateless
+  // users with reference-identical results.
+  ShardStacks recovery_stacks(roster, shards);
+  Result<std::unique_ptr<ShardedScheduler>> recovered =
+      ShardedScheduler::Recover(options, prefix, recovery_stacks.Resolver());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  Fleet fresh = LinearFleet(utilities);
+  Result<std::vector<InteractionResult>> finished =
+      DriveSharded(**recovered, fresh.users);
+  ASSERT_TRUE(finished.ok()) << finished.status().ToString();
+  for (size_t i = 0; i < sessions; ++i) {
+    ExpectSameResult(reference[i], (*finished)[i],
+                     "halted-recovery session " + std::to_string(i));
+  }
+  for (size_t k = 0; k < shards; ++k) {
+    std::remove(ShardedScheduler::ShardPath(prefix, k).c_str());
+  }
+  std::remove(ShardedScheduler::ManifestPath(prefix).c_str());
+}
+
+}  // namespace
+}  // namespace isrl

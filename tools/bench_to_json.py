@@ -14,6 +14,14 @@ configuration with its baseline twin. Two suites:
 cross-session coalesced Q-inference; DESIGN.md section 13):
   BM_SessionThroughputEa  N full EA episodes   args: {sessions, mode}
   BM_SessionThroughputAa  N full AA episodes   args: {sessions, mode}
+plus the shard-count axis (ShardedScheduler, DESIGN.md section 15):
+  BM_ShardedThroughputEa  N full EA episodes   args: {sessions, shards}
+  BM_ShardedThroughputAa  N full AA episodes   args: {sessions, shards}
+Shard-axis benchmarks are paired against their own shards == 1 row (the
+same engine with one worker thread) and compared on wall-clock time
+(UseRealTime), since thread-level speedup never shows in process CPU
+time; both wall and CPU times are recorded so a single-core host, where
+shards interleave instead of parallelize, is visible in the numbers.
 
 --suite checkpoint (population snapshot save vs restore; DESIGN.md
 section 14): BM_Checkpoint{Ea,Aa,UhRandom,UhSimplex,SinglePass,
@@ -78,13 +86,30 @@ SUITES = {
                 "mode_arg": 1,
                 "label": lambda rest: f"sessions{rest[0]}",
             },
+            # Shard-count axis: the argument is a worker-thread count, not
+            # a binary mode. Every shards > 1 row pairs against the
+            # shards == 1 row of the same session count, on wall-clock.
+            "BM_ShardedThroughputEa": {
+                "axis_arg": 1,
+                "label": lambda rest: f"sessions{rest[0]}",
+            },
+            "BM_ShardedThroughputAa": {
+                "axis_arg": 1,
+                "label": lambda rest: f"sessions{rest[0]}",
+            },
         },
         "baseline_field": "sequential_cpu_ns",
         "variant_field": "scheduler_cpu_ns",
         "note": "speedup = sequential_cpu_ns / scheduler_cpu_ns for N "
         "complete episodes; the scheduler interleaves all N sessions and "
         "coalesces their Q-inference into one PredictBatch per tick, with "
-        "bit-identical per-session results (DESIGN.md section 13)",
+        "bit-identical per-session results (DESIGN.md section 13). "
+        "BM_Sharded* rows instead report the shard-count axis: speedup = "
+        "one_shard_wall_ns / sharded_wall_ns for the same N episodes on a "
+        "ShardedScheduler with S worker-thread shards vs one (DESIGN.md "
+        "section 15); the cpu fields carry total process CPU time, so "
+        "wall ~= cpu means the host serialized the shards onto one core "
+        "and the wall-clock ratio is the honest parallel speedup",
     },
     "checkpoint": {
         "benchmarks": {
@@ -130,9 +155,9 @@ def run_benchmarks(
     return json.loads(result.stdout)
 
 
-def to_ns(row: dict) -> float:
+def to_ns(row: dict, field: str = "cpu_time") -> float:
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
-    return row["cpu_time"] * scale.get(row.get("time_unit", "ns"), 1.0)
+    return row[field] * scale.get(row.get("time_unit", "ns"), 1.0)
 
 
 def distill(raw: dict, suite: dict) -> list:
@@ -144,18 +169,34 @@ def distill(raw: dict, suite: dict) -> list:
     has_aggregates = any(
         row.get("run_type") == "aggregate" for row in raw.get("benchmarks", [])
     )
-    # (benchmark, config-label) -> {"baseline": ns, "variant": ns}
+    # mode benchmarks: (benchmark, config-label) -> {"baseline": ns, ...}
     pairs = {}
+    # axis benchmarks: (benchmark, config-label) -> {axis-value: row-times}
+    axes = {}
     for row in raw.get("benchmarks", []):
         if has_aggregates:
             if row.get("aggregate_name") != "median":
                 continue
         elif row.get("run_type") == "aggregate":
             continue
+        # UseRealTime/MeasureProcessCPUTime append non-numeric name parts
+        # ("/process_time/real_time"); only the numeric parts are args.
         parts = row["name"].removesuffix("_median").split("/")
-        base, args = parts[0], [int(p) for p in parts[1:]]
+        base = parts[0]
+        args = [int(p) for p in parts[1:] if p.lstrip("-").isdigit()]
         spec = suite["benchmarks"].get(base)
         if spec is None:
+            continue
+        if "axis_arg" in spec:
+            axis = args[spec["axis_arg"]]
+            rest = [a for i, a in enumerate(args) if i != spec["axis_arg"]]
+            key = (base, spec["label"](rest))
+            # Wall-clock carries the thread-scaling story; CPU time rides
+            # along so single-core serialization is visible.
+            axes.setdefault(key, {})[axis] = {
+                "wall": to_ns(row, "real_time"),
+                "cpu": to_ns(row, "cpu_time"),
+            }
             continue
         mode = args[spec["mode_arg"]]
         rest = [a for i, a in enumerate(args) if i != spec["mode_arg"]]
@@ -181,6 +222,25 @@ def distill(raw: dict, suite: dict) -> list:
         for counter, value in times.get("counters", {}).items():
             record[counter] = round(value)
         records.append(record)
+    for (base, label), by_axis in sorted(axes.items()):
+        if 1 not in by_axis:
+            missing.append(f"{base}[{label}] (no shards=1 baseline)")
+            continue
+        one = by_axis[1]
+        for axis, timed in sorted(by_axis.items()):
+            if axis == 1:
+                continue
+            records.append({
+                "benchmark": base,
+                "config": f"{label}/shards{axis}",
+                "one_shard_wall_ns": round(one["wall"], 1),
+                "sharded_wall_ns": round(timed["wall"], 1),
+                "speedup": round(one["wall"] / timed["wall"], 2),
+                "one_shard_cpu_ns": round(one["cpu"], 1),
+                "sharded_cpu_ns": round(timed["cpu"], 1),
+            })
+        if len(by_axis) == 1:
+            missing.append(f"{base}[{label}] (no shards>1 rows)")
     if missing:
         raise SystemExit(f"unpaired benchmark configurations: {missing}")
     if not records:
@@ -260,6 +320,14 @@ def main() -> None:
     base_name = suite["baseline_field"].removesuffix("_cpu_ns")
     variant_name = suite["variant_field"].removesuffix("_cpu_ns")
     for r in out["results"]:
+        if "one_shard_wall_ns" in r:
+            print(
+                f"{r['benchmark']:<24} {r['config']:<20} "
+                f"one_shard {r['one_shard_wall_ns'] / 1e3:>11.1f} us   "
+                f"sharded {r['sharded_wall_ns'] / 1e3:>11.1f} us   "
+                f"{r['speedup']:.2f}x (wall)"
+            )
+            continue
         print(
             f"{r['benchmark']:<24} {r['config']:<12} "
             f"{base_name} {r[suite['baseline_field']] / 1e3:>11.1f} us   "
