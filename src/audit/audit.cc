@@ -81,7 +81,9 @@ InvariantAuditor::InvariantAuditor() { ConfigureFromEnvironment(); }
 
 void InvariantAuditor::ConfigureFromEnvironment() {
   std::string error;
-  AuditConfig config = ParseAuditConfig(std::getenv("ISRL_AUDIT"), &error);
+  // Startup/configure path, never called from checker hooks.
+  AuditConfig config = ParseAuditConfig(
+      std::getenv("ISRL_AUDIT"), &error);  // NOLINT(concurrency-mt-unsafe)
   if (!error.empty()) {
     std::fprintf(stderr, "ISRL_AUDIT: %s (auditing disabled)\n",
                  error.c_str());
@@ -90,13 +92,13 @@ void InvariantAuditor::ConfigureFromEnvironment() {
 }
 
 void InvariantAuditor::Configure(const AuditConfig& config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   config_ = config;
   enabled_.store(config.enabled, std::memory_order_relaxed);
 }
 
 AuditConfig InvariantAuditor::config() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return config_;
 }
 
@@ -104,7 +106,7 @@ bool InvariantAuditor::ShouldCheck(Checker c) {
   if (!enabled_.load(std::memory_order_relaxed)) return false;
   uint64_t stride;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stride = config_.sample_every;
   }
   const size_t i = static_cast<size_t>(c);
@@ -123,7 +125,7 @@ void InvariantAuditor::Record(Checker c, const char* site,
   bool abort_on_violation;
   bool log_to_stderr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     abort_on_violation = config_.abort_on_violation;
     log_to_stderr = config_.log_to_stderr;
     for (const std::string& message : problems) {
@@ -158,13 +160,13 @@ AuditReport InvariantAuditor::Snapshot() const {
     report.total_checks += report.per_checker[i].checks;
     report.total_violations += report.per_checker[i].violations;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   report.violations = stored_;
   return report;
 }
 
 void InvariantAuditor::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < kNumCheckers; ++i) {
     hook_counter_[i].store(0, std::memory_order_relaxed);
     checks_[i].store(0, std::memory_order_relaxed);

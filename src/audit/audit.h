@@ -26,9 +26,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace isrl::audit {
 
@@ -126,13 +128,14 @@ class InvariantAuditor {
   InvariantAuditor();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  AuditConfig config_;  // guarded by mu_ (enabled_ mirrors config_.enabled)
+  mutable Mutex mu_;
+  /// enabled_ mirrors config_.enabled for the lock-free fast path.
+  AuditConfig config_ ISRL_GUARDED_BY(mu_);
   std::array<std::atomic<uint64_t>, kNumCheckers> hook_counter_{};
   std::array<std::atomic<uint64_t>, kNumCheckers> checks_{};
   std::array<std::atomic<uint64_t>, kNumCheckers> violations_{};
   std::array<std::atomic<uint64_t>, kNumCheckers> logged_{};
-  std::vector<Violation> stored_;  // guarded by mu_
+  std::vector<Violation> stored_ ISRL_GUARDED_BY(mu_);
 };
 
 /// Shorthand for InvariantAuditor::Instance().

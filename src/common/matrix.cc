@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_annotations.h"  // ISRL_THREAD_SANITIZER
+
 namespace isrl {
 
 Vec Matrix::Multiply(const Vec& x) const {
@@ -101,7 +103,17 @@ inline V4 SplatV4(double v) { return V4{v, v, v, v}; }
 // clone list deliberately excludes FMA: every clone rounds each multiply and
 // add separately, exactly like the baseline, so results are bit-identical
 // across hosts and across the dot/packed code shapes.
-#if defined(__x86_64__) && defined(__GLIBC__) && defined(__has_attribute)
+//
+// ThreadSanitizer builds must NOT emit the ifunc: the resolver runs while
+// the dynamic loader processes IRELATIVE relocations, BEFORE the TSan
+// runtime has mapped its shadow memory, and the instrumented resolver then
+// segfaults pre-main — every binary linking this TU dies before main() even
+// under --gtest_list_tests (root cause of the long-standing "TSan+gtest
+// segfault", DESIGN.md §16). The clones are bit-identical to the baseline
+// by construction, so a TSan build losing AVX2 dispatch changes timing
+// only, never results.
+#if defined(__x86_64__) && defined(__GLIBC__) && defined(__has_attribute) && \
+    !defined(ISRL_THREAD_SANITIZER)
 #if __has_attribute(target_clones)
 #define ISRL_GEMM_TARGET_CLONES \
   __attribute__((target_clones("avx2", "default")))

@@ -1,0 +1,95 @@
+// Annotated synchronization primitives (DESIGN.md §16).
+//
+// Thin wrappers over std::mutex / std::condition_variable that carry the
+// Clang Thread Safety capability annotations, so `ISRL_GUARDED_BY(mu)` on a
+// field makes an unlocked access a compile error in the clang CI lane.
+// Under gcc the annotations expand to nothing and every call inlines to the
+// raw std primitive — the wrappers cost exactly zero.
+//
+// These are the ONLY sanctioned locking primitives outside
+// src/common/parallel.* and src/serve/ (tools/lint.py rule `raw-thread`):
+// raw std::mutex cannot be named in a GUARDED_BY contract the analysis
+// checks, so new cross-thread state must guard itself with an isrl::Mutex.
+#ifndef ISRL_COMMON_MUTEX_H_
+#define ISRL_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace isrl {
+
+/// A std::mutex that is a thread-safety *capability*: fields annotated
+/// ISRL_GUARDED_BY(mu) may only be touched while `mu` is held, and the
+/// clang CI lane rejects any code path where that cannot be proven.
+class ISRL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ISRL_ACQUIRE() { mu_.lock(); }
+  void Unlock() ISRL_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() ISRL_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock, the annotated counterpart of std::lock_guard. A scoped
+/// capability: the analysis treats the guarded region as exactly the
+/// object's lifetime, so early returns and exceptions stay covered.
+class ISRL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ISRL_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() ISRL_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to isrl::Mutex. Wait() requires the lock held
+/// (enforced by ISRL_REQUIRES under clang) and returns with it held again.
+///
+/// Deliberately predicate-free: the analysis cannot see that a predicate
+/// lambda runs under the re-acquired lock, so a lambda touching guarded
+/// state would trip -Wthread-safety at its definition. Call sites spell the
+/// standard loop instead — the guarded reads then sit in the enclosing
+/// function where the lock is provably held:
+///
+///   MutexLock lock(mu);
+///   while (!ready) cv.Wait(mu);   // handles spurious wakeups
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning. Spurious wakeups happen; always re-check the condition.
+  void Wait(Mutex& mu) ISRL_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // guard without unlocking: ownership stays with the caller's MutexLock,
+    // and no lock/unlock is visible to the analysis here.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace isrl
+
+#endif  // ISRL_COMMON_MUTEX_H_

@@ -1,17 +1,32 @@
 #include "common/parallel.h"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/strings.h"
 
 namespace isrl {
+
+namespace internal {
+
+void ParallelForState::RecordError(std::exception_ptr error) {
+  MutexLock lock(error_mu);
+  if (!first_error) first_error = std::move(error);
+  // Later errors are dropped: sibling tasks are independent, and a
+  // deterministic caller wants every slot filled or a clean rethrow of the
+  // first failure.
+}
+
+std::exception_ptr ParallelForState::TakeFirstError() {
+  MutexLock lock(error_mu);
+  return first_error;
+}
+
+}  // namespace internal
 
 size_t HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
@@ -19,7 +34,10 @@ size_t HardwareThreads() {
 }
 
 size_t ThreadsFromEnv() {
-  const char* env = std::getenv("ISRL_THREADS");
+  // Startup-path call, before any worker exists; not reachable from task
+  // bodies, so the thread-unsafe libc environment access is benign.
+  const char* env =
+      std::getenv("ISRL_THREADS");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return 1;
   uint64_t value = 0;
   if (!ParseUint64(env, &value)) {
@@ -27,7 +45,7 @@ size_t ThreadsFromEnv() {
                  "ISRL_THREADS must be a non-negative integer "
                  "(0 = one thread per core), got '%s'\n",
                  env);
-    std::exit(EXIT_FAILURE);
+    std::exit(EXIT_FAILURE);  // NOLINT(concurrency-mt-unsafe)
   }
   if (value == 0) return HardwareThreads();
   return value > kMaxThreads ? kMaxThreads : static_cast<size_t>(value);
@@ -51,21 +69,24 @@ void ParallelFor(size_t tasks, size_t threads,
     return;
   }
 
-  std::atomic<size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  internal::ParallelForState state;
+  // workers == tasks pins task w to worker w (the documented dedicated-
+  // worker contract: bodies may block on each other). Fewer workers than
+  // tasks share the atomic queue instead.
+  const bool dedicated = workers == tasks;
   auto work = [&](size_t worker) {
     while (true) {
-      const size_t task = next.fetch_add(1, std::memory_order_relaxed);
+      const size_t task =
+          dedicated ? worker
+                    : state.next_task.fetch_add(1, std::memory_order_relaxed);
       if (task >= tasks) return;
       try {
         fn(worker, task);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // Keep draining the queue: sibling tasks are independent, and a
-        // deterministic caller wants every slot filled or a clean rethrow.
+        // Keep draining the queue after a failure; see RecordError.
+        state.RecordError(std::current_exception());
       }
+      if (dedicated) return;
     }
   };
 
@@ -74,7 +95,9 @@ void ParallelFor(size_t tasks, size_t threads,
   for (size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
   work(0);
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (std::exception_ptr error = state.TakeFirstError()) {
+    std::rethrow_exception(error);
+  }
 }
 
 void ParallelFor(size_t tasks, size_t threads,

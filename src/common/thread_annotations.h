@@ -1,0 +1,101 @@
+// Clang Thread Safety Analysis macros (DESIGN.md §16).
+//
+// These wrap the capability-based static analysis attributes so that
+// lock-discipline violations are COMPILE errors under Clang
+// (-Wthread-safety -Werror=thread-safety, the dedicated CI lane) and
+// vanish entirely under every other compiler — gcc builds see empty
+// macros, identical codegen, zero overhead.
+//
+// The vocabulary, applied across src/serve/, src/core/ and src/common/:
+//
+//   ISRL_GUARDED_BY(mu)   on a data member: every read and write must hold
+//                         `mu`. This is the workhorse — all cross-thread
+//                         state in the repo carries it (CONTRIBUTING.md
+//                         makes that a review requirement).
+//   ISRL_REQUIRES(mu)     on a function: callers must already hold `mu`.
+//                         Marks the "Locked" helpers that assume a held
+//                         lock instead of taking it.
+//   ISRL_ACQUIRE/RELEASE  on lock/unlock primitives themselves.
+//   ISRL_EXCLUDES(mu)     on a function: callers must NOT hold `mu`
+//                         (deadlock guard for self-locking helpers).
+//   ISRL_ACQUIRED_BEFORE  documents and (under -Wthread-safety-beta)
+//                         enforces the lock hierarchy, e.g. Shard::exec_mu
+//                         before Shard::mu.
+//   ISRL_NO_THREAD_SAFETY_ANALYSIS
+//                         last-resort opt-out for a single function whose
+//                         locking the analysis cannot express. Each use
+//                         must carry a comment saying why (DESIGN.md §16
+//                         lists the accepted reasons).
+//
+// tests/compile_fail/ holds deliberate violations of each rule that must
+// FAIL to compile — the negative-compile ctest driver proves the
+// annotations keep their teeth.
+#ifndef ISRL_COMMON_THREAD_ANNOTATIONS_H_
+#define ISRL_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ISRL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ISRL_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define ISRL_CAPABILITY(x) ISRL_THREAD_ANNOTATION_(capability(x))
+
+#define ISRL_SCOPED_CAPABILITY ISRL_THREAD_ANNOTATION_(scoped_lockable)
+
+#define ISRL_GUARDED_BY(x) ISRL_THREAD_ANNOTATION_(guarded_by(x))
+
+#define ISRL_PT_GUARDED_BY(x) ISRL_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define ISRL_ACQUIRED_BEFORE(...) \
+  ISRL_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define ISRL_ACQUIRED_AFTER(...) \
+  ISRL_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define ISRL_REQUIRES(...) \
+  ISRL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define ISRL_REQUIRES_SHARED(...) \
+  ISRL_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define ISRL_ACQUIRE(...) \
+  ISRL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define ISRL_ACQUIRE_SHARED(...) \
+  ISRL_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define ISRL_RELEASE(...) \
+  ISRL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define ISRL_RELEASE_SHARED(...) \
+  ISRL_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define ISRL_TRY_ACQUIRE(...) \
+  ISRL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define ISRL_EXCLUDES(...) ISRL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define ISRL_ASSERT_CAPABILITY(x) \
+  ISRL_THREAD_ANNOTATION_(assert_capability(x))
+
+#define ISRL_RETURN_CAPABILITY(x) ISRL_THREAD_ANNOTATION_(lock_returned(x))
+
+#define ISRL_NO_THREAD_SAFETY_ANALYSIS \
+  ISRL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// Thread-sanitizer detection, shared by the few places that must adapt to
+// an instrumented build (gcc defines __SANITIZE_THREAD__; clang signals
+// through __has_feature). Today's only consumer is common/matrix.cc, which
+// must not emit an ifunc under TSan — the resolver runs during relocation,
+// before the TSan runtime has mapped its shadow, and segfaults pre-main
+// (DESIGN.md §16).
+#if defined(__SANITIZE_THREAD__)
+#define ISRL_THREAD_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ISRL_THREAD_SANITIZER 1
+#endif
+#endif
+
+#endif  // ISRL_COMMON_THREAD_ANNOTATIONS_H_

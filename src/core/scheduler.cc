@@ -186,6 +186,8 @@ Result<SessionScheduler> SessionScheduler::RestoreAll(
   return scheduler;
 }
 
+// Reached cross-thread only under the owning shard's exec_mu capability
+// (serve/sharding.h); no internal locking by design — see the class comment.
 std::vector<PendingQuestion> SessionScheduler::Tick() {
   // Coalesced scoring pass: group the pending feature rows of all runnable
   // sessions by scoring network, in first-seen session order. Group layout

@@ -66,6 +66,17 @@ using AlgorithmResolver =
 /// tick's batch. Determinism: sessions are processed in id order and the
 /// coalesced batch only changes *which rows share a GEMM call*, never a
 /// row's scores, so results are independent of answer arrival order.
+///
+/// Concurrency contract (DESIGN.md §16): a SessionScheduler is NOT
+/// internally synchronized — it is a single-threaded object that holds no
+/// locks of its own. When one is reached from more than one thread, every
+/// access must be externally serialized by a capability the callers share;
+/// the sharded serving engine does exactly that, embedding each shard's
+/// scheduler as `SessionScheduler scheduler ISRL_GUARDED_BY(exec_mu)`
+/// (serve/sharding.h), so the clang thread-safety lane proves no call —
+/// Tick, TryPostAnswer, TryTake, CheckpointAll — slips outside the lock.
+/// Keep it this way: adding internal locking here would hide lock-order
+/// relationships from the analysis and re-serialize the per-shard fan-out.
 class SessionScheduler {
  public:
   using SessionId = size_t;
@@ -198,6 +209,11 @@ struct WalRecord {
 /// Serialize()/SaveFile() persist the pair as one framed "session-store"
 /// blob; they may be called at any point (typically right after each log
 /// append, which is what DriveWithUsersDurable models).
+///
+/// Like SessionScheduler, a SessionStore is externally synchronized: the
+/// sharded engine guards each shard's store with the same `exec_mu`
+/// capability as its scheduler, which also orders every LogAnswer/SyncFile
+/// against the PostAnswer it write-ahead-logs (DESIGN.md §16).
 class SessionStore {
  public:
   /// Adopts a new population snapshot and clears the WAL: everything logged

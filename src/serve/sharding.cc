@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "core/snapshot.h"
 
@@ -47,6 +48,10 @@ ShardedScheduler::SessionId ShardedScheduler::Add(
   ISRL_CHECK(!running_.load(std::memory_order_acquire));
   const SessionId id = size_++;
   Shard& shard = ShardOf(id);
+  // No worker is running, but the capability contract is uniform: the
+  // scheduler lives under exec_mu, the mirror under mu (uncontended here).
+  MutexLock exec(shard.exec_mu);
+  MutexLock lock(shard.mu);
   const size_t local = algorithm == nullptr
                            ? shard.scheduler.Add(std::move(session))
                            : shard.scheduler.Add(std::move(session), algorithm);
@@ -70,6 +75,7 @@ Status ShardedScheduler::EnableDurability(const std::string& path_prefix) {
   ISRL_CHECK(!running_.load(std::memory_order_acquire));
   for (size_t k = 0; k < shards_.size(); ++k) {
     Shard& shard = *shards_[k];
+    MutexLock exec(shard.exec_mu);
     ISRL_ASSIGN_OR_RETURN(std::string snapshot, shard.scheduler.CheckpointAll());
     shard.store.BeginEpoch(std::move(snapshot));
     shard.store_path = ShardPath(path_prefix, k);
@@ -117,8 +123,10 @@ Result<std::unique_ptr<ShardedScheduler>> ShardedScheduler::Recover(
     };
     ISRL_ASSIGN_OR_RETURN(SessionScheduler scheduler,
                           RecoverScheduler(store, local_resolver));
-    engine->shards_[k]->scheduler = std::move(scheduler);
-    total += engine->shards_[k]->scheduler.size();
+    Shard& shard = *engine->shards_[k];
+    MutexLock exec(shard.exec_mu);
+    shard.scheduler = std::move(scheduler);
+    total += shard.scheduler.size();
   }
   if (total != saved_sessions) {
     return Status::InvalidArgument(Format(
@@ -130,19 +138,23 @@ Result<std::unique_ptr<ShardedScheduler>> ShardedScheduler::Recover(
   // shard k; a mismatch means the files come from runs with different
   // populations or shard counts.
   for (size_t k = 0; k < num_shards; ++k) {
+    Shard& shard = *engine->shards_[k];
+    MutexLock exec(shard.exec_mu);
     const size_t expect = total / num_shards + (k < total % num_shards ? 1 : 0);
-    if (engine->shards_[k]->scheduler.size() != expect) {
+    if (shard.scheduler.size() != expect) {
       return Status::InvalidArgument(Format(
           "recover: shard %zu holds %zu sessions but a %zu-session "
           "%zu-shard population puts %zu there — the shard files do not "
           "belong to one run",
-          k, engine->shards_[k]->scheduler.size(), total, num_shards, expect));
+          k, shard.scheduler.size(), total, num_shards, expect));
     }
   }
   engine->size_ = total;
   size_t active = 0;
   for (size_t k = 0; k < num_shards; ++k) {
     Shard& shard = *engine->shards_[k];
+    MutexLock exec(shard.exec_mu);
+    MutexLock lock(shard.mu);
     SyncMirror(shard);
     active += shard.scheduler.active();
   }
@@ -178,11 +190,14 @@ void ShardedScheduler::Start(QuestionSink sink) {
       // Re-deliver questions that were in flight when the previous Start()
       // stopped (or when the population was recovered): at-least-once, the
       // same contract as crash recovery.
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       std::fill(shard.delivered.begin(), shard.delivered.end(),
                 static_cast<uint8_t>(0));
     }
-    shard.last_active = shard.scheduler.active();
+    {
+      MutexLock exec(shard.exec_mu);
+      shard.last_active = shard.scheduler.active();
+    }
     shard.worker = std::thread(&ShardedScheduler::WorkerLoop, this, k);
   }
 }
@@ -190,8 +205,8 @@ void ShardedScheduler::Start(QuestionSink sink) {
 void ShardedScheduler::Stop() {
   stop_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->cv.notify_all();
+    MutexLock lock(shard->mu);
+    shard->cv.NotifyAll();
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -201,25 +216,27 @@ void ShardedScheduler::Stop() {
 }
 
 Status ShardedScheduler::WaitUntilDrained() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [&] {
-    return active_.load(std::memory_order_acquire) == 0 ||
-           any_halted_.load(std::memory_order_acquire) ||
-           stop_.load(std::memory_order_acquire);
-  });
+  {
+    MutexLock lock(drain_mu_);
+    while (active_.load(std::memory_order_acquire) != 0 &&
+           !any_halted_.load(std::memory_order_acquire) &&
+           !stop_.load(std::memory_order_acquire)) {
+      drain_cv_.Wait(drain_mu_);
+    }
+  }
   return error();
 }
 
 void ShardedScheduler::NotifyDrained() {
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    MutexLock lock(drain_mu_);
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
 }
 
 void ShardedScheduler::Halt(Shard& shard, Status cause) {
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (!shard.halted) {
       shard.halted = true;
       shard.error = std::move(cause);
@@ -232,7 +249,7 @@ void ShardedScheduler::Halt(Shard& shard, Status cause) {
 
 Status ShardedScheduler::error() const {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     if (!shard->error.ok()) return shard->error;
   }
   return Status::Ok();
@@ -246,7 +263,7 @@ Status ShardedScheduler::TryPostAnswer(SessionId id, Answer answer) {
   Shard& shard = ShardOf(id);
   const size_t local = LocalOf(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.halted) {
       return Status::FailedPrecondition(
           Format("session %zu's shard has halted: %s", id,
@@ -277,7 +294,7 @@ Status ShardedScheduler::TryPostAnswer(SessionId id, Answer answer) {
     }
     shard.mirror[local] = Mirror::kAnswerQueued;
     shard.inbox.push_back(Inbound{local, WalRecord::kAnswer, answer});
-    shard.cv.notify_one();
+    shard.cv.NotifyOne();
   }
   return Status::Ok();
 }
@@ -290,7 +307,7 @@ Status ShardedScheduler::TryCancel(SessionId id) {
   Shard& shard = ShardOf(id);
   const size_t local = LocalOf(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.halted) {
       return Status::FailedPrecondition(
           Format("session %zu's shard has halted: %s", id,
@@ -312,7 +329,7 @@ Status ShardedScheduler::TryCancel(SessionId id) {
     }
     shard.mirror[local] = Mirror::kCancelQueued;
     shard.inbox.push_back(Inbound{local, WalRecord::kCancel, Answer::kFirst});
-    shard.cv.notify_one();
+    shard.cv.NotifyOne();
   }
   return Status::Ok();
 }
@@ -325,8 +342,10 @@ Result<InteractionResult> ShardedScheduler::TryTake(SessionId id) {
   Shard& shard = ShardOf(id);
   const size_t local = LocalOf(id);
   // Taking needs the scheduler itself, which the worker owns while serving:
-  // exec_mu fences the worker's apply+tick, mu fences the mirror.
-  std::scoped_lock lock(shard.exec_mu, shard.mu);
+  // exec_mu fences the worker's apply+tick, mu fences the mirror. Acquired
+  // in hierarchy order (exec_mu before mu, DESIGN.md §16).
+  MutexLock exec(shard.exec_mu);
+  MutexLock lock(shard.mu);
   switch (shard.mirror[local]) {
     case Mirror::kFinished:
       break;
@@ -352,11 +371,12 @@ void ShardedScheduler::WorkerLoop(size_t shard_index) {
   while (true) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       if (!first) {
-        shard.cv.wait(lock, [&] {
-          return stop_.load(std::memory_order_acquire) || !shard.inbox.empty();
-        });
+        while (!stop_.load(std::memory_order_acquire) &&
+               shard.inbox.empty()) {
+          shard.cv.Wait(shard.mu);
+        }
       }
       first = false;
       if (shard.halted) return;
@@ -365,9 +385,9 @@ void ShardedScheduler::WorkerLoop(size_t shard_index) {
     }
 
     std::vector<PendingQuestion> questions;
-    size_t now_active = 0;
+    size_t drained_delta = 0;
     {
-      std::lock_guard<std::mutex> exec(shard.exec_mu);
+      MutexLock exec(shard.exec_mu);
       // Write-ahead: every record in this batch reaches the shard's store
       // file before any of them is applied (DESIGN.md §14) — one fsynced
       // append per batch, not per answer.
@@ -417,12 +437,16 @@ void ShardedScheduler::WorkerLoop(size_t shard_index) {
         finished_now[i] =
             shard.scheduler.finished(i) || shard.scheduler.taken(i);
       }
-      now_active = shard.scheduler.active();
+      const size_t now_active = shard.scheduler.active();
+      if (now_active < shard.last_active) {
+        drained_delta = shard.last_active - now_active;
+        shard.last_active = now_active;
+      }
     }
 
     fresh.clear();
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       // Applied records consumed their question; whatever the session does
       // next (new question, finish) is fresh.
       for (const Inbound& in : batch) shard.delivered[in.local_id] = 0;
@@ -448,12 +472,10 @@ void ShardedScheduler::WorkerLoop(size_t shard_index) {
       sink_(global_id, question);
     }
 
-    if (now_active < shard.last_active) {
-      const size_t delta = shard.last_active - now_active;
-      shard.last_active = now_active;
-      if (active_.fetch_sub(delta, std::memory_order_acq_rel) == delta) {
-        NotifyDrained();
-      }
+    if (drained_delta > 0 &&
+        active_.fetch_sub(drained_delta, std::memory_order_acq_rel) ==
+            drained_delta) {
+      NotifyDrained();
     }
   }
 }

@@ -37,17 +37,17 @@
 #define ISRL_SERVE_SHARDING_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/algorithm.h"
 #include "core/scheduler.h"
 #include "user/user.h"
@@ -188,25 +188,38 @@ class ShardedScheduler {
     Answer answer = Answer::kFirst;
   };
 
+  /// Per-shard state, split across two capabilities (DESIGN.md §16).
+  /// Lock hierarchy: `exec_mu` is acquired BEFORE `mu` wherever both are
+  /// held (TryTake, and Halt called from under the worker's exec section);
+  /// enforced by ISRL_ACQUIRED_BEFORE under -Wthread-safety-beta.
   struct Shard {
-    /// Worker-owned between Start() and Stop(); exec_mu serializes the
-    /// only cross-thread access (TryTake on finished slots).
-    SessionScheduler scheduler;
-    SessionStore store;
-    std::string store_path;
-    bool durable = false;
-    size_t last_active = 0;  ///< worker-only: scheduler.active() after tick
-    size_t ticks = 0;        ///< worker-only: ticks since durability epoch
+    /// Serializes scheduler execution: the worker's WAL+apply+tick section
+    /// vs. TryTake on finished slots (the only cross-thread scheduler
+    /// access), plus the stopped-worker lifecycle calls (Add,
+    /// EnableDurability, Recover, Start), which take it uncontended.
+    Mutex exec_mu ISRL_ACQUIRED_BEFORE(mu);
+    SessionScheduler scheduler ISRL_GUARDED_BY(exec_mu);
+    SessionStore store ISRL_GUARDED_BY(exec_mu);
+    std::string store_path ISRL_GUARDED_BY(exec_mu);
+    bool durable ISRL_GUARDED_BY(exec_mu) = false;
+    /// scheduler.active() after the previous tick, for drain accounting.
+    size_t last_active ISRL_GUARDED_BY(exec_mu) = 0;
+    /// Ticks since the current durability epoch began.
+    size_t ticks ISRL_GUARDED_BY(exec_mu) = 0;
 
-    std::mutex mu;  ///< guards inbox, mirror, delivered, error, halted
-    std::condition_variable cv;
-    std::vector<Inbound> inbox;
-    std::vector<Mirror> mirror;
-    std::vector<uint8_t> delivered;  ///< current question already sunk
-    Status error;
-    bool halted = false;
+    /// Guards the boundary-facing state below; never held across scheduler
+    /// execution or sink delivery.
+    Mutex mu;
+    CondVar cv;  ///< signalled on inbox push and on Stop()
+    std::vector<Inbound> inbox ISRL_GUARDED_BY(mu);
+    std::vector<Mirror> mirror ISRL_GUARDED_BY(mu);
+    /// Current question already handed to the sink (dedupe flag).
+    std::vector<uint8_t> delivered ISRL_GUARDED_BY(mu);
+    Status error ISRL_GUARDED_BY(mu);
+    bool halted ISRL_GUARDED_BY(mu) = false;
 
-    std::mutex exec_mu;  ///< scheduler execution (worker apply+tick, TryTake)
+    /// Spawned by Start(), joined by Stop(); no capability — the thread
+    /// object itself is only touched by main-thread lifecycle calls.
     std::thread worker;
   };
 
@@ -217,22 +230,30 @@ class ShardedScheduler {
   }
 
   void WorkerLoop(size_t shard_index);
-  void Halt(Shard& shard, Status cause);
-  void NotifyDrained();
+  /// Marks the shard failed and wakes every waiter. Callable with exec_mu
+  /// held (the worker's failure paths) but never with mu held — it takes mu
+  /// itself, consistent with the exec_mu → mu hierarchy.
+  void Halt(Shard& shard, Status cause) ISRL_EXCLUDES(shard.mu);
+  void NotifyDrained() ISRL_EXCLUDES(drain_mu_);
   /// Rebuilds a shard's boundary mirror from its scheduler's state (used at
-  /// Start and Recover; requires the shard's worker to be stopped).
-  static void SyncMirror(Shard& shard);
+  /// Start and Recover; the shard's worker must be stopped, and the caller
+  /// holds both of the shard's capabilities).
+  static void SyncMirror(Shard& shard)
+      ISRL_REQUIRES(shard.exec_mu, shard.mu);
 
   ShardedOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  size_t size_ = 0;
+  size_t size_ = 0;  ///< written only while no worker runs (Add/Recover)
   std::atomic<size_t> active_{0};
   std::atomic<bool> stop_{true};
   std::atomic<bool> running_{false};
   std::atomic<bool> any_halted_{false};
-  QuestionSink sink_;
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  QuestionSink sink_;  ///< set by Start() before any worker is spawned
+  /// Pure wakeup channel for WaitUntilDrained: the predicate reads only the
+  /// atomics above, so the mutex guards no fields — it exists to make the
+  /// notify/wait handoff race-free.
+  Mutex drain_mu_;
+  CondVar drain_cv_;
 };
 
 /// Convenience driver mirroring DriveWithUsers: serves every session

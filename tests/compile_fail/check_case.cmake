@@ -1,0 +1,41 @@
+# Negative-compile driver (see README.md). Invoked by ctest as
+#   cmake -DCOMPILER=<clang++> -DSOURCE=<case.cc> -DINCLUDE_DIR=<src>
+#         -DEXPECT=FAIL|PASS -P check_case.cmake
+#
+# EXPECT=FAIL passes only when the compile fails AND the diagnostic comes
+# from the -Wthread-safety family — a case dying of a syntax error would
+# otherwise rot into a vacuous "pass".
+if(NOT COMPILER OR NOT SOURCE OR NOT INCLUDE_DIR OR NOT EXPECT)
+  message(FATAL_ERROR "usage: cmake -DCOMPILER=... -DSOURCE=... "
+                      "-DINCLUDE_DIR=... -DEXPECT=FAIL|PASS -P check_case.cmake")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only
+          -Wthread-safety -Wthread-safety-beta
+          -Werror=thread-safety -Werror=thread-safety-beta
+          -I${INCLUDE_DIR} ${SOURCE}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "PASS")
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR
+            "control case ${SOURCE} must compile clean but failed:\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "FAIL")
+  if(exit_code EQUAL 0)
+    message(FATAL_ERROR
+            "${SOURCE} compiled clean — the deliberate thread-safety "
+            "violation was NOT caught; the annotations have lost their teeth")
+  endif()
+  if(NOT err MATCHES "thread-safety")
+    message(FATAL_ERROR
+            "${SOURCE} failed to compile, but not with a -Wthread-safety "
+            "diagnostic — the case is broken, not the violation "
+            "detected:\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be FAIL or PASS, got '${EXPECT}'")
+endif()

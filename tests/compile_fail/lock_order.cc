@@ -1,0 +1,26 @@
+// MUST NOT COMPILE (under -Wthread-safety-beta): acquiring two mutexes
+// against their declared ISRL_ACQUIRED_BEFORE order. Mirrors the real
+// hierarchy in serve/sharding.h — Shard::exec_mu before Shard::mu — whose
+// inversion would deadlock TryTake against a worker's Halt path.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct TwoLocks {
+  isrl::Mutex exec_mu ISRL_ACQUIRED_BEFORE(mu);
+  isrl::Mutex mu;
+};
+
+void InvertedOrder(TwoLocks& locks) {
+  isrl::MutexLock second(locks.mu);
+  isrl::MutexLock first(locks.exec_mu);  // violation: mu is already held
+}
+
+}  // namespace
+
+int main() {
+  TwoLocks locks;
+  InvertedOrder(locks);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// MUST NOT COMPILE: returning while still holding a lock that the function
+// has no annotation to keep. Catches early-return paths that leak a held
+// mutex — the failure mode MutexLock (scoped capability) exists to prevent.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+void ReturnsHoldingTheLock(isrl::Mutex& mu) {
+  mu.Lock();
+  // violation: no Unlock and no ISRL_ACQUIRE annotation on this function,
+  // so mu is still held when it returns
+}
+
+}  // namespace
+
+int main() {
+  isrl::Mutex mu;
+  ReturnsHoldingTheLock(mu);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE: calling an ISRL_REQUIRES function without holding the
+// lock it demands. Mirrors the real helpers that assume a held capability,
+// e.g. ShardedScheduler::SyncMirror (serve/sharding.h).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Queue {
+  isrl::Mutex mu;
+  int depth ISRL_GUARDED_BY(mu) = 0;
+
+  void PushLocked() ISRL_REQUIRES(mu) { ++depth; }
+};
+
+void Misuse(Queue& queue) {
+  queue.PushLocked();  // violation: caller does not hold queue.mu
+}
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  Misuse(queue);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// MUST COMPILE CLEAN: the inverted control for the negative-compile
+// harness. Exercises every wrapper the violation cases abuse — Mutex,
+// MutexLock, CondVar, GUARDED_BY, REQUIRES, ACQUIRED_BEFORE — with correct
+// lock discipline. If this case ever fails, the harness flags or include
+// paths are broken, and the "expected failures" next door are failing for
+// the wrong reason.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Channel {
+  isrl::Mutex exec_mu ISRL_ACQUIRED_BEFORE(mu);
+  int applied ISRL_GUARDED_BY(exec_mu) = 0;
+
+  isrl::Mutex mu;
+  isrl::CondVar cv;
+  int queued ISRL_GUARDED_BY(mu) = 0;
+  bool stopped ISRL_GUARDED_BY(mu) = false;
+
+  void ApplyLocked() ISRL_REQUIRES(exec_mu) { ++applied; }
+};
+
+int Drain(Channel& channel) {
+  {
+    isrl::MutexLock lock(channel.mu);
+    channel.queued = 3;
+    channel.stopped = true;
+    channel.cv.NotifyAll();
+  }
+  {
+    isrl::MutexLock lock(channel.mu);
+    while (!channel.stopped && channel.queued == 0) {
+      channel.cv.Wait(channel.mu);
+    }
+  }
+  // Hierarchy order: exec_mu before mu.
+  isrl::MutexLock exec(channel.exec_mu);
+  channel.ApplyLocked();
+  isrl::MutexLock lock(channel.mu);
+  return channel.applied + channel.queued;
+}
+
+}  // namespace
+
+int main() {
+  Channel channel;
+  return Drain(channel) == 4 ? 0 : 1;
+}

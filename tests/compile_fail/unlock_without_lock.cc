@@ -1,0 +1,18 @@
+// MUST NOT COMPILE: releasing a capability that is not held. The classic
+// double-unlock / unlock-on-the-wrong-branch bug, caught statically.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+void UnlockWithoutLock(isrl::Mutex& mu) {
+  mu.Unlock();  // violation: mu is not held on entry
+}
+
+}  // namespace
+
+int main() {
+  isrl::Mutex mu;
+  UnlockWithoutLock(mu);
+  return 0;
+}

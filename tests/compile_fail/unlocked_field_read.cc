@@ -1,0 +1,24 @@
+// MUST NOT COMPILE: reading an ISRL_GUARDED_BY field without its lock.
+// This is the workhorse rule — every cross-thread field in serve/ and
+// common/ carries a GUARDED_BY, and an unlocked read is exactly the data
+// race the sharded boundary exists to prevent.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  isrl::Mutex mu;
+  int value ISRL_GUARDED_BY(mu) = 0;
+};
+
+int UnlockedRead(Counter& counter) {
+  return counter.value;  // violation: mu not held
+}
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return UnlockedRead(counter);
+}

@@ -7,14 +7,10 @@
 // any byte recovers to the longest clean prefix (or a clean Status) and never
 // crashes, and a shard halted by a mid-run write failure is recoverable from
 // its own file. Run with `ctest -L serving`; CI runs this label under TSan.
-#include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,7 +21,10 @@
 #include "baselines/uh_simplex.h"
 #include "baselines/utility_approx.h"
 #include "common/budget.h"
+#include "common/mutex.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "core/aa.h"
 #include "core/ea.h"
 #include "core/scheduler.h"
@@ -136,6 +135,44 @@ std::vector<Vec> FleetUtilities(size_t count, size_t d, uint64_t seed) {
   for (size_t i = 0; i < count; ++i) utilities.push_back(urng.SimplexUniform(d));
   return utilities;
 }
+
+/// Thread-safe question channel between the engine's sinks and a pool of
+/// client tasks, built on the annotated wrappers (common/mutex.h) so the
+/// clang -Wthread-safety lane checks the test's own locking too. The wait
+/// loop is written out (no predicate lambda) because the analysis cannot
+/// see through closures — see the CondVar contract in common/mutex.h.
+struct ClientQueue {
+  Mutex mu;
+  CondVar cv;
+  std::deque<std::pair<size_t, SessionQuestion>> pending ISRL_GUARDED_BY(mu);
+  bool closed ISRL_GUARDED_BY(mu) = false;
+
+  void Push(size_t id, const SessionQuestion& question) {
+    {
+      MutexLock lock(mu);
+      pending.emplace_back(id, question);
+    }
+    cv.NotifyOne();
+  }
+
+  void Close() {
+    {
+      MutexLock lock(mu);
+      closed = true;
+    }
+    cv.NotifyAll();
+  }
+
+  /// Blocks for the next question; false once closed and drained.
+  bool Pop(std::pair<size_t, SessionQuestion>* item) {
+    MutexLock lock(mu);
+    while (!closed && pending.empty()) cv.Wait(mu);
+    if (pending.empty()) return false;
+    *item = std::move(pending.front());
+    pending.pop_front();
+    return true;
+  }
+};
 
 /// One independent algorithm stack per shard (CloneForEval copies), so no
 /// Q-network scratch is ever shared across worker threads. Clones must
@@ -528,41 +565,30 @@ TEST(ShardedServingTest, ConcurrentClientThreadsReproduceTheReference) {
 
   // The sink hands questions to a client pool: four external threads answer
   // them through the thread-safe boundary, emulating independent front-end
-  // handlers (and giving TSan real cross-thread traffic).
-  std::mutex qmu;
-  std::condition_variable qcv;
-  std::deque<std::pair<size_t, SessionQuestion>> pending;
-  std::atomic<bool> done{false};
+  // handlers (and giving TSan real cross-thread traffic). Dedicated-worker
+  // ParallelFor (threads == tasks) is the sanctioned thread spawner: task 0
+  // — the calling thread — waits for the population to drain and closes the
+  // queue; tasks 1..4 are the clients.
+  ClientQueue queue;
   sharded.Start([&](size_t id, const SessionQuestion& question) {
-    {
-      std::lock_guard<std::mutex> lock(qmu);
-      pending.emplace_back(id, question);
-    }
-    qcv.notify_one();
+    queue.Push(id, question);
   });
-  std::vector<std::thread> clients;
-  for (int t = 0; t < 4; ++t) {
-    clients.emplace_back([&] {
-      while (true) {
-        std::pair<size_t, SessionQuestion> item;
-        {
-          std::unique_lock<std::mutex> lock(qmu);
-          qcv.wait(lock, [&] { return done.load() || !pending.empty(); });
-          if (pending.empty()) return;
-          item = std::move(pending.front());
-          pending.pop_front();
-        }
-        const Answer answer = fleet.users[item.first]->Ask(
-            item.second.first, item.second.second);
-        Status posted = sharded.TryPostAnswer(item.first, answer);
-        EXPECT_TRUE(posted.ok()) << posted.ToString();
-      }
-    });
-  }
-  Status drained = sharded.WaitUntilDrained();
-  done.store(true);
-  qcv.notify_all();
-  for (std::thread& client : clients) client.join();
+  const size_t clients = 4;
+  Status drained;  // written by task 0 only, read after the join below
+  ParallelFor(clients + 1, clients + 1, [&](size_t task) {
+    if (task == 0) {
+      drained = sharded.WaitUntilDrained();
+      queue.Close();
+      return;
+    }
+    std::pair<size_t, SessionQuestion> item;
+    while (queue.Pop(&item)) {
+      const Answer answer = fleet.users[item.first]->Ask(item.second.first,
+                                                         item.second.second);
+      Status posted = sharded.TryPostAnswer(item.first, answer);
+      EXPECT_TRUE(posted.ok()) << posted.ToString();
+    }
+  });
   sharded.Stop();
   ASSERT_TRUE(drained.ok()) << drained.ToString();
 
@@ -571,6 +597,123 @@ TEST(ShardedServingTest, ConcurrentClientThreadsReproduceTheReference) {
     ASSERT_TRUE(result.ok()) << i << ": " << result.status().ToString();
     ExpectSameResult(reference[i], *result, "session " + std::to_string(i));
   }
+}
+
+// Contention stress for the Status boundary (DESIGN.md §16): eight clients
+// hammer TryPostAnswer/TryCancel/TryTake against four shards, each client
+// interleaving its legitimate answers with seeded hostile traffic —
+// out-of-range posts and cancels, and racing takes of random sessions that
+// may legitimately succeed mid-run. Whatever the interleaving, every misuse
+// must come back as a clean Status, and the seeded population must still
+// finish bit-identical to the sequential reference. CI runs this under TSan
+// (`ctest -L serving`), which is where the cross-thread traffic earns its
+// keep.
+TEST(ShardedServingTest, ContendedBoundaryHammeringStaysBitIdentical) {
+  Roster roster(SmallSkyline(200, 3, 271));
+  RunBudget budget;
+  budget.max_rounds = 10;
+  const uint64_t master = 0x57E55;
+  const size_t sessions = 32;
+  std::vector<Vec> utilities = FleetUtilities(sessions, 3, 272);
+  std::vector<InteractionResult> reference =
+      SequentialReference(roster, sessions, budget, master, utilities);
+
+  const size_t shards = 4;
+  ShardStacks stacks(roster, shards);
+  ShardedScheduler sharded(ShardedOptions{shards});
+  AddShardedPopulation(sharded, stacks, sessions, roster.all().size(), budget,
+                       master);
+  Fleet fleet = LinearFleet(utilities);
+
+  // Results stolen mid-run by racing TryTake calls, merged with the final
+  // sweep below. Shared guarded slots rather than per-client storage: any
+  // client may take any session, but the engine hands each result out once.
+  struct TakenSlots {
+    Mutex mu;
+    std::vector<std::unique_ptr<InteractionResult>> slots ISRL_GUARDED_BY(mu);
+  } taken;
+  {
+    MutexLock lock(taken.mu);
+    taken.slots.resize(sessions);
+  }
+
+  ClientQueue queue;
+  sharded.Start([&](size_t id, const SessionQuestion& question) {
+    queue.Push(id, question);
+  });
+  const size_t clients = 8;
+  Status drained;  // written by task 0 only, read after the join below
+  ParallelFor(clients + 1, clients + 1, [&](size_t task) {
+    if (task == 0) {
+      drained = sharded.WaitUntilDrained();
+      queue.Close();
+      return;
+    }
+    Rng rng(SplitSeed(0xC0117EAD, task));
+    std::pair<size_t, SessionQuestion> item;
+    while (queue.Pop(&item)) {
+      // Hostile traffic around the legitimate answer. Out-of-range ids must
+      // be NotFound from any thread at any time.
+      if (rng.Bernoulli(0.25)) {
+        EXPECT_EQ(sharded.TryPostAnswer(sessions + 7, Answer::kFirst).code(),
+                  StatusCode::kNotFound);
+      }
+      if (rng.Bernoulli(0.25)) {
+        EXPECT_EQ(sharded.TryCancel(sessions + 7).code(),
+                  StatusCode::kNotFound);
+      }
+      if (rng.Bernoulli(0.5)) {
+        // Racing take of a random session: success means it had genuinely
+        // finished — keep the result; anything else must be the documented
+        // FailedPrecondition (unfinished or already taken), never a crash.
+        const size_t victim = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(sessions) - 1));
+        Result<InteractionResult> stolen = sharded.TryTake(victim);
+        if (stolen.ok()) {
+          MutexLock lock(taken.mu);
+          EXPECT_EQ(taken.slots[victim], nullptr) << victim;
+          taken.slots[victim] =
+              std::make_unique<InteractionResult>(std::move(*stolen));
+        } else {
+          EXPECT_EQ(stolen.status().code(), StatusCode::kFailedPrecondition)
+              << stolen.status().ToString();
+        }
+      }
+      const Answer answer = fleet.users[item.first]->Ask(item.second.first,
+                                                         item.second.second);
+      Status posted = sharded.TryPostAnswer(item.first, answer);
+      EXPECT_TRUE(posted.ok()) << posted.ToString();
+    }
+  });
+  sharded.Stop();
+  ASSERT_TRUE(drained.ok()) << drained.ToString();
+
+  size_t stolen_count = 0;
+  for (size_t i = 0; i < sessions; ++i) {
+    std::unique_ptr<InteractionResult> early;
+    {
+      MutexLock lock(taken.mu);
+      early = std::move(taken.slots[i]);
+    }
+    const std::string label = "session " + std::to_string(i);
+    if (early != nullptr) {
+      ++stolen_count;
+      ExpectSameResult(reference[i], *early, "stolen " + label);
+      // The engine hands each result out exactly once: a re-take of a
+      // stolen session is a Status even after Stop().
+      EXPECT_EQ(sharded.TryTake(i).status().code(),
+                StatusCode::kFailedPrecondition)
+          << label;
+      EXPECT_TRUE(sharded.TryCancel(i).ok()) << label;  // idempotent on taken
+      continue;
+    }
+    Result<InteractionResult> result = sharded.TryTake(i);
+    ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+    ExpectSameResult(reference[i], *result, label);
+  }
+  // Not asserted (scheduling-dependent), but useful when tuning the test.
+  std::printf("contended hammering: %zu/%zu results taken mid-run\n",
+              stolen_count, sessions);
 }
 
 TEST(ShardedServingTest, BoundaryMisuseIsAlwaysAStatus) {

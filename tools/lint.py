@@ -19,6 +19,20 @@ Rules (see DESIGN.md section 11):
                 persistent byte flows through core/snapshot (framed,
                 versioned, checksummed) or nn/serialize (DESIGN.md
                 section 14) so corruption surfaces as a Status, never UB.
+  raw-thread    std::thread / std::mutex / std::condition_variable /
+                std::lock_guard / std::unique_lock (and kin) outside
+                src/common/parallel.*, src/common/mutex.*, and src/serve/.
+                Everything else uses the annotated wrappers
+                (common/mutex.h: Mutex, MutexLock, CondVar) or ParallelFor
+                — raw primitives carry no thread-safety capability, so the
+                clang -Wthread-safety lane cannot check code built on them
+                (DESIGN.md section 16).
+  wall-clock    std::chrono::{system,steady,high_resolution}_clock outside
+                src/common/stopwatch.* and src/common/budget.*. A wall-
+                clock read in session or algorithm code is a determinism
+                hazard: it cannot be captured in a snapshot, so replayed
+                or restored runs diverge from the original (DESIGN.md
+                sections 10 and 14).
 
 Usage: tools/lint.py [paths...]   (defaults to src/)
 Exit status is the number of findings (0 == clean).
@@ -89,6 +103,35 @@ RAW_SERIALIZE_FILES = {
 RAW_SERIALIZE_RE = re.compile(
     r"\b(?:std::)?f(?:write|read)\s*\("
     r"|reinterpret_cast\s*<\s*(?:const\s+)?(?:unsigned\s+)?char\s*\*"
+)
+
+# Concurrency discipline (DESIGN.md section 16): locking primitives carry
+# thread-safety capability annotations, and the only files allowed to touch
+# the raw std primitives are the wrapper layer itself, the thread pool, and
+# the serving engine (whose worker std::thread has no annotated wrapper).
+RAW_THREAD_ALLOWED_PREFIXES = (
+    "src/common/parallel.",
+    "src/common/mutex.",
+    "src/serve/",
+)
+
+RAW_THREAD_RE = re.compile(
+    r"\bstd::(?:jthread|thread|timed_mutex|recursive_mutex"
+    r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex|mutex"
+    r"|condition_variable_any|condition_variable|lock_guard|unique_lock"
+    r"|scoped_lock|shared_lock)\b"
+)
+
+# Determinism discipline: wall-clock reads are unreplayable inputs. Only the
+# stopwatch (measurement) and the budget/deadline layer may consult a clock;
+# both are excluded from snapshots by design.
+WALL_CLOCK_ALLOWED_PREFIXES = (
+    "src/common/stopwatch.",
+    "src/common/budget.",
+)
+
+WALL_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"
 )
 
 SUPPRESS_TOKEN = "float-eq-ok"
@@ -177,6 +220,38 @@ def lint_file(path: Path) -> list:
                     "ad-hoc binary IO; go through the framed snapshot "
                     "codec (core/snapshot) or nn/serialize "
                     "(DESIGN.md section 14)",
+                )
+            )
+
+        if (
+            not rel.startswith(RAW_THREAD_ALLOWED_PREFIXES)
+            and RAW_THREAD_RE.search(code)
+        ):
+            findings.append(
+                (
+                    rel,
+                    lineno,
+                    "raw-thread",
+                    "raw std threading primitive; use the annotated "
+                    "wrappers in common/mutex.h (Mutex/MutexLock/CondVar) "
+                    "or ParallelFor so clang -Wthread-safety can check it "
+                    "(DESIGN.md section 16)",
+                )
+            )
+
+        if (
+            not rel.startswith(WALL_CLOCK_ALLOWED_PREFIXES)
+            and WALL_CLOCK_RE.search(code)
+        ):
+            findings.append(
+                (
+                    rel,
+                    lineno,
+                    "wall-clock",
+                    "wall-clock read outside common/stopwatch + "
+                    "common/budget; clock reads in session/algorithm code "
+                    "break checkpoint/replay determinism (DESIGN.md "
+                    "sections 10 and 14)",
                 )
             )
 
