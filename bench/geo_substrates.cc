@@ -1,0 +1,164 @@
+// Geometry substrate benchmarks (google-benchmark): the incremental
+// adjacency-maintained polyhedron vs full re-enumeration, AA's shared-
+// phase-1 rectangle LPs vs independent solves, and the warm-started
+// extreme-point sweep vs per-query cold LPs (DESIGN.md §17).
+//
+// Mode argument convention (tools/bench_to_json.py --suite geometry):
+// 0 = baseline (seed path: rebuild / independent / cold), 1 = variant
+// (incremental / shared / warm). Both paths produce identical results —
+// bit-identical for cuts and AA geometry, verdict-identical for the sweep.
+//
+// Cut normals come from hypercube-uniform item pairs (PreferenceHalfspace),
+// matching src/data/synthetic.cc: generic-position inputs keep the
+// incremental path on its certified fast path. Offset-zero simplex-
+// difference cuts would all pass through the barycenter and measure the
+// degradation fallback instead (see test_geometry.cc
+// CentralArrangementDegradesBitIdentical).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aa_state.h"
+#include "geometry/convex_hull.h"
+#include "geometry/halfspace.h"
+#include "geometry/polyhedron.h"
+
+namespace isrl {
+namespace {
+
+// A preference cut between two hypercube-uniform items, oriented so the
+// hidden utility point u stays feasible — the shape of a consistent EA/AA
+// session, and a guarantee the region never empties mid-sequence.
+Halfspace RandomItemCut(Rng& rng, const Vec& u, size_t d) {
+  Vec a(d), b(d);
+  for (size_t c = 0; c < d; ++c) {
+    a[c] = rng.Uniform(0.0, 1.0);
+    b[c] = rng.Uniform(0.0, 1.0);
+  }
+  if (Dot(u, a) >= Dot(u, b)) return PreferenceHalfspace(a, b);
+  return PreferenceHalfspace(b, a);
+}
+
+// ---- Cut sequences: incremental adjacency maintenance vs full rebuild.
+// The rebuild baseline enumerates C(d + k − 1, d − 1) subsets on the k-th
+// cut; the incremental path touches only dead vertices and their incident
+// edges. Dimensions stay ≤ 6 so the baseline finishes. ----
+void BM_GeoCutSequence(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const bool incremental = state.range(1) == 1;
+  const size_t kCuts = 12;
+  Polyhedron::Options options;
+  options.incremental = incremental;
+  Rng rng(100 + d);
+  const Vec u = rng.SimplexUniform(d);
+  std::vector<Halfspace> cuts;
+  for (size_t i = 0; i < kCuts; ++i) cuts.push_back(RandomItemCut(rng, u, d));
+  for (auto _ : state) {
+    Polyhedron p = Polyhedron::UnitSimplex(d, options);
+    for (const Halfspace& h : cuts) p.Cut(h);
+    benchmark::DoNotOptimize(p.vertices());
+  }
+}
+BENCHMARK(BM_GeoCutSequence)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
+
+// ---- AA geometry at the fig14 operating points: the 2d rectangle-extent
+// LPs solved independently (seed path) vs through lp::FamilySolver, which
+// runs simplex phase 1 once per escalation rung and replays it per member.
+// This is the dominant per-round LP cost of AA at high d. ----
+void BM_GeoAaGeometry(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const bool shared = state.range(1) == 1;
+  const size_t kHalfspaces = 32;
+  Rng rng(200 + d);
+  Vec u = rng.SimplexUniform(d);
+  std::vector<LearnedHalfspace> h;
+  while (h.size() < kHalfspaces) {
+    Vec a(d), b(d);
+    for (size_t c = 0; c < d; ++c) {
+      a[c] = rng.Uniform(0.0, 1.0);
+      b[c] = rng.Uniform(0.0, 1.0);
+    }
+    const bool pref = Dot(u, a) >= Dot(u, b);
+    LearnedHalfspace lh;
+    lh.h = PreferenceHalfspace(pref ? a : b, pref ? b : a);
+    h.push_back(lh);
+  }
+  for (auto _ : state) {
+    AaGeometry geo = ComputeAaGeometry(d, h, /*max_lp_iterations=*/0,
+                                       /*share_rectangle_lps=*/shared);
+    benchmark::DoNotOptimize(geo);
+  }
+}
+BENCHMARK(BM_GeoAaGeometry)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({15, 0})
+    ->Args({15, 1})
+    ->Args({20, 0})
+    ->Args({20, 1});
+
+// ---- Extreme-point sweep: per-query cold LPs (fresh model each time) vs
+// the shared patched model chaining optimal bases between queries. ----
+void BM_GeoExtremeSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool warm = state.range(1) == 1;
+  const size_t d = 6;
+  Rng rng(300 + n);
+  std::vector<Vec> pts;
+  for (size_t i = 0; i < n; ++i) {
+    Vec p(d);
+    for (size_t c = 0; c < d; ++c) p[c] = rng.Uniform(0.0, 1.0);
+    pts.push_back(p);
+  }
+  for (auto _ : state) {
+    if (warm) {
+      benchmark::DoNotOptimize(ExtremePointIndices(pts));
+    } else {
+      std::vector<size_t> extreme;
+      for (size_t i = 0; i < n; ++i) {
+        if (IsExtremePoint(pts, i)) extreme.push_back(i);
+      }
+      benchmark::DoNotOptimize(extreme);
+    }
+  }
+}
+BENCHMARK(BM_GeoExtremeSweep)
+    ->Args({24, 0})
+    ->Args({24, 1})
+    ->Args({48, 0})
+    ->Args({48, 1});
+
+}  // namespace
+}  // namespace isrl
+
+// The system libbenchmark is compiled without NDEBUG and self-reports
+// "debug" in the JSON context regardless of how isrl was built. Record the
+// build type of the code under test so tools/bench_to_json.py can tell a
+// debug-library warning from a debug-measurement problem.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("isrl_build_type", "release");
+#else
+  benchmark::AddCustomContext("isrl_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -713,4 +713,19 @@ BENCHMARK(BM_SimplexVolume);
 }  // namespace
 }  // namespace isrl
 
-BENCHMARK_MAIN();
+// The system libbenchmark is compiled without NDEBUG and self-reports
+// "debug" in the JSON context regardless of how isrl was built. Record the
+// build type of the code under test so tools/bench_to_json.py can tell a
+// debug-library warning from a debug-measurement problem.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("isrl_build_type", "release");
+#else
+  benchmark::AddCustomContext("isrl_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,7 @@ const char* CheckerName(Checker c) {
     case Checker::kNnFinite: return "nn_finite";
     case Checker::kReplayTree: return "replay_tree";
     case Checker::kAaGeometry: return "aa_geometry";
+    case Checker::kPolyhedronAdjacency: return "polyhedron_adjacency";
   }
   return "unknown";
 }

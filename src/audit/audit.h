@@ -43,8 +43,9 @@ enum class Checker {
   kNnFinite,        ///< network weights / gradients / target sync
   kReplayTree,      ///< PER segment tree sum/min vs. leaf priorities
   kAaGeometry,      ///< AA inner ball / outer rectangle consistency
+  kPolyhedronAdjacency,  ///< vertex–facet adjacency + incremental-vs-seed
 };
-inline constexpr size_t kNumCheckers = 6;
+inline constexpr size_t kNumCheckers = 7;
 
 /// Stable lower-case name of a checker ("lp_tableau", ...).
 [[nodiscard]] const char* CheckerName(Checker c);

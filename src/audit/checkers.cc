@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "common/strings.h"
 
@@ -97,6 +98,45 @@ std::vector<std::string> CheckSimplexTableau(const TableauView& view) {
   return problems;
 }
 
+std::vector<std::string> CheckWarmStartBasis(const std::vector<size_t>& basis,
+                                             size_t num_rows, size_t num_cols,
+                                             size_t first_artificial) {
+  std::vector<std::string> problems;
+  if (first_artificial > num_cols) {
+    problems.push_back(Format("first_artificial %zu > num_cols %zu "
+                              "(incoherent shape fingerprint)",
+                              first_artificial, num_cols));
+  }
+  if (basis.size() != num_rows) {
+    problems.push_back(Format("basis holds %zu columns for %zu rows",
+                              basis.size(), num_rows));
+    return problems;
+  }
+  std::map<size_t, size_t> first_seen;
+  for (size_t r = 0; r < basis.size(); ++r) {
+    const size_t col = basis[r];
+    if (col >= num_cols) {
+      problems.push_back(Format("basis[%zu] = %zu out of range (num_cols "
+                                "%zu)",
+                                r, col, num_cols));
+      continue;
+    }
+    if (col >= first_artificial) {
+      problems.push_back(Format("basis[%zu] = %zu is an artificial column "
+                                "(first_artificial %zu) — optimal bases "
+                                "never export those",
+                                r, col, first_artificial));
+    }
+    auto [it, inserted] = first_seen.emplace(col, r);
+    if (!inserted) {
+      problems.push_back(Format("basis column %zu repeated in rows %zu and "
+                                "%zu",
+                                col, it->second, r));
+    }
+  }
+  return problems;
+}
+
 std::vector<std::string> CheckPolyhedronVertices(
     size_t dim, const std::vector<Halfspace>& cuts,
     const std::vector<Vec>& vertices, double tol) {
@@ -134,6 +174,100 @@ std::vector<std::string> CheckPolyhedronVertices(
                                   "%.17g < -%g",
                                   i, k, margin, tol * scale));
       }
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> CheckPolyhedronAdjacency(
+    size_t dim, const std::vector<Halfspace>& cuts,
+    const std::vector<Vec>& vertices,
+    const std::vector<std::vector<uint32_t>>& facets, double tight_tol) {
+  std::vector<std::string> problems;
+  if (facets.size() != vertices.size()) {
+    problems.push_back(Format("facet-set count %zu != vertex count %zu",
+                              facets.size(), vertices.size()));
+    return problems;
+  }
+  const size_t num_ineq = dim + cuts.size();
+  for (size_t i = 0; i < facets.size(); ++i) {
+    const std::vector<uint32_t>& fs = facets[i];
+    if (fs.size() != dim - 1) {
+      problems.push_back(Format("vertex %zu has %zu incident facets, "
+                                "expected %zu",
+                                i, fs.size(), dim - 1));
+      continue;
+    }
+    bool in_range = true;
+    for (size_t f = 0; f < fs.size(); ++f) {
+      if (fs[f] >= num_ineq) {
+        problems.push_back(Format("vertex %zu facet %zu = %u out of range "
+                                  "(%zu constraints)",
+                                  i, f, fs[f], num_ineq));
+        in_range = false;
+      }
+      if (f > 0 && fs[f] <= fs[f - 1]) {
+        problems.push_back(Format("vertex %zu facet set not strictly "
+                                  "ascending at position %zu",
+                                  i, f));
+        in_range = false;
+      }
+    }
+    if (!in_range || vertices[i].dim() != dim) continue;
+    for (const uint32_t idx : fs) {
+      double margin;
+      double scale;
+      if (idx < dim) {
+        margin = vertices[i][idx];
+        scale = 1.0;
+      } else {
+        const Halfspace& h = cuts[idx - dim];
+        margin = h.Margin(vertices[i]);
+        scale = std::max(1.0, h.normal.Norm());
+      }
+      if (std::abs(margin) > tight_tol * scale) {
+        problems.push_back(Format("vertex %zu claims constraint %u tight "
+                                  "but margin = %.17g",
+                                  i, idx, margin));
+      }
+    }
+  }
+  if (!problems.empty()) return problems;
+  // Pairwise-distinct facet sets, and edge completeness: every (d−2)-subset
+  // reached by dropping one facet must be shared by exactly two vertices
+  // (each bounded-polytope edge has two endpoints).
+  std::map<std::vector<uint32_t>, size_t> seen;
+  for (size_t i = 0; i < facets.size(); ++i) {
+    auto [it, inserted] = seen.emplace(facets[i], i);
+    if (!inserted) {
+      problems.push_back(Format("vertices %zu and %zu share the same facet "
+                                "set",
+                                it->second, i));
+    }
+  }
+  if (!problems.empty()) return problems;
+  std::map<std::vector<uint32_t>, size_t> edge_count;
+  std::vector<uint32_t> key;
+  for (const std::vector<uint32_t>& fs : facets) {
+    for (size_t drop = 0; drop < fs.size(); ++drop) {
+      key.clear();
+      for (size_t f = 0; f < fs.size(); ++f) {
+        if (f != drop) key.push_back(fs[f]);
+      }
+      ++edge_count[key];
+    }
+  }
+  for (const auto& [edge, count] : edge_count) {
+    if (count != 2) {
+      std::string named = "{";
+      for (size_t f = 0; f < edge.size(); ++f) {
+        if (f > 0) named += ",";
+        named += std::to_string(edge[f]);
+      }
+      named += "}";
+      problems.push_back(Format("edge %s has %zu incident vertices, "
+                                "expected 2",
+                                named.c_str(), count));
     }
   }
   return problems;

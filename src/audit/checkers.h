@@ -51,6 +51,17 @@ struct TableauView {
 [[nodiscard]] std::vector<std::string> CheckSimplexTableau(
     const TableauView& view);
 
+/// Internal consistency of a warm-start basis (lp::WarmStart, passed as raw
+/// fields so this header stays solver-independent): `basis` must hold exactly
+/// `num_rows` pairwise-distinct structural/slack column indices — each
+/// < `first_artificial` ≤ `num_cols` — and the fingerprint itself must be
+/// coherent (first_artificial ≤ num_cols). A *stale* basis (right shape,
+/// wrong model) is not detectable here and is a legitimate cold-fallback at
+/// the solver; a basis that fails these checks was corrupted after export.
+[[nodiscard]] std::vector<std::string> CheckWarmStartBasis(
+    const std::vector<size_t>& basis, size_t num_rows, size_t num_cols,
+    size_t first_artificial);
+
 // ---------------------------------------------------------------------------
 // Geometry: polyhedron vertex set and enclosing balls.
 // ---------------------------------------------------------------------------
@@ -61,6 +72,19 @@ struct TableauView {
 [[nodiscard]] std::vector<std::string> CheckPolyhedronVertices(
     size_t dim, const std::vector<Halfspace>& cuts,
     const std::vector<Vec>& vertices, double tol);
+
+/// Vertex–facet adjacency consistency (DESIGN.md §17): `facets` must be
+/// parallel to `vertices`, each facet set must hold exactly d−1 sorted,
+/// distinct, in-range inequality-constraint indices (0..d−1 the
+/// non-negativity rows, d+j the j-th cut), pairwise-distinct across
+/// vertices, every listed constraint must be tight at its vertex within
+/// `tight_tol`·scale, and every edge (a facet set minus one entry) must be
+/// shared by exactly two vertices — a dangling edge means the enumeration
+/// lost a vertex.
+[[nodiscard]] std::vector<std::string> CheckPolyhedronAdjacency(
+    size_t dim, const std::vector<Halfspace>& cuts,
+    const std::vector<Vec>& vertices,
+    const std::vector<std::vector<uint32_t>>& facets, double tight_tol);
 
 /// Cut monotonicity: a cut intersects R with a half-space, so any monotone
 /// volume proxy (we use the vertex-set diameter) must not grow. `slack`

@@ -13,11 +13,20 @@ namespace {
 // The query point itself must be excluded from the combination, which the
 // naive formulation does by rebuilding an (n−1)-variable model per query —
 // Θ(n·d) constraint writes each time. Here the constraint matrix is built
-// once over all n columns; a query only zeroes the excluded point's column
-// (its λ becomes an inert variable whose all-zero column cannot affect
+// once over all n columns; a query only zeroes the excluded columns (their
+// λ become inert variables whose all-zero columns cannot affect
 // feasibility) and patches the d coordinate right-hand sides to the query
-// point. That is Θ(d) writes per query, plus Θ(d) to restore the previously
-// excluded column.
+// point.
+//
+// Every point bitwise-equal to the query is excluded along with it:
+// otherwise a duplicated hull vertex is "represented" by its own twin
+// (λ_twin = 1) and every copy reports non-extreme, silently deleting the
+// vertex from the hull.
+//
+// Successive queries reshape only coefficients, never the tableau shape, so
+// the sweep chains each feasible solve's optimal basis into the next query
+// via lp::SolveWithWarmStart — a stale basis degrades to a cold solve and
+// the verdict (feasible/infeasible) is unaffected (DESIGN.md §17).
 class ExtremenessLp {
  public:
   explicit ExtremenessLp(const std::vector<Vec>& points)
@@ -39,38 +48,52 @@ class ExtremenessLp {
   /// True iff points[index] is a vertex of conv(points).
   bool IsExtreme(size_t index) {
     ISRL_CHECK_LT(index, points_.size());
-    RestoreColumn();
-    ExcludeColumn(index);
-    lp::SolveResult result = lp::Solve(model_);
+    RestoreColumns();
+    ExcludeColumns(index);
+    lp::SolveResult result = lp::SolveWithWarmStart(model_, warm_);
+    if (result.ok()) warm_ = result.warm;
     return !result.ok();  // infeasible = not representable = extreme
   }
 
  private:
-  static constexpr size_t kNone = static_cast<size_t>(-1);
-
-  void ExcludeColumn(size_t index) {
-    model_.SetConstraintCoefficient(0, index, 0.0);
-    for (size_t coord = 0; coord < dim_; ++coord) {
-      model_.SetConstraintCoefficient(1 + coord, index, 0.0);
-      model_.SetConstraintRhs(1 + coord, points_[index][coord]);
+  static bool BitwiseEqual(const Vec& a, const Vec& b) {
+    if (a.dim() != b.dim()) return false;
+    for (size_t c = 0; c < a.dim(); ++c) {
+      if (a[c] != b[c]) return false;  // float-eq-ok: duplicate = same bits
     }
-    excluded_ = index;
+    return true;
   }
 
-  void RestoreColumn() {
-    if (excluded_ == kNone) return;
-    model_.SetConstraintCoefficient(0, excluded_, 1.0);
-    for (size_t coord = 0; coord < dim_; ++coord) {
-      model_.SetConstraintCoefficient(1 + coord, excluded_,
-                                      points_[excluded_][coord]);
+  void ExcludeColumns(size_t index) {
+    const Vec& q = points_[index];
+    for (size_t j = 0; j < points_.size(); ++j) {
+      if (j != index && !BitwiseEqual(points_[j], q)) continue;
+      model_.SetConstraintCoefficient(0, j, 0.0);
+      for (size_t coord = 0; coord < dim_; ++coord) {
+        model_.SetConstraintCoefficient(1 + coord, j, 0.0);
+      }
+      excluded_.push_back(j);
     }
-    excluded_ = kNone;
+    for (size_t coord = 0; coord < dim_; ++coord) {
+      model_.SetConstraintRhs(1 + coord, q[coord]);
+    }
+  }
+
+  void RestoreColumns() {
+    for (size_t j : excluded_) {
+      model_.SetConstraintCoefficient(0, j, 1.0);
+      for (size_t coord = 0; coord < dim_; ++coord) {
+        model_.SetConstraintCoefficient(1 + coord, j, points_[j][coord]);
+      }
+    }
+    excluded_.clear();
   }
 
   const std::vector<Vec>& points_;
   size_t dim_;
   lp::Model model_;
-  size_t excluded_ = kNone;
+  std::vector<size_t> excluded_;
+  lp::WarmStart warm_;
 };
 
 }  // namespace

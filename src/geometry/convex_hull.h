@@ -17,9 +17,14 @@ namespace isrl {
 
 /// True iff `points[index]` is a vertex (extreme point) of the convex hull of
 /// `points`, decided by LP feasibility of a convex-combination certificate.
+/// Bitwise-duplicate points are treated as one geometric point: every copy of
+/// a hull vertex answers true (the combination may not lean on a twin of the
+/// query), so duplicates cannot silently erase a vertex.
 bool IsExtremePoint(const std::vector<Vec>& points, size_t index);
 
-/// Indices of all extreme points of conv(points), in increasing order.
+/// Indices of all extreme points of conv(points), in increasing order. With
+/// bitwise duplicates, every copy of a hull vertex is reported — consistent
+/// with IsExtremePoint on each index.
 std::vector<size_t> ExtremePointIndices(const std::vector<Vec>& points);
 
 }  // namespace isrl

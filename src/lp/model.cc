@@ -26,4 +26,23 @@ void Model::SetConstraintRhs(size_t row, double value) {
   constraints_[row].rhs = value;
 }
 
+bool SameConstraintStructure(const Model& a, const Model& b) {
+  if (a.num_variables() != b.num_variables()) return false;
+  if (a.nonneg() != b.nonneg()) return false;
+  if (a.num_constraints() != b.num_constraints()) return false;
+  for (size_t r = 0; r < a.num_constraints(); ++r) {
+    const Constraint& ca = a.constraints()[r];
+    const Constraint& cb = b.constraints()[r];
+    if (ca.relation != cb.relation) return false;
+    // Bitwise comparison on purpose: family membership must guarantee an
+    // identical tableau, not an approximately equal one.
+    if (ca.rhs != cb.rhs) return false;  // float-eq-ok: bitwise family test
+    if (ca.coeffs.dim() != cb.coeffs.dim()) return false;
+    for (size_t c = 0; c < ca.coeffs.dim(); ++c) {
+      if (ca.coeffs[c] != cb.coeffs[c]) return false;  // float-eq-ok: bitwise
+    }
+  }
+  return true;
+}
+
 }  // namespace isrl::lp

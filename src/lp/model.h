@@ -65,6 +65,13 @@ class Model {
   std::vector<Constraint> constraints_;
 };
 
+/// True when `a` and `b` share bitwise-identical constraint structure:
+/// variable count, non-negativity flags, and every constraint's coefficients,
+/// relation and rhs. Objective and sense are deliberately ignored — this is
+/// the membership test for an LP *family* (see lp::FamilySolver): phase 1 of
+/// the simplex depends only on the structure compared here.
+[[nodiscard]] bool SameConstraintStructure(const Model& a, const Model& b);
+
 }  // namespace isrl::lp
 
 #endif  // ISRL_LP_MODEL_H_

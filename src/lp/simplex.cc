@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "audit/audit.h"
@@ -30,37 +32,52 @@ class Tableau {
   SolveResult Run() {
     SolveResult result;
     result.diagnostics.attempts = 1;
-    // ----- Phase 1: minimise the sum of artificials. -----
-    if (num_artificial_ > 0) {
-      result.diagnostics.phase = 1;
-      std::vector<double> phase1_cost(num_cols_, 0.0);
-      for (size_t j = first_artificial_; j < num_cols_; ++j) {
-        phase1_cost[j] = -1.0;  // maximise -(sum of artificials)
-      }
-      Status st = Optimize(phase1_cost, /*allow_artificial_entering=*/true);
-      FillPivotDiagnostics(&result.diagnostics);
-      if (!st.ok()) {
-        result.status = st;
-        return result;
-      }
-      double artificial_sum = 0.0;
-      for (size_t r = 0; r < num_rows_; ++r) {
-        if (basis_[r] >= first_artificial_) artificial_sum += rhs_[r];
-      }
-      if (artificial_sum > options_.feasibility_tol) {
-        result.status = Status::Infeasible("phase 1 optimum positive");
-        return result;
-      }
-      DriveOutArtificials();
-    }
+    if (num_artificial_ > 0 && !RunPhase1(&result)) return result;
+    RunPhase2(&result);
+    return result;
+  }
 
-    // ----- Phase 2: the real objective. -----
-    result.diagnostics.phase = 2;
-    Status st = Optimize(cost_, /*allow_artificial_entering=*/false);
-    FillPivotDiagnostics(&result.diagnostics);
+  // ----- Phase 1: minimise the sum of artificials. -----
+  // The phase-1 objective, the artificial-sum feasibility verdict and the
+  // drive-out pass never read `cost_`, so the end state of this phase is
+  // identical for every model that shares constraint structure — the fact
+  // FamilySolver exploits. Returns false (with result->status set) on
+  // failure; on success the tableau is primal feasible and artificial-free
+  // (up to neutralised redundant rows).
+  bool RunPhase1(SolveResult* result) {
+    result->diagnostics.phase = 1;
+    std::vector<double> phase1_cost(num_cols_, 0.0);
+    for (size_t j = first_artificial_; j < num_cols_; ++j) {
+      phase1_cost[j] = -1.0;  // maximise -(sum of artificials)
+    }
+    Status st = Optimize(phase1_cost, /*allow_artificial_entering=*/true);
+    FillPivotDiagnostics(&result->diagnostics);
     if (!st.ok()) {
-      result.status = st;
-      return result;
+      result->status = st;
+      return false;
+    }
+    double artificial_sum = 0.0;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] >= first_artificial_) artificial_sum += rhs_[r];
+    }
+    if (artificial_sum > options_.feasibility_tol) {
+      result->status = Status::Infeasible("phase 1 optimum positive");
+      return false;
+    }
+    DriveOutArtificials();
+    return true;
+  }
+
+  // ----- Phase 2: the real objective. -----
+  // Accumulates onto result->diagnostics (iterations +=), so a caller that
+  // replayed a cached phase-1 state seeds the phase-1 numbers first.
+  void RunPhase2(SolveResult* result) {
+    result->diagnostics.phase = 2;
+    Status st = Optimize(cost_, /*allow_artificial_entering=*/false);
+    FillPivotDiagnostics(&result->diagnostics);
+    if (!st.ok()) {
+      result->status = st;
+      return;
     }
 
     // Final-state audit: the optimal tableau the solution is read from.
@@ -68,10 +85,101 @@ class Tableau {
       AuditTableau(cost_, 2, "simplex.Run");
     }
 
-    result.status = Status::Ok();
-    result.objective = ObjectiveValue();
-    result.x = ExtractSolution();
+    result->status = Status::Ok();
+    result->objective = ObjectiveValue();
+    result->x = ExtractSolution();
+    result->warm.basis = basis_;
+    result->warm.num_rows = num_rows_;
+    result->warm.num_cols = num_cols_;
+    result->warm.first_artificial = first_artificial_;
+  }
+
+  // Re-factorises a previous optimal basis against this tableau: one crash
+  // pivot per basic column, each claiming the unclaimed row with the largest
+  // magnitude in that column. Returns false when the warm basis is unusable
+  // — stale shape fingerprint, corrupt content (artificials, duplicates,
+  // out-of-range), a numerically lost pivot, or a primal-infeasible basic
+  // solution. On false the tableau may be partially pivoted and must be
+  // discarded; the caller falls back to a cold solve. On true phase 1 can be
+  // skipped: the installed basis is feasible and artificial-free, which is
+  // its own certificate.
+  bool InstallWarmBasis(const WarmStart& warm) {
+    if (warm.num_rows != num_rows_ || warm.num_cols != num_cols_ ||
+        warm.first_artificial != first_artificial_ ||
+        warm.basis.size() != num_rows_) {
+      return false;
+    }
+    std::vector<char> seen(num_cols_, 0);
+    for (size_t col : warm.basis) {
+      if (col >= first_artificial_) return false;  // artificials never reused
+      if (seen[col] != 0) return false;
+      seen[col] = 1;
+    }
+    std::vector<char> claimed(num_rows_, 0);
+    for (size_t col : warm.basis) {
+      if (is_basic_[col] != 0) {
+        // Already basic (a slack from the initial basis): claim its row.
+        for (size_t r = 0; r < num_rows_; ++r) {
+          if (basis_[r] == col) {
+            if (claimed[r] != 0) return false;
+            claimed[r] = 1;
+            break;
+          }
+        }
+        continue;
+      }
+      size_t best_row = kNoCol;
+      double best_abs = options_.pivot_tol;
+      for (size_t r = 0; r < num_rows_; ++r) {
+        if (claimed[r] != 0) continue;
+        double a = std::abs(rows_[r][col]);
+        if (a > best_abs) {
+          best_abs = a;
+          best_row = r;
+        }
+      }
+      if (best_row == kNoCol) return false;  // singular under this basis
+      Pivot(best_row, col);
+      claimed[best_row] = 1;
+    }
+    // warm.basis covers every row (distinct, num_rows_ of them), so every
+    // row is claimed and no artificial remains basic. The basic solution
+    // must be primal feasible for the phase-1 skip to be sound.
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (rhs_[r] < -options_.feasibility_tol) return false;
+      if (rhs_[r] < 0.0) rhs_[r] = 0.0;  // round-off within tolerance
+    }
+    return true;
+  }
+
+  // Phase 2 from an installed warm basis (InstallWarmBasis must have
+  // returned true).
+  SolveResult RunWarm() {
+    SolveResult result;
+    result.diagnostics.attempts = 1;
+    RunPhase2(&result);
     return result;
+  }
+
+  size_t num_artificial() const { return num_artificial_; }
+
+  // Snapshot / replay of the mutable tableau state, used by FamilySolver to
+  // share one phase-1 run across a family of objectives. Everything else
+  // (column layout, cost rows) is rebuilt per member from its own model.
+  void SaveState(std::vector<std::vector<double>>* rows,
+                 std::vector<double>* rhs, std::vector<size_t>* basis) const {
+    *rows = rows_;
+    *rhs = rhs_;
+    *basis = basis_;
+  }
+  void RestoreState(const std::vector<std::vector<double>>& rows,
+                    const std::vector<double>& rhs,
+                    const std::vector<size_t>& basis) {
+    rows_ = rows;
+    rhs_ = rhs;
+    basis_ = basis;
+    is_basic_.assign(num_cols_, 0);
+    for (size_t b : basis_) is_basic_[b] = 1;
   }
 
   // Maps internal objective back to the model's sense and variable split.
@@ -174,6 +282,9 @@ class Tableau {
 
     cost_.assign(num_cols_, 0.0);
     for (size_t j = 0; j < num_struct_; ++j) cost_[j] = struct_cost_[j];
+
+    is_basic_.assign(num_cols_, 0);
+    for (size_t b : basis_) is_basic_[b] = 1;
   }
 
   void FillPivotDiagnostics(SolveDiagnostics* diag) const {
@@ -204,7 +315,7 @@ class Tableau {
       const size_t col_limit =
           allow_artificial_entering ? num_cols_ : first_artificial_;
       for (size_t j = 0; j < col_limit; ++j) {
-        if (IsBasic(j)) continue;
+        if (is_basic_[j] != 0) continue;
         double reduced = cost[j];
         for (size_t r = 0; r < num_rows_; ++r) {
           double cb = cost[basis_[r]];
@@ -270,13 +381,6 @@ class Tableau {
                             audit::CheckSimplexTableau(view));
   }
 
-  bool IsBasic(size_t col) const {
-    for (size_t r = 0; r < num_rows_; ++r) {
-      if (basis_[r] == col) return true;
-    }
-    return false;
-  }
-
   void Pivot(size_t pivot_row, size_t pivot_col) {
     std::vector<double>& prow = rows_[pivot_row];
     const double pivot = prow[pivot_col];
@@ -296,6 +400,8 @@ class Tableau {
       rhs_[r] -= factor * rhs_[pivot_row];
       if (rhs_[r] < 0.0 && rhs_[r] > -1e-11) rhs_[r] = 0.0;
     }
+    is_basic_[basis_[pivot_row]] = 0;
+    is_basic_[pivot_col] = 1;
     basis_[pivot_row] = pivot_col;
   }
 
@@ -307,7 +413,7 @@ class Tableau {
       if (basis_[r] < first_artificial_) continue;
       size_t col = kNoCol;
       for (size_t j = 0; j < first_artificial_; ++j) {
-        if (std::abs(rows_[r][j]) > options_.pivot_tol && !IsBasic(j)) {
+        if (std::abs(rows_[r][j]) > options_.pivot_tol && is_basic_[j] == 0) {
           col = j;
           break;
         }
@@ -364,6 +470,8 @@ class Tableau {
   std::vector<double> rhs_;
   std::vector<double> cost_;    // internal phase-2 costs over all columns
   std::vector<size_t> basis_;   // basic column per row
+  std::vector<char> is_basic_;  // column -> basic? (kept in sync with basis_;
+                                // O(1) pricing test instead of a row scan)
 
   size_t last_iterations_ = 0;  // iterations of the most recent Optimize()
   bool last_used_bland_ = false;
@@ -449,6 +557,190 @@ SolveResult SolveWithRecovery(const Model& model, const SimplexOptions& options,
         aggregate.injected_fault || result.diagnostics.injected_fault;
     // kInfeasible / kUnbounded are genuine answers; only numerical trouble
     // (kInternal: iteration cap, cycling) earns a retry.
+    if (result.status.code() != StatusCode::kInternal) break;
+  }
+  result.diagnostics = aggregate;
+  return result;
+}
+
+SolveResult SolveWithWarmStart(const Model& model, const WarmStart& warm,
+                               const SimplexOptions& options,
+                               const RetryOptions& retry) {
+  if (warm.empty() || model.num_variables() == 0) {
+    return SolveWithRecovery(model, options, retry);
+  }
+  if (audit::ShouldCheck(audit::Checker::kLpTableau)) {
+    // A stale-but-well-formed basis is a legitimate miss (we degrade to a
+    // cold solve); an internally inconsistent one means the caller's cached
+    // state was corrupted in flight — that is worth a report.
+    audit::Auditor().Record(
+        audit::Checker::kLpTableau, "simplex.WarmStart",
+        audit::CheckWarmStartBasis(warm.basis, warm.num_rows, warm.num_cols,
+                                   warm.first_artificial));
+  }
+  bool injected = false;
+  if (g_fault_hook) {
+    const size_t attempt = ++g_attempt_counter;
+    injected = !g_fault_hook(model, attempt).ok();
+  }
+  if (!injected) {
+    Tableau tableau(model, options);
+    tableau.SetModelMapping(model);
+    if (tableau.InstallWarmBasis(warm)) {
+      SolveResult result = tableau.RunWarm();
+      if (result.ok()) {
+        result.diagnostics.warm_started = true;
+        return result;
+      }
+      // A phase-2 failure from a warm basis (iteration cap, spurious
+      // unboundedness from escalated round-off) is not trusted: re-derive
+      // everything through the cold ladder below.
+    }
+  }
+  SolveResult cold = SolveWithRecovery(model, options, retry);
+  cold.diagnostics.warm_rejected = true;
+  cold.diagnostics.injected_fault =
+      cold.diagnostics.injected_fault || injected;
+  return cold;
+}
+
+// Per-rung cache for FamilySolver: the member-independent phase-1 outcome of
+// one escalation rung — either a failure status every member reports, or the
+// post-drive-out tableau state every member's phase 2 starts from.
+struct FamilySolver::State {
+  struct Rung {
+    bool ready = false;
+    Status ph1_status;  // Ok, or the shared phase-1 failure
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    std::vector<size_t> basis;
+    size_t iterations = 0;
+    bool used_bland = false;
+  };
+
+  SimplexOptions options;
+  RetryOptions retry;
+  bool have_family = false;
+  Model family;  // constraint-structure reference: the first model seen
+  std::vector<Rung> rungs;
+
+  static SolveResult SolveMember(const Model& model,
+                                 const SimplexOptions& options, Rung* rung);
+};
+
+// One member attempt at one rung. Mirrors Solve() exactly — fault hook,
+// empty-model check, fresh tableau — except that phase 1 is replayed from
+// the rung cache when available (and cached when not). Phase-1 pivots never
+// read the objective, so the replayed state is bit-identical to what this
+// member's own phase 1 would have produced.
+SolveResult FamilySolver::State::SolveMember(const Model& model,
+                                             const SimplexOptions& options,
+                                             Rung* rung) {
+  if (g_fault_hook) {
+    const size_t attempt = ++g_attempt_counter;
+    Status injected = g_fault_hook(model, attempt);
+    if (!injected.ok()) {
+      SolveResult r;
+      r.status = std::move(injected);
+      r.diagnostics.attempts = 1;
+      r.diagnostics.injected_fault = true;
+      return r;
+    }
+  }
+  if (model.num_variables() == 0) {
+    SolveResult r;
+    r.status = Status::InvalidArgument("model has no variables");
+    r.diagnostics.attempts = 1;
+    return r;
+  }
+  Tableau tableau(model, options);
+  tableau.SetModelMapping(model);
+  if (tableau.num_artificial() == 0) return tableau.Run();
+
+  if (!rung->ready) {
+    SolveResult result;
+    result.diagnostics.attempts = 1;
+    const bool ph1_ok = tableau.RunPhase1(&result);
+    rung->ready = true;
+    rung->ph1_status = ph1_ok ? Status::Ok() : result.status;
+    rung->iterations = result.diagnostics.iterations;
+    rung->used_bland = result.diagnostics.used_bland;
+    if (!ph1_ok) return result;
+    tableau.SaveState(&rung->rows, &rung->rhs, &rung->basis);
+    tableau.RunPhase2(&result);
+    return result;
+  }
+
+  SolveResult result;
+  result.diagnostics.attempts = 1;
+  result.diagnostics.phase = 1;
+  result.diagnostics.iterations = rung->iterations;
+  result.diagnostics.used_bland = rung->used_bland;
+  if (!rung->ph1_status.ok()) {
+    result.status = rung->ph1_status;
+    return result;
+  }
+  tableau.RestoreState(rung->rows, rung->rhs, rung->basis);
+  tableau.RunPhase2(&result);
+  return result;
+}
+
+FamilySolver::FamilySolver(const SimplexOptions& options,
+                           const RetryOptions& retry)
+    : state_(std::make_unique<State>()) {
+  state_->options = options;
+  state_->retry = retry;
+}
+
+FamilySolver::~FamilySolver() = default;
+
+SolveResult FamilySolver::Solve(const Model& model) {
+  State& st = *state_;
+  if (!st.have_family) {
+    st.family = model;
+    st.have_family = true;
+  } else if (!SameConstraintStructure(model, st.family)) {
+    // Not a member of the family after all: solve it cold. Same answer,
+    // just without the shared-phase-1 saving.
+    return SolveWithRecovery(model, st.options, st.retry);
+  }
+
+  // The escalation ladder below must stay rung-for-rung identical to
+  // SolveWithRecovery()'s: each member's result is contractually bit-equal
+  // to what its own cold recovery solve would return.
+  SolveDiagnostics aggregate;
+  SolveResult result;
+  const size_t attempts = std::max<size_t>(1, st.retry.max_attempts);
+  if (st.rungs.size() < attempts) st.rungs.resize(attempts);
+  for (size_t attempt = 1; attempt <= attempts; ++attempt) {
+    SimplexOptions attempt_options = st.options;
+    const Model* attempt_model = &model;
+    Model perturbed;
+    if (attempt > 1) {
+      double factor = 1.0;
+      for (size_t k = 1; k < attempt; ++k) factor *= st.retry.tol_escalation;
+      attempt_options.bland_after = 0;
+      attempt_options.feasibility_tol = st.options.feasibility_tol * factor;
+      attempt_options.pivot_tol = st.options.pivot_tol * factor;
+      aggregate.escalated = true;
+      if (attempt == attempts && st.retry.perturbation > 0.0) {
+        // PerturbModel's rhs deltas depend only on the (shared) constraints,
+        // so the perturbed members form a family again and the rung cache
+        // stays valid for them.
+        perturbed = PerturbModel(model, st.retry.perturbation);
+        attempt_model = &perturbed;
+        aggregate.perturbed = true;
+      }
+    }
+    result = State::SolveMember(*attempt_model, attempt_options,
+                                &st.rungs[attempt - 1]);
+    aggregate.attempts += result.diagnostics.attempts;
+    aggregate.iterations = result.diagnostics.iterations;
+    aggregate.phase = result.diagnostics.phase;
+    aggregate.used_bland =
+        aggregate.used_bland || result.diagnostics.used_bland;
+    aggregate.injected_fault =
+        aggregate.injected_fault || result.diagnostics.injected_fault;
     if (result.status.code() != StatusCode::kInternal) break;
   }
   result.diagnostics = aggregate;

@@ -11,6 +11,7 @@
 #define ISRL_LP_SIMPLEX_H_
 
 #include <functional>
+#include <memory>
 
 #include "common/status.h"
 #include "common/vec.h"
@@ -38,6 +39,22 @@ struct SolveDiagnostics {
   bool escalated = false;   ///< a retry ran with escalated tolerances
   bool perturbed = false;   ///< a retry ran on a perturbed model
   bool injected_fault = false;  ///< a test hook forced at least one failure
+  bool warm_started = false;    ///< solved from an installed warm basis
+  bool warm_rejected = false;   ///< a warm basis was offered but unusable
+};
+
+/// An optimal basis exported by a successful solve, reusable as the starting
+/// point of the next solve over a same-shaped tableau (same constraint count,
+/// same column layout). SolveWithWarmStart() validates the fingerprint and the
+/// basis content before trusting it; anything stale or corrupt degrades to a
+/// cold solve, never to a wrong answer (see DESIGN.md §17).
+struct WarmStart {
+  std::vector<size_t> basis;  ///< basic column per tableau row, in row order
+  size_t num_rows = 0;        ///< tableau shape fingerprint: row count,
+  size_t num_cols = 0;        ///< column count (after the x = x⁺ − x⁻ split),
+  size_t first_artificial = 0;  ///< and where the artificial columns begin.
+
+  [[nodiscard]] bool empty() const { return basis.empty(); }
 };
 
 /// Outcome of Solve(). On kOk, `objective` and `x` hold the optimum; on
@@ -48,6 +65,7 @@ struct [[nodiscard]] SolveResult {
   double objective = 0.0;
   Vec x;  ///< Values of the model's variables (original indexing).
   SolveDiagnostics diagnostics;
+  WarmStart warm;  ///< On kOk: the optimal basis, for chaining solves.
 
   [[nodiscard]] bool ok() const { return status.ok(); }
 };
@@ -73,6 +91,51 @@ struct RetryOptions {
 [[nodiscard]] SolveResult SolveWithRecovery(const Model& model,
                                             const SimplexOptions& options = {},
                                             const RetryOptions& retry = {});
+
+/// SolveWithRecovery() that first attempts to resume from `warm`, the optimal
+/// basis of a previous same-shaped solve. The warm attempt re-factorises the
+/// basis against the new tableau (a crash install: one pivot per basic
+/// column) and skips phase 1 entirely when the installed basis is primal
+/// feasible. Any mismatch — stale shape fingerprint, corrupt basis content,
+/// lost pivot, infeasible basic solution, or a phase-2 failure — falls back
+/// to the full cold retry ladder, so the result is exactly as trustworthy as
+/// SolveWithRecovery()'s: a feasible warm basis is its own certificate, and
+/// everything else is re-derived from scratch. Diagnostics report
+/// warm_started / warm_rejected accordingly.
+[[nodiscard]] SolveResult SolveWithWarmStart(const Model& model,
+                                             const WarmStart& warm,
+                                             const SimplexOptions& options = {},
+                                             const RetryOptions& retry = {});
+
+/// Shared-phase-1 solver for a *family* of LPs that differ only in objective
+/// (sense, costs) over bitwise-identical constraints and variable domains —
+/// AA's 2d rectangle extent LPs are the motivating case. Phase 1 of the
+/// two-phase simplex never reads the objective, so its end state (tableau
+/// rows, rhs, basis) is member-independent: FamilySolver runs it once per
+/// retry-ladder rung and replays the cached state for every member, then runs
+/// phase 2 with the member's own cost row. The per-member pivot sequence —
+/// and therefore the returned objective and x, bit for bit — is identical to
+/// what that member's own SolveWithRecovery() would produce; only the
+/// repeated phase-1 work is elided. Members whose constraint structure does
+/// not match the first model seen are detected and solved cold. Not
+/// thread-safe; use one instance per call site.
+class FamilySolver {
+ public:
+  explicit FamilySolver(const SimplexOptions& options = {},
+                        const RetryOptions& retry = {});
+  ~FamilySolver();
+
+  FamilySolver(const FamilySolver&) = delete;
+  FamilySolver& operator=(const FamilySolver&) = delete;
+
+  /// Solves one member. Bit-identical to SolveWithRecovery(model, options,
+  /// retry) for every member whose constraints match the family's.
+  [[nodiscard]] SolveResult Solve(const Model& model);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
 
 /// Test-only fault injection: when set, the hook runs before every solve
 /// attempt (attempt is 1-based and global across Solve*/ calls) and a non-OK

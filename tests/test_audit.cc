@@ -2,8 +2,12 @@
 // the auditor's sampling/recording machinery, each checker against a clean
 // structure and against seeded corruptions, and an end-to-end interaction
 // run under ISRL_AUDIT=1 that must come back violation-free.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +26,7 @@
 #include "data/synthetic.h"
 #include "geometry/enclosing_ball.h"
 #include "geometry/halfspace.h"
+#include "geometry/polyhedron.h"
 #include "nn/network.h"
 #include "rl/prioritized_replay.h"
 #include "user/sampler.h"
@@ -288,6 +293,133 @@ TEST(CheckCutMonotonicityTest, GrowthCaughtShrinkPasses) {
   auto problems = CheckCutMonotonicity(1.0, 1.1, 1e-7);
   ASSERT_FALSE(problems.empty());
   EXPECT_NE(problems[0].find("grew"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Checker: polyhedron vertex–facet adjacency (DESIGN.md §17).
+// ---------------------------------------------------------------------------
+
+// A real incrementally-maintained polyhedron: the unit simplex in R³ after
+// one generic preference cut, with adjacency tracked. The corruption tests
+// below copy its (cuts, vertices, facets) triple and break one invariant.
+class CheckAdjacencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    poly_ = std::make_unique<Polyhedron>(Polyhedron::UnitSimplex(3));
+    poly_->Cut(PreferenceHalfspace(Vec{0.8, 0.3, 0.1}, Vec{0.2, 0.5, 0.6}));
+    ASSERT_TRUE(poly_->adjacency_valid());
+    cuts_ = poly_->cuts();
+    vertices_ = poly_->vertices();
+    facets_ = poly_->vertex_facets();
+  }
+
+  std::vector<std::string> Check() const {
+    return CheckPolyhedronAdjacency(3, cuts_, vertices_, facets_, 1e-7);
+  }
+
+  std::unique_ptr<Polyhedron> poly_;
+  std::vector<Halfspace> cuts_;
+  std::vector<Vec> vertices_;
+  std::vector<std::vector<uint32_t>> facets_;
+};
+
+TEST_F(CheckAdjacencyTest, LiveAdjacencyPasses) {
+  EXPECT_TRUE(Check().empty());
+}
+
+TEST_F(CheckAdjacencyTest, SizeMismatchCaught) {
+  facets_.pop_back();
+  auto problems = Check();
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST_F(CheckAdjacencyTest, WrongFacetCountCaught) {
+  facets_[0].push_back(1);  // d−1 = 2 expected, now 3
+  EXPECT_FALSE(Check().empty());
+}
+
+TEST_F(CheckAdjacencyTest, OutOfRangeFacetCaught) {
+  // Constraint indices run over d nonnegativity rows + cuts.size() cuts.
+  facets_[0].back() = static_cast<uint32_t>(3 + cuts_.size());
+  EXPECT_FALSE(Check().empty());
+}
+
+TEST_F(CheckAdjacencyTest, UnsortedFacetSetCaught) {
+  ASSERT_GE(facets_[0].size(), 2u);
+  std::swap(facets_[0][0], facets_[0][1]);
+  EXPECT_FALSE(Check().empty());
+}
+
+TEST_F(CheckAdjacencyTest, NonTightFacetCaught) {
+  // Claim vertex 0 is tight on a constraint it is strictly slack on: its
+  // true facet sets stay distinct from vertex 1's, but the margin check
+  // must fire. Find a constraint not in vertex 0's set with nonzero margin.
+  const std::vector<uint32_t>& f0 = facets_[0];
+  for (uint32_t idx = 0; idx < static_cast<uint32_t>(3 + cuts_.size());
+       ++idx) {
+    if (std::find(f0.begin(), f0.end(), idx) != f0.end()) continue;
+    double margin = idx < 3 ? vertices_[0][idx]
+                            : cuts_[idx - 3].Margin(vertices_[0]);
+    if (std::abs(margin) > 1e-3) {
+      facets_[0] = {std::min(idx, f0[0]), std::max(idx, f0[0])};
+      auto problems = Check();
+      ASSERT_FALSE(problems.empty());
+      return;
+    }
+  }
+  FAIL() << "no strictly-slack constraint found to corrupt with";
+}
+
+TEST_F(CheckAdjacencyTest, DuplicateFacetSetsCaught) {
+  facets_[1] = facets_[0];
+  EXPECT_FALSE(Check().empty());
+}
+
+TEST_F(CheckAdjacencyTest, DanglingEdgeCaught) {
+  // Dropping a vertex (and its facet set) leaves each of its edges with a
+  // single endpoint — the completeness certificate that catches a lost
+  // vertex must fire.
+  vertices_.pop_back();
+  facets_.pop_back();
+  auto problems = Check();
+  ASSERT_FALSE(problems.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Checker: warm-start basis consistency.
+// ---------------------------------------------------------------------------
+
+TEST(CheckWarmStartBasisTest, WellFormedBasisPasses) {
+  // 3 rows over 8 columns, artificials from column 6.
+  EXPECT_TRUE(CheckWarmStartBasis({0, 4, 5}, 3, 8, 6).empty());
+}
+
+TEST(CheckWarmStartBasisTest, RowCountMismatchCaught) {
+  auto problems = CheckWarmStartBasis({0, 4}, 3, 8, 6);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("rows"), std::string::npos);
+}
+
+TEST(CheckWarmStartBasisTest, OutOfRangeColumnCaught) {
+  EXPECT_FALSE(CheckWarmStartBasis({0, 4, 9}, 3, 8, 6).empty());
+}
+
+TEST(CheckWarmStartBasisTest, ArtificialColumnCaught) {
+  auto problems = CheckWarmStartBasis({0, 4, 6}, 3, 8, 6);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("artificial"), std::string::npos);
+}
+
+TEST(CheckWarmStartBasisTest, DuplicateColumnCaught) {
+  auto problems = CheckWarmStartBasis({4, 0, 4}, 3, 8, 6);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("repeated"), std::string::npos);
+}
+
+TEST(CheckWarmStartBasisTest, IncoherentFingerprintCaught) {
+  // first_artificial beyond num_cols is a corrupt fingerprint even when the
+  // basis entries themselves look fine.
+  EXPECT_FALSE(CheckWarmStartBasis({0, 1, 2}, 3, 4, 9).empty());
 }
 
 // ---------------------------------------------------------------------------

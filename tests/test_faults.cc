@@ -292,6 +292,105 @@ TEST(FaultToleranceTest, AbortsGracefullyWhenLpNeverRecovers) {
   ASSERT_LT(r.best_index, sky.size());
 }
 
+TEST(FaultToleranceTest, WarmStartFaultDegradesToColdBitIdentical) {
+  // The warm-start attempt is one more fault-injection point: when the hook
+  // kills it, SolveWithWarmStart must fall through to the cold retry ladder
+  // and return exactly what a cold solve returns (DESIGN.md §17).
+  lp::Model m;
+  for (size_t i = 0; i < 4; ++i) m.AddVariable(i == 0 ? 1.0 : 0.0);
+  m.AddConstraint(Vec(4, 1.0), lp::Relation::kEq, 1.0);
+  m.AddConstraint(Vec{0.4, -0.2, 0.3, -0.1}, lp::Relation::kGe, 0.0);
+  m.AddConstraint(Vec{-0.1, 0.5, -0.3, 0.2}, lp::Relation::kGe, 0.0);
+
+  lp::SolveResult cold = lp::SolveWithRecovery(m);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_FALSE(cold.warm.empty());
+
+  // Hook fails exactly the warm attempt; the cold fallback then runs clean.
+  lp::FailingLpHook hook(1);
+  lp::SolveResult r = lp::SolveWithWarmStart(m, cold.warm);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(hook.failures_injected(), 1u);
+  EXPECT_FALSE(r.diagnostics.warm_started);
+  EXPECT_TRUE(r.diagnostics.warm_rejected);
+  EXPECT_TRUE(r.diagnostics.injected_fault);
+  EXPECT_EQ(r.objective, cold.objective);
+  ASSERT_EQ(r.x.dim(), cold.x.dim());
+  for (size_t c = 0; c < r.x.dim(); ++c) EXPECT_EQ(r.x[c], cold.x[c]);
+}
+
+TEST(FaultToleranceTest, StaleAndCorruptWarmBasesDegradeUnderFaults) {
+  // Corrupt warm state (duplicated basis column, wrong shape) must never
+  // change an answer — only cost the warm shortcut. Verified with the fault
+  // hook armed so the injection path and the corruption path compose.
+  lp::Model m;
+  for (size_t i = 0; i < 3; ++i) m.AddVariable(i == 1 ? 1.0 : 0.0);
+  m.SetSense(lp::Sense::kMinimize);
+  m.AddConstraint(Vec(3, 1.0), lp::Relation::kEq, 1.0);
+  m.AddConstraint(Vec{0.2, 0.1, -0.3}, lp::Relation::kGe, 0.0);
+
+  lp::SolveResult cold = lp::SolveWithRecovery(m);
+  ASSERT_TRUE(cold.ok());
+
+  lp::WarmStart corrupt = cold.warm;
+  ASSERT_GE(corrupt.basis.size(), 2u);
+  corrupt.basis[0] = corrupt.basis[1];
+  lp::WarmStart stale = cold.warm;
+  stale.num_cols += 3;
+
+  for (const lp::WarmStart& bad : {corrupt, stale}) {
+    lp::FailingLpHook hook(0);  // armed but passing: counts attempts
+    lp::SolveResult r = lp::SolveWithWarmStart(m, bad);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.diagnostics.warm_started);
+    EXPECT_TRUE(r.diagnostics.warm_rejected);
+    EXPECT_EQ(r.objective, cold.objective);
+    for (size_t c = 0; c < r.x.dim(); ++c) EXPECT_EQ(r.x[c], cold.x[c]);
+  }
+}
+
+TEST(FaultToleranceTest, FamilySolverRetriesThroughInjectedFailures) {
+  // A family member whose first attempt is killed by the hook must climb the
+  // same escalation ladder as SolveWithRecovery and still land on a correct
+  // optimum; later members keep using the rung caches.
+  lp::SimplexOptions options;
+  lp::RetryOptions retry;
+  lp::FamilySolver family(options, retry);
+  std::vector<Vec> normals{Vec{0.3, -0.2, 0.1}, Vec{-0.1, 0.4, -0.2}};
+  auto member = [&](size_t coord, bool maximize) {
+    lp::Model m;
+    for (size_t i = 0; i < 3; ++i) m.AddVariable(i == coord ? 1.0 : 0.0);
+    m.SetSense(maximize ? lp::Sense::kMaximize : lp::Sense::kMinimize);
+    m.AddConstraint(Vec(3, 1.0), lp::Relation::kEq, 1.0);
+    for (const Vec& n : normals) m.AddConstraint(n, lp::Relation::kGe, 0.0);
+    return m;
+  };
+
+  lp::SolveResult reference = lp::SolveWithRecovery(member(0, true));
+  ASSERT_TRUE(reference.ok());
+
+  lp::FailingLpHook hook(1);
+  lp::SolveResult faulted = family.Solve(member(0, true));
+  ASSERT_TRUE(faulted.ok()) << faulted.status.ToString();
+  EXPECT_TRUE(faulted.diagnostics.injected_fault);
+  EXPECT_EQ(faulted.diagnostics.attempts, 2u);
+  // The rescue rung runs with Bland-from-start pricing, so only the optimum
+  // value (unique here) is comparable, not the pivot path.
+  EXPECT_NEAR(faulted.objective, reference.objective, 1e-9);
+
+  // Subsequent members pass the (now exhausted) hook and solve normally,
+  // bit-identical to their own cold solves.
+  for (size_t coord = 1; coord < 3; ++coord) {
+    lp::SolveResult shared = family.Solve(member(coord, false));
+    lp::SolveResult cold = lp::SolveWithRecovery(member(coord, false));
+    ASSERT_TRUE(shared.ok());
+    EXPECT_EQ(shared.objective, cold.objective);
+    for (size_t c = 0; c < shared.x.dim(); ++c) {
+      EXPECT_EQ(shared.x[c], cold.x[c]);
+    }
+  }
+}
+
 TEST(FaultToleranceTest, ConflictingGeometryDropsTheMostRecentAnswers) {
   // EA/AA only ask questions that split the current feasible region, so a
   // flipped answer yields a wrong-but-consistent cut — natural noise almost

@@ -200,6 +200,147 @@ TEST_P(PolyhedronCutProperty, VerticesConsistentUnderRandomCuts) {
 INSTANTIATE_TEST_SUITE_P(Dims, PolyhedronCutProperty,
                          ::testing::Values(2, 3, 4, 5));
 
+// ---------- Incremental adjacency maintenance (DESIGN.md §17) ----------
+
+Polyhedron RebuildSimplex(size_t d) {
+  Polyhedron::Options opts;
+  opts.incremental = false;
+  return Polyhedron::UnitSimplex(d, opts);
+}
+
+void ExpectBitIdentical(const Polyhedron& a, const Polyhedron& b) {
+  ASSERT_EQ(a.vertices().size(), b.vertices().size());
+  for (size_t i = 0; i < a.vertices().size(); ++i) {
+    for (size_t c = 0; c < a.dim(); ++c) {
+      ASSERT_EQ(a.vertices()[i][c], b.vertices()[i][c])
+          << "vertex " << i << " coord " << c;
+    }
+  }
+  ASSERT_EQ(a.cuts().size(), b.cuts().size());
+  for (size_t j = 0; j < a.cuts().size(); ++j) {
+    ASSERT_EQ(a.cuts()[j].offset, b.cuts()[j].offset);
+    for (size_t c = 0; c < a.dim(); ++c) {
+      ASSERT_EQ(a.cuts()[j].normal[c], b.cuts()[j].normal[c]);
+    }
+  }
+}
+
+// Preference cut between two hypercube-uniform items — the production EA
+// geometry (src/data/synthetic.cc draws item coordinates from U[0,1], so cut
+// normals have no common zero and the arrangement is generic).
+Halfspace RandomItemCut(Rng& rng, size_t d) {
+  Vec a(d), b(d);
+  for (size_t c = 0; c < d; ++c) {
+    a[c] = rng.Uniform(0.0, 1.0);
+    b[c] = rng.Uniform(0.0, 1.0);
+  }
+  return PreferenceHalfspace(a, b);
+}
+
+class PolyhedronIncrementalProperty : public ::testing::TestWithParam<size_t> {
+};
+
+// The contract of the incremental path: the vertex sequence after every cut
+// is bit-identical to the seed full re-enumeration, in value AND order.
+TEST_P(PolyhedronIncrementalProperty, BitIdenticalToRebuildUnderRandomCuts) {
+  const size_t d = GetParam();
+  Rng rng(90 + d);
+  Polyhedron incremental = Polyhedron::UnitSimplex(d);
+  Polyhedron rebuild = RebuildSimplex(d);
+  EXPECT_TRUE(incremental.adjacency_valid());
+  EXPECT_FALSE(rebuild.adjacency_valid());
+  for (int round = 0; round < 12; ++round) {
+    Halfspace h = RandomItemCut(rng, d);
+    const bool ok_inc = incremental.TryCut(h);
+    const bool ok_ref = rebuild.TryCut(h);
+    ASSERT_EQ(ok_inc, ok_ref) << "round " << round;
+    ExpectBitIdentical(incremental, rebuild);
+  }
+  // In generic position the certified structure must survive the whole run —
+  // otherwise the fast path silently degraded to permanent re-enumeration.
+  EXPECT_TRUE(incremental.adjacency_valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PolyhedronIncrementalProperty,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+// Simplex-point differences are the adversarial case: every such cut passes
+// through the barycenter (Σ normal = 0 with offset 0), so once the
+// barycenter reaches R's boundary the polytope is genuinely degenerate
+// there — many subsets resolve to the same point. The incremental path must
+// refuse the certificate and degrade to the seed enumeration, bit-identical.
+TEST(PolyhedronIncrementalTest, CentralArrangementDegradesBitIdentical) {
+  for (size_t d = 3; d <= 5; ++d) {
+    Rng rng(90 + d);
+    Polyhedron incremental = Polyhedron::UnitSimplex(d);
+    Polyhedron rebuild = RebuildSimplex(d);
+    for (int round = 0; round < 8; ++round) {
+      Vec a = rng.SimplexUniform(d), b = rng.SimplexUniform(d);
+      Halfspace h{a - b, 0.0};
+      ASSERT_EQ(incremental.TryCut(h), rebuild.TryCut(h))
+          << "d " << d << " round " << round;
+      ExpectBitIdentical(incremental, rebuild);
+    }
+  }
+}
+
+// A repeated (duplicate) cut is degenerate input: every boundary vertex lies
+// inside the guard band of the copy, so the incremental path must refuse and
+// fall back — and the result must still match the seed path bitwise.
+TEST(PolyhedronIncrementalTest, DuplicateCutFallsBackBitIdentical) {
+  Rng rng(123);
+  Polyhedron incremental = Polyhedron::UnitSimplex(3);
+  Polyhedron rebuild = RebuildSimplex(3);
+  Halfspace h = RandomItemCut(rng, 3);
+  incremental.Cut(h);
+  rebuild.Cut(h);
+  ExpectBitIdentical(incremental, rebuild);
+  incremental.Cut(h);  // exact duplicate: tight at the new boundary vertices
+  rebuild.Cut(h);
+  ExpectBitIdentical(incremental, rebuild);
+}
+
+// TryCut that rejects an emptying cut must restore the adjacency structure
+// along with the vertex set, and later cuts must still match the seed path.
+TEST(PolyhedronIncrementalTest, TryCutRejectionRestoresAdjacency) {
+  Rng rng(321);
+  Polyhedron incremental = Polyhedron::UnitSimplex(4);
+  Polyhedron rebuild = RebuildSimplex(4);
+  Halfspace h = RandomItemCut(rng, 4);
+  incremental.Cut(h);
+  rebuild.Cut(h);
+  const bool was_valid = incremental.adjacency_valid();
+  EXPECT_TRUE(was_valid);
+  // Σu = 1 everywhere, so normal −1 with offset 0.5 is violated by all of R.
+  Halfspace emptying{Vec{-1.0, -1.0, -1.0, -1.0}, 0.5};
+  EXPECT_FALSE(incremental.TryCut(emptying));
+  EXPECT_FALSE(rebuild.TryCut(emptying));
+  EXPECT_EQ(incremental.adjacency_valid(), was_valid);
+  ExpectBitIdentical(incremental, rebuild);
+  Halfspace h2 = RandomItemCut(rng, 4);
+  ASSERT_EQ(incremental.TryCut(h2), rebuild.TryCut(h2));
+  ExpectBitIdentical(incremental, rebuild);
+}
+
+// Snapshot restore adopts vertices verbatim without the facet structure; the
+// first post-restore Cut must rebuild it deterministically and keep emitting
+// bit-identical vertex sets (PR 6 restart-at-every-round bit-identity).
+TEST(PolyhedronIncrementalTest, SnapshotRestoreRebuildsAdjacency) {
+  Rng rng(555);
+  Polyhedron incremental = Polyhedron::UnitSimplex(3);
+  for (int round = 0; round < 3; ++round) {
+    (void)incremental.TryCut(RandomItemCut(rng, 3));
+  }
+  Result<Polyhedron> restored = Polyhedron::FromSnapshotParts(
+      3, Polyhedron::Options(), incremental.cuts(), incremental.vertices());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored.value().adjacency_valid());
+  ExpectBitIdentical(incremental, restored.value());
+  Halfspace h = RandomItemCut(rng, 3);
+  ASSERT_EQ(incremental.TryCut(h), restored.value().TryCut(h));
+  ExpectBitIdentical(incremental, restored.value());
+}
+
 // ---------- Enclosing balls ----------
 
 TEST(EnclosingBallTest, IterativeBallContainsAllPoints) {
@@ -352,6 +493,61 @@ TEST(ConvexHullTest, DuplicateQueriesReuseSharedModel) {
   std::vector<size_t> second = ExtremePointIndices(pts);
   EXPECT_EQ(first, second);
   ASSERT_EQ(first.size(), 3u);
+}
+
+TEST(ConvexHullTest, DuplicatedVertexStaysExtreme) {
+  // Regression: a bitwise twin of a hull vertex used to "represent" the
+  // query (λ_twin = 1), so every copy reported non-extreme and the vertex
+  // vanished from the hull. All points equal to the query are excluded from
+  // the combination, so each copy answers like the unique vertex would.
+  std::vector<Vec> pts{Vec{0.0, 0.0}, Vec{1.0, 0.0}, Vec{0.0, 1.0},
+                       Vec{1.0, 0.0},   // twin of index 1
+                       Vec{0.4, 0.3}};  // interior
+  EXPECT_TRUE(IsExtremePoint(pts, 1));
+  EXPECT_TRUE(IsExtremePoint(pts, 3));
+  EXPECT_FALSE(IsExtremePoint(pts, 4));
+  std::vector<size_t> extreme = ExtremePointIndices(pts);
+  EXPECT_EQ(extreme, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(ConvexHullTest, AllIdenticalPointsAllExtreme) {
+  // n copies of one point: the hull is that point, and with every twin
+  // excluded the combination LP is infeasible for each copy. Previously the
+  // answer was an empty extreme set.
+  std::vector<Vec> pts{Vec{0.5, 0.5, 0.5}, Vec{0.5, 0.5, 0.5},
+                       Vec{0.5, 0.5, 0.5}};
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(IsExtremePoint(pts, i)) << "copy " << i;
+  }
+  EXPECT_EQ(ExtremePointIndices(pts), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ConvexHullTest, DimensionOneEndpoints) {
+  // d = 1 degenerate case: the hull of scalars is [min, max]; only the
+  // endpoints (and their duplicates) are extreme.
+  std::vector<Vec> pts{Vec{0.3}, Vec{0.9}, Vec{0.1}, Vec{0.5}, Vec{0.9}};
+  EXPECT_EQ(ExtremePointIndices(pts), (std::vector<size_t>{1, 2, 4}));
+  EXPECT_FALSE(IsExtremePoint(pts, 0));
+  EXPECT_FALSE(IsExtremePoint(pts, 3));
+}
+
+TEST(ConvexHullTest, CoplanarSquareInThreeDimensions) {
+  // A planar square embedded in R³ (rank-deficient affine hull) plus its
+  // centre: the LP certificate needs no full-dimensionality assumption.
+  std::vector<Vec> pts{Vec{0.0, 0.0, 0.5}, Vec{1.0, 0.0, 0.5},
+                       Vec{0.0, 1.0, 0.5}, Vec{1.0, 1.0, 0.5},
+                       Vec{0.5, 0.5, 0.5}};
+  EXPECT_EQ(ExtremePointIndices(pts), (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(ConvexHullTest, CollinearSetWithDuplicatesInThreeDimensions) {
+  // Collinear points in R³ with a duplicated endpoint and a duplicated
+  // midpoint: endpoints (both copies) extreme, midpoints not.
+  Vec a{0.0, 0.0, 0.0};
+  Vec b{1.0, 2.0, 3.0};
+  Vec mid = (a + b) / 2.0;
+  std::vector<Vec> pts{a, mid, b, mid, a};
+  EXPECT_EQ(ExtremePointIndices(pts), (std::vector<size_t>{0, 2, 4}));
 }
 
 // ---------- Hit-and-run ----------

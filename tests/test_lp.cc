@@ -240,5 +240,183 @@ TEST_P(SimplexRandomProperty, OptimumBeatsRandomFeasiblePoints) {
 INSTANTIATE_TEST_SUITE_P(Dims, SimplexRandomProperty,
                          ::testing::Values(2, 3, 5, 10));
 
+// ---------- Warm starts and LP families (DESIGN.md §17) ----------
+
+// AA-shaped member: optimise one coordinate over the utility simplex cut by
+// learned ≥ half-spaces. All members over the same `normals` share constraint
+// structure and differ only in objective — exactly an lp::FamilySolver
+// family (the 2d rectangle-extent LPs of core/aa_state.cc).
+Model RectangleExtentModel(const std::vector<Vec>& normals, size_t d,
+                           size_t coord, bool maximize) {
+  Model m;
+  for (size_t i = 0; i < d; ++i) m.AddVariable(i == coord ? 1.0 : 0.0);
+  m.SetSense(maximize ? Sense::kMaximize : Sense::kMinimize);
+  m.AddConstraint(Vec(d, 1.0), Relation::kEq, 1.0);
+  for (const Vec& n : normals) m.AddConstraint(n, Relation::kGe, 0.0);
+  return m;
+}
+
+// Random cut normals oriented to keep one interior point feasible, so the
+// family is non-trivially constrained but never empty.
+std::vector<Vec> FeasibleNormals(Rng* rng, size_t d, size_t count) {
+  Vec p = rng->SimplexUniform(d);
+  std::vector<Vec> normals;
+  for (size_t k = 0; k < count; ++k) {
+    Vec n(d);
+    for (size_t c = 0; c < d; ++c) n[c] = rng->Uniform(-1.0, 1.0);
+    if (Dot(n, p) < 0.0) {
+      for (size_t c = 0; c < d; ++c) n[c] = -n[c];
+    }
+    normals.push_back(n);
+  }
+  return normals;
+}
+
+TEST(WarmStartTest, ResolvingSameModelStartsWarm) {
+  Rng rng(301);
+  std::vector<Vec> normals = FeasibleNormals(&rng, 5, 4);
+  Model m = RectangleExtentModel(normals, 5, 0, /*maximize=*/true);
+  SolveResult cold = SolveWithRecovery(m);
+  ASSERT_TRUE(cold.ok()) << cold.status.ToString();
+  ASSERT_FALSE(cold.warm.empty());
+
+  SolveResult warm = SolveWithWarmStart(m, cold.warm);
+  ASSERT_TRUE(warm.ok()) << warm.status.ToString();
+  EXPECT_TRUE(warm.diagnostics.warm_started);
+  EXPECT_FALSE(warm.diagnostics.warm_rejected);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-12);
+  // Re-solving from the optimal basis skips phase 1 and re-proves
+  // optimality in a single pricing pass.
+  EXPECT_LT(warm.diagnostics.iterations, cold.diagnostics.iterations);
+}
+
+TEST(WarmStartTest, PatchedModelStaysCorrect) {
+  // The convex-hull sweep reuse pattern: same shape, a few patched entries.
+  Rng rng(302);
+  std::vector<Vec> normals = FeasibleNormals(&rng, 4, 3);
+  Model m = RectangleExtentModel(normals, 4, 1, /*maximize=*/false);
+  SolveResult first = SolveWithRecovery(m);
+  ASSERT_TRUE(first.ok());
+
+  Model patched = m;
+  patched.SetConstraintRhs(1, -0.05);  // relax one learned cut
+  SolveResult warm = SolveWithWarmStart(patched, first.warm);
+  SolveResult cold = SolveWithRecovery(patched);
+  ASSERT_EQ(warm.ok(), cold.ok());
+  ASSERT_TRUE(warm.ok());
+  // Whether or not the warm basis survived the patch, the optimum must
+  // agree with the cold solve of the patched model.
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+TEST(WarmStartTest, CorruptBasisDegradesToColdBitIdentical) {
+  Rng rng(303);
+  std::vector<Vec> normals = FeasibleNormals(&rng, 5, 4);
+  Model m = RectangleExtentModel(normals, 5, 2, /*maximize=*/true);
+  SolveResult cold = SolveWithRecovery(m);
+  ASSERT_TRUE(cold.ok());
+
+  WarmStart duplicate = cold.warm;
+  ASSERT_GE(duplicate.basis.size(), 2u);
+  duplicate.basis[0] = duplicate.basis[1];
+  WarmStart out_of_range = cold.warm;
+  out_of_range.basis[0] = cold.warm.num_cols + 17;
+  WarmStart artificial = cold.warm;
+  artificial.basis[0] = cold.warm.first_artificial;  // artificials banned
+  WarmStart stale = cold.warm;
+  stale.num_rows += 1;  // shape fingerprint from some other model
+
+  for (const WarmStart& bad : {duplicate, out_of_range, artificial, stale}) {
+    SolveResult r = SolveWithWarmStart(m, bad);
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.diagnostics.warm_started);
+    EXPECT_TRUE(r.diagnostics.warm_rejected);
+    // The fallback is the cold retry ladder itself, so the degraded result
+    // is bit-identical to a cold solve, not merely close.
+    EXPECT_EQ(r.objective, cold.objective);
+    ASSERT_EQ(r.x.dim(), cold.x.dim());
+    for (size_t c = 0; c < r.x.dim(); ++c) EXPECT_EQ(r.x[c], cold.x[c]);
+  }
+}
+
+TEST(WarmStartTest, EmptyWarmStartIsPlainRecovery) {
+  Rng rng(304);
+  std::vector<Vec> normals = FeasibleNormals(&rng, 3, 2);
+  Model m = RectangleExtentModel(normals, 3, 0, /*maximize=*/false);
+  SolveResult r = SolveWithWarmStart(m, WarmStart{});
+  SolveResult cold = SolveWithRecovery(m);
+  ASSERT_EQ(r.ok(), cold.ok());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.diagnostics.warm_started);
+  EXPECT_FALSE(r.diagnostics.warm_rejected);
+  EXPECT_EQ(r.objective, cold.objective);
+  for (size_t c = 0; c < r.x.dim(); ++c) EXPECT_EQ(r.x[c], cold.x[c]);
+}
+
+class FamilySolverProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FamilySolverProperty, BitIdenticalToColdRecoveryPerMember) {
+  const size_t d = GetParam();
+  Rng rng(400 + d);
+  std::vector<Vec> normals = FeasibleNormals(&rng, d, 5);
+  FamilySolver family;
+  for (size_t coord = 0; coord < d; ++coord) {
+    for (bool maximize : {false, true}) {
+      Model m = RectangleExtentModel(normals, d, coord, maximize);
+      SolveResult shared = family.Solve(m);
+      SolveResult cold = SolveWithRecovery(m);
+      ASSERT_EQ(shared.status.code(), cold.status.code());
+      ASSERT_TRUE(shared.ok()) << shared.status.ToString();
+      // The contract is pivot-for-pivot identity with the member's own cold
+      // solve: same iteration count, bitwise-equal optimum.
+      EXPECT_EQ(shared.diagnostics.iterations, cold.diagnostics.iterations);
+      EXPECT_EQ(shared.objective, cold.objective);
+      ASSERT_EQ(shared.x.dim(), cold.x.dim());
+      for (size_t c = 0; c < d; ++c) EXPECT_EQ(shared.x[c], cold.x[c]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, FamilySolverProperty,
+                         ::testing::Values(2, 3, 5, 10, 15));
+
+TEST(FamilySolverTest, NonMemberSolvedColdButCorrect) {
+  Rng rng(401);
+  std::vector<Vec> normals = FeasibleNormals(&rng, 4, 3);
+  FamilySolver family;
+  Model a = RectangleExtentModel(normals, 4, 0, /*maximize=*/true);
+  SolveResult ra = family.Solve(a);
+  ASSERT_TRUE(ra.ok());
+
+  // Different constraint structure: falls back to a cold recovery solve.
+  Model b = RectangleExtentModel(normals, 4, 1, /*maximize=*/false);
+  b.SetConstraintRhs(1, -0.25);
+  SolveResult rb = family.Solve(b);
+  SolveResult cold = SolveWithRecovery(b);
+  ASSERT_EQ(rb.status.code(), cold.status.code());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb.objective, cold.objective);
+  for (size_t c = 0; c < rb.x.dim(); ++c) EXPECT_EQ(rb.x[c], cold.x[c]);
+}
+
+TEST(FamilySolverTest, InfeasibleFamilySharedAcrossMembers) {
+  // Σu = 1 with u₀ ≥ 2 is empty; every member must report kInfeasible,
+  // exactly as its own cold solve does.
+  FamilySolver family;
+  for (size_t coord = 0; coord < 3; ++coord) {
+    // Same structure, member-specific objective.
+    Model member;
+    for (size_t i = 0; i < 3; ++i) member.AddVariable(i == coord ? 1.0 : 0.0);
+    member.SetSense(Sense::kMinimize);
+    member.AddConstraint(Vec(3, 1.0), Relation::kEq, 1.0);
+    member.AddConstraint(Vec{1.0, 0.0, 0.0}, Relation::kGe, 2.0);
+    SolveResult shared = family.Solve(member);
+    SolveResult cold = SolveWithRecovery(member);
+    EXPECT_EQ(shared.status.code(), StatusCode::kInfeasible);
+    EXPECT_EQ(shared.status.code(), cold.status.code());
+    EXPECT_EQ(shared.diagnostics.iterations, cold.diagnostics.iterations);
+  }
+}
+
 }  // namespace
 }  // namespace isrl::lp

@@ -29,11 +29,26 @@ UtilityApprox}, args: {sessions, mode} where mode 0 = CheckpointAll()
 and mode 1 = RestoreAll(). Each record carries the snapshot_bytes
 counter, so the checked-in file doubles as a size-regression table.
 
+--suite geometry (incremental convex geometry and warm-started LP;
+DESIGN.md section 17) runs build/bench/geo_substrates instead:
+  BM_GeoCutSequence   12-cut session on UnitSimplex(d)  args: {d, mode}
+                      mode 0 = full re-enumeration per cut, 1 = adjacency
+  BM_GeoAaGeometry    AA rectangle geometry             args: {d, mode}
+                      mode 0 = independent LPs, 1 = shared-phase-1 family
+  BM_GeoExtremeSweep  extreme-point sweep over n points args: {n, mode}
+                      mode 0 = cold LP per query, 1 = shared model + warm
+
 The output records, per configuration, both CPU times and their ratio, so
 each checked-in BENCH_*.json is a self-contained before/after table.
 
+Checked-in BENCH_*.json files must come from a Release build
+(see CONTRIBUTING.md "Benchmarks"). The script records a build_type_ok
+flag and warns loudly when the code under test was compiled without
+NDEBUG (isrl_build_type custom context; falls back to the benchmark
+library's own library_build_type when absent).
+
 Usage:
-  tools/bench_to_json.py [--suite micro|scheduler]
+  tools/bench_to_json.py [--suite micro|scheduler|checkpoint|geometry]
                          [--bench build/bench/micro_substrates]
                          [--min-time 0.3] [--from-json raw.json]
                          [--out BENCH_<suite>.json]
@@ -135,6 +150,33 @@ SUITES = {
         "restore is RestoreAll() (verify and rebuild every session); "
         "snapshot_bytes is the whole-population snapshot size "
         "(DESIGN.md section 14)",
+    },
+    "geometry": {
+        "binary": "geo_substrates",
+        "benchmarks": {
+            "BM_GeoCutSequence": {
+                "mode_arg": 1,
+                "label": lambda rest: f"d{rest[0]}",
+            },
+            "BM_GeoAaGeometry": {
+                "mode_arg": 1,
+                "label": lambda rest: f"d{rest[0]}",
+            },
+            "BM_GeoExtremeSweep": {
+                "mode_arg": 1,
+                "label": lambda rest: f"n{rest[0]}",
+            },
+        },
+        "baseline_field": "rebuild_cpu_ns",
+        "variant_field": "incremental_cpu_ns",
+        "note": "speedup = rebuild_cpu_ns / incremental_cpu_ns; the "
+        "baseline is the seed path (full vertex re-enumeration per cut / "
+        "independent rectangle LPs / a cold LP per extreme-point query), "
+        "the variant maintains state across solves (vertex-facet adjacency "
+        "/ shared simplex phase 1 / warm-started bases). Both paths "
+        "produce identical results: bit-identical vertices and AA "
+        "geometry, identical extreme-point verdicts (DESIGN.md "
+        "section 17)",
     },
 }
 
@@ -259,8 +301,9 @@ def main() -> None:
     parser.add_argument(
         "--bench",
         type=Path,
-        default=REPO_ROOT / "build" / "bench" / "micro_substrates",
-        help="path to the micro_substrates binary",
+        default=None,
+        help="path to the benchmark binary (default: the suite's binary "
+        "under build/bench/)",
     )
     parser.add_argument(
         "--min-time",
@@ -292,6 +335,9 @@ def main() -> None:
     suite = SUITES[args.suite]
     if args.out is None:
         args.out = REPO_ROOT / f"BENCH_{args.suite}.json"
+    if args.bench is None:
+        binary = suite.get("binary", "micro_substrates")
+        args.bench = REPO_ROOT / "build" / "bench" / binary
 
     if args.from_json is not None:
         raw = json.loads(args.from_json.read_text())
@@ -300,6 +346,28 @@ def main() -> None:
                              args.repetitions)
 
     context = raw.get("context", {})
+    # Build-type hygiene: a debug-compiled binary produces numbers that
+    # look plausible but are meaningless for the checked-in tables.
+    # isrl_build_type is custom context emitted by the bench binaries
+    # themselves (NDEBUG at their compile time); library_build_type is the
+    # benchmark library's own report, which on distro-packaged
+    # libbenchmark reads "debug" regardless of how isrl was built.
+    build_type = context.get("isrl_build_type") or context.get(
+        "library_build_type"
+    )
+    build_type_ok = build_type == "release"
+    if not build_type_ok:
+        print(
+            "*" * 72
+            + f"\n*** WARNING: benchmark binary build type is "
+            f"'{build_type}', not 'release'.\n"
+            "*** Timings below are NOT comparable to checked-in "
+            "BENCH_*.json tables.\n"
+            "*** Rebuild with -DCMAKE_BUILD_TYPE=Release before "
+            "regenerating them\n"
+            "*** (see CONTRIBUTING.md 'Benchmarks').\n" + "*" * 72,
+            file=sys.stderr,
+        )
     out = {
         "generated_by": "tools/bench_to_json.py",
         "date": context.get("date", "unknown"),
@@ -307,7 +375,9 @@ def main() -> None:
             "num_cpus": context.get("num_cpus"),
             "mhz_per_cpu": context.get("mhz_per_cpu"),
             "library_build_type": context.get("library_build_type"),
+            "isrl_build_type": context.get("isrl_build_type"),
         },
+        "build_type_ok": build_type_ok,
         "statistic": (
             f"median of {args.repetitions} repetitions"
             if args.from_json is None and args.repetitions > 1

@@ -33,6 +33,13 @@ Rules (see DESIGN.md section 11):
                 hazard: it cannot be captured in a snapshot, so replayed
                 or restored runs diverge from the original (DESIGN.md
                 sections 10 and 14).
+  raw-enumerate EnumerateVertices( outside src/geometry/ and src/audit/.
+                Full vertex re-enumeration is the polyhedron's private
+                fallback; callers go through Cut(), which maintains
+                adjacency incrementally, certifies the update, and records
+                audit evidence. A direct call elsewhere silently bypasses
+                both the incremental path and its instrumentation
+                (DESIGN.md section 17).
 
 Usage: tools/lint.py [paths...]   (defaults to src/)
 Exit status is the number of findings (0 == clean).
@@ -133,6 +140,17 @@ WALL_CLOCK_ALLOWED_PREFIXES = (
 WALL_CLOCK_RE = re.compile(
     r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"
 )
+
+# Incremental-geometry discipline (DESIGN.md section 17): vertex sets are
+# maintained across cuts; full re-enumeration is Polyhedron's private
+# fallback, reached only through Cut()'s certify-or-rebuild logic and the
+# audit layer's reference recomputation.
+RAW_ENUMERATE_ALLOWED_PREFIXES = (
+    "src/geometry/",
+    "src/audit/",
+)
+
+RAW_ENUMERATE_RE = re.compile(r"\bEnumerateVertices\s*\(")
 
 SUPPRESS_TOKEN = "float-eq-ok"
 
@@ -252,6 +270,22 @@ def lint_file(path: Path) -> list:
                     "common/budget; clock reads in session/algorithm code "
                     "break checkpoint/replay determinism (DESIGN.md "
                     "sections 10 and 14)",
+                )
+            )
+
+        if (
+            not rel.startswith(RAW_ENUMERATE_ALLOWED_PREFIXES)
+            and RAW_ENUMERATE_RE.search(code)
+        ):
+            findings.append(
+                (
+                    rel,
+                    lineno,
+                    "raw-enumerate",
+                    "direct EnumerateVertices call; go through "
+                    "Polyhedron::Cut(), which maintains adjacency "
+                    "incrementally and records audit evidence "
+                    "(DESIGN.md section 17)",
                 )
             )
 
