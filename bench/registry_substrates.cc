@@ -1,0 +1,167 @@
+// Registry substrate microbenchmarks (google-benchmark): what the §18
+// continuous-learning machinery costs the serving path. BM_RegistrySwap
+// serves N complete EA episodes with mode 0 = every session pinned to one
+// published snapshot (no registry churn) and mode 1 = a fresh version
+// published and pinned per session — the worst-case hot-swap cadence, which
+// also fragments cross-session score coalescing into per-snapshot groups.
+// BM_TraceHarvest serves the same wave with mode 0 = no harvest sink and
+// mode 1 = every finished session distilled into a TraceStore record. Both
+// modes of both benchmarks run identical seeded episodes, so the ratio is
+// pure registry/harvest overhead.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ea.h"
+#include "core/scheduler.h"
+#include "data/skyline.h"
+#include "data/synthetic.h"
+#include "nn/registry.h"
+#include "serve/trace_store.h"
+#include "user/sampler.h"
+#include "user/user.h"
+
+namespace isrl {
+namespace {
+
+// Serving-shaped EA: paper-real network width, lean action sampling —
+// matches BM_SessionThroughputEa so rows are comparable across suites.
+Ea MakeServingEa(Dataset& sky) {
+  EaOptions opt;
+  opt.epsilon = 0.05;
+  opt.dqn.hidden_neurons = 256;
+  opt.actions.num_samples = 16;
+  return Ea(sky, opt);
+}
+
+void BM_RegistrySwap(benchmark::State& state) {
+  Rng rng(18);
+  Dataset raw = GenerateSynthetic(800, 3, Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  Ea ea = MakeServingEa(sky);
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  const bool swap_per_session = state.range(1) == 1;
+  std::vector<Vec> utilities;
+  for (size_t i = 0; i < sessions; ++i) {
+    utilities.push_back(rng.SimplexUniform(3));
+  }
+  RunBudget budget;
+  budget.max_rounds = 10;
+  int64_t questions = 0;
+  int64_t publishes = 0;
+  for (auto _ : state) {
+    nn::ModelRegistry registry;
+    registry.Publish(ea.agent().main_network());
+    ++publishes;
+    SessionScheduler scheduler;
+    std::vector<std::unique_ptr<UserOracle>> owned;
+    std::vector<UserOracle*> users;
+    for (size_t i = 0; i < sessions; ++i) {
+      if (swap_per_session && i > 0) {
+        // Hot-swap before every admission: same weights, new version, so
+        // the episodes stay identical while the registry machinery —
+        // publish copy, fingerprint, snapshot pin — runs at full cadence.
+        registry.Publish(ea.agent().main_network());
+        ++publishes;
+      }
+      SessionConfig config;
+      config.budget = budget;
+      config.seed = SplitSeed(17, i);
+      config.model = registry.Latest();
+      scheduler.Add(ea.StartSession(config));
+      owned.push_back(std::make_unique<LinearUser>(utilities[i]));
+      users.push_back(owned.back().get());
+    }
+    for (const InteractionResult& r : DriveWithUsers(scheduler, users)) {
+      questions += static_cast<int64_t>(r.rounds);
+    }
+  }
+  state.SetItemsProcessed(questions);
+  state.counters["publishes"] =
+      benchmark::Counter(static_cast<double>(publishes));
+}
+BENCHMARK(BM_RegistrySwap)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceHarvest(benchmark::State& state) {
+  Rng rng(18);
+  Dataset raw = GenerateSynthetic(800, 3, Distribution::kAntiCorrelated, rng);
+  Dataset sky = SkylineOf(raw);
+  Ea ea = MakeServingEa(sky);
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  const bool harvest = state.range(1) == 1;
+  std::vector<Vec> utilities;
+  for (size_t i = 0; i < sessions; ++i) {
+    utilities.push_back(rng.SimplexUniform(3));
+  }
+  nn::ModelRegistry registry;
+  registry.Publish(ea.agent().main_network());
+  RunBudget budget;
+  budget.max_rounds = 10;
+  int64_t questions = 0;
+  int64_t harvested = 0;
+  TraceStore traces;
+  for (auto _ : state) {
+    SessionScheduler scheduler;
+    if (harvest) {
+      scheduler.SetHarvestSink(
+          [&traces](size_t id, const SessionTraceRecord& record) {
+            traces.Harvest(id, record);
+          });
+    }
+    std::vector<std::unique_ptr<UserOracle>> owned;
+    std::vector<UserOracle*> users;
+    for (size_t i = 0; i < sessions; ++i) {
+      SessionConfig config;
+      config.budget = budget;
+      config.seed = SplitSeed(17, i);
+      config.model = registry.Latest();
+      scheduler.Add(ea.StartSession(config), &ea);
+      owned.push_back(std::make_unique<LinearUser>(utilities[i]));
+      users.push_back(owned.back().get());
+    }
+    for (const InteractionResult& r : DriveWithUsers(scheduler, users)) {
+      questions += static_cast<int64_t>(r.rounds);
+    }
+  }
+  harvested = static_cast<int64_t>(traces.harvested());
+  state.SetItemsProcessed(questions);
+  state.counters["harvested"] =
+      benchmark::Counter(static_cast<double>(harvested));
+}
+BENCHMARK(BM_TraceHarvest)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace isrl
+
+// The system libbenchmark is compiled without NDEBUG and self-reports
+// "debug" in the JSON context regardless of how isrl was built. Record the
+// build type of the code under test so tools/bench_to_json.py can tell a
+// debug-library warning from a debug-measurement problem.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("isrl_build_type", "release");
+#else
+  benchmark::AddCustomContext("isrl_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

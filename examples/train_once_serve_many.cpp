@@ -1,77 +1,176 @@
-// Production workflow: train the interactive agent once, persist it, and
-// serve many user sessions from the saved network — the deployment shape a
-// real system uses (training offline, interaction online).
+// The closed train→serve loop (DESIGN.md §18): train the interactive agent
+// lightly, publish it into a versioned model registry, serve a wave of
+// shoppers through the scheduler while harvesting their traces, retrain on
+// the harvested utility estimates, hot-swap the new version, and serve a
+// second wave — reporting the before/after mean question count and what the
+// drift detector makes of the post-swap population.
 //
-// The example trains EA on the Car market, saves the agent, constructs a
-// fresh "serving" instance that loads the network instead of training, and
-// answers a stream of simulated shoppers, reporting throughput and the
-// per-session question count.
+// Sessions pin the registry snapshot they start under, so the mid-run
+// Publish() never changes what an in-flight episode computes; only sessions
+// started after the swap see the retrained model.
 //
 // Run:  ./build/examples/train_once_serve_many
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "common/stopwatch.h"
-#include "core/ea.h"
+#include "core/aa.h"
 #include "core/regret.h"
+#include "core/scheduler.h"
 #include "data/real_like.h"
 #include "data/skyline.h"
+#include "nn/registry.h"
+#include "serve/drift.h"
+#include "serve/trace_store.h"
+#include "serve/trainer.h"
 #include "user/sampler.h"
 #include "user/user.h"
 
-int main() {
-  using namespace isrl;
-  Rng rng(77);
-  const char* agent_path = "/tmp/isrl_car_agent.net";
+using namespace isrl;
 
-  Dataset market = MakeCarDataset(rng);
+namespace {
+
+struct WaveStats {
+  double mean_rounds = 0.0;
+  double worst_regret = 0.0;
+  double seconds = 0.0;
+};
+
+/// Serves `count` shoppers through one SessionScheduler, every session
+/// pinned to the registry's latest snapshot; finished sessions harvest
+/// their trace records into `store`.
+WaveStats ServeWave(Aa& server, nn::ModelRegistry& registry,
+                    TraceStore& store, const Dataset& sky, size_t count,
+                    uint64_t seed_base, Rng& rng) {
+  SessionScheduler scheduler;
+  scheduler.SetHarvestSink(
+      [&store](size_t id, const SessionTraceRecord& record) {
+        store.Harvest(id, record);
+      });
+  std::vector<std::unique_ptr<LinearUser>> shoppers;
+  std::vector<UserOracle*> oracles;
+  std::vector<Vec> preferences;
+  for (size_t s = 0; s < count; ++s) {
+    Vec preference = rng.SimplexUniform(sky.dim());
+    shoppers.push_back(std::make_unique<LinearUser>(preference));
+    oracles.push_back(shoppers.back().get());
+    preferences.push_back(std::move(preference));
+    SessionConfig config;
+    config.seed = seed_base + s;
+    config.model = registry.Latest();  // pin: hot-swaps never touch us
+    scheduler.Add(server.StartSession(config), &server);
+  }
+  Stopwatch watch;
+  std::vector<InteractionResult> results = DriveWithUsers(scheduler, oracles);
+  WaveStats stats;
+  stats.seconds = watch.ElapsedSeconds();
+  for (size_t s = 0; s < count; ++s) {
+    stats.mean_rounds += static_cast<double>(results[s].rounds);
+    double regret = RegretRatioAt(sky, results[s].best_index, preferences[s]);
+    if (regret > stats.worst_regret) stats.worst_regret = regret;
+  }
+  stats.mean_rounds /= static_cast<double>(count);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  Rng data_rng(77);
+  Dataset market = MakeCarDataset(data_rng);
   Dataset sky = SkylineOf(market);
   std::printf("market: %zu cars, %zu on the skyline\n", market.size(),
               sky.size());
 
-  // ---- Offline: train and persist. ----
-  EaOptions options;
+  // ---- Bootstrap: a lightly trained v1 goes into the registry. ----
+  Rng rng(7);
+  AaOptions options;
   options.epsilon = 0.1;
+  options.seed = 7;
+  options.dqn.hidden_neurons = 32;
+  options.dqn.batch_size = 16;
+  options.dqn.min_replay_before_update = 16;
+  Aa server(sky, options);
+  nn::ModelRegistry registry;
   {
-    Ea trainer(sky, options);
     Stopwatch train_watch;
-    TrainStats stats =
-        trainer.Train(SampleUtilityVectors(200, sky.dim(), rng));
-    std::printf("offline training: %zu episodes in %.2fs (avg %.1f questions "
-                "per episode)\n",
+    TrainStats stats = server.Train(SampleUtilityVectors(2, sky.dim(), rng));
+    uint64_t v = registry.Publish(server.agent().main_network());
+    std::printf("bootstrap: %zu training episodes in %.2fs -> published "
+                "model v%llu (fingerprint %016llx)\n",
                 stats.episodes, train_watch.ElapsedSeconds(),
-                stats.mean_rounds);
-    Status saved = trainer.SaveAgent(agent_path);
-    if (!saved.ok()) {
-      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
-      return 1;
-    }
-    std::printf("agent saved to %s\n\n", agent_path);
-  }  // trainer discarded — the serving process starts from scratch
+                static_cast<unsigned long long>(v),
+                static_cast<unsigned long long>(
+                    registry.Latest()->fingerprint()));
+  }
 
-  // ---- Online: load and serve. ----
-  Ea server(sky, options);
-  Status loaded = server.LoadAgent(agent_path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", loaded.ToString().c_str());
+  // ---- Wave 1: serve under v1, harvesting traces. ----
+  TraceStore traces;
+  const size_t wave = 40;
+  WaveStats before = ServeWave(server, registry, traces, sky, wave,
+                               /*seed_base=*/1000, rng);
+  std::printf("wave 1 (v1): %zu shoppers, avg %.1f questions, worst regret "
+              "%.4f, %.2fs\n",
+              wave, before.mean_rounds, before.worst_regret, before.seconds);
+  DriftBaseline baseline = DriftBaseline::FromPopulation(
+      [&] {
+        std::vector<double> rounds;
+        for (const SessionTraceRecord& r : traces.Window()) {
+          rounds.push_back(static_cast<double>(r.rounds));
+        }
+        return rounds;
+      }(),
+      traces.WindowOutcomes());
+
+  // ---- Retrain on the harvested utility estimates, hot-swap to v2. ----
+  ContinuousTrainer trainer(
+      traces, registry,
+      RetrainHooks{
+          [&server](const std::vector<Vec>& utilities) {
+            return server.Train(utilities);
+          },
+          [&server]() -> const nn::Network& {
+            return server.agent().main_network();
+          }});
+  // Each harvested session contributed its learned utility estimate (the
+  // final range centroid) — the replay set the retrain consumes. Top it up
+  // with fresh sampled utilities so v2 sees a fuller curriculum.
+  Result<RetrainOutcome> retrained = trainer.RetrainOnce();
+  if (!retrained.ok()) {
+    std::fprintf(stderr, "retrain failed: %s\n",
+                 retrained.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving process loaded the agent (no training).\n");
+  TrainStats extra = server.Train(SampleUtilityVectors(120, sky.dim(), rng));
+  uint64_t v2 = registry.Publish(server.agent().main_network());
+  std::printf("retrain: %zu harvested utilities -> v%llu, then %zu sampled "
+              "episodes -> hot-swapped v%llu\n",
+              retrained->samples,
+              static_cast<unsigned long long>(retrained->version),
+              extra.episodes, static_cast<unsigned long long>(v2));
 
-  const size_t sessions = 50;
-  Stopwatch serve_watch;
-  double total_rounds = 0.0, worst_regret = 0.0;
-  for (size_t s = 0; s < sessions; ++s) {
-    Vec preference = rng.SimplexUniform(sky.dim());
-    LinearUser shopper(preference);
-    InteractionResult r = server.Interact(shopper);
-    total_rounds += static_cast<double>(r.rounds);
-    double regret = RegretRatioAt(sky, r.best_index, preference);
-    if (regret > worst_regret) worst_regret = regret;
+  // ---- Wave 2: sessions started after the swap pin v2. ----
+  TraceStore live;
+  WaveStats after = ServeWave(server, registry, live, sky, wave,
+                              /*seed_base=*/2000, rng);
+  std::printf("wave 2 (v%llu): %zu shoppers, avg %.1f questions, worst "
+              "regret %.4f, %.2fs\n",
+              static_cast<unsigned long long>(v2), wave, after.mean_rounds,
+              after.worst_regret, after.seconds);
+  std::printf("hot-swap effect: %.1f -> %.1f questions per session "
+              "(%+.1f)\n",
+              before.mean_rounds, after.mean_rounds,
+              after.mean_rounds - before.mean_rounds);
+
+  // ---- Drift check: does the post-swap population look like wave 1? ----
+  DriftReport report = DetectDrift(baseline, live.Window());
+  if (report.drifted) {
+    std::printf("drift detector: flagged — %s\n", report.reason.c_str());
+  } else {
+    std::printf("drift detector: live population consistent with the "
+                "baseline (z = %.2f)\n",
+                report.rounds_z);
   }
-  double elapsed = serve_watch.ElapsedSeconds();
-  std::printf("served %zu shoppers in %.2fs (%.1f ms/session), avg %.1f "
-              "questions each, worst regret %.4f (< %.2f guaranteed)\n",
-              sessions, elapsed, 1e3 * elapsed / sessions,
-              total_rounds / sessions, worst_regret, options.epsilon);
   return 0;
 }

@@ -17,7 +17,8 @@ namespace isrl {
 
 namespace {
 constexpr char kAaSnapshotKind[] = "aa-session";
-constexpr uint32_t kAaSnapshotVersion = 1;
+// v2 added the pinned model's registry version next to its fingerprint.
+constexpr uint32_t kAaSnapshotVersion = 2;
 }  // namespace
 
 Aa::Aa(const Dataset& data, const AaOptions& options)
@@ -29,6 +30,25 @@ Aa::Aa(const Dataset& data, const AaOptions& options)
   ISRL_CHECK(!data.empty());
   ISRL_CHECK_GT(options.epsilon, 0.0);
   ISRL_CHECK_LT(options.epsilon, 1.0);
+}
+
+Aa::Aa(const Aa& other)
+    : data_(other.data_),
+      options_(other.options_),
+      rng_(other.rng_),
+      input_dim_(other.input_dim_),
+      agent_(other.agent_),
+      episodes_trained_(other.episodes_trained_) {}
+
+std::shared_ptr<const nn::ModelSnapshot> Aa::ServingModel() {
+  // The fingerprint check also catches out-of-band mutation through
+  // agent(): a stale snapshot would silently serve old weights.
+  if (live_model_ == nullptr ||
+      !live_model_->SameWeights(agent_.main_network())) {
+    live_model_ =
+        std::make_shared<const nn::ModelSnapshot>(0, agent_.main_network());
+  }
+  return live_model_;
 }
 
 double Aa::StopDistance() const {
@@ -154,6 +174,7 @@ TrainStats Aa::Train(const std::vector<Vec>& training_utilities) {
                           : static_cast<double>(total_rounds) /
                                 static_cast<double>(training_utilities.size());
   stats.final_loss = last_loss;
+  live_model_.reset();  // weights changed; the next session re-snapshots
   return stats;
 }
 
@@ -172,6 +193,7 @@ class Aa::Session final : public InteractionSession {
         deadline_(Deadline::FromBudget(config.budget)),
         owned_rng_(config.seed ? std::optional<Rng>(Rng(*config.seed))
                                : std::nullopt) {
+    model_ = config.model != nullptr ? config.model : owner.ServingModel();
     geo_ = ComputeAaGeometry(owner_.data_.dim(), h_, max_lp_);
     if (!geo_.feasible) {
       // The empty-H geometry is the unit simplex itself; failure means the
@@ -195,7 +217,9 @@ class Aa::Session final : public InteractionSession {
   std::optional<SessionQuestion> NextQuestion() override {
     if (finished_) return std::nullopt;
     if (scoring_pending_) {
-      TakePick(owner_.agent_.SelectGreedy(pending_features_));
+      // No driver scored the candidates for us: score them here. Same
+      // matrix, same weights, same argmax — bit-identical either way.
+      TakePick(model_->Score(pending_features_).ArgMax());
     }
     return question_;
   }
@@ -284,8 +308,8 @@ class Aa::Session final : public InteractionSession {
     return scoring_pending_ ? &pending_features_ : nullptr;
   }
 
-  nn::Network* ScoringNetwork() override {
-    return scoring_pending_ ? &owner_.agent_.main_network() : nullptr;
+  const nn::ModelSnapshot* ScoringModel() const override {
+    return scoring_pending_ ? model_.get() : nullptr;
   }
 
   void PostCandidateScores(const double* scores, size_t count) override {
@@ -296,6 +320,15 @@ class Aa::Session final : public InteractionSession {
       if (scores[i] > scores[pick]) pick = i;
     }
     TakePick(pick);
+  }
+
+  uint64_t ModelVersion() const override {
+    return model_ == nullptr ? 0 : model_->version();
+  }
+
+  std::optional<Vec> HarvestUtility() const override {
+    if (!geo_.feasible) return std::nullopt;
+    return (geo_.e_min + geo_.e_max) / 2.0;
   }
 
   // ---- Durability (DESIGN.md §14). ---------------------------------------
@@ -328,7 +361,8 @@ class Aa::Session final : public InteractionSession {
     core.rng = rng();
     core.trace = trace_;
     snapshot::EncodeSessionCore(core, &w);
-    w.U64(nn::NetworkFingerprint(owner_.agent_.main_network()));
+    w.U64(model_->fingerprint());
+    w.U64(model_->version());
     w.U64(max_lp_);
     w.U64(h_.size());
     for (const LearnedHalfspace& lh : h_) {
@@ -352,7 +386,7 @@ class Aa::Session final : public InteractionSession {
     return snapshot::WrapFrame(kAaSnapshotKind, kAaSnapshotVersion, w.Take());
   }
 
-  Status Decode(const std::string& payload) {
+  Status Decode(const std::string& payload, const SessionConfig& config) {
     snapshot::Reader r(payload);
     snapshot::SessionCore core;
     ISRL_RETURN_IF_ERROR(snapshot::DecodeSessionCore(&r, &core));
@@ -362,14 +396,30 @@ class Aa::Session final : public InteractionSession {
       return Status::InvalidArgument("AA snapshot: missing rng state");
     }
     const uint64_t fingerprint = r.U64();
-    const uint64_t live_fingerprint =
-        nn::NetworkFingerprint(owner_.agent_.main_network());
-    if (!r.failed() && fingerprint != live_fingerprint) {
-      return Status::FailedPrecondition(Format(
-          "AA snapshot is bound to Q-network %016llx but this instance "
-          "serves %016llx (retrained or different model)",
-          static_cast<unsigned long long>(fingerprint),
-          static_cast<unsigned long long>(live_fingerprint)));
+    const uint64_t model_version = r.U64();
+    // Re-pin the exact model the session was saved under: the restore-time
+    // provider by version, else the caller's explicit pin, else this
+    // instance's live model — always verified against the §14 fingerprint.
+    std::shared_ptr<const nn::ModelSnapshot> model;
+    if (!r.failed()) {
+      if (config.models != nullptr) {
+        model = config.models->Pin(model_version);
+        if (model == nullptr && config.model == nullptr) {
+          return Status::FailedPrecondition(Format(
+              "AA snapshot is pinned to model version %llu, which the "
+              "restore-time model provider does not serve",
+              static_cast<unsigned long long>(model_version)));
+        }
+      }
+      if (model == nullptr) model = config.model;
+      if (model == nullptr) model = owner_.ServingModel();
+      if (fingerprint != model->fingerprint()) {
+        return Status::FailedPrecondition(Format(
+            "AA snapshot is bound to Q-network %016llx but this instance "
+            "serves %016llx (retrained or different model)",
+            static_cast<unsigned long long>(fingerprint),
+            static_cast<unsigned long long>(model->fingerprint())));
+      }
     }
     const size_t n = owner_.data_.size();
     const size_t d = owner_.data_.dim();
@@ -451,6 +501,7 @@ class Aa::Session final : public InteractionSession {
     }
 
     result_ = core.result;
+    model_ = std::move(model);
     max_rounds_ = static_cast<size_t>(core.max_rounds);
     max_lp_ = static_cast<size_t>(max_lp);
     deadline_ = core.deadline;
@@ -550,6 +601,10 @@ class Aa::Session final : public InteractionSession {
   std::vector<AaAction> actions_;
   size_t best_ = 0;
 
+  /// The immutable model this session scores with, pinned at construction
+  /// (or re-pinned by Decode); never changes mid-session (DESIGN.md §18).
+  std::shared_ptr<const nn::ModelSnapshot> model_;
+
   Matrix pending_features_;
   SessionQuestion question_;
   bool scoring_pending_ = false;
@@ -561,9 +616,10 @@ std::unique_ptr<InteractionSession> Aa::StartSession(
     const SessionConfig& config) {
   // Audit at the inference call site (see Ea::StartSession).
   if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
-    audit::Auditor().Record(
-        audit::Checker::kNnFinite, "Aa.StartSession",
-        audit::CheckNetworkFinite(agent_.main_network(), "main"));
+    nn::Network& network = config.model != nullptr ? config.model->network()
+                                                   : agent_.main_network();
+    audit::Auditor().Record(audit::Checker::kNnFinite, "Aa.StartSession",
+                            audit::CheckNetworkFinite(network, "main"));
   }
   return std::make_unique<Session>(*this, config);
 }
@@ -575,7 +631,7 @@ Result<std::unique_ptr<InteractionSession>> Aa::RestoreSession(
       snapshot::UnwrapFrame(kAaSnapshotKind, kAaSnapshotVersion, bytes));
   auto session =
       std::make_unique<Session>(*this, config.trace, Session::RestoreTag{});
-  ISRL_RETURN_IF_ERROR(session->Decode(payload));
+  ISRL_RETURN_IF_ERROR(session->Decode(payload, config));
   return std::unique_ptr<InteractionSession>(std::move(session));
 }
 
@@ -597,6 +653,7 @@ Status Aa::LoadAgent(const std::string& path) {
   }
   agent_.main_network().CopyParamsFrom(loaded);
   agent_.SyncTarget();
+  live_model_.reset();  // weights changed; the next session re-snapshots
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 #ifndef ISRL_CORE_AA_H_
 #define ISRL_CORE_AA_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "core/algorithm.h"
 #include "core/ea.h"
 #include "data/dataset.h"
+#include "nn/registry.h"
 #include "rl/dqn.h"
 
 namespace isrl {
@@ -41,6 +43,10 @@ struct AaOptions {
 class Aa : public InteractiveAlgorithm {
  public:
   Aa(const Dataset& data, const AaOptions& options);
+
+  /// Explicit copy (CloneForEval): same dataset binding and weights, but
+  /// the live serving snapshot is NOT shared (see Ea's copy constructor).
+  Aa(const Aa& other);
 
   /// Algorithm 3: one ε-greedy training episode per utility vector.
   TrainStats Train(const std::vector<Vec>& training_utilities);
@@ -62,6 +68,11 @@ class Aa : public InteractiveAlgorithm {
   /// Number of scalar geometric descriptors appended to each action's
   /// features (balance, alignment, centre distance).
   static constexpr size_t kActionDescriptors = 3;
+
+  /// The live serving snapshot of this instance's Q-network (version 0 —
+  /// unregistered; see Ea::ServingModel). Sessions started without an
+  /// explicit SessionConfig::model pin this snapshot (DESIGN.md §18).
+  std::shared_ptr<const nn::ModelSnapshot> ServingModel();
 
   /// Persists the trained Q-network (extension; DESIGN.md §7).
   Status SaveAgent(const std::string& path);
@@ -106,6 +117,8 @@ class Aa : public InteractiveAlgorithm {
   size_t input_dim_;
   rl::DqnAgent agent_;
   size_t episodes_trained_ = 0;
+  /// Lazily built by ServingModel(); reset whenever the weights change.
+  std::shared_ptr<const nn::ModelSnapshot> live_model_;
 };
 
 }  // namespace isrl

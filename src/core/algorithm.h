@@ -28,7 +28,8 @@ namespace isrl {
 
 class Matrix;
 namespace nn {
-class Network;
+class ModelProvider;
+class ModelSnapshot;
 }  // namespace nn
 
 /// A question: "do you prefer data.point(i) or data.point(j)?".
@@ -123,6 +124,17 @@ struct SessionConfig {
   /// blocking Interact() path — never run two seedless sessions
   /// concurrently.
   std::optional<uint64_t> seed;
+  /// The immutable model snapshot this session scores through, pinned for
+  /// the whole episode (nn/registry.h, DESIGN.md §18). RL algorithms fall
+  /// back to their live serving snapshot when unset; either way a later
+  /// ModelRegistry::Publish never changes what an in-flight session
+  /// computes. Ignored by model-free baselines.
+  std::shared_ptr<const nn::ModelSnapshot> model;
+  /// Restore-time model resolver (RestoreSession only): maps the model
+  /// version recorded in a session snapshot back to a pinned snapshot.
+  /// When null, restore pins `model` if set, else the algorithm's live
+  /// serving snapshot — always subject to the §14 fingerprint check.
+  nn::ModelProvider* models = nullptr;
 };
 
 /// One resumable interactive episode, inverted into a sans-IO state machine
@@ -167,20 +179,22 @@ class InteractionSession {
   // ---- Cross-session batched-scoring protocol (optional; EA/AA). --------
   // An RL session that is about to pick its next question first exposes the
   // row-stacked features of its candidate pool here. A driver MAY score
-  // them (one Q-value per row, via ScoringNetwork()->PredictBatch — the
-  // SessionScheduler coalesces many sessions' rows into one call) and post
-  // the scores back; a driver that ignores the protocol loses nothing, as
-  // the session scores itself on the next NextQuestion(). Both routes are
-  // bit-identical (PredictBatch is bit-identical per row at any batch size).
+  // them (one Q-value per row, via ScoringModel()->Score — the
+  // SessionScheduler coalesces the rows of every session pinning the same
+  // ModelSnapshot into one PredictBatch per tick) and post the scores back;
+  // a driver that ignores the protocol loses nothing, as the session scores
+  // itself on the next NextQuestion(). Both routes are bit-identical
+  // (PredictBatch is bit-identical per row at any batch size).
 
   /// Candidate features awaiting scoring, or nullptr. One row per
   /// candidate; valid until PostCandidateScores/NextQuestion/PostAnswer.
   virtual const Matrix* PendingCandidateFeatures() const { return nullptr; }
 
-  /// The network that must score PendingCandidateFeatures(); sessions of
-  /// one algorithm instance share it, which is what makes cross-session
+  /// The immutable model snapshot that must score
+  /// PendingCandidateFeatures() (nn/registry.h). Sessions pinned to the
+  /// same snapshot share the pointer, which is what makes cross-session
   /// coalescing possible. Null when no scoring is pending.
-  virtual nn::Network* ScoringNetwork() { return nullptr; }
+  virtual const nn::ModelSnapshot* ScoringModel() const { return nullptr; }
 
   /// Delivers the Q-values of PendingCandidateFeatures() (`count` must equal
   /// its row count); the session picks argmax exactly as it would have
@@ -190,15 +204,31 @@ class InteractionSession {
     (void)count;
   }
 
+  // ---- Continuous-learning hooks (optional; DESIGN.md §18). --------------
+
+  /// Version of the model snapshot driving this session: what the session
+  /// pinned at start (0 for an unregistered live model and for model-free
+  /// baselines). Recorded in harvest records and the sharded manifest.
+  virtual uint64_t ModelVersion() const { return 0; }
+
+  /// A point estimate of the user's utility vector as learned by this
+  /// episode (EA: centroid of the final range; AA: rectangle midpoint) —
+  /// the replay sample trace-driven retraining feeds back into Train().
+  /// nullopt when the algorithm learns no utility region or the region
+  /// degenerated.
+  virtual std::optional<Vec> HarvestUtility() const { return std::nullopt; }
+
   // ---- Durability (DESIGN.md §14). ---------------------------------------
 
   /// Serialises the complete episode state into a versioned, CRC-framed
   /// byte string (core/snapshot framing). A session restored from these
   /// bytes via InteractiveAlgorithm::RestoreSession continues bit-
   /// identically: same questions, same Rng draw order, same Termination.
-  /// Q-network weights are NOT embedded — RL snapshots carry a model
-  /// fingerprint and are bound to their algorithm instance's live network
-  /// at restore. Callable in any state, including mid-question and after
+  /// Q-network weights are NOT embedded — RL snapshots carry the pinned
+  /// model's version and fingerprint, and restore re-pins that exact model
+  /// (SessionConfig::models / config.model, falling back to the algorithm
+  /// instance's live network). Callable in any state, including mid-question
+  /// and after
   /// termination. Default: Unimplemented (a session type without
   /// durability support degrades to a Status, never a crash).
   virtual Result<std::string> SaveState() const {
@@ -245,10 +275,14 @@ class InteractiveAlgorithm {
       const SessionConfig& config) = 0;
 
   /// Reopens a session from InteractionSession::SaveState bytes
-  /// (DESIGN.md §14). Only `config.trace` is honoured — budget caps, the
-  /// remaining deadline, and the Rng state all come from the snapshot, so
-  /// the restored episode continues bit-identically to one that never
-  /// stopped. Every failure mode — wrong algorithm kind, truncated or
+  /// (DESIGN.md §14). Only `config.trace`, `config.models`, and
+  /// `config.model` are honoured — budget caps, the remaining deadline, and
+  /// the Rng state all come from the snapshot, so the restored episode
+  /// continues bit-identically to one that never stopped. RL sessions
+  /// re-pin the model version recorded in the snapshot through
+  /// `config.models` (else `config.model`, else the instance's live model)
+  /// and verify its §14 fingerprint. Every failure mode — wrong algorithm
+  /// kind, truncated or
   /// corrupted frames, version skew, non-finite payloads, dataset or
   /// Q-network mismatch — returns a descriptive Status; restore never
   /// crashes. Default: Unimplemented.

@@ -17,7 +17,8 @@ namespace isrl {
 
 namespace {
 constexpr char kEaSnapshotKind[] = "ea-session";
-constexpr uint32_t kEaSnapshotVersion = 1;
+// v2 added the pinned model's registry version next to its fingerprint.
+constexpr uint32_t kEaSnapshotVersion = 2;
 }  // namespace
 
 Ea::Ea(const Dataset& data, const EaOptions& options)
@@ -30,6 +31,25 @@ Ea::Ea(const Dataset& data, const EaOptions& options)
   ISRL_CHECK(!data.empty());
   ISRL_CHECK_GT(options.epsilon, 0.0);
   ISRL_CHECK_LT(options.epsilon, 1.0);
+}
+
+Ea::Ea(const Ea& other)
+    : data_(other.data_),
+      options_(other.options_),
+      rng_(other.rng_),
+      input_dim_(other.input_dim_),
+      agent_(other.agent_),
+      episodes_trained_(other.episodes_trained_) {}
+
+std::shared_ptr<const nn::ModelSnapshot> Ea::ServingModel() {
+  // The fingerprint check also catches out-of-band mutation through
+  // agent(): a stale snapshot would silently serve old weights.
+  if (live_model_ == nullptr ||
+      !live_model_->SameWeights(agent_.main_network())) {
+    live_model_ =
+        std::make_shared<const nn::ModelSnapshot>(0, agent_.main_network());
+  }
+  return live_model_;
 }
 
 Ea::RoundPlan Ea::PlanRound(const Polyhedron& range, Rng& rng) {
@@ -162,6 +182,7 @@ TrainStats Ea::Train(const std::vector<Vec>& training_utilities) {
                           : static_cast<double>(total_rounds) /
                                 static_cast<double>(training_utilities.size());
   stats.final_loss = last_loss;
+  live_model_.reset();  // weights changed; the next session re-snapshots
   return stats;
 }
 
@@ -182,6 +203,7 @@ class Ea::Session final : public InteractionSession {
         owned_rng_(config.seed ? std::optional<Rng>(Rng(*config.seed))
                                : std::nullopt),
         range_(Polyhedron::UnitSimplex(owner.data_.dim())) {
+    model_ = config.model != nullptr ? config.model : owner.ServingModel();
     plan_ = owner_.PlanRound(range_, rng());
     state_ = EncodeEaState(range_, owner_.options_.state);
     fallback_best_ = owner_.data_.TopIndex(range_.Centroid());
@@ -192,8 +214,8 @@ class Ea::Session final : public InteractionSession {
     if (finished_) return std::nullopt;
     if (scoring_pending_) {
       // No driver scored the candidates for us: score them here. Same
-      // matrix, same network, same argmax — bit-identical either way.
-      TakePick(owner_.agent_.SelectGreedy(pending_features_));
+      // matrix, same weights, same argmax — bit-identical either way.
+      TakePick(model_->Score(pending_features_).ArgMax());
     }
     return question_;
   }
@@ -263,8 +285,8 @@ class Ea::Session final : public InteractionSession {
     return scoring_pending_ ? &pending_features_ : nullptr;
   }
 
-  nn::Network* ScoringNetwork() override {
-    return scoring_pending_ ? &owner_.agent_.main_network() : nullptr;
+  const nn::ModelSnapshot* ScoringModel() const override {
+    return scoring_pending_ ? model_.get() : nullptr;
   }
 
   void PostCandidateScores(const double* scores, size_t count) override {
@@ -277,6 +299,15 @@ class Ea::Session final : public InteractionSession {
       if (scores[i] > scores[pick]) pick = i;
     }
     TakePick(pick);
+  }
+
+  uint64_t ModelVersion() const override {
+    return model_ == nullptr ? 0 : model_->version();
+  }
+
+  std::optional<Vec> HarvestUtility() const override {
+    if (range_.IsEmpty()) return std::nullopt;
+    return range_.Centroid();
   }
 
   // ---- Durability (DESIGN.md §14). ---------------------------------------
@@ -311,9 +342,11 @@ class Ea::Session final : public InteractionSession {
     core.rng = rng();
     core.trace = trace_;  // figure vectors ride along (may be null)
     snapshot::EncodeSessionCore(core, &w);
-    // Model identity, not model weights: the Q-network belongs to the
-    // algorithm instance and is persisted separately (nn/serialize).
-    w.U64(nn::NetworkFingerprint(owner_.agent_.main_network()));
+    // Model identity, not model weights: the pinned snapshot's §14
+    // fingerprint plus its registry version (0 = unregistered live model);
+    // weights are persisted separately (nn/serialize, nn/registry).
+    w.U64(model_->fingerprint());
+    w.U64(model_->version());
     snapshot::EncodePolyhedron(range_, &w);
     w.Bool(plan_.terminal);
     w.Bool(plan_.stalled);
@@ -332,7 +365,7 @@ class Ea::Session final : public InteractionSession {
 
   /// Fills the shell from an unwrapped payload; every failure leaves the
   /// shell unusable but the process unharmed (the caller discards it).
-  Status Decode(const std::string& payload) {
+  Status Decode(const std::string& payload, const SessionConfig& config) {
     snapshot::Reader r(payload);
     snapshot::SessionCore core;
     ISRL_RETURN_IF_ERROR(snapshot::DecodeSessionCore(&r, &core));
@@ -342,14 +375,30 @@ class Ea::Session final : public InteractionSession {
       return Status::InvalidArgument("EA snapshot: missing rng state");
     }
     const uint64_t fingerprint = r.U64();
-    const uint64_t live_fingerprint =
-        nn::NetworkFingerprint(owner_.agent_.main_network());
-    if (!r.failed() && fingerprint != live_fingerprint) {
-      return Status::FailedPrecondition(Format(
-          "EA snapshot is bound to Q-network %016llx but this instance "
-          "serves %016llx (retrained or different model)",
-          static_cast<unsigned long long>(fingerprint),
-          static_cast<unsigned long long>(live_fingerprint)));
+    const uint64_t model_version = r.U64();
+    // Re-pin the exact model the session was saved under: the restore-time
+    // provider by version, else the caller's explicit pin, else this
+    // instance's live model — always verified against the §14 fingerprint.
+    std::shared_ptr<const nn::ModelSnapshot> model;
+    if (!r.failed()) {
+      if (config.models != nullptr) {
+        model = config.models->Pin(model_version);
+        if (model == nullptr && config.model == nullptr) {
+          return Status::FailedPrecondition(Format(
+              "EA snapshot is pinned to model version %llu, which the "
+              "restore-time model provider does not serve",
+              static_cast<unsigned long long>(model_version)));
+        }
+      }
+      if (model == nullptr) model = config.model;
+      if (model == nullptr) model = owner_.ServingModel();
+      if (fingerprint != model->fingerprint()) {
+        return Status::FailedPrecondition(Format(
+            "EA snapshot is bound to Q-network %016llx but this instance "
+            "serves %016llx (retrained or different model)",
+            static_cast<unsigned long long>(fingerprint),
+            static_cast<unsigned long long>(model->fingerprint())));
+      }
     }
     Result<Polyhedron> range = snapshot::DecodePolyhedron(&r);
     ISRL_RETURN_IF_ERROR(range.status());
@@ -407,6 +456,7 @@ class Ea::Session final : public InteractionSession {
     }
 
     result_ = core.result;
+    model_ = std::move(model);
     max_rounds_ = static_cast<size_t>(core.max_rounds);
     deadline_ = core.deadline;
     owned_rng_ = core.rng;
@@ -510,6 +560,9 @@ class Ea::Session final : public InteractionSession {
   Vec state_;
   size_t fallback_best_ = 0;
 
+  /// The immutable model snapshot pinned at start (or re-pinned at
+  /// restore); every score this session computes goes through it.
+  std::shared_ptr<const nn::ModelSnapshot> model_;
   Matrix pending_features_;
   SessionQuestion question_;
   bool scoring_pending_ = false;
@@ -520,11 +573,13 @@ class Ea::Session final : public InteractionSession {
 std::unique_ptr<InteractionSession> Ea::StartSession(
     const SessionConfig& config) {
   // Audit at the inference call site: a session served from a NaN-weighted
-  // Q-network asks arbitrary questions yet terminates "normally".
+  // Q-network asks arbitrary questions yet terminates "normally". Check the
+  // network the session will actually score through.
   if (audit::ShouldCheck(audit::Checker::kNnFinite)) {
-    audit::Auditor().Record(
-        audit::Checker::kNnFinite, "Ea.StartSession",
-        audit::CheckNetworkFinite(agent_.main_network(), "main"));
+    nn::Network& network = config.model != nullptr ? config.model->network()
+                                                   : agent_.main_network();
+    audit::Auditor().Record(audit::Checker::kNnFinite, "Ea.StartSession",
+                            audit::CheckNetworkFinite(network, "main"));
   }
   return std::make_unique<Session>(*this, config);
 }
@@ -536,7 +591,7 @@ Result<std::unique_ptr<InteractionSession>> Ea::RestoreSession(
       snapshot::UnwrapFrame(kEaSnapshotKind, kEaSnapshotVersion, bytes));
   auto session =
       std::make_unique<Session>(*this, config.trace, Session::RestoreTag{});
-  ISRL_RETURN_IF_ERROR(session->Decode(payload));
+  ISRL_RETURN_IF_ERROR(session->Decode(payload, config));
   return std::unique_ptr<InteractionSession>(std::move(session));
 }
 
@@ -558,6 +613,7 @@ Status Ea::LoadAgent(const std::string& path) {
   }
   agent_.main_network().CopyParamsFrom(loaded);
   agent_.SyncTarget();
+  live_model_.reset();  // weights changed; the next session re-snapshots
   return Status::Ok();
 }
 

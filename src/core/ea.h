@@ -10,6 +10,7 @@
 #ifndef ISRL_CORE_EA_H_
 #define ISRL_CORE_EA_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/ea_actions.h"
 #include "core/ea_state.h"
 #include "data/dataset.h"
+#include "nn/registry.h"
 #include "rl/dqn.h"
 
 namespace isrl {
@@ -47,6 +49,12 @@ class Ea : public InteractiveAlgorithm {
  public:
   Ea(const Dataset& data, const EaOptions& options);
 
+  /// Explicit copy (CloneForEval): same dataset binding, same Q-network
+  /// weights (Adam moments reset), but the live serving snapshot is
+  /// deliberately NOT shared — each clone lazily builds its own, so model
+  /// inference scratch is never shared across evaluation threads.
+  Ea(const Ea& other);
+
   /// Algorithm 1: one ε-greedy training episode per utility vector.
   TrainStats Train(const std::vector<Vec>& training_utilities);
 
@@ -70,6 +78,14 @@ class Ea : public InteractiveAlgorithm {
   /// Number of scalar geometric descriptors appended to each action's
   /// features (balance, centroid distance).
   static constexpr size_t kActionDescriptors = 2;
+
+  /// The live serving snapshot of this instance's Q-network (version 0 —
+  /// unregistered), built lazily and refreshed whenever the weights change
+  /// (Train, LoadAgent, or direct agent() mutation, caught by a fingerprint
+  /// check). Sessions started without an explicit SessionConfig::model pin
+  /// this snapshot, so retraining never affects an in-flight episode
+  /// (DESIGN.md §18).
+  std::shared_ptr<const nn::ModelSnapshot> ServingModel();
 
   /// Persists the trained Q-network so a later process can skip Train()
   /// (extension; DESIGN.md §7).
@@ -121,6 +137,8 @@ class Ea : public InteractiveAlgorithm {
   size_t input_dim_;
   rl::DqnAgent agent_;
   size_t episodes_trained_ = 0;
+  /// Lazily built by ServingModel(); reset whenever the weights change.
+  std::shared_ptr<const nn::ModelSnapshot> live_model_;
 };
 
 }  // namespace isrl

@@ -2,10 +2,12 @@
 #ifndef ISRL_CORE_METRICS_H_
 #define ISRL_CORE_METRICS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/budget.h"
+#include "common/vec.h"
 
 namespace isrl {
 
@@ -34,6 +36,19 @@ struct OutcomeCounts {
   void Count(Termination termination);
   /// Episodes that ended in any non-converged outcome.
   size_t Failures() const { return degraded + budget_exhausted + aborted; }
+};
+
+/// One completed session distilled for the continuous-learning loop
+/// (DESIGN.md §18): the outcome and round count feed drift detection
+/// (serve/drift.h), the learned utility estimate is the replay sample
+/// trace-driven retraining trains on (serve/trace_store.h), and the model
+/// version says which published snapshot served the episode.
+struct SessionTraceRecord {
+  uint64_t model_version = 0;  ///< InteractionSession::ModelVersion()
+  size_t rounds = 0;
+  Termination termination = Termination::kConverged;
+  bool has_utility = false;  ///< HarvestUtility() produced an estimate
+  Vec utility;               ///< meaningful only when has_utility
 };
 
 /// Per-algorithm evaluation outcome over a population of simulated users —

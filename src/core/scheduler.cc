@@ -9,7 +9,7 @@
 #include "common/strings.h"
 #include "common/vec.h"
 #include "core/snapshot.h"
-#include "nn/network.h"
+#include "nn/registry.h"
 
 namespace isrl {
 
@@ -65,7 +65,9 @@ SessionScheduler::SessionId SessionScheduler::Add(
                                         : SlotState::kRunnable;
   if (slot.state == SlotState::kRunnable) ++active_;
   slots_.push_back(std::move(slot));
-  return slots_.size() - 1;
+  const SessionId id = slots_.size() - 1;
+  if (slots_[id].state == SlotState::kFinished) EmitHarvest(id);
+  return id;
 }
 
 SessionScheduler::SessionId SessionScheduler::Add(
@@ -109,7 +111,8 @@ Result<std::string> SessionScheduler::CheckpointAll() const {
 }
 
 Result<SessionScheduler> SessionScheduler::RestoreAll(
-    const std::string& bytes, const AlgorithmResolver& resolver) {
+    const std::string& bytes, const AlgorithmResolver& resolver,
+    nn::ModelProvider* models) {
   ISRL_ASSIGN_OR_RETURN(
       std::string payload,
       snapshot::UnwrapFrame(kPopulationKind, kPopulationVersion, bytes));
@@ -152,8 +155,10 @@ Result<SessionScheduler> SessionScheduler::RestoreAll(
           cause = Status::NotFound(Format(
               "restore: no algorithm registered for '%s'", name.c_str()));
         } else {
+          SessionConfig restore_config;
+          restore_config.models = models;
           Result<std::unique_ptr<InteractionSession>> session =
-              algorithm->RestoreSession(session_bytes, SessionConfig{});
+              algorithm->RestoreSession(session_bytes, restore_config);
           if (session.ok()) {
             slot.session = std::move(*session);
             slot.algorithm = algorithm;
@@ -190,11 +195,13 @@ Result<SessionScheduler> SessionScheduler::RestoreAll(
 // (serve/sharding.h); no internal locking by design — see the class comment.
 std::vector<PendingQuestion> SessionScheduler::Tick() {
   // Coalesced scoring pass: group the pending feature rows of all runnable
-  // sessions by scoring network, in first-seen session order. Group layout
-  // and batch size never affect a row's scores (PredictBatch is
-  // bit-identical per row), so this is purely a throughput optimisation.
+  // sessions by pinned model snapshot, in first-seen session order. Group
+  // layout and batch size never affect a row's scores (batched scoring is
+  // bit-identical per row), so this is purely a throughput optimisation —
+  // and after a hot-swap, sessions pinning different registry versions
+  // simply land in different groups (DESIGN.md §18).
   struct Group {
-    nn::Network* network;
+    const nn::ModelSnapshot* model;
     std::vector<double> rows;                        // row-major stack
     size_t cols = 0;
     std::vector<std::pair<size_t, size_t>> members;  // (session id, row count)
@@ -204,16 +211,16 @@ std::vector<PendingQuestion> SessionScheduler::Tick() {
     Slot& slot = slots_[id];
     if (slot.state != SlotState::kRunnable) continue;
     const Matrix* features = slot.session->PendingCandidateFeatures();
-    nn::Network* network = slot.session->ScoringNetwork();
-    if (features == nullptr || network == nullptr || features->rows() == 0) {
+    const nn::ModelSnapshot* model = slot.session->ScoringModel();
+    if (features == nullptr || model == nullptr || features->rows() == 0) {
       continue;  // session scores itself (or has nothing to score)
     }
     Group* group = nullptr;
     for (Group& g : groups) {
-      if (g.network == network) { group = &g; break; }
+      if (g.model == model) { group = &g; break; }
     }
     if (group == nullptr) {
-      groups.push_back(Group{network, {}, features->cols(), {}});
+      groups.push_back(Group{model, {}, features->cols(), {}});
       group = &groups.back();
     }
     ISRL_CHECK_EQ(group->cols, features->cols());
@@ -225,7 +232,7 @@ std::vector<PendingQuestion> SessionScheduler::Tick() {
   for (Group& group : groups) {
     const size_t total = group.rows.size() / group.cols;
     Matrix batch(total, group.cols, std::move(group.rows));
-    Vec scores = group.network->PredictBatch(batch);
+    Vec scores = group.model->Score(batch);
     size_t offset = 0;
     for (const auto& [id, count] : group.members) {
       slots_[id].session->PostCandidateScores(&scores[offset], count);
@@ -253,9 +260,29 @@ std::vector<PendingQuestion> SessionScheduler::Tick() {
     } else {
       slot.state = SlotState::kFinished;
       --active_;
+      EmitHarvest(id);
     }
   }
   return questions;
+}
+
+void SessionScheduler::EmitHarvest(SessionId id) {
+  if (!harvest_) return;
+  Slot& slot = slots_[id];
+  if (slot.session == nullptr) return;
+  // Finish() is idempotent on a finished session; Take/TryTake can still
+  // hand the result out later.
+  const InteractionResult result = slot.session->Finish();
+  SessionTraceRecord record;
+  record.model_version = slot.session->ModelVersion();
+  record.rounds = result.rounds;
+  record.termination = result.termination;
+  std::optional<Vec> utility = slot.session->HarvestUtility();
+  if (utility.has_value()) {
+    record.has_utility = true;
+    record.utility = std::move(*utility);
+  }
+  harvest_(id, record);
 }
 
 void SessionScheduler::PostAnswer(SessionId id, Answer answer) {
@@ -310,6 +337,7 @@ Status SessionScheduler::TryCancel(SessionId id) {
   slot.session->Cancel();
   slot.state = SlotState::kFinished;
   --active_;
+  EmitHarvest(id);
   return Status::Ok();
 }
 
@@ -561,10 +589,11 @@ Result<SessionStore> SessionStore::LoadFile(const std::string& path) {
 }
 
 Result<SessionScheduler> RecoverScheduler(const SessionStore& store,
-                                          const AlgorithmResolver& resolver) {
+                                          const AlgorithmResolver& resolver,
+                                          nn::ModelProvider* models) {
   ISRL_ASSIGN_OR_RETURN(
       SessionScheduler scheduler,
-      SessionScheduler::RestoreAll(store.population(), resolver));
+      SessionScheduler::RestoreAll(store.population(), resolver, models));
   // Replay the WAL on top of the snapshot. Answers were logged in delivery
   // order, and within one original Tick each session answers at most once —
   // so whenever the next record's target is runnable (not yet asked), ALL

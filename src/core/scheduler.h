@@ -7,13 +7,15 @@
 // advances all runnable sessions at once. RL sessions (EA/AA) that are
 // about to pick a question expose their row-stacked candidate features
 // through the InteractionSession scoring protocol; the scheduler stacks the
-// rows of every runnable session that shares a Q-network into ONE
-// Network::PredictBatch call per tick — the PR-4 GEMM kernels finally run
-// at cross-session batch sizes instead of one round's pool. Because
-// PredictBatch is bit-identical per row at any batch size and the argmax is
-// per-session, every session still picks exactly the action it would have
-// picked scoring itself: scheduler results equal sequential Interact()
-// results whenever the sessions are seeded (SessionConfig::seed).
+// rows of every runnable session pinning the same ModelSnapshot into ONE
+// batched Score call per tick — the PR-4 GEMM kernels finally run at
+// cross-session batch sizes instead of one round's pool, and after a
+// registry hot-swap (DESIGN.md §18) old-pin and new-pin sessions simply
+// form separate groups. Because batched scoring is bit-identical per row at
+// any batch size and the argmax is per-session, every session still picks
+// exactly the action it would have picked scoring itself: scheduler results
+// equal sequential Interact() results whenever the sessions are seeded
+// (SessionConfig::seed).
 // Durability (DESIGN.md §14): the scheduler's population can be checkpointed
 // as one framed blob (CheckpointAll/RestoreAll), and SessionStore adds a
 // write-ahead answer log on top — every answer is logged before it is
@@ -32,6 +34,7 @@
 
 #include "common/status.h"
 #include "core/algorithm.h"
+#include "core/metrics.h"
 #include "user/user.h"
 
 namespace isrl {
@@ -48,6 +51,13 @@ struct PendingQuestion {
 /// session instead of failing the whole restore.
 using AlgorithmResolver =
     std::function<InteractiveAlgorithm*(const std::string& name)>;
+
+/// Called once per session as it finishes (terminates, cancels, or arrives
+/// already-finished), with the session id and its distilled trace record —
+/// the feed of the continuous-learning loop (DESIGN.md §18). Invoked
+/// synchronously from Tick()/TryCancel()/Add(), so it must not call back
+/// into the scheduler.
+using HarvestSink = std::function<void(size_t, const SessionTraceRecord&)>;
 
 /// Single-threaded cooperative scheduler over InteractionSessions. Typical
 /// drive loop:
@@ -104,15 +114,23 @@ class SessionScheduler {
   /// hard error; a *per-slot* failure (unknown algorithm, rejected session
   /// snapshot) degrades that slot to a finished session whose result is
   /// Termination::kAborted carrying the cause — the scheduler keeps serving
-  /// every other slot (DESIGN.md §14).
+  /// every other slot (DESIGN.md §14). `models` (optional) is handed to
+  /// every RestoreSession via SessionConfig::models, so sessions saved
+  /// under a registry version re-pin that exact snapshot (DESIGN.md §18).
   static Result<SessionScheduler> RestoreAll(const std::string& bytes,
-                                             const AlgorithmResolver& resolver);
+                                             const AlgorithmResolver& resolver,
+                                             nn::ModelProvider* models = nullptr);
+
+  /// Installs the trace-harvest sink (replacing any previous one). Applies
+  /// to sessions that finish afterwards; set it before Add()ing sessions to
+  /// also catch ones that terminate inside StartSession.
+  void SetHarvestSink(HarvestSink sink) { harvest_ = std::move(sink); }
 
   /// Advances every runnable session to its next question. First coalesces
   /// pending candidate scoring: the feature rows of all runnable sessions
-  /// are grouped by scoring network (in first-seen session order), each
-  /// group runs one PredictBatch, and the per-session slices are posted
-  /// back. Then NextQuestion() is collected per session in id order.
+  /// are grouped by pinned model snapshot (in first-seen session order),
+  /// each group runs one batched Score, and the per-session slices are
+  /// posted back. Then NextQuestion() is collected per session in id order.
   /// Sessions that terminate contribute no question and become finished.
   std::vector<PendingQuestion> Tick();
 
@@ -172,8 +190,13 @@ class SessionScheduler {
     Status abort_status = Status::Ok();
   };
 
+  /// Feeds the finished session at `id` to the harvest sink (no-op without
+  /// a sink or for slots whose session was discarded).
+  void EmitHarvest(SessionId id);
+
   std::vector<Slot> slots_;
   size_t active_ = 0;
+  HarvestSink harvest_;
 };
 
 /// Convenience driver for simulation: answers every pending question from
@@ -269,8 +292,11 @@ class SessionStore {
 /// absorbed the session); a record that a *healthy* session cannot accept is
 /// a hard "WAL out of sync" error, because it means the log and snapshot do
 /// not belong together.
+/// `models` flows into RestoreAll so registry-pinned sessions reopen under
+/// the exact version they were saved with (DESIGN.md §18).
 Result<SessionScheduler> RecoverScheduler(const SessionStore& store,
-                                          const AlgorithmResolver& resolver);
+                                          const AlgorithmResolver& resolver,
+                                          nn::ModelProvider* models = nullptr);
 
 /// Crash-injection point for the durability harness: the simulated process
 /// dies immediately BEFORE asking the user for answer number

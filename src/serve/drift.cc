@@ -1,0 +1,81 @@
+#include "serve/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace isrl {
+
+DriftBaseline DriftBaseline::FromPopulation(const std::vector<double>& rounds,
+                                            const OutcomeCounts& outcomes) {
+  const Summary summary = Summarize(rounds);
+  DriftBaseline baseline;
+  baseline.mean_rounds = summary.mean;
+  baseline.stddev_rounds = summary.stddev;
+  baseline.episodes = summary.count;
+  baseline.failure_fraction =
+      summary.count == 0 ? 0.0
+                         : static_cast<double>(outcomes.Failures()) /
+                               static_cast<double>(summary.count);
+  return baseline;
+}
+
+DriftReport DetectDrift(const DriftBaseline& baseline,
+                        const std::vector<SessionTraceRecord>& live,
+                        const DriftOptions& options) {
+  DriftReport report;
+  report.baseline_mean_rounds = baseline.mean_rounds;
+  report.baseline_failure_fraction = baseline.failure_fraction;
+  report.live_episodes = live.size();
+
+  std::vector<double> rounds;
+  rounds.reserve(live.size());
+  OutcomeCounts outcomes;
+  for (const SessionTraceRecord& record : live) {
+    rounds.push_back(static_cast<double>(record.rounds));
+    outcomes.Count(record.termination);
+  }
+  const Summary summary = Summarize(rounds);
+  report.live_mean_rounds = summary.mean;
+  report.live_failure_fraction =
+      live.empty() ? 0.0
+                   : static_cast<double>(outcomes.Failures()) /
+                         static_cast<double>(live.size());
+
+  if (live.size() < options.min_live_episodes || baseline.episodes == 0) {
+    return report;  // too little evidence; never flag
+  }
+
+  // Two-sample z on mean rounds. The denominator floor keeps a degenerate
+  // (zero-variance) pair from dividing by zero: any mean shift then
+  // produces a huge |z|, which is the right answer for identical-rounds
+  // populations that suddenly change.
+  const double var_b = baseline.stddev_rounds * baseline.stddev_rounds;
+  const double var_l = summary.stddev * summary.stddev;
+  const double denom = std::max(
+      std::sqrt(var_b / static_cast<double>(baseline.episodes) +
+                var_l / static_cast<double>(live.size())),
+      1e-9);
+  report.rounds_z = (summary.mean - baseline.mean_rounds) / denom;
+
+  if (std::abs(report.rounds_z) > options.z_threshold) {
+    report.drifted = true;
+    report.reason = Format(
+        "mean rounds shifted %.2f -> %.2f (z = %.2f, threshold %.2f)",
+        baseline.mean_rounds, summary.mean, report.rounds_z,
+        options.z_threshold);
+    return report;
+  }
+  if (report.live_failure_fraction >
+      baseline.failure_fraction + options.failure_delta) {
+    report.drifted = true;
+    report.reason = Format(
+        "failure fraction rose %.2f -> %.2f (allowed delta %.2f)",
+        baseline.failure_fraction, report.live_failure_fraction,
+        options.failure_delta);
+  }
+  return report;
+}
+
+}  // namespace isrl

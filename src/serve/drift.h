@@ -1,0 +1,70 @@
+// Drift detection for the continuous-learning loop (DESIGN.md §18).
+//
+// A retrained model is only as good as the population it was trained on:
+// when the live user population shifts (harder utilities, noisier answers),
+// the live round-count and failure distributions drift away from the
+// training baseline, and the serving side should notice BEFORE regression
+// metrics do. DetectDrift compares the harvested live traces (TraceStore
+// window) against a DriftBaseline captured from the training population,
+// using a two-sample z-test on mean rounds plus an absolute
+// failure-fraction delta. Deterministic: same inputs, same report.
+#ifndef ISRL_SERVE_DRIFT_H_
+#define ISRL_SERVE_DRIFT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace isrl {
+
+/// The training population's round-count and failure statistics — the
+/// reference the live population is compared against.
+struct DriftBaseline {
+  double mean_rounds = 0.0;
+  double stddev_rounds = 0.0;
+  size_t episodes = 0;
+  double failure_fraction = 0.0;  ///< non-converged episodes / episodes
+
+  /// Distils a baseline from per-episode round counts and outcome tallies
+  /// (e.g. the training eval's numbers, or a TraceStore window captured
+  /// right after a retrain).
+  static DriftBaseline FromPopulation(const std::vector<double>& rounds,
+                                      const OutcomeCounts& outcomes);
+};
+
+struct DriftOptions {
+  /// |z| of the live mean-rounds shift that flags drift.
+  double z_threshold = 3.0;
+  /// Live failure fraction exceeding the baseline's by this much flags
+  /// drift regardless of the z-test.
+  double failure_delta = 0.25;
+  /// Below this many live episodes the detector never flags (too little
+  /// evidence — early serving would otherwise trip on noise).
+  size_t min_live_episodes = 16;
+};
+
+struct DriftReport {
+  bool drifted = false;
+  /// Two-sample z statistic of the live vs. baseline mean rounds (positive:
+  /// live episodes run longer).
+  double rounds_z = 0.0;
+  double live_mean_rounds = 0.0;
+  double baseline_mean_rounds = 0.0;
+  double live_failure_fraction = 0.0;
+  double baseline_failure_fraction = 0.0;
+  size_t live_episodes = 0;
+  /// Human-readable cause when drifted (empty otherwise).
+  std::string reason;
+};
+
+/// Compares the live trace records against the baseline. Never flags with
+/// fewer than options.min_live_episodes live records.
+DriftReport DetectDrift(const DriftBaseline& baseline,
+                        const std::vector<SessionTraceRecord>& live,
+                        const DriftOptions& options = DriftOptions{});
+
+}  // namespace isrl
+
+#endif  // ISRL_SERVE_DRIFT_H_

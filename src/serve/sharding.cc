@@ -7,13 +7,16 @@
 #include "common/mutex.h"
 #include "common/strings.h"
 #include "core/snapshot.h"
+#include "nn/registry.h"
 
 namespace isrl {
 
 namespace {
 
 constexpr char kManifestKind[] = "shard-manifest";
-constexpr uint32_t kManifestVersion = 1;
+// v2 appended the registry's latest version + fingerprint so recovery can
+// refuse a model provider that no longer serves this population's models.
+constexpr uint32_t kManifestVersion = 2;
 
 // A batch entry whose mirror said it was deliverable must be applicable to
 // the shard's scheduler — a rejection means the mirror and the scheduler
@@ -71,7 +74,8 @@ std::string ShardedScheduler::ManifestPath(const std::string& prefix) {
   return prefix + ".manifest";
 }
 
-Status ShardedScheduler::EnableDurability(const std::string& path_prefix) {
+Status ShardedScheduler::EnableDurability(const std::string& path_prefix,
+                                          const nn::ModelRegistry* registry) {
   ISRL_CHECK(!running_.load(std::memory_order_acquire));
   for (size_t k = 0; k < shards_.size(); ++k) {
     Shard& shard = *shards_[k];
@@ -86,6 +90,13 @@ Status ShardedScheduler::EnableDurability(const std::string& path_prefix) {
   snapshot::Writer w;
   w.U64(shards_.size());
   w.U64(size_);
+  std::shared_ptr<const nn::ModelSnapshot> latest =
+      registry != nullptr ? registry->Latest() : nullptr;
+  w.U8(latest != nullptr ? 1 : 0);
+  if (latest != nullptr) {
+    w.U64(latest->version());
+    w.U64(latest->fingerprint());
+  }
   return snapshot::WriteFileBytes(
       ManifestPath(path_prefix),
       snapshot::WrapFrame(kManifestKind, kManifestVersion, w.bytes()));
@@ -93,19 +104,52 @@ Status ShardedScheduler::EnableDurability(const std::string& path_prefix) {
 
 Result<std::unique_ptr<ShardedScheduler>> ShardedScheduler::Recover(
     const ShardedOptions& options, const std::string& path_prefix,
-    const ShardAlgorithmResolver& resolver) {
+    const ShardAlgorithmResolver& resolver, const ShardModelProvider& models) {
   auto engine = std::make_unique<ShardedScheduler>(options);
   const size_t num_shards = engine->shards();
 
   ISRL_ASSIGN_OR_RETURN(std::string manifest_bytes,
                         snapshot::ReadFileBytes(ManifestPath(path_prefix)));
-  ISRL_ASSIGN_OR_RETURN(
-      std::string manifest_payload,
-      snapshot::UnwrapFrame(kManifestKind, kManifestVersion, manifest_bytes));
+  // Manual frame parse instead of UnwrapFrame: v1 manifests (no registry
+  // record) stay readable.
+  size_t manifest_pos = 0;
+  std::string manifest_kind;
+  uint32_t manifest_version = 0;
+  std::string manifest_payload;
+  ISRL_RETURN_IF_ERROR(snapshot::ReadFrameAt(manifest_bytes, &manifest_pos,
+                                             &manifest_kind, &manifest_version,
+                                             &manifest_payload));
+  if (manifest_kind != kManifestKind) {
+    return Status::InvalidArgument(
+        Format("shard manifest: frame is a '%s', expected '%s'",
+               manifest_kind.c_str(), kManifestKind));
+  }
+  if (manifest_version == 0 || manifest_version > kManifestVersion) {
+    return Status::InvalidArgument(
+        Format("shard manifest: version skew (%u, this build reads <= %u)",
+               manifest_version, kManifestVersion));
+  }
+  if (manifest_pos != manifest_bytes.size()) {
+    return Status::InvalidArgument(
+        "shard manifest: trailing bytes after frame");
+  }
   snapshot::Reader manifest(manifest_payload);
   const size_t saved_shards = manifest.U64();
   const size_t saved_sessions = manifest.U64();
+  bool has_registry = false;
+  uint64_t latest_version = 0;
+  uint64_t latest_fingerprint = 0;
+  if (manifest_version >= 2) {
+    has_registry = manifest.U8() != 0;
+    if (has_registry) {
+      latest_version = manifest.U64();
+      latest_fingerprint = manifest.U64();
+    }
+  }
   ISRL_RETURN_IF_ERROR(manifest.status());
+  if (!manifest.AtEnd()) {
+    return Status::InvalidArgument("shard manifest: trailing payload bytes");
+  }
   if (saved_shards != num_shards) {
     return Status::InvalidArgument(Format(
         "recover: the manifest records a %zu-shard population but %zu "
@@ -121,8 +165,31 @@ Result<std::unique_ptr<ShardedScheduler>> ShardedScheduler::Recover(
         [&resolver, k](const std::string& name) -> InteractiveAlgorithm* {
       return resolver ? resolver(k, name) : nullptr;
     };
+    nn::ModelProvider* provider = models ? models(k) : nullptr;
+    if (has_registry && provider != nullptr) {
+      // The manifest pins the registry's head at checkpoint time; a provider
+      // that cannot serve it (or serves different weights under the same
+      // number) would make every per-session fingerprint check fail one by
+      // one — refuse up front with the real cause instead.
+      std::shared_ptr<const nn::ModelSnapshot> pinned =
+          provider->Pin(latest_version);
+      if (pinned == nullptr) {
+        return Status::FailedPrecondition(Format(
+            "recover: shard %zu's model provider does not serve registry "
+            "version %llu recorded in the manifest",
+            k, static_cast<unsigned long long>(latest_version)));
+      }
+      if (pinned->fingerprint() != latest_fingerprint) {
+        return Status::FailedPrecondition(Format(
+            "recover: shard %zu's model version %llu hashes to %016llx but "
+            "the manifest records %016llx (different registry?)",
+            k, static_cast<unsigned long long>(latest_version),
+            static_cast<unsigned long long>(pinned->fingerprint()),
+            static_cast<unsigned long long>(latest_fingerprint)));
+      }
+    }
     ISRL_ASSIGN_OR_RETURN(SessionScheduler scheduler,
-                          RecoverScheduler(store, local_resolver));
+                          RecoverScheduler(store, local_resolver, provider));
     Shard& shard = *engine->shards_[k];
     MutexLock exec(shard.exec_mu);
     shard.scheduler = std::move(scheduler);
@@ -160,6 +227,24 @@ Result<std::unique_ptr<ShardedScheduler>> ShardedScheduler::Recover(
   }
   engine->active_.store(active, std::memory_order_relaxed);
   return engine;
+}
+
+void ShardedScheduler::SetHarvestSink(HarvestSink sink) {
+  ISRL_CHECK(!running_.load(std::memory_order_acquire));
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = *shards_[k];
+    MutexLock exec(shard.exec_mu);
+    if (!sink) {
+      shard.scheduler.SetHarvestSink(nullptr);
+      continue;
+    }
+    // Rebase the shard's local ids onto the global id space before handing
+    // records to the caller's sink.
+    shard.scheduler.SetHarvestSink(
+        [this, k, sink](size_t local, const SessionTraceRecord& record) {
+          sink(GlobalOf(k, local), record);
+        });
+  }
 }
 
 void ShardedScheduler::SyncMirror(Shard& shard) {

@@ -52,6 +52,10 @@
 #include "core/scheduler.h"
 #include "user/user.h"
 
+namespace isrl::nn {
+class ModelRegistry;
+}  // namespace isrl::nn
+
 namespace isrl {
 
 struct ShardedOptions {
@@ -70,6 +74,13 @@ struct ShardedOptions {
 /// threads; returning nullptr degrades the slot (DESIGN.md §14).
 using ShardAlgorithmResolver =
     std::function<InteractiveAlgorithm*(size_t shard, const std::string& name)>;
+
+/// Per-shard model provider for Recover: maps a shard to the ModelProvider
+/// its sessions re-pin registry versions through (SessionConfig::models).
+/// Hand each shard its own ModelReplicaCache over the shared registry so
+/// snapshot inference scratch stays unshared across worker threads
+/// (DESIGN.md §18); nullptr (or a null result) restores without a provider.
+using ShardModelProvider = std::function<nn::ModelProvider*(size_t shard)>;
 
 /// N SessionScheduler shards pinned to worker threads behind a thread-safe
 /// serving boundary. Lifecycle:
@@ -110,7 +121,11 @@ class ShardedScheduler {
   /// its own SessionStore and writes "<prefix>.shard<k>" (atomic write +
   /// fsync). Call after Add()s and before Start(). Serving then
   /// write-ahead-logs every answer to the shard's file before applying it.
-  Status EnableDurability(const std::string& path_prefix);
+  /// When `registry` is given, the manifest also records its latest
+  /// version + fingerprint, so Recover can refuse a provider that no longer
+  /// serves the models this population's sessions are pinned to (§18).
+  Status EnableDurability(const std::string& path_prefix,
+                          const nn::ModelRegistry* registry = nullptr);
 
   /// The per-shard store file path: "<prefix>.shard<k>".
   static std::string ShardPath(const std::string& prefix, size_t shard);
@@ -128,7 +143,15 @@ class ShardedScheduler {
   /// same prefix) to begin a fresh epoch, then Start().
   static Result<std::unique_ptr<ShardedScheduler>> Recover(
       const ShardedOptions& options, const std::string& path_prefix,
-      const ShardAlgorithmResolver& resolver);
+      const ShardAlgorithmResolver& resolver,
+      const ShardModelProvider& models = nullptr);
+
+  /// Installs a trace-harvest sink invoked with GLOBAL session ids as
+  /// sessions finish (DESIGN.md §18). Main-thread lifecycle call (before
+  /// Start, after Add/Recover). The sink runs on shard worker threads under
+  /// the shard's exec capability: it must be thread-safe (e.g. a TraceStore)
+  /// and must not call back into this engine.
+  void SetHarvestSink(HarvestSink sink);
 
   /// Spawns one worker per shard and begins serving: workers drain their
   /// inbound queues, apply answers, tick their scheduler, and deliver new

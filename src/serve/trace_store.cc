@@ -1,0 +1,110 @@
+#include "serve/trace_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace isrl {
+
+TraceStore::TraceStore(size_t capacity) : capacity_(capacity) {
+  ISRL_CHECK_GT(capacity_, 0u);
+}
+
+void TraceStore::Harvest(size_t /*session_id*/,
+                         const SessionTraceRecord& record) {
+  {
+    MutexLock lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(record);
+    } else {
+      ring_[next_] = record;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_;
+  }
+  cv_.NotifyAll();
+}
+
+size_t TraceStore::harvested() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+size_t TraceStore::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+std::vector<SessionTraceRecord> TraceStore::Window() const {
+  MutexLock lock(mu_);
+  std::vector<SessionTraceRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: storage order is harvest order
+  } else {
+    // next_ is the oldest slot once the ring has wrapped.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<Vec> TraceStore::TrainingUtilities(size_t max_samples) const {
+  std::vector<SessionTraceRecord> window = Window();
+  std::vector<Vec> utilities;
+  for (const SessionTraceRecord& record : window) {
+    if (record.has_utility) utilities.push_back(record.utility);
+  }
+  if (utilities.size() > max_samples) {
+    utilities.erase(utilities.begin(),
+                    utilities.end() - static_cast<ptrdiff_t>(max_samples));
+  }
+  return utilities;
+}
+
+OutcomeCounts TraceStore::WindowOutcomes() const {
+  MutexLock lock(mu_);
+  OutcomeCounts counts;
+  for (const SessionTraceRecord& record : ring_) {
+    counts.Count(record.termination);
+  }
+  return counts;
+}
+
+Summary TraceStore::WindowRounds() const {
+  std::vector<double> rounds;
+  {
+    MutexLock lock(mu_);
+    rounds.reserve(ring_.size());
+    for (const SessionTraceRecord& record : ring_) {
+      rounds.push_back(static_cast<double>(record.rounds));
+    }
+  }
+  return Summarize(rounds);
+}
+
+bool TraceStore::WaitForTotal(size_t target) const {
+  MutexLock lock(mu_);
+  while (total_ < target && !interrupted_) {
+    cv_.Wait(mu_);
+  }
+  // The interrupt wins even over a satisfied target (sticky): a trainer
+  // stopping between waits must not slip in one more retrain.
+  return !interrupted_ && total_ >= target;
+}
+
+void TraceStore::Interrupt() {
+  {
+    MutexLock lock(mu_);
+    interrupted_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+void TraceStore::ClearInterrupt() {
+  MutexLock lock(mu_);
+  interrupted_ = false;
+}
+
+}  // namespace isrl

@@ -29,6 +29,13 @@ UtilityApprox}, args: {sessions, mode} where mode 0 = CheckpointAll()
 and mode 1 = RestoreAll(). Each record carries the snapshot_bytes
 counter, so the checked-in file doubles as a size-regression table.
 
+--suite registry (versioned model registry + trace harvesting; DESIGN.md
+section 18) runs build/bench/registry_substrates:
+  BM_RegistrySwap   N full EA episodes   args: {sessions, mode}
+                    mode 0 = one pinned version, 1 = publish per admission
+  BM_TraceHarvest   N full EA episodes   args: {sessions, mode}
+                    mode 0 = no harvest sink, 1 = TraceStore harvesting
+
 --suite geometry (incremental convex geometry and warm-started LP;
 DESIGN.md section 17) runs build/bench/geo_substrates instead:
   BM_GeoCutSequence   12-cut session on UnitSimplex(d)  args: {d, mode}
@@ -150,6 +157,31 @@ SUITES = {
         "restore is RestoreAll() (verify and rebuild every session); "
         "snapshot_bytes is the whole-population snapshot size "
         "(DESIGN.md section 14)",
+    },
+    "registry": {
+        "binary": "registry_substrates",
+        "benchmarks": {
+            "BM_RegistrySwap": {
+                "mode_arg": 1,
+                "label": lambda rest: f"sessions{rest[0]}",
+            },
+            "BM_TraceHarvest": {
+                "mode_arg": 1,
+                "label": lambda rest: f"sessions{rest[0]}",
+            },
+        },
+        "baseline_field": "plain_cpu_ns",
+        "variant_field": "registry_cpu_ns",
+        "note": "speedup = plain_cpu_ns / registry_cpu_ns for N complete "
+        "EA episodes; both modes run identical seeded episodes. "
+        "BM_TraceHarvest's variant distills every finished session into a "
+        "TraceStore record through the scheduler's harvest sink — ~1.0 is "
+        "the claim there. BM_RegistrySwap's variant publishes a fresh "
+        "registry version before EVERY session admission (DESIGN.md "
+        "section 18): each publish copies and fingerprints the network, "
+        "and per-version snapshots fragment cross-session score "
+        "coalescing, so < 1.0 prices the worst-case swap cadence — "
+        "serving under a pinned snapshot (mode 0) is the steady state",
     },
     "geometry": {
         "binary": "geo_substrates",

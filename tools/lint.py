@@ -40,6 +40,16 @@ Rules (see DESIGN.md section 11):
                 audit evidence. A direct call elsewhere silently bypasses
                 both the incremental path and its instrumentation
                 (DESIGN.md section 17).
+  model-ownership
+                nn::Network / DqnAgent / main_network() / target_network()
+                in serving-side code (src/serve/, the scheduler, the
+                session interface). Serving code holds immutable
+                nn::ModelSnapshot pins from the ModelRegistry; a raw
+                network reference there can be mutated by a concurrent
+                retrain, tearing in-flight sessions (DESIGN.md
+                section 18). Training-side owners (src/nn/, src/rl/,
+                core/ea.*, core/aa.*) and the trainer's publish hook are
+                exempt.
 
 Usage: tools/lint.py [paths...]   (defaults to src/)
 Exit status is the number of findings (0 == clean).
@@ -151,6 +161,26 @@ RAW_ENUMERATE_ALLOWED_PREFIXES = (
 )
 
 RAW_ENUMERATE_RE = re.compile(r"\bEnumerateVertices\s*\(")
+
+# Model-ownership discipline (DESIGN.md section 18): serving-side code pins
+# immutable ModelSnapshots from the registry; only training-side code (the
+# algorithms that own a DqnAgent, src/nn/, src/rl/) touches mutable
+# networks. The trainer's RetrainHooks::network is the one sanctioned
+# serve-side reference — it hands the freshly trained network to Publish().
+MODEL_OWNERSHIP_SCOPES = (
+    "src/serve/",
+    "src/core/scheduler.",
+    "src/core/algorithm.h",
+)
+
+MODEL_OWNERSHIP_ALLOWED_FILES = {
+    "src/serve/trainer.h",
+    "src/serve/trainer.cc",
+}
+
+MODEL_OWNERSHIP_RE = re.compile(
+    r"\bnn::Network\b|\bDqnAgent\b|\b(?:main|target)_network\s*\("
+)
 
 SUPPRESS_TOKEN = "float-eq-ok"
 
@@ -286,6 +316,22 @@ def lint_file(path: Path) -> list:
                     "Polyhedron::Cut(), which maintains adjacency "
                     "incrementally and records audit evidence "
                     "(DESIGN.md section 17)",
+                )
+            )
+
+        if (
+            rel.startswith(MODEL_OWNERSHIP_SCOPES)
+            and rel not in MODEL_OWNERSHIP_ALLOWED_FILES
+            and MODEL_OWNERSHIP_RE.search(code)
+        ):
+            findings.append(
+                (
+                    rel,
+                    lineno,
+                    "model-ownership",
+                    "raw network/agent reference in serving-side code; "
+                    "pin an immutable nn::ModelSnapshot from the "
+                    "ModelRegistry instead (DESIGN.md section 18)",
                 )
             )
 
